@@ -1,0 +1,139 @@
+// E12 — §4.2: "Benchmarks could comprise a dozen network downstream tasks
+// including device classification, flow classification, performance
+// prediction, congestion prediction, malware detection." This harness is
+// that benchmark: one pretrained foundation model, adapted to every
+// downstream task in the suite, reported GLUE-style — against a
+// per-task GRU trained from scratch.
+#include "harness/bench_util.h"
+#include "tasks/features.h"
+#include "tasks/perf.h"
+
+using namespace netfm;
+
+int main() {
+  bench::banner("E12: benchmark-suite",
+                "a GLUE-style multi-task network benchmark: one pretrained "
+                "model adapted per task vs per-task supervised baselines "
+                "(§4.2)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  gen::TraceConfig config;
+  config.profile = gen::DeploymentProfile::site_a();
+  config.duration_seconds = scale.trace_seconds * 2;
+  config.seed = 1201;
+  config.attack_fraction = 0.12;
+  // Single-flow attack families only: port scans/SYN floods fan out into
+  // dozens of probe flows each, which would swamp the suite's class
+  // balance (they get their own treatment in E7).
+  config.attack_families = {gen::ThreatClass::kDnsTunnel,
+                            gen::ThreatClass::kC2Beacon,
+                            gen::ThreatClass::kSshBruteForce};
+  config.max_sessions = scale.max_sessions * 2;
+  const gen::LabeledTrace trace = gen::generate_trace(config);
+
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const auto corpus = bench::unlabeled_corpus({&trace}, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  std::printf("capture: %zu sessions; corpus %zu contexts; vocab %zu\n",
+              trace.sessions.size(), corpus.size(), vocab.size());
+
+  // One pretraining run shared by every task (the FM premise).
+  core::NetFM pretrained =
+      bench::pretrained_model(vocab, corpus, scale.pretrain_steps);
+  const std::string ckpt = "/tmp/netfm_e12_ckpt.bin";
+  pretrained.save(ckpt);
+
+  Table table("E12: downstream-task suite (macro-F1; higher is better)");
+  table.header({"task", "classes", "examples", "NetFM", "GRU scratch",
+                "logistic+features"});
+  double fm_sum = 0.0, gru_sum = 0.0, logistic_sum = 0.0;
+  std::size_t task_count = 0;
+  for (const tasks::TaskKind kind :
+       {tasks::TaskKind::kAppClass, tasks::TaskKind::kDeviceClass,
+        tasks::TaskKind::kThreatBinary, tasks::TaskKind::kThreatFamily,
+        tasks::TaskKind::kDnsService}) {
+    const tasks::FlowDataset ds = tasks::build_dataset(
+        trace, tokenizer, options, kind);
+    if (ds.size() < 40) continue;
+    const auto [train, test] = bench::split(ds, 0.3, 1201);
+
+    core::NetFM fm(vocab, model::TransformerConfig::tiny(vocab.size()));
+    fm.load(ckpt);
+    core::FineTuneOptions finetune;
+    finetune.epochs = scale.finetune_epochs;
+    fm.fine_tune(train.contexts, train.labels, train.num_classes(),
+                 finetune);
+    const double fm_f1 = tasks::evaluate_netfm(fm, test, 48).macro_f1;
+
+    tasks::GruTrainOptions gru_options;
+    gru_options.epochs = 6;
+    const auto gru = tasks::train_gru(train, test, vocab,
+                                      tasks::GruInit::kRandom, gru_options);
+
+    // Classical baseline: NetFlow-style features + logistic regression,
+    // on the same stratified split.
+    const tasks::FeatureDataset fds =
+        tasks::build_feature_dataset(trace, kind);
+    const eval::Split fsplit = eval::stratified_split(fds.labels, 0.3, 1201);
+    std::vector<std::vector<float>> train_features;
+    std::vector<int> train_labels;
+    for (std::size_t i : fsplit.train) {
+      train_features.push_back(fds.features[i]);
+      train_labels.push_back(fds.labels[i]);
+    }
+    tasks::LogisticClassifier logistic(tasks::FlowFeatures::kDim,
+                                       fds.label_names.size());
+    logistic.train(train_features, train_labels);
+    eval::ConfusionMatrix logistic_cm(fds.label_names.size());
+    for (std::size_t i : fsplit.test)
+      logistic_cm.add(fds.labels[i], logistic.predict(fds.features[i]));
+
+    fm_sum += fm_f1;
+    gru_sum += gru.result.macro_f1;
+    logistic_sum += logistic_cm.macro_f1();
+    ++task_count;
+    table.row({std::string(tasks::to_string(kind)),
+               std::to_string(ds.num_classes()), std::to_string(ds.size()),
+               format_double(fm_f1, 3),
+               format_double(gru.result.macro_f1, 3),
+               format_double(logistic_cm.macro_f1(), 3)});
+  }
+
+  // Performance-prediction task (regression; reported as R^2).
+  const tasks::FlowDataset perf = tasks::build_performance_dataset(
+      trace, tokenizer, options, 4);
+  {
+    tasks::FlowDataset train, test;
+    train.label_names = test.label_names = perf.label_names;
+    for (std::size_t i = 0; i < perf.size(); ++i) {
+      tasks::FlowDataset& dst = (i % 3 == 0) ? test : train;
+      dst.contexts.push_back(perf.contexts[i]);
+      dst.targets.push_back(perf.targets[i]);
+      dst.labels.push_back(0);
+    }
+    core::NetFM fm(vocab, model::TransformerConfig::tiny(vocab.size()));
+    fm.load(ckpt);
+    const tasks::RegressionResult pretrained_result =
+        tasks::run_performance_regression(fm, train, test, 48);
+    core::NetFM random_features(
+        vocab, model::TransformerConfig::tiny(vocab.size()));
+    const tasks::RegressionResult random_result =
+        tasks::run_performance_regression(random_features, train, test, 48);
+    table.row({"flow-size regression (R^2)", "-",
+               std::to_string(perf.size()),
+               format_double(pretrained_result.r2, 3),
+               format_double(random_result.r2, 3) + " (random feats)"});
+  }
+  table.note("suite mean (classification): NetFM " +
+             format_double(fm_sum / static_cast<double>(task_count), 3) +
+             " vs GRU " +
+             format_double(gru_sum / static_cast<double>(task_count), 3));
+  table.note("shape to reproduce: one pretrained model is competitive "
+             "across the whole suite — the benchmark §4.2 calls for");
+  table.note("device-class is near chance for every method by design: one "
+             "flow rarely identifies the device; the benchmark keeps such "
+             "hard tasks on purpose (GLUE kept WNLI)");
+  table.print();
+  return 0;
+}

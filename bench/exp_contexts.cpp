@@ -1,0 +1,67 @@
+// E5 — §4.1.3: what is the right "context" for network pretraining?
+// Packet boundaries (short), flow/session boundaries (wide), interleaved
+// capture windows (what a border router actually sees), or the paper's
+// proposed non-standard construction (first M tokens of N successive
+// packets per endpoint). Same tokenizer, model, and budget; only the
+// context construction of the pretraining corpus varies. Downstream
+// fine-tuning always uses flow contexts (the deployment-time unit).
+#include "harness/bench_util.h"
+
+using namespace netfm;
+
+int main() {
+  bench::banner("E5: contexts",
+                "context construction matters: packet vs flow vs session vs "
+                "interleaved vs first-M-of-N (§4.1.3)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  const auto trace = bench::make_trace(gen::DeploymentProfile::site_a(),
+                                       scale.trace_seconds * 1.5, 501, 0.0,
+                                       scale.max_sessions);
+  tok::FieldTokenizer tokenizer;
+
+  // Flows once (shared across strategies).
+  FlowTable table_builder;
+  for (const Packet& p : trace.interleaved) table_builder.add(p);
+  table_builder.flush();
+  const std::vector<Flow> flows = table_builder.take_finished();
+
+  // Downstream task data (flow contexts, fixed).
+  ctx::Options flow_options;
+  tasks::FlowDataset ds = tasks::build_dataset(trace, tokenizer, flow_options,
+                                               tasks::TaskKind::kAppClass);
+  const auto [train, test] = bench::split(ds, 0.3, 11);
+
+  Table table("E5: pretraining-context strategy vs downstream F1");
+  table.header({"context strategy", "corpus size", "MLM loss",
+                "downstream F1"});
+  double flow_f1 = 0.0, packet_f1 = 0.0;
+  for (const ctx::Strategy strategy :
+       {ctx::Strategy::kPacket, ctx::Strategy::kFlow, ctx::Strategy::kSession,
+        ctx::Strategy::kInterleaved, ctx::Strategy::kFirstMofN}) {
+    ctx::Options options;
+    options.strategy = strategy;
+    const auto corpus =
+        ctx::build_corpus(flows, trace.interleaved, tokenizer, options);
+    const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+
+    core::NetFM fm =
+        bench::pretrained_model(vocab, corpus, scale.pretrain_steps);
+    const double mlm = fm.mlm_loss(corpus, 48);
+    core::FineTuneOptions finetune;
+    finetune.epochs = scale.finetune_epochs;
+    fm.fine_tune(train.contexts, train.labels, train.num_classes(),
+                 finetune);
+    const double f1 = tasks::evaluate_netfm(fm, test, 48).macro_f1;
+    if (strategy == ctx::Strategy::kFlow) flow_f1 = f1;
+    if (strategy == ctx::Strategy::kPacket) packet_f1 = f1;
+    table.row({std::string(ctx::to_string(strategy)),
+               std::to_string(corpus.size()), format_double(mlm, 3),
+               format_double(f1, 3)});
+  }
+  table.note("shape to reproduce: contexts aligned with the downstream "
+             "unit (flow) dominate; capture-order interleaving - what a "
+             "border router sees without flow reassembly - is worst");
+  table.print();
+  return flow_f1 >= packet_f1 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// E10 — §4.5 ("energy footprint"): training and inference cost vs model
+// size and pretraining budget. We sweep the tiny/small/base config ladder
+// and pretraining step counts, reporting parameters, wall-clock training
+// time, per-flow inference latency, and downstream F1 — the
+// cost/performance trade the paper says must be weighed.
+#include <chrono>
+
+#include "harness/bench_util.h"
+
+using namespace netfm;
+
+int main() {
+  bench::banner("E10: energy-scaling",
+                "large models consume massive energy; what does the "
+                "cost/benefit curve look like for network FMs? (§4.5)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  const auto trace = bench::make_trace(gen::DeploymentProfile::site_a(),
+                                       scale.trace_seconds, 1001, 0.0,
+                                       scale.max_sessions);
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  tasks::FlowDataset ds = tasks::build_dataset(trace, tokenizer, options,
+                                               tasks::TaskKind::kAppClass);
+  const auto [train, test] = bench::split(ds, 0.3, 29);
+  const auto corpus = bench::unlabeled_corpus({&trace}, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+
+  // Small labeled budget so pretraining quality is visible in F1.
+  std::vector<std::size_t> few_idx;
+  for (std::size_t i = 0; i < std::min<std::size_t>(80, train.size()); ++i)
+    few_idx.push_back(i);
+  const tasks::FlowDataset small_train = bench::subset(train, few_idx);
+
+  struct Row {
+    const char* name;
+    model::TransformerConfig config;
+    std::size_t steps;
+  };
+  const Row rows[] = {
+      {"tiny / 0.5x steps", model::TransformerConfig::tiny(vocab.size()),
+       scale.pretrain_steps / 2},
+      {"tiny / 1x steps", model::TransformerConfig::tiny(vocab.size()),
+       scale.pretrain_steps},
+      {"small / 1x steps", model::TransformerConfig::small(vocab.size()),
+       scale.pretrain_steps},
+      {"base / 1x steps", model::TransformerConfig::base(vocab.size()),
+       scale.pretrain_steps},
+  };
+
+  Table table("E10: model size & budget vs cost and quality");
+  table.header({"config", "params", "pretrain s", "infer ms/flow",
+                "downstream F1"});
+  for (const Row& row : rows) {
+    core::NetFM fm(vocab, row.config);
+    core::PretrainOptions pretrain;
+    pretrain.steps = row.steps;
+    const core::TrainLog log = fm.pretrain(corpus, {}, pretrain);
+
+    core::FineTuneOptions finetune;
+    finetune.epochs = scale.finetune_epochs;
+    fm.fine_tune(small_train.contexts, small_train.labels,
+                 small_train.num_classes(), finetune);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = tasks::evaluate_netfm(fm, test, 48);
+    const double eval_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double ms_per_flow =
+        eval_seconds * 1000.0 / static_cast<double>(test.size());
+
+    table.row({row.name, std::to_string(parameter_count(row.config)),
+               format_double(log.seconds, 1), format_double(ms_per_flow, 2),
+               format_double(result.macro_f1, 3)});
+  }
+  table.note("shape to reproduce: cost grows much faster than F1 — "
+             "diminishing returns justify the paper's energy concern");
+  table.print();
+  return 0;
+}

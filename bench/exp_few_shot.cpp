@@ -1,0 +1,97 @@
+// E9 — §1/§2 (GPT-3 motivation): foundation models slash the labeled-data
+// requirement — few-shot and even gradient-free usage. We sweep the
+// number of labeled examples per class and compare:
+//   * NetFM few-shot (nearest-centroid on frozen pretrained features,
+//     no gradient updates — the in-context-learning analogue),
+//   * NetFM fine-tuned on the same labeled subset,
+//   * GRU trained from scratch on the same labeled subset.
+#include <map>
+
+#include "core/fewshot.h"
+#include "harness/bench_util.h"
+
+using namespace netfm;
+
+namespace {
+
+/// First `per_class` examples of each class (deterministic).
+tasks::FlowDataset take_per_class(const tasks::FlowDataset& ds,
+                                  std::size_t per_class) {
+  std::map<int, std::size_t> taken;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    if (taken[ds.labels[i]]++ < per_class) indices.push_back(i);
+  return bench::subset(ds, indices);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E9: few-shot",
+                "pretraining reduces labeled-data needs by orders of "
+                "magnitude; few-shot use needs no gradient updates at all "
+                "(GPT-3 motivation, §1-§2)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  const auto trace = bench::make_trace(gen::DeploymentProfile::site_a(),
+                                       scale.trace_seconds * 2, 901, 0.0,
+                                       scale.max_sessions * 2);
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  tasks::FlowDataset ds = tasks::build_dataset(trace, tokenizer, options,
+                                               tasks::TaskKind::kAppClass);
+  const auto [pool, test] = bench::split(ds, 0.3, 23);
+
+  const auto corpus = bench::unlabeled_corpus({&trace}, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  core::NetFM pretrained =
+      bench::pretrained_model(vocab, corpus, scale.pretrain_steps);
+  const std::string ckpt = "/tmp/netfm_e9_ckpt.bin";
+  pretrained.save(ckpt);
+
+  Table table("E9: macro-F1 vs labeled examples per class");
+  table.header({"shots/class", "NetFM few-shot (no grads)",
+                "NetFM fine-tuned", "GRU from scratch"});
+  double few_at_5 = 0.0, gru_at_5 = 0.0;
+  for (const std::size_t shots : {1u, 2u, 5u, 10u, 25u}) {
+    const tasks::FlowDataset labeled = take_per_class(pool, shots);
+
+    // Few-shot: centroids on frozen features.
+    core::FewShotClassifier fewshot(pretrained, 48);
+    for (std::size_t i = 0; i < labeled.size(); ++i)
+      fewshot.add_example(labeled.contexts[i], labeled.labels[i]);
+    eval::ConfusionMatrix cm_few(test.num_classes());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const int predicted = fewshot.predict(test.contexts[i]);
+      cm_few.add(test.labels[i], predicted < 0 ? 0 : predicted);
+    }
+
+    // Fine-tuned on the same subset (fresh copy of the checkpoint).
+    core::NetFM tuned(vocab, model::TransformerConfig::tiny(vocab.size()));
+    tuned.load(ckpt);
+    core::FineTuneOptions finetune;
+    finetune.epochs = scale.finetune_epochs * 2;
+    tuned.fine_tune(labeled.contexts, labeled.labels, labeled.num_classes(),
+                    finetune);
+    const auto tuned_result = tasks::evaluate_netfm(tuned, test, 48);
+
+    // GRU from scratch on the same subset.
+    tasks::GruTrainOptions gru_options;
+    gru_options.epochs = 12;
+    const auto gru =
+        tasks::train_gru(labeled, test, vocab, tasks::GruInit::kRandom,
+                         gru_options);
+
+    if (shots == 5) {
+      few_at_5 = cm_few.macro_f1();
+      gru_at_5 = gru.result.macro_f1;
+    }
+    table.row({std::to_string(shots), format_double(cm_few.macro_f1(), 3),
+               format_double(tuned_result.macro_f1, 3),
+               format_double(gru.result.macro_f1, 3)});
+  }
+  table.note("shape to reproduce: pretrained rows dominate the from-scratch "
+             "row at low shot counts; the gap closes as labels grow");
+  table.print();
+  return few_at_5 > gru_at_5 ? 0 : 1;
+}

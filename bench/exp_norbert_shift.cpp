@@ -1,0 +1,152 @@
+// E1 — §3.4 (NorBERT): under dataset shift, GRU baselines collapse
+// (paper: F1 0.585-0.726) while the pretrained foundation model holds
+// (paper: F1 > 0.9).
+//
+// Setup mirrors NorBERT's DNS experiment. The downstream task is
+// service-category classification of DNS flows. Within a site, the
+// queried domain name fully determines the label — a shortcut feature —
+// but domains are completely disjoint between the two deployments.
+// Answer *structure* (TTL ranges, CNAME chains, answer counts) carries a
+// noisy, transferable category signal.
+//
+//   * pretraining sees abundant unlabeled traffic from BOTH sites
+//     (the foundation-model premise: unlabeled data is plentiful);
+//   * fine-tuning / supervised training sees labels from site A only;
+//   * evaluation: held-out site-A flows (in-distribution) and site-B
+//     flows (shifted).
+//
+// Baselines per the paper: GRU with random embeddings and GRU with
+// GloVe embeddings (trained on the same unlabeled corpus).
+#include "harness/bench_util.h"
+
+using namespace netfm;
+
+int main() {
+  bench::banner("E1: norbert-shift",
+                "fine-tuned FM keeps F1 > 0.9 under deployment shift; GRU "
+                "baselines drop to 0.585-0.726 (NorBERT, cited in §3.4)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  // Small disjoint domain universes so every domain token has enough
+  // pretraining occurrences to anchor an embedding.
+  gen::DeploymentProfile profile_a = gen::DeploymentProfile::site_a();
+  profile_a.domain_universe = 16;
+  profile_a.domain_zipf_s = 0.6;  // flatter popularity: every domain has
+                                  // enough pretraining occurrences
+  // Pin the application mix this experiment was calibrated against, so
+  // unrelated generator evolution (new app models) cannot silently change
+  // the DNS share or the corpus composition.
+  profile_a.app_mix = {2.0, 4.0, 5.0, 0.5, 0.4, 0.6, 0.3, 1.0, 1.5, 0.0};
+  gen::DeploymentProfile profile_b = gen::DeploymentProfile::site_b();
+  profile_b.domain_universe = 16;
+  profile_b.domain_offset = 16;
+  profile_b.domain_zipf_s = 0.6;
+  profile_b.app_mix = {4.0, 2.5, 5.0, 0.3, 0.8, 0.3, 0.5, 2.0, 0.8, 0.0};
+  // Keep the IP-TTL conventions equal across sites: E1 isolates the
+  // lexical shift NorBERT's setting has (new domains), not the background
+  // header-distribution axis (that one is exercised by the generator's
+  // default profiles elsewhere).
+  profile_b.client_ttl = profile_a.client_ttl;
+  profile_b.server_ttl = profile_a.server_ttl;
+
+  const auto trace_a =
+      bench::make_trace(profile_a, scale.trace_seconds * 4, 101, 0.0,
+                        static_cast<std::size_t>(scale.max_sessions * 2.5));
+  const auto trace_b = bench::make_trace(profile_b, scale.trace_seconds * 4,
+                                         102, 0.0, scale.max_sessions * 3);
+
+  const auto ds_a = bench::make_dataset(trace_a, tasks::TaskKind::kDnsService);
+  const auto ds_b = bench::make_dataset(trace_b, tasks::TaskKind::kDnsService);
+  const auto [train_a, test_a] = bench::split(ds_a, 0.3, 7);
+  std::printf("labeled site-a DNS flows: %zu train / %zu test; "
+              "shifted site-b: %zu\n",
+              train_a.size(), test_a.size(), ds_b.size());
+
+  // Unlabeled corpus from both sites (all traffic, not just DNS).
+  tok::FieldTokenizer tokenizer;
+  ctx::Options context_options;
+  const auto corpus = bench::unlabeled_corpus({&trace_a, &trace_b}, tokenizer,
+                                              context_options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  std::printf("unlabeled corpus: %zu contexts, vocab %zu\n\n", corpus.size(),
+              vocab.size());
+
+  // Foundation model: pretrain once (self-supervised), then fine-tune
+  // with three seeds and average — adaptation on a few hundred labels is
+  // seed-noisy and single runs misrepresent every method.
+  //
+  // Two method choices matter here (both §4-motivated):
+  //  * field-targeted masking during pretraining (§4.1.4): answer-shape
+  //    tokens are masked preferentially, so the model must predict them
+  //    from the rest of the flow — which drives the co-occurring domain
+  //    tokens' embeddings to encode the service category;
+  //  * frozen token embeddings during fine-tuning: site-B tokens keep the
+  //    geometry pretraining gave them (they are absent from the labeled
+  //    set and would otherwise go stale while site-A tokens move).
+  core::NetFM pretrained(vocab,
+                         model::TransformerConfig::tiny(vocab.size()));
+  {
+    core::PretrainOptions pretrain;
+    pretrain.steps = scale.pretrain_steps * 8;
+    pretrain.seed = 99;
+    pretrain.focus_prefixes = {"attl_", "rtype", "ancount_"};
+    pretrain.focus_prob = 0.65;
+    pretrained.pretrain(corpus, {}, pretrain);
+  }
+  const std::string ckpt = "/tmp/netfm_e1_ckpt.bin";
+  pretrained.save(ckpt);
+
+  constexpr std::uint64_t kSeeds[] = {11, 22, 33};
+  double fm_in = 0.0, fm_shift = 0.0;
+  for (const std::uint64_t seed : kSeeds) {
+    core::NetFM fm(vocab, model::TransformerConfig::tiny(vocab.size()));
+    fm.load(ckpt);
+    core::FineTuneOptions finetune;
+    finetune.epochs = scale.finetune_epochs * 3;
+    finetune.freeze_token_embeddings = true;
+    finetune.seed = seed;
+    fm.fine_tune(train_a.contexts, train_a.labels, train_a.num_classes(),
+                 finetune);
+    fm_in += tasks::evaluate_netfm(fm, test_a, 48).macro_f1;
+    fm_shift += tasks::evaluate_netfm(fm, ds_b, 48).macro_f1;
+  }
+  fm_in /= std::size(kSeeds);
+  fm_shift /= std::size(kSeeds);
+
+  // GRU baselines (labeled site A only; GloVe from the unlabeled corpus).
+  // GRU shift performance is very seed-volatile, so it gets five seeds.
+  auto run_gru = [&](tasks::GruInit init, double& in_f1, double& shift_f1) {
+    constexpr std::uint64_t kGruSeeds[] = {11, 22, 33, 44, 55};
+    in_f1 = shift_f1 = 0.0;
+    for (const std::uint64_t seed : kGruSeeds) {
+      tasks::GruTrainOptions gru_options;
+      gru_options.epochs = 8;
+      gru_options.seed = seed;
+      const auto run =
+          tasks::train_gru(train_a, ds_b, vocab, init, gru_options);
+      shift_f1 += run.result.macro_f1;
+      in_f1 += tasks::evaluate_gru(*run.model, vocab, test_a, 48).macro_f1;
+    }
+    in_f1 /= std::size(kGruSeeds);
+    shift_f1 /= std::size(kGruSeeds);
+  };
+  double gru_random_in = 0.0, gru_random_shift = 0.0;
+  double gru_glove_in = 0.0, gru_glove_shift = 0.0;
+  run_gru(tasks::GruInit::kRandom, gru_random_in, gru_random_shift);
+  run_gru(tasks::GruInit::kGlove, gru_glove_in, gru_glove_shift);
+
+  Table table("E1: DNS service-category F1 under deployment shift "
+              "(mean over 3 training seeds)");
+  table.header({"model", "in-dist F1 (site-a)", "shifted F1 (site-b)",
+                "paper (shifted)"});
+  table.row({"GRU random init", format_double(gru_random_in, 3),
+             format_double(gru_random_shift, 3), "0.585-0.726"});
+  table.row({"GRU + GloVe", format_double(gru_glove_in, 3),
+             format_double(gru_glove_shift, 3), "0.585-0.726"});
+  table.row({"NetFM (pretrain+fine-tune)", format_double(fm_in, 3),
+             format_double(fm_shift, 3), "> 0.9"});
+  table.note("shape to reproduce: all models high in-distribution; GRUs "
+             "collapse under shift, the pretrained FM holds");
+  table.print();
+  return fm_shift > std::max(gru_random_shift, gru_glove_shift) ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// E7 — §4.3: can foundation models detect zero-day attacks? Sommer &
+// Paxson argued ML "finds activity similar to something previously seen";
+// the paper counters that modern out-of-distribution methods can flag
+// genuinely novel behaviour. We hold one attack family out entirely,
+// train on benign + the remaining families, and measure how well each
+// OOD score separates the unseen family from benign test traffic.
+#include "harness/bench_util.h"
+#include "tasks/ood.h"
+
+using namespace netfm;
+
+namespace {
+
+/// AUROC of `method` separating unseen-family flows (positives) from
+/// benign eval flows (negatives).
+double detector_auroc(const core::NetFM& model, tasks::OodMethod method,
+                      const tasks::MahalanobisDetector& mahalanobis,
+                      const tasks::FlowDataset& benign_eval,
+                      const tasks::FlowDataset& unseen) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& context : benign_eval.contexts) {
+    scores.push_back(
+        tasks::ood_score(model, method, context, 48, &mahalanobis));
+    labels.push_back(0);
+  }
+  for (const auto& context : unseen.contexts) {
+    scores.push_back(
+        tasks::ood_score(model, method, context, 48, &mahalanobis));
+    labels.push_back(1);
+  }
+  return eval::auroc(scores, labels);
+}
+
+tasks::FlowDataset attacks_only(const gen::LabeledTrace& trace,
+                                gen::ThreatClass family) {
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  tasks::FlowDataset all = tasks::build_dataset(
+      trace, tokenizer, options, tasks::TaskKind::kThreatFamily);
+  tasks::FlowDataset out;
+  out.label_names = all.label_names;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (all.labels[i] == static_cast<int>(family)) {
+      out.contexts.push_back(all.contexts[i]);
+      out.labels.push_back(1);
+    }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E7: ood-zero-day",
+                "recent OOD methods can flag zero-day attacks that "
+                "similarity-based ML misses (§4.3)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  // Benign training site.
+  const auto benign_trace =
+      bench::make_trace(gen::DeploymentProfile::site_a(),
+                        scale.trace_seconds * 1.5, 701, 0.0,
+                        scale.max_sessions);
+  tasks::FlowDataset benign = bench::make_dataset(
+      benign_trace, tasks::TaskKind::kAppClass);
+  const auto [train, benign_eval] = bench::split(benign, 0.3, 17);
+
+  // Pretrain + fine-tune on benign traffic (app classification).
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const auto corpus =
+      bench::unlabeled_corpus({&benign_trace}, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  core::NetFM fm =
+      bench::pretrained_model(vocab, corpus, scale.pretrain_steps);
+  core::FineTuneOptions finetune;
+  finetune.epochs = scale.finetune_epochs;
+  fm.fine_tune(train.contexts, train.labels, train.num_classes(), finetune);
+  const tasks::MahalanobisDetector detector(fm, train, 48);
+
+  // One trace per held-out family (zero-day: never seen in any training).
+  Table table("E7: zero-day detection AUROC by held-out attack family");
+  table.header({"unseen family", "max-softmax", "energy", "mahalanobis"});
+  double worst_best = 1.0;
+  for (const gen::ThreatClass family :
+       {gen::ThreatClass::kPortScan, gen::ThreatClass::kSynFlood,
+        gen::ThreatClass::kDnsTunnel, gen::ThreatClass::kC2Beacon,
+        gen::ThreatClass::kSshBruteForce}) {
+    gen::TraceConfig config;
+    config.profile = gen::DeploymentProfile::site_a();
+    config.duration_seconds = scale.trace_seconds / 2;
+    config.seed = 702 + static_cast<std::uint64_t>(family);
+    config.attack_fraction = 1.0;
+    config.attack_families = {family};
+    config.max_sessions = 80;
+    const auto attack_trace = gen::generate_trace(config);
+    const tasks::FlowDataset unseen = attacks_only(attack_trace, family);
+
+    const double msp = detector_auroc(fm, tasks::OodMethod::kMaxSoftmax,
+                                      detector, benign_eval, unseen);
+    const double energy = detector_auroc(fm, tasks::OodMethod::kEnergy,
+                                         detector, benign_eval, unseen);
+    const double maha = detector_auroc(fm, tasks::OodMethod::kMahalanobis,
+                                       detector, benign_eval, unseen);
+    worst_best = std::min(worst_best, std::max({msp, energy, maha}));
+    table.row({std::string(gen::to_string(family)), format_double(msp, 3),
+               format_double(energy, 3), format_double(maha, 3)});
+  }
+  table.note("shape to reproduce: for every unseen family at least one "
+             "detector is well above 0.5 (zero-day flagging is feasible, "
+             "contra the Sommer-Paxson pessimism the paper revisits)");
+  table.print();
+  return worst_best > 0.5 ? 0 : 1;
+}

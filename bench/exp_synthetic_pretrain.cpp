@@ -1,0 +1,121 @@
+// E13 — §4.2: "Synthetic packet traces generators may be one solution for
+// mitigating the privacy concerns, and training foundational models on
+// network data." We quantify exactly that pipeline:
+//   1. train a causal TrafficLM on a private capture's tokens,
+//   2. sample a fully synthetic corpus from it (no real flow is shared),
+//   3. pretrain a foundation model on (a) the real corpus, (b) the
+//      synthetic corpus, (c) nothing,
+//   4. fine-tune each on the same small labeled set and compare.
+// The question: how much downstream utility does synthetic pretraining
+// retain relative to real pretraining?
+#include <cmath>
+
+#include "core/traffic_lm.h"
+#include "harness/bench_util.h"
+
+using namespace netfm;
+
+int main() {
+  bench::banner("E13: synthetic-pretrain",
+                "synthetic traces can substitute for privacy-locked real "
+                "data when pretraining network foundation models (§4.2)");
+  const bench::Scale scale = bench::Scale::from_env();
+
+  const auto trace = bench::make_trace(gen::DeploymentProfile::site_a(),
+                                       scale.trace_seconds * 2, 1301, 0.0,
+                                       scale.max_sessions * 2);
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const auto real_corpus =
+      bench::unlabeled_corpus({&trace}, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(real_corpus);
+
+  // The generator model (stays private; only its samples are shared).
+  core::TrafficLM lm(vocab, model::TransformerConfig::tiny(vocab.size()));
+  core::LmTrainOptions lm_options;
+  lm_options.steps = scale.pretrain_steps * 2;
+  const auto lm_log = lm.train(real_corpus, lm_options);
+  const double lm_loss = lm.loss(real_corpus, 48);
+  std::printf("TrafficLM: %zu steps, final loss %.3f, eval loss %.3f "
+              "(ppl %.1f)\n",
+              lm_log.steps, lm_log.losses.back(), lm_loss,
+              std::exp(lm_loss));
+
+  Rng sample_rng(1302);
+  core::SampleOptions sampling;
+  sampling.temperature = 0.95;
+  const auto synthetic_corpus =
+      lm.sample_corpus(real_corpus.size(), sampling, sample_rng);
+  double synthetic_len = 0.0, real_len = 0.0;
+  for (const auto& c : synthetic_corpus) synthetic_len += c.size();
+  for (const auto& c : real_corpus) real_len += c.size();
+  std::printf("synthetic corpus: %zu contexts (mean len %.1f vs real "
+              "%.1f)\n",
+              synthetic_corpus.size(),
+              synthetic_len / synthetic_corpus.size(),
+              real_len / real_corpus.size());
+
+  // Downstream task with few labels.
+  tasks::FlowDataset ds = tasks::build_dataset(trace, tokenizer, options,
+                                               tasks::TaskKind::kAppClass);
+  const auto [train_full, test] = bench::split(ds, 0.3, 1303);
+  std::vector<std::size_t> few;
+  for (std::size_t i = 0; i < std::min<std::size_t>(80, train_full.size());
+       ++i)
+    few.push_back(i);
+  const tasks::FlowDataset train = bench::subset(train_full, few);
+
+  // The primary measurement: how well does a model pretrained on each
+  // corpus explain *real* traffic (masked-token loss on the real corpus)?
+  // This is the direct test of whether the synthetic release carries the
+  // real distribution. Downstream F1 (mean over 3 fine-tune seeds) is the
+  // secondary, noisier readout.
+  Table table("E13: pretraining-data source vs real-data fit and "
+              "downstream F1");
+  table.header({"pretraining corpus", "MLM loss on real data",
+                "downstream F1 (3 seeds)"});
+  double real_mlm = 0.0, synthetic_mlm = 0.0, none_mlm = 0.0;
+  struct Variant {
+    const char* name;
+    const std::vector<std::vector<std::string>>* corpus;
+  };
+  for (const Variant variant :
+       {Variant{"real capture", &real_corpus},
+        Variant{"synthetic (TrafficLM samples)", &synthetic_corpus},
+        Variant{"none (random init)", nullptr}}) {
+    core::NetFM fm(vocab, model::TransformerConfig::tiny(vocab.size()));
+    if (variant.corpus) {
+      core::PretrainOptions pretrain;
+      pretrain.steps = scale.pretrain_steps;
+      fm.pretrain(*variant.corpus, {}, pretrain);
+    }
+    const double mlm = fm.mlm_loss(real_corpus, 48);
+    const std::string ckpt = "/tmp/netfm_e13_variant.bin";
+    fm.save(ckpt);
+    double f1 = 0.0;
+    for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      core::NetFM tuned(vocab, model::TransformerConfig::tiny(vocab.size()));
+      tuned.load(ckpt);
+      core::FineTuneOptions finetune;
+      finetune.epochs = scale.finetune_epochs;
+      finetune.seed = seed;
+      tuned.fine_tune(train.contexts, train.labels, train.num_classes(),
+                      finetune);
+      f1 += tasks::evaluate_netfm(tuned, test, 48).macro_f1;
+    }
+    f1 /= 3.0;
+    if (variant.corpus == &real_corpus) real_mlm = mlm;
+    if (variant.corpus == &synthetic_corpus) synthetic_mlm = mlm;
+    if (!variant.corpus) none_mlm = mlm;
+    table.row({variant.name, format_double(mlm, 3), format_double(f1, 3)});
+  }
+  table.note("shape to reproduce: synthetic pretraining recovers most of "
+             "the real-vs-none gap in real-data MLM loss (the synthetic "
+             "corpus carries the real distribution)");
+  table.print();
+  const double recovered =
+      (none_mlm - synthetic_mlm) / std::max(1e-9, none_mlm - real_mlm);
+  std::printf("synthetic recovers %.0f%% of the real-data MLM-loss gain\n",
+              recovered * 100.0);
+  return recovered > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "harness/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace netfm::bench {
+
+Scale Scale::from_env() {
+  Scale scale;
+  if (const char* env = std::getenv("NETFM_BENCH_SCALE")) {
+    const int factor = std::atoi(env);
+    if (factor > 1) {
+      scale.trace_seconds *= factor;
+      scale.pretrain_steps *= static_cast<std::size_t>(factor);
+      scale.max_sessions *= static_cast<std::size_t>(factor);
+    }
+  }
+  return scale;
+}
+
+gen::LabeledTrace make_trace(const gen::DeploymentProfile& profile,
+                             double seconds, std::uint64_t seed,
+                             double attack_fraction,
+                             std::size_t max_sessions) {
+  gen::TraceConfig config;
+  config.profile = profile;
+  config.duration_seconds = seconds;
+  config.seed = seed;
+  config.attack_fraction = attack_fraction;
+  config.max_sessions = max_sessions;
+  return gen::generate_trace(config);
+}
+
+tasks::FlowDataset make_dataset(const gen::LabeledTrace& trace,
+                                tasks::TaskKind kind) {
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  return tasks::build_dataset(trace, tokenizer, options, kind);
+}
+
+tasks::FlowDataset subset(const tasks::FlowDataset& ds,
+                          std::span<const std::size_t> indices) {
+  tasks::FlowDataset out;
+  out.label_names = ds.label_names;
+  for (std::size_t i : indices) {
+    out.contexts.push_back(ds.contexts[i]);
+    out.labels.push_back(ds.labels[i]);
+    if (!ds.targets.empty()) out.targets.push_back(ds.targets[i]);
+  }
+  return out;
+}
+
+std::pair<tasks::FlowDataset, tasks::FlowDataset> split(
+    const tasks::FlowDataset& ds, double test_fraction, std::uint64_t seed) {
+  const eval::Split s = eval::stratified_split(ds.labels, test_fraction, seed);
+  return {subset(ds, s.train), subset(ds, s.test)};
+}
+
+std::vector<std::vector<std::string>> unlabeled_corpus(
+    std::initializer_list<const gen::LabeledTrace*> traces,
+    const tok::Tokenizer& tokenizer, const ctx::Options& options) {
+  std::vector<std::vector<std::string>> corpus;
+  for (const gen::LabeledTrace* trace : traces) {
+    FlowTable table;
+    for (const Packet& p : trace->interleaved) table.add(p);
+    table.flush();
+    for (const Flow& flow : table.finished()) {
+      auto context = ctx::flow_context(flow, tokenizer, options);
+      if (!context.empty()) corpus.push_back(std::move(context));
+    }
+  }
+  return corpus;
+}
+
+core::NetFM pretrained_model(
+    const tok::Vocabulary& vocab,
+    const std::vector<std::vector<std::string>>& corpus, std::size_t steps,
+    std::uint64_t seed) {
+  core::NetFM model(vocab, model::TransformerConfig::tiny(vocab.size()));
+  core::PretrainOptions options;
+  options.steps = steps;
+  options.seed = seed;
+  model.pretrain(corpus, {}, options);
+  return model;
+}
+
+void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n===== %s =====\n", experiment.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace netfm::bench

@@ -1,0 +1,62 @@
+// Shared plumbing for the exp_* experiment harnesses: trace/dataset
+// construction with consistent defaults, dataset slicing, and the
+// paper-shape table conventions. Every experiment binary prints the table
+// it reproduces and cites the paper section it regenerates.
+#pragma once
+
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "context/context.h"
+#include "core/netfm.h"
+#include "eval/metrics.h"
+#include "tasks/classify.h"
+#include "tasks/datasets.h"
+
+namespace netfm::bench {
+
+/// Standard experiment scale, chosen so the full suite runs on one CPU
+/// core in minutes. Scale up via NETFM_BENCH_SCALE=2,3,... (multiplies
+/// trace durations and pretraining steps).
+struct Scale {
+  double trace_seconds = 60.0;
+  std::size_t pretrain_steps = 300;
+  std::size_t finetune_epochs = 4;
+  std::size_t max_sessions = 360;
+
+  static Scale from_env();
+};
+
+/// Generates a labeled trace for one site.
+gen::LabeledTrace make_trace(const gen::DeploymentProfile& profile,
+                             double seconds, std::uint64_t seed,
+                             double attack_fraction = 0.0,
+                             std::size_t max_sessions = 0);
+
+/// Dataset with the standard field tokenizer + flow contexts.
+tasks::FlowDataset make_dataset(const gen::LabeledTrace& trace,
+                                tasks::TaskKind kind);
+
+/// Index-subset of a dataset.
+tasks::FlowDataset subset(const tasks::FlowDataset& ds,
+                          std::span<const std::size_t> indices);
+
+/// Stratified (train, test) split.
+std::pair<tasks::FlowDataset, tasks::FlowDataset> split(
+    const tasks::FlowDataset& ds, double test_fraction, std::uint64_t seed);
+
+/// Unlabeled pretraining corpus (flow contexts) from one or more traces.
+std::vector<std::vector<std::string>> unlabeled_corpus(
+    std::initializer_list<const gen::LabeledTrace*> traces,
+    const tok::Tokenizer& tokenizer, const ctx::Options& options);
+
+/// Builds + pretrains a tiny NetFM over the corpus (standard options).
+core::NetFM pretrained_model(const tok::Vocabulary& vocab,
+                             const std::vector<std::vector<std::string>>& corpus,
+                             std::size_t steps, std::uint64_t seed = 99);
+
+/// Prints the standard experiment banner.
+void banner(const std::string& experiment, const std::string& claim);
+
+}  // namespace netfm::bench

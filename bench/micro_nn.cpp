@@ -1,0 +1,111 @@
+// M4 — neural-engine microbenchmarks: matmul kernels, transformer forward
+// and forward+backward, GRU step throughput.
+#include <benchmark/benchmark.h>
+
+#include "model/gru.h"
+#include "model/heads.h"
+#include "model/transformer.h"
+#include "nn/tensor.h"
+
+namespace netfm {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  nn::Tensor b = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  for (auto _ : state) {
+    nn::Tensor c = nn::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulBackward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    nn::Tensor a = nn::Tensor::randn({n, n}, rng, 1.0f, true);
+    nn::Tensor b = nn::Tensor::randn({n, n}, rng, 1.0f, true);
+    nn::Tensor loss = nn::mean(nn::matmul(a, b));
+    loss.backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+}
+BENCHMARK(BM_MatmulBackward)->Arg(32)->Arg(64);
+
+model::Batch random_batch(std::size_t batch, std::size_t seq,
+                          std::size_t vocab, std::uint64_t seed) {
+  model::Batch b;
+  b.batch_size = batch;
+  b.seq_len = seq;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < batch * seq; ++i) {
+    b.token_ids.push_back(static_cast<int>(rng.uniform(vocab)));
+    b.segment_ids.push_back(0);
+    b.attention_mask.push_back(1.0f);
+  }
+  return b;
+}
+
+void BM_TransformerForward(benchmark::State& state) {
+  const auto config = model::TransformerConfig::tiny(256);
+  model::TransformerEncoder encoder(config);
+  const model::Batch batch = random_batch(8, 48, 256, 3);
+  for (auto _ : state) {
+    nn::Tensor h = encoder.forward(batch, /*train=*/false);
+    benchmark::DoNotOptimize(h.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_TransformerForward);
+
+void BM_TransformerTrainStep(benchmark::State& state) {
+  const auto config = model::TransformerConfig::tiny(256);
+  model::TransformerEncoder encoder(config);
+  Rng rng(4);
+  model::MlmHead head(config, encoder.token_embeddings(), rng);
+  nn::ParameterList params = encoder.parameters();
+  head.collect(params);
+  nn::Adam adam(1e-3f);
+  const model::Batch batch = random_batch(8, 48, 256, 5);
+  std::vector<int> targets(batch.token_ids.size(), -1);
+  for (std::size_t i = 0; i < targets.size(); i += 7)
+    targets[i] = batch.token_ids[i];
+  for (auto _ : state) {
+    nn::Tensor hidden = encoder.forward(batch, /*train=*/true);
+    nn::Tensor loss = nn::cross_entropy(head.forward(hidden), targets);
+    nn::zero_grad(params);
+    loss.backward();
+    adam.step(params);
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_TransformerTrainStep);
+
+void BM_GruForward(benchmark::State& state) {
+  model::GruConfig config;
+  config.vocab_size = 256;
+  config.num_classes = 9;
+  model::GruClassifier gru(config);
+  std::vector<int> ids(static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  for (int& id : ids) id = static_cast<int>(rng.uniform(256));
+  for (auto _ : state) {
+    nn::Tensor logits = gru.forward(ids, /*train=*/false);
+    benchmark::DoNotOptimize(logits.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GruForward)->Arg(16)->Arg(48);
+
+}  // namespace
+}  // namespace netfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// M1-M3 — substrate microbenchmarks (google-benchmark): packet codec
+// throughput, flow-table ingestion, tokenizer throughput, pcap codec.
+#include <benchmark/benchmark.h>
+
+#include "net/dns.h"
+#include "net/flow.h"
+#include "net/pcap.h"
+#include "tokenize/bpe.h"
+#include "tokenize/tokenizer.h"
+#include "trafficgen/generator.h"
+
+namespace netfm {
+namespace {
+
+const gen::LabeledTrace& shared_trace() {
+  static const gen::LabeledTrace trace = gen::quick_trace(30.0, 77);
+  return trace;
+}
+
+void BM_ParsePacket(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  std::size_t i = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Packet& pkt = trace.interleaved[i++ % trace.interleaved.size()];
+    auto parsed = parse_packet(BytesView{pkt.frame});
+    benchmark::DoNotOptimize(parsed);
+    bytes += pkt.frame.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ParsePacket);
+
+void BM_BuildTcpFrame(benchmark::State& state) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 443;
+  tcp.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0xab);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes frame = build_tcp_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                  ip, tcp, BytesView{payload});
+    benchmark::DoNotOptimize(frame);
+    bytes += frame.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BuildTcpFrame)->Arg(64)->Arg(512)->Arg(1400);
+
+void BM_DnsEncodeDecode(benchmark::State& state) {
+  dns::Message msg;
+  msg.id = 1;
+  msg.questions.push_back({"www.example.com", 1, 1});
+  msg.is_response = true;
+  for (int i = 0; i < 3; ++i)
+    msg.answers.push_back(dns::ResourceRecord::a(
+        "www.example.com", Ipv4Addr::from_octets(10, 0, 0, 1), 300));
+  for (auto _ : state) {
+    const Bytes wire = msg.encode();
+    auto decoded = dns::Message::decode(BytesView{wire});
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DnsEncodeDecode);
+
+void BM_FlowTableIngest(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    FlowTable table;
+    for (const Packet& p : trace.interleaved) table.add(p);
+    table.flush();
+    benchmark::DoNotOptimize(table.finished().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.interleaved.size()));
+}
+BENCHMARK(BM_FlowTableIngest);
+
+void BM_FieldTokenizer(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  tok::FieldTokenizer tokenizer;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Packet& pkt = trace.interleaved[i++ % trace.interleaved.size()];
+    auto tokens = tokenizer.tokenize_packet(BytesView{pkt.frame});
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FieldTokenizer);
+
+void BM_ByteTokenizer(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  tok::ByteTokenizer tokenizer(48);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Packet& pkt = trace.interleaved[i++ % trace.interleaved.size()];
+    auto tokens = tokenizer.tokenize_packet(BytesView{pkt.frame});
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ByteTokenizer);
+
+void BM_BpeTokenizer(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  tok::BpeTokenizer tokenizer(48);
+  std::vector<Bytes> frames;
+  for (std::size_t i = 0; i < 300; ++i)
+    frames.push_back(trace.interleaved[i].frame);
+  tokenizer.train(frames, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Packet& pkt = trace.interleaved[i++ % trace.interleaved.size()];
+    auto tokens = tokenizer.tokenize_packet(BytesView{pkt.frame});
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpeTokenizer);
+
+void BM_PcapRoundTrip(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  std::vector<Packet> packets(trace.interleaved.begin(),
+                              trace.interleaved.begin() + 1000);
+  for (auto _ : state) {
+    const Bytes data = pcap_encode(packets);
+    auto decoded = pcap_decode(BytesView{data});
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_PcapRoundTrip);
+
+}  // namespace
+}  // namespace netfm
+
+BENCHMARK_MAIN();

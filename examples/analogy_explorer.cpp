@@ -1,0 +1,78 @@
+// Analogy explorer: probe the learned token-embedding space the way the
+// NetBERT/NorBERT studies (§3.4) did — nearest neighbors of ports and
+// ciphersuites, and relational analogies over protocol structure.
+//
+// Run: ./analogy_explorer
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "context/context.h"
+#include "core/netfm.h"
+#include "trafficgen/generator.h"
+
+using namespace netfm;
+
+int main() {
+  std::printf("== analogy explorer ==\n");
+
+  // A longer mixed capture so rarer tokens (ciphersuites, flags) have
+  // enough occurrences to anchor their embeddings.
+  const gen::LabeledTrace trace = gen::quick_trace(240.0, 5);
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) table.add(p);
+  table.flush();
+  const std::vector<Flow> flows = table.take_finished();
+
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const auto corpus =
+      ctx::build_corpus(flows, trace.interleaved, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  std::printf("corpus: %zu contexts, vocab %zu\n", corpus.size(),
+              vocab.size());
+
+  core::NetFM model(vocab, model::TransformerConfig::tiny(vocab.size()));
+  core::PretrainOptions pretrain;
+  pretrain.steps = 600;
+  pretrain.batch_size = 8;
+  std::printf("pretraining %zu steps...\n", pretrain.steps);
+  const auto log = model.pretrain(corpus, {}, pretrain);
+  std::printf("  mlm loss %.3f -> %.3f\n", log.losses.front(),
+              log.losses.back());
+
+  Table neighbors("Nearest neighbors (cosine over token embeddings)");
+  neighbors.header({"query", "top-3 neighbors"});
+  for (const char* query : {"p80", "p443", "p53", "cs49199", "tcp",
+                            "dns_query", "tls_ch"}) {
+    if (!vocab.contains(query)) continue;
+    std::string row;
+    for (const auto& [token, score] : model.nearest_tokens(query, 3))
+      row += token + " (" + format_double(score, 2) + ")  ";
+    neighbors.row({query, row});
+  }
+  neighbors.note("paper's cited probes: NN(80)=443, NN(49199)=49200");
+  neighbors.print();
+
+  Table analogies("Analogies: a is to b as c is to ?");
+  analogies.header({"a", "b", "c", "top answers"});
+  const struct {
+    const char *a, *b, *c;
+  } probes[] = {
+      {"tcp", "p80", "udp"},          // tcp:80 :: udp:?  (expect 53/123)
+      {"dns_query", "dns_resp", "tls_ch"},  // request:reply :: hello:?
+      {"p80", "http_req", "p53"},     // port:protocol-message
+  };
+  for (const auto& probe : probes) {
+    if (!vocab.contains(probe.a) || !vocab.contains(probe.b) ||
+        !vocab.contains(probe.c))
+      continue;
+    std::string row;
+    for (const auto& [token, score] : model.analogy(probe.a, probe.b,
+                                                    probe.c, 3))
+      row += token + " (" + format_double(score, 2) + ")  ";
+    analogies.row({probe.a, probe.b, probe.c, row});
+  }
+  analogies.print();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Anomaly hunter: learn what "normal" looks like from benign traffic,
+// then sweep a mixed capture and surface the most anomalous flows with
+// their 5-tuples — the zero-day detection workflow of §4.3.
+//
+// The attack families in the scored capture were never seen in training.
+//
+// Run: ./anomaly_hunter
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+#include "tasks/ood.h"
+
+using namespace netfm;
+
+int main() {
+  std::printf("== anomaly hunter ==\n");
+
+  // Benign-only training capture.
+  gen::TraceConfig benign;
+  benign.duration_seconds = 60.0;
+  benign.seed = 11;
+  const gen::LabeledTrace train_trace = gen::generate_trace(benign);
+
+  // Mixed capture to hunt in: 15% attacks across all families.
+  gen::TraceConfig mixed = benign;
+  mixed.duration_seconds = 45.0;
+  mixed.seed = 12;
+  mixed.attack_fraction = 0.15;
+  const gen::LabeledTrace hunt_trace = gen::generate_trace(mixed);
+
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const tasks::FlowDataset train = tasks::build_dataset(
+      train_trace, tokenizer, options, tasks::TaskKind::kAppClass);
+  const tasks::FlowDataset hunt = tasks::build_dataset(
+      hunt_trace, tokenizer, options, tasks::TaskKind::kThreatFamily);
+  std::printf("trained on %zu benign flows; hunting in %zu flows\n",
+              train.size(), hunt.size());
+
+  // Foundation model: pretrain + fine-tune on the benign app task.
+  const tok::Vocabulary vocab = tok::Vocabulary::build(train.contexts);
+  core::NetFM model(vocab, model::TransformerConfig::tiny(vocab.size()));
+  core::PretrainOptions pretrain;
+  pretrain.steps = 200;
+  model.pretrain(train.contexts, {}, pretrain);
+  core::FineTuneOptions finetune;
+  finetune.epochs = 3;
+  model.fine_tune(train.contexts, train.labels, train.num_classes(),
+                  finetune);
+
+  // Score every flow in the hunt capture with the Mahalanobis detector.
+  const tasks::MahalanobisDetector detector(model, train, 48);
+  std::vector<double> scores(hunt.size());
+  std::vector<int> is_attack(hunt.size());
+  for (std::size_t i = 0; i < hunt.size(); ++i) {
+    scores[i] = tasks::ood_score(model, tasks::OodMethod::kMahalanobis,
+                                 hunt.contexts[i], 48, &detector);
+    is_attack[i] = hunt.labels[i] != 0;
+  }
+  std::printf("detector AUROC vs ground truth: %.3f\n",
+              eval::auroc(scores, is_attack));
+
+  // Top-10 most anomalous flows.
+  std::vector<std::size_t> order(hunt.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  Table table("Top-10 anomalies (unseen attack families)");
+  table.header({"rank", "score", "ground truth"});
+  std::size_t true_positives = 0;
+  for (std::size_t rank = 0; rank < 10 && rank < order.size(); ++rank) {
+    const std::size_t i = order[rank];
+    table.row({std::to_string(rank + 1), format_double(scores[i], 1),
+               hunt.label_names[static_cast<std::size_t>(hunt.labels[i])]});
+    if (is_attack[i]) ++true_positives;
+  }
+  table.note(std::to_string(true_positives) + "/10 of the top flags are "
+             "real attacks");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Synthesize shareable traffic tokens: train a causal TrafficLM on a
+// "private" capture and sample a synthetic corpus from it — the §4.2
+// privacy-preserving release path. Prints sampled flows next to real ones
+// so the fidelity is eyeballable.
+//
+// Run: ./synthesize_traffic
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "core/traffic_lm.h"
+#include "trafficgen/generator.h"
+
+using namespace netfm;
+
+namespace {
+
+std::string preview(const std::vector<std::string>& tokens,
+                    std::size_t max_tokens = 14) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size() && i < max_tokens; ++i) {
+    if (i) out += ' ';
+    out += tokens[i];
+  }
+  if (tokens.size() > max_tokens) out += " ...";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== traffic synthesizer (TrafficLM) ==\n");
+  const gen::LabeledTrace trace = gen::quick_trace(90.0, 31);
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) table.add(p);
+  table.flush();
+  const std::vector<Flow> flows = table.take_finished();
+
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const auto corpus =
+      ctx::build_corpus(flows, trace.interleaved, tokenizer, options);
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  std::printf("private corpus: %zu flows, vocab %zu\n", corpus.size(),
+              vocab.size());
+
+  core::TrafficLM lm(vocab, model::TransformerConfig::tiny(vocab.size()));
+  core::LmTrainOptions train_options;
+  train_options.steps = 500;
+  std::printf("training causal LM (%zu steps)...\n", train_options.steps);
+  const auto log = lm.train(corpus, train_options);
+  const double eval_loss = lm.loss(corpus, 48);
+  std::printf("  loss %.3f -> %.3f; eval perplexity %.1f\n",
+              log.losses.front(), log.losses.back(), std::exp(eval_loss));
+
+  Rng rng(32);
+  core::SampleOptions sampling;
+  sampling.temperature = 0.9;
+  std::printf("\nreal flows (tokenized):\n");
+  for (std::size_t i = 0; i < 3 && i < corpus.size(); ++i)
+    std::printf("  %s\n", preview(corpus[i * 7]).c_str());
+  std::printf("\nsynthetic flows (sampled, no real flow shared):\n");
+  for (int i = 0; i < 5; ++i)
+    std::printf("  %s\n", preview(lm.sample(sampling, rng)).c_str());
+
+  // Fidelity check: token histogram overlap between real and synthetic.
+  const auto synthetic = lm.sample_corpus(corpus.size() / 2, sampling, rng);
+  std::map<std::string, double> real_hist, synth_hist;
+  double real_total = 0, synth_total = 0;
+  for (const auto& c : corpus)
+    for (const auto& t : c) {
+      ++real_hist[t];
+      ++real_total;
+    }
+  for (const auto& c : synthetic)
+    for (const auto& t : c) {
+      ++synth_hist[t];
+      ++synth_total;
+    }
+  double overlap = 0.0;  // histogram intersection
+  for (const auto& [token, count] : real_hist) {
+    const auto it = synth_hist.find(token);
+    if (it == synth_hist.end()) continue;
+    overlap += std::min(count / real_total, it->second / synth_total);
+  }
+  std::printf("\ntoken-distribution overlap (histogram intersection): "
+              "%.2f\n", overlap);
+  return overlap > 0.5 ? 0 : 1;
+}

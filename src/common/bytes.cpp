@@ -1,0 +1,153 @@
+#include "common/bytes.h"
+
+namespace netfm {
+
+std::uint8_t ByteReader::u8() noexcept {
+  if (offset_ + 1 > data_.size()) {
+    truncated_ = true;
+    return 0;
+  }
+  return data_[offset_++];
+}
+
+std::uint16_t ByteReader::u16() noexcept {
+  if (offset_ + 2 > data_.size()) {
+    truncated_ = true;
+    offset_ = data_.size();
+    return 0;
+  }
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[offset_]) << 8) | data_[offset_ + 1]);
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() noexcept {
+  if (offset_ + 4 > data_.size()) {
+    truncated_ = true;
+    offset_ = data_.size();
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[offset_ + i];
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() noexcept {
+  if (offset_ + 8 > data_.size()) {
+    truncated_ = true;
+    offset_ = data_.size();
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[offset_ + i];
+  offset_ += 8;
+  return v;
+}
+
+BytesView ByteReader::take(std::size_t n) noexcept {
+  if (offset_ + n > data_.size()) {
+    truncated_ = true;
+    offset_ = data_.size();
+    return {};
+  }
+  const BytesView view = data_.subspan(offset_, n);
+  offset_ += n;
+  return view;
+}
+
+std::string ByteReader::take_string(std::size_t n) noexcept {
+  const BytesView view = take(n);
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+void ByteReader::skip(std::size_t n) noexcept {
+  if (offset_ + n > data_.size()) {
+    truncated_ = true;
+    offset_ = data_.size();
+    return;
+  }
+  offset_ += n;
+}
+
+BytesView ByteReader::peek_at(std::size_t at, std::size_t n) const noexcept {
+  if (at + n > data_.size()) return {};
+  return data_.subspan(at, n);
+}
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void ByteWriter::raw(BytesView bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::raw(std::string_view text) {
+  out_.insert(out_.end(), text.begin(), text.end());
+}
+
+void ByteWriter::patch_u16(std::size_t at, std::uint16_t v) {
+  if (at + 2 > out_.size()) return;
+  out_[at] = static_cast<std::uint8_t>(v >> 8);
+  out_[at + 1] = static_cast<std::uint8_t>(v);
+}
+
+std::string to_hex(BytesView bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit(hex[i]);
+    const int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::uint16_t internet_checksum(BytesView bytes) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2)
+    sum += (static_cast<std::uint32_t>(bytes[i]) << 8) | bytes[i + 1];
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace netfm

@@ -1,0 +1,87 @@
+// Bounds-checked binary readers/writers in network (big-endian) byte order.
+//
+// All packet codecs in src/net are built on these. ByteReader never throws
+// on truncated input; it latches an error flag the caller checks once at the
+// end of a parse (the pattern keeps header-parsing code linear and branch
+// free). ByteWriter appends to a growable buffer and cannot fail.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netfm {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Sequential big-endian reader over a borrowed byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) noexcept : data_(data) {}
+
+  /// True if any read ran past the end. Reads after truncation return 0.
+  bool truncated() const noexcept { return truncated_; }
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool done() const noexcept { return offset_ >= data_.size(); }
+
+  std::uint8_t u8() noexcept;
+  std::uint16_t u16() noexcept;
+  std::uint32_t u32() noexcept;
+  std::uint64_t u64() noexcept;
+
+  /// Borrows `n` bytes (empty span + truncation flag if unavailable).
+  BytesView take(std::size_t n) noexcept;
+
+  /// Copies `n` bytes into a string (for textual protocol fields).
+  std::string take_string(std::size_t n) noexcept;
+
+  /// Advances without reading.
+  void skip(std::size_t n) noexcept;
+
+  /// Reads `n` bytes starting at absolute offset `at` without moving the
+  /// cursor (DNS compression pointers need random access).
+  BytesView peek_at(std::size_t at, std::size_t n) const noexcept;
+
+ private:
+  BytesView data_;
+  std::size_t offset_ = 0;
+  bool truncated_ = false;
+};
+
+/// Append-only big-endian writer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(BytesView bytes);
+  void raw(std::string_view text);
+
+  /// Overwrites 2 bytes at `at` (length/checksum backpatching).
+  void patch_u16(std::size_t at, std::uint16_t v);
+
+  std::size_t size() const noexcept { return out_.size(); }
+  const Bytes& bytes() const noexcept { return out_; }
+  Bytes take() noexcept { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Lowercase hex encoding of a byte span ("deadbeef").
+std::string to_hex(BytesView bytes);
+
+/// Parses lowercase/uppercase hex; returns empty on odd length or bad digit.
+Bytes from_hex(std::string_view hex);
+
+/// RFC 1071 internet checksum over `bytes` (used by IPv4/TCP/UDP/ICMP).
+std::uint16_t internet_checksum(BytesView bytes) noexcept;
+
+}  // namespace netfm

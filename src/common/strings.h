@@ -1,0 +1,28 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netfm {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Fixed-precision double formatting ("%.*f" without iostream state).
+std::string format_double(double value, int precision);
+
+}  // namespace netfm

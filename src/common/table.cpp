@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace netfm {
+
+void Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void Table::separator() { rows_.push_back({{}, true}); }
+
+void Table::note(std::string text) { notes_.push_back(std::move(text)); }
+
+std::string Table::render() const {
+  std::size_t columns = header_.size();
+  for (const Row& r : rows_) columns = std::max(columns, r.cells.size());
+  if (columns == 0) return title_ + "\n";
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const Row& r : rows_)
+    if (!r.is_separator) widen(r.cells);
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += format_row(header_);
+    out += rule();
+  }
+  for (const Row& r : rows_)
+    out += r.is_separator ? rule() : format_row(r.cells);
+  out += rule();
+  for (const std::string& n : notes_) out += "  " + n + "\n";
+  return out;
+}
+
+void Table::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace netfm

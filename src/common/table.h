@@ -1,0 +1,47 @@
+// ASCII table rendering for experiment harness output.
+//
+// Every bench/exp_* binary prints the table it reproduces through this
+// class, so the "paper row vs measured row" format is uniform across the
+// whole evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netfm {
+
+/// Column-aligned text table with an optional title and footnotes.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (fixes the column count).
+  void header(std::vector<std::string> cells);
+
+  /// Appends a body row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator between body rows.
+  void separator();
+
+  /// Appends a footnote line printed under the table.
+  void note(std::string text);
+
+  /// Renders the full table.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace netfm

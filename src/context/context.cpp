@@ -1,0 +1,227 @@
+#include "context/context.h"
+
+#include <algorithm>
+#include <map>
+
+namespace netfm::ctx {
+namespace {
+
+/// Appends one packet's tokens (optionally truncated) plus structure
+/// markers, respecting the remaining budget.
+void append_packet_tokens(std::vector<std::string>& out,
+                          const FlowPacket& packet,
+                          const tok::Tokenizer& tokenizer,
+                          const Options& options, std::size_t per_packet_cap) {
+  if (out.size() >= options.max_tokens) return;
+  if (options.packet_boundary_tokens && !out.empty() &&
+      out.size() < options.max_tokens)
+    out.push_back("pkt");
+  if (options.direction_tokens && out.size() < options.max_tokens)
+    out.push_back(packet.client_to_server ? "dir_up" : "dir_dn");
+  std::vector<std::string> tokens =
+      tokenizer.tokenize_packet(BytesView{packet.frame});
+  if (per_packet_cap > 0 && tokens.size() > per_packet_cap)
+    tokens.resize(per_packet_cap);
+  for (std::string& t : tokens) {
+    if (out.size() >= options.max_tokens) break;
+    out.push_back(std::move(t));
+  }
+}
+
+std::vector<std::vector<std::string>> packet_corpus(
+    std::span<const Flow> flows, const tok::Tokenizer& tokenizer,
+    const Options& options) {
+  std::vector<std::vector<std::string>> corpus;
+  for (const Flow& flow : flows)
+    for (const FlowPacket& p : flow.packets) {
+      std::vector<std::string> context;
+      append_packet_tokens(context, p, tokenizer, options, 0);
+      if (!context.empty()) corpus.push_back(std::move(context));
+    }
+  return corpus;
+}
+
+std::vector<std::vector<std::string>> flow_corpus(
+    std::span<const Flow> flows, const tok::Tokenizer& tokenizer,
+    const Options& options) {
+  std::vector<std::vector<std::string>> corpus;
+  for (const Flow& flow : flows) {
+    auto context = flow_context(flow, tokenizer, options);
+    if (!context.empty()) corpus.push_back(std::move(context));
+  }
+  return corpus;
+}
+
+std::vector<std::vector<std::string>> session_corpus(
+    std::span<const Flow> flows, const tok::Tokenizer& tokenizer,
+    const Options& options) {
+  // Group flows by client address, order by start time, and cut a new
+  // session context whenever the gap exceeds the window.
+  std::map<std::uint32_t, std::vector<const Flow*>> by_client;
+  for (const Flow& flow : flows)
+    by_client[flow.key.src_ip.value].push_back(&flow);
+
+  std::vector<std::vector<std::string>> corpus;
+  for (auto& [client, client_flows] : by_client) {
+    std::sort(client_flows.begin(), client_flows.end(),
+              [](const Flow* a, const Flow* b) {
+                return a->first_ts < b->first_ts;
+              });
+    std::vector<std::string> context;
+    double window_start = client_flows.front()->first_ts;
+    for (const Flow* flow : client_flows) {
+      if (flow->first_ts - window_start > options.session_window_seconds &&
+          !context.empty()) {
+        corpus.push_back(std::move(context));
+        context.clear();
+        window_start = flow->first_ts;
+      }
+      for (const FlowPacket& p : flow->packets) {
+        if (context.size() >= options.max_tokens) break;
+        append_packet_tokens(context, p, tokenizer, options, options.first_m);
+      }
+    }
+    if (!context.empty()) corpus.push_back(std::move(context));
+  }
+  return corpus;
+}
+
+std::vector<std::vector<std::string>> interleaved_corpus(
+    std::span<const Packet> packets, const tok::Tokenizer& tokenizer,
+    const Options& options) {
+  std::vector<std::vector<std::string>> corpus;
+  std::vector<std::string> context;
+  std::size_t in_window = 0;
+  for (const Packet& pkt : packets) {
+    FlowPacket fp;
+    fp.timestamp = pkt.timestamp;
+    fp.frame = pkt.frame;
+    fp.client_to_server = true;  // direction unknown at capture point
+    append_packet_tokens(context, fp, tokenizer, options, options.first_m);
+    if (++in_window >= options.interleaved_window ||
+        context.size() >= options.max_tokens) {
+      if (!context.empty()) corpus.push_back(std::move(context));
+      context.clear();
+      in_window = 0;
+    }
+  }
+  if (!context.empty()) corpus.push_back(std::move(context));
+  return corpus;
+}
+
+std::vector<std::vector<std::string>> first_m_of_n_corpus(
+    std::span<const Flow> flows, const tok::Tokenizer& tokenizer,
+    const Options& options) {
+  // Endpoint = the flow's client address; collect that endpoint's packets
+  // across flows in time order, then window N packets x M tokens.
+  std::map<std::uint32_t, std::vector<const FlowPacket*>> by_endpoint;
+  std::map<std::uint32_t, std::vector<double>> times;
+  for (const Flow& flow : flows)
+    for (const FlowPacket& p : flow.packets)
+      by_endpoint[flow.key.src_ip.value].push_back(&p);
+
+  std::vector<std::vector<std::string>> corpus;
+  for (auto& [endpoint, pkts] : by_endpoint) {
+    std::sort(pkts.begin(), pkts.end(),
+              [](const FlowPacket* a, const FlowPacket* b) {
+                return a->timestamp < b->timestamp;
+              });
+    for (std::size_t at = 0; at < pkts.size(); at += options.first_n) {
+      std::vector<std::string> context;
+      const std::size_t end =
+          std::min(pkts.size(), at + options.first_n);
+      for (std::size_t i = at; i < end; ++i)
+        append_packet_tokens(context, *pkts[i], tokenizer, options,
+                             options.first_m);
+      if (!context.empty()) corpus.push_back(std::move(context));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace
+
+std::string_view to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kPacket: return "packet";
+    case Strategy::kFlow: return "flow";
+    case Strategy::kSession: return "session";
+    case Strategy::kInterleaved: return "interleaved";
+    case Strategy::kFirstMofN: return "first-m-of-n";
+  }
+  return "?";
+}
+
+std::vector<std::string> flow_context(const Flow& flow,
+                                      const tok::Tokenizer& tokenizer,
+                                      const Options& options) {
+  std::vector<std::string> context;
+  std::size_t packets = 0;
+  for (const FlowPacket& p : flow.packets) {
+    if (packets++ >= options.max_packets_per_flow ||
+        context.size() >= options.max_tokens)
+      break;
+    append_packet_tokens(context, p, tokenizer, options, 0);
+  }
+  return context;
+}
+
+std::vector<std::vector<std::string>> build_corpus(
+    std::span<const Flow> flows, std::span<const Packet> packets,
+    const tok::Tokenizer& tokenizer, const Options& options) {
+  switch (options.strategy) {
+    case Strategy::kPacket:
+      return packet_corpus(flows, tokenizer, options);
+    case Strategy::kFlow:
+      return flow_corpus(flows, tokenizer, options);
+    case Strategy::kSession:
+      return session_corpus(flows, tokenizer, options);
+    case Strategy::kInterleaved:
+      return interleaved_corpus(packets, tokenizer, options);
+    case Strategy::kFirstMofN:
+      return first_m_of_n_corpus(flows, tokenizer, options);
+  }
+  return {};
+}
+
+std::vector<SegmentPair> sample_segment_pairs(
+    std::span<const Flow> flows, const tok::Tokenizer& tokenizer,
+    const Options& options, std::size_t count, Rng& rng) {
+  // Candidate flows need at least two packets.
+  std::vector<const Flow*> usable;
+  for (const Flow& flow : flows)
+    if (flow.packets.size() >= 2) usable.push_back(&flow);
+  std::vector<SegmentPair> pairs;
+  if (usable.empty()) return pairs;
+
+  const std::size_t half_budget = options.max_tokens / 2;
+  auto packet_tokens = [&](const FlowPacket& p) {
+    std::vector<std::string> tokens =
+        tokenizer.tokenize_packet(BytesView{p.frame});
+    if (tokens.size() > half_budget) tokens.resize(half_budget);
+    return tokens;
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const Flow& flow = *usable[rng.uniform(usable.size())];
+    const std::size_t at = rng.uniform(flow.packets.size() - 1);
+    SegmentPair pair;
+    pair.first = packet_tokens(flow.packets[at]);
+    if (rng.chance(0.5)) {
+      pair.second = packet_tokens(flow.packets[at + 1]);
+      pair.is_next = true;
+    } else {
+      const Flow& other = *usable[rng.uniform(usable.size())];
+      const FlowPacket& random_packet =
+          other.packets[rng.uniform(other.packets.size())];
+      pair.second = packet_tokens(random_packet);
+      // A random draw can still be the true successor; label honestly.
+      pair.is_next = (&other == &flow &&
+                      &random_packet == &flow.packets[at + 1]);
+    }
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace netfm::ctx

@@ -1,0 +1,67 @@
+// Context construction strategies from §4.1.3. A "context" is the token
+// window a model sees at once; the paper asks whether packet boundaries,
+// flow/session boundaries, interleaved capture windows, or non-standard
+// constructions (first M tokens of N successive packets per endpoint) make
+// the best pretraining unit. Each strategy here turns a capture into a
+// corpus of token-string sequences.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/flow.h"
+#include "tokenize/tokenizer.h"
+
+namespace netfm::ctx {
+
+enum class Strategy {
+  kPacket,       // one context per packet (shortest)
+  kFlow,         // one conversation per context
+  kSession,      // all of one client's traffic in a time window
+  kInterleaved,  // raw capture-order windows, flows mixed together
+  kFirstMofN,    // first M tokens of each of N successive endpoint packets
+};
+
+std::string_view to_string(Strategy s) noexcept;
+
+struct Options {
+  Strategy strategy = Strategy::kFlow;
+  std::size_t max_tokens = 62;          // token budget per context
+  bool direction_tokens = true;         // emit "dir_up"/"dir_dn" per packet
+  bool packet_boundary_tokens = true;   // emit "pkt" between packets
+  std::size_t max_packets_per_flow = 8; // flow/session truncation
+  std::size_t first_m = 6;              // kFirstMofN: tokens per packet
+  std::size_t first_n = 8;              // kFirstMofN: packets per context
+  std::size_t interleaved_window = 12;  // kInterleaved: packets per window
+  double session_window_seconds = 10.0; // kSession: client time window
+};
+
+/// One context per flow (kFlow semantics, reused by other strategies).
+std::vector<std::string> flow_context(const Flow& flow,
+                                      const tok::Tokenizer& tokenizer,
+                                      const Options& options);
+
+/// Full-corpus construction: dispatches on options.strategy. `flows` must
+/// be the FlowTable output for `packets` (only kInterleaved reads the raw
+/// packet stream; the rest read flows).
+std::vector<std::vector<std::string>> build_corpus(
+    std::span<const Flow> flows, std::span<const Packet> packets,
+    const tok::Tokenizer& tokenizer, const Options& options);
+
+/// A pretraining segment pair for next-packet prediction: token runs of
+/// two packets, plus whether B really followed A in the same flow.
+struct SegmentPair {
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  bool is_next = true;
+};
+
+/// Samples `count` pairs (50% true next-packet, 50% random packet from a
+/// different flow), the NSP analogue for network data.
+std::vector<SegmentPair> sample_segment_pairs(
+    std::span<const Flow> flows, const tok::Tokenizer& tokenizer,
+    const Options& options, std::size_t count, Rng& rng);
+
+}  // namespace netfm::ctx

@@ -1,0 +1,61 @@
+#include "core/fewshot.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netfm::core {
+
+void FewShotClassifier::add_example(const std::vector<std::string>& context,
+                                    int label) {
+  if (label < 0) throw std::invalid_argument("FewShot: negative label");
+  const auto cls = static_cast<std::size_t>(label);
+  const std::vector<float> vec = model_->embed(context, max_seq_len_);
+  if (cls >= sums_.size()) {
+    sums_.resize(cls + 1);
+    counts_.resize(cls + 1, 0);
+  }
+  if (sums_[cls].empty()) sums_[cls].assign(vec.size(), 0.0f);
+  for (std::size_t i = 0; i < vec.size(); ++i) sums_[cls][i] += vec[i];
+  ++counts_[cls];
+}
+
+std::vector<double> FewShotClassifier::scores(
+    const std::vector<std::string>& context) const {
+  const std::vector<float> vec = model_->embed(context, max_seq_len_);
+  double vec_norm = 0.0;
+  for (float v : vec) vec_norm += static_cast<double>(v) * v;
+  vec_norm = std::sqrt(vec_norm);
+
+  std::vector<double> out(sums_.size(), -1.0);
+  for (std::size_t cls = 0; cls < sums_.size(); ++cls) {
+    if (counts_[cls] == 0) continue;
+    double dot = 0.0, centroid_norm = 0.0;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      const double c = sums_[cls][i] / static_cast<double>(counts_[cls]);
+      dot += c * vec[i];
+      centroid_norm += c * c;
+    }
+    centroid_norm = std::sqrt(centroid_norm);
+    out[cls] = (vec_norm == 0.0 || centroid_norm == 0.0)
+                   ? 0.0
+                   : dot / (vec_norm * centroid_norm);
+  }
+  return out;
+}
+
+int FewShotClassifier::predict(
+    const std::vector<std::string>& context) const {
+  const std::vector<double> s = scores(context);
+  int best = -1;
+  double best_score = -2.0;
+  for (std::size_t cls = 0; cls < s.size(); ++cls) {
+    if (counts_[cls] == 0) continue;
+    if (s[cls] > best_score) {
+      best_score = s[cls];
+      best = static_cast<int>(cls);
+    }
+  }
+  return best;
+}
+
+}  // namespace netfm::core

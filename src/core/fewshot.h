@@ -1,0 +1,37 @@
+// Few-shot classification on frozen foundation-model features — the
+// GPT-3-motivated low-label regime of experiment E9. No gradients: class
+// centroids in embedding space, cosine nearest-centroid prediction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/netfm.h"
+
+namespace netfm::core {
+
+class FewShotClassifier {
+ public:
+  /// `model` must outlive the classifier.
+  FewShotClassifier(const NetFM& model, std::size_t max_seq_len)
+      : model_(&model), max_seq_len_(max_seq_len) {}
+
+  /// Adds one labeled example (label in [0, num_classes)).
+  void add_example(const std::vector<std::string>& context, int label);
+
+  /// Nearest-centroid prediction; -1 if no examples were added.
+  int predict(const std::vector<std::string>& context) const;
+
+  /// Per-class cosine similarity to each centroid (unnormalized scores).
+  std::vector<double> scores(const std::vector<std::string>& context) const;
+
+  std::size_t num_classes() const noexcept { return sums_.size(); }
+
+ private:
+  const NetFM* model_;
+  std::size_t max_seq_len_;
+  std::vector<std::vector<float>> sums_;  // per-class embedding sums
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace netfm::core

@@ -1,0 +1,379 @@
+#include "core/netfm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace netfm::core {
+
+using model::Batch;
+using nn::Tensor;
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace
+
+NetFM::NetFM(tok::Vocabulary vocab, model::TransformerConfig config)
+    : vocab_(std::move(vocab)), rng_(config.seed ^ 0xfeedULL) {
+  config.vocab_size = vocab_.size();
+  encoder_ = std::make_unique<model::TransformerEncoder>(config);
+  Rng head_rng(config.seed + 1);
+  mlm_head_ = std::make_unique<model::MlmHead>(
+      encoder_->config(), encoder_->token_embeddings(), head_rng);
+  pooler_ = std::make_unique<model::Pooler>(config.d_model, head_rng);
+  next_segment_head_ =
+      std::make_unique<model::NextSegmentHead>(config.d_model, head_rng);
+}
+
+TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
+                         const std::vector<ctx::SegmentPair>& pairs,
+                         const PretrainOptions& options) {
+  if (corpus.empty())
+    throw std::invalid_argument("NetFM::pretrain: empty corpus");
+  const bool use_pairs =
+      options.task == PretrainTask::kMlmAndNextPacket && !pairs.empty();
+  const std::size_t seq_len =
+      std::min(options.max_seq_len, encoder_->config().max_seq_len);
+
+  // Encode the corpus once; masking corrupts copies per step.
+  std::vector<Encoded> encoded;
+  encoded.reserve(corpus.size());
+  for (const auto& tokens : corpus)
+    encoded.push_back(encode_context(tokens, vocab_, seq_len));
+  std::vector<Encoded> encoded_pairs;
+  std::vector<int> pair_labels;
+  if (use_pairs) {
+    for (const ctx::SegmentPair& pair : pairs) {
+      encoded_pairs.push_back(
+          encode_pair(pair.first, pair.second, vocab_, seq_len));
+      pair_labels.push_back(pair.is_next ? 1 : 0);
+    }
+  }
+
+  nn::ParameterList params = parameters();
+  nn::Adam adam(options.peak_lr, 0.9f, 0.999f, 1e-8f, 0.01f);
+  nn::WarmupLinearSchedule schedule(
+      options.peak_lr, static_cast<std::int64_t>(options.warmup_steps),
+      static_cast<std::int64_t>(options.steps));
+
+  std::vector<double> per_id_prob;
+  if (!options.focus_prefixes.empty())
+    per_id_prob = focused_mask_probabilities(
+        vocab_, options.focus_prefixes, options.focus_prob,
+        options.mask_prob);
+
+  Rng rng(options.seed);
+  TrainLog log;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    // Assemble the batch in two runs — contexts first, then segment pairs —
+    // so pair rows are contiguous for the next-packet head.
+    std::vector<Encoded> batch_items;
+    std::vector<std::vector<int>> batch_targets;
+    std::vector<int> batch_next_labels;
+    std::size_t num_pairs = 0;
+    if (use_pairs)
+      num_pairs = static_cast<std::size_t>(
+          options.pair_fraction * static_cast<double>(options.batch_size) +
+          0.5);
+    const std::size_t num_contexts = options.batch_size - num_pairs;
+    for (std::size_t b = 0; b < num_contexts; ++b) {
+      Encoded item = encoded[rng.uniform(encoded.size())];
+      batch_targets.push_back(apply_mlm_mask(item.ids, vocab_, rng,
+                                             options.mask_prob, per_id_prob));
+      batch_items.push_back(std::move(item));
+    }
+    for (std::size_t b = 0; b < num_pairs; ++b) {
+      const std::size_t at = rng.uniform(encoded_pairs.size());
+      Encoded item = encoded_pairs[at];
+      batch_targets.push_back(apply_mlm_mask(item.ids, vocab_, rng,
+                                             options.mask_prob, per_id_prob));
+      batch_items.push_back(std::move(item));
+      batch_next_labels.push_back(pair_labels[at]);
+    }
+
+    const Batch batch = make_batch(batch_items);
+    std::vector<int> flat_targets;
+    flat_targets.reserve(batch.token_ids.size());
+    for (const auto& t : batch_targets)
+      flat_targets.insert(flat_targets.end(), t.begin(), t.end());
+
+    const Tensor hidden = encoder_->forward(batch, /*train=*/true);
+    const Tensor logits = mlm_head_->forward(hidden);
+    Tensor loss = nn::cross_entropy(logits, flat_targets);
+
+    if (num_pairs > 0) {
+      // Next-packet head reads the pooled output of the pair rows only.
+      const Tensor pooled =
+          pooler_->forward(hidden, batch.batch_size, batch.seq_len);
+      const Tensor pair_pooled = nn::slice_rows(
+          pooled, num_contexts, num_contexts + num_pairs);
+      const Tensor next_logits = next_segment_head_->forward(pair_pooled);
+      loss = nn::add(loss, nn::cross_entropy(next_logits, batch_next_labels));
+    }
+
+    nn::zero_grad(params);
+    loss.backward();
+    nn::clip_grad_norm(params, 1.0f);
+    adam.set_lr(schedule.lr_at(static_cast<std::int64_t>(step)));
+    adam.step(params);
+
+    log.losses.push_back(loss.item());
+    if (options.verbose && step % 20 == 0)
+      std::printf("  pretrain step %zu loss %.4f\n", step, loss.item());
+  }
+  log.seconds = seconds_since(start);
+  log.steps = options.steps;
+  return log;
+}
+
+double NetFM::mlm_loss(const std::vector<std::vector<std::string>>& corpus,
+                       std::size_t max_seq_len, std::uint64_t seed) const {
+  if (corpus.empty()) return 0.0;
+  const std::size_t seq_len =
+      std::min(max_seq_len, encoder_->config().max_seq_len);
+  Rng rng(seed);
+  double total = 0.0;
+  std::size_t batches = 0;
+  constexpr std::size_t kBatch = 8;
+  for (std::size_t at = 0; at < corpus.size(); at += kBatch) {
+    std::vector<Encoded> items;
+    std::vector<int> targets;
+    for (std::size_t i = at; i < std::min(corpus.size(), at + kBatch); ++i) {
+      Encoded item = encode_context(corpus[i], vocab_, seq_len);
+      const auto t = apply_mlm_mask(item.ids, vocab_, rng, 0.15);
+      targets.insert(targets.end(), t.begin(), t.end());
+      items.push_back(std::move(item));
+    }
+    const Batch batch = make_batch(items);
+    const Tensor hidden = encoder_->forward(batch, /*train=*/false);
+    const Tensor logits = mlm_head_->forward(hidden);
+    total += nn::cross_entropy(logits, targets).item();
+    ++batches;
+  }
+  return batches == 0 ? 0.0 : total / static_cast<double>(batches);
+}
+
+TrainLog NetFM::fine_tune(
+    const std::vector<std::vector<std::string>>& contexts,
+    std::span<const int> labels, std::size_t num_classes,
+    const FineTuneOptions& options) {
+  if (contexts.size() != labels.size() || contexts.empty())
+    throw std::invalid_argument("NetFM::fine_tune: bad inputs");
+  const std::size_t seq_len =
+      std::min(options.max_seq_len, encoder_->config().max_seq_len);
+
+  Rng head_rng(options.seed);
+  classifier_ = std::make_unique<model::ClassificationHead>(
+      encoder_->config().d_model, num_classes, head_rng);
+
+  nn::ParameterList params;
+  if (!options.freeze_encoder) {
+    for (nn::Parameter& p : encoder_->parameters()) {
+      if (options.freeze_token_embeddings && p.name == "embed.token")
+        continue;
+      params.push_back(std::move(p));
+    }
+  }
+  pooler_->collect(params);
+  classifier_->collect(params);
+
+  std::vector<Encoded> encoded;
+  encoded.reserve(contexts.size());
+  for (const auto& tokens : contexts)
+    encoded.push_back(encode_context(tokens, vocab_, seq_len));
+
+  nn::Adam adam(options.lr);
+  Rng rng(options.seed + 1);
+  TrainLog log;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::size_t> order(encoded.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    float epoch_loss = 0.0f;
+    std::size_t batches = 0;
+    for (std::size_t at = 0; at < order.size(); at += options.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), at + options.batch_size);
+      std::vector<Encoded> items;
+      std::vector<int> batch_labels;
+      for (std::size_t i = at; i < end; ++i) {
+        Encoded item = encoded[order[i]];
+        if (options.token_dropout > 0.0) {
+          for (int& id : item.ids)
+            if (id >= tok::Vocabulary::kNumSpecial &&
+                rng.chance(options.token_dropout))
+              id = tok::Vocabulary::kMask;
+        }
+        items.push_back(std::move(item));
+        batch_labels.push_back(labels[order[i]]);
+      }
+      const Batch batch = make_batch(items);
+      const Tensor hidden = encoder_->forward(batch, /*train=*/true);
+      const Tensor pooled =
+          pooler_->forward(hidden, batch.batch_size, batch.seq_len);
+      const Tensor logits = classifier_->forward(pooled);
+      Tensor loss = nn::cross_entropy(logits, batch_labels);
+
+      nn::zero_grad(params);
+      loss.backward();
+      nn::clip_grad_norm(params, 1.0f);
+      adam.step(params);
+      epoch_loss += loss.item();
+      ++batches;
+      ++log.steps;
+    }
+    log.losses.push_back(batches ? epoch_loss / batches : 0.0f);
+  }
+  log.seconds = seconds_since(start);
+  return log;
+}
+
+nn::Tensor NetFM::forward_pooled(const Batch& batch, bool train) const {
+  const Tensor hidden = encoder_->forward(batch, train);
+  return pooler_->forward(hidden, batch.batch_size, batch.seq_len);
+}
+
+std::vector<float> NetFM::predict_logits(
+    const std::vector<std::string>& context, std::size_t max_seq_len) const {
+  if (!classifier_)
+    throw std::logic_error("NetFM::predict_logits: call fine_tune() first");
+  const std::size_t seq_len =
+      std::min(max_seq_len, encoder_->config().max_seq_len);
+  const Encoded item = encode_context(context, vocab_, seq_len);
+  const Batch batch = make_batch(std::span<const Encoded>(&item, 1));
+  const Tensor logits =
+      classifier_->forward(forward_pooled(batch, /*train=*/false));
+  return {logits.data().begin(), logits.data().end()};
+}
+
+std::vector<float> NetFM::predict_proba(
+    const std::vector<std::string>& context, std::size_t max_seq_len) const {
+  const std::vector<float> raw = predict_logits(context, max_seq_len);
+  const Tensor logits(nn::Shape{1, raw.size()}, raw);
+  const Tensor probs = nn::softmax(logits);
+  return {probs.data().begin(), probs.data().end()};
+}
+
+int NetFM::predict(const std::vector<std::string>& context,
+                   std::size_t max_seq_len) const {
+  const auto probs = predict_proba(context, max_seq_len);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+std::vector<float> NetFM::embed(const std::vector<std::string>& context,
+                                std::size_t max_seq_len) const {
+  const std::size_t seq_len =
+      std::min(max_seq_len, encoder_->config().max_seq_len);
+  const Encoded item = encode_context(context, vocab_, seq_len);
+  const Batch batch = make_batch(std::span<const Encoded>(&item, 1));
+  const Tensor hidden = encoder_->forward(batch, /*train=*/false);
+
+  // Mean over real (non-padding) positions.
+  const std::size_t d_model = encoder_->config().d_model;
+  std::vector<float> out(d_model, 0.0f);
+  float count = 0.0f;
+  for (std::size_t t = 0; t < batch.seq_len; ++t) {
+    if (batch.attention_mask[t] == 0.0f) continue;
+    for (std::size_t d = 0; d < d_model; ++d)
+      out[d] += hidden.data()[t * d_model + d];
+    count += 1.0f;
+  }
+  if (count > 0.0f)
+    for (float& v : out) v /= count;
+  return out;
+}
+
+std::vector<float> NetFM::token_vector(std::string_view token) const {
+  const int id = vocab_.id(token);
+  const std::size_t d_model = encoder_->config().d_model;
+  const auto table = encoder_->token_embeddings().data();
+  const auto row = static_cast<std::size_t>(id) * d_model;
+  return {table.begin() + row, table.begin() + row + d_model};
+}
+
+std::vector<std::pair<std::string, double>> NetFM::nearest_tokens(
+    std::string_view token, std::size_t k) const {
+  const std::vector<float> query = token_vector(token);
+  const int self_id = vocab_.id(token);
+  std::vector<std::pair<std::string, double>> scored;
+  for (std::size_t id = tok::Vocabulary::kNumSpecial; id < vocab_.size();
+       ++id) {
+    if (static_cast<int>(id) == self_id) continue;
+    const std::vector<float> candidate =
+        token_vector(vocab_.token(static_cast<int>(id)));
+    scored.emplace_back(vocab_.token(static_cast<int>(id)),
+                        cosine(query, candidate));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<std::pair<std::string, double>> NetFM::analogy(
+    std::string_view a, std::string_view b, std::string_view c,
+    std::size_t k) const {
+  const std::vector<float> va = token_vector(a);
+  const std::vector<float> vb = token_vector(b);
+  const std::vector<float> vc = token_vector(c);
+  std::vector<float> query(va.size());
+  for (std::size_t i = 0; i < query.size(); ++i)
+    query[i] = vb[i] - va[i] + vc[i];
+
+  std::vector<std::pair<std::string, double>> scored;
+  for (std::size_t id = tok::Vocabulary::kNumSpecial; id < vocab_.size();
+       ++id) {
+    const std::string& candidate = vocab_.token(static_cast<int>(id));
+    if (candidate == a || candidate == b || candidate == c) continue;
+    scored.emplace_back(candidate, cosine(query, token_vector(candidate)));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+nn::ParameterList NetFM::parameters() const {
+  nn::ParameterList params = encoder_->parameters();
+  mlm_head_->collect(params);
+  pooler_->collect(params);
+  next_segment_head_->collect(params);
+  if (classifier_) classifier_->collect(params);
+  return params;
+}
+
+bool NetFM::save(const std::string& path) const {
+  return nn::save_parameters_file(path, parameters());
+}
+
+bool NetFM::load(const std::string& path) {
+  nn::ParameterList params = parameters();
+  return nn::load_parameters_file(path, params);
+}
+
+}  // namespace netfm::core

@@ -1,0 +1,187 @@
+#include "core/traffic_lm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace netfm::core {
+
+using model::Batch;
+using nn::Tensor;
+
+TrafficLM::TrafficLM(tok::Vocabulary vocab, model::TransformerConfig config)
+    : vocab_(std::move(vocab)) {
+  config.vocab_size = vocab_.size();
+  config.causal = true;
+  encoder_ = std::make_unique<model::TransformerEncoder>(config);
+  Rng head_rng(config.seed + 3);
+  head_ = std::make_unique<model::MlmHead>(
+      encoder_->config(), encoder_->token_embeddings(), head_rng);
+}
+
+namespace {
+
+/// Shift targets: position t predicts ids[t+1]; padding and the position
+/// after [SEP] are ignored.
+std::vector<int> next_token_targets(const Encoded& item) {
+  std::vector<int> targets(item.ids.size(), -1);
+  for (std::size_t t = 0; t + 1 < item.ids.size(); ++t) {
+    if (item.mask[t] == 0.0f || item.mask[t + 1] == 0.0f) continue;
+    targets[t] = item.ids[t + 1];
+  }
+  return targets;
+}
+
+}  // namespace
+
+TrainLog TrafficLM::train(
+    const std::vector<std::vector<std::string>>& corpus,
+    const LmTrainOptions& options) {
+  if (corpus.empty())
+    throw std::invalid_argument("TrafficLM::train: empty corpus");
+  const std::size_t seq_len =
+      std::min(options.max_seq_len, encoder_->config().max_seq_len);
+
+  std::vector<Encoded> encoded;
+  encoded.reserve(corpus.size());
+  for (const auto& tokens : corpus)
+    encoded.push_back(encode_context(tokens, vocab_, seq_len));
+
+  nn::ParameterList params = parameters();
+  nn::Adam adam(options.peak_lr, 0.9f, 0.999f, 1e-8f, 0.01f);
+  nn::WarmupLinearSchedule schedule(
+      options.peak_lr, static_cast<std::int64_t>(options.warmup_steps),
+      static_cast<std::int64_t>(options.steps));
+  Rng rng(options.seed);
+
+  TrainLog log;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    std::vector<Encoded> items;
+    std::vector<int> targets;
+    for (std::size_t b = 0; b < options.batch_size; ++b) {
+      const Encoded& item = encoded[rng.uniform(encoded.size())];
+      const auto t = next_token_targets(item);
+      targets.insert(targets.end(), t.begin(), t.end());
+      items.push_back(item);
+    }
+    const Batch batch = make_batch(items);
+    const Tensor hidden = encoder_->forward(batch, /*train=*/true);
+    Tensor loss = nn::cross_entropy(head_->forward(hidden), targets);
+
+    nn::zero_grad(params);
+    loss.backward();
+    nn::clip_grad_norm(params, 1.0f);
+    adam.set_lr(schedule.lr_at(static_cast<std::int64_t>(step)));
+    adam.step(params);
+    log.losses.push_back(loss.item());
+  }
+  log.steps = options.steps;
+  log.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return log;
+}
+
+double TrafficLM::loss(const std::vector<std::vector<std::string>>& corpus,
+                       std::size_t max_seq_len) const {
+  if (corpus.empty()) return 0.0;
+  const std::size_t seq_len =
+      std::min(max_seq_len, encoder_->config().max_seq_len);
+  double total = 0.0;
+  std::size_t batches = 0;
+  constexpr std::size_t kBatch = 8;
+  for (std::size_t at = 0; at < corpus.size(); at += kBatch) {
+    std::vector<Encoded> items;
+    std::vector<int> targets;
+    for (std::size_t i = at; i < std::min(corpus.size(), at + kBatch); ++i) {
+      Encoded item = encode_context(corpus[i], vocab_, seq_len);
+      const auto t = next_token_targets(item);
+      targets.insert(targets.end(), t.begin(), t.end());
+      items.push_back(std::move(item));
+    }
+    const Batch batch = make_batch(items);
+    const Tensor hidden = encoder_->forward(batch, /*train=*/false);
+    total += nn::cross_entropy(head_->forward(hidden), targets).item();
+    ++batches;
+  }
+  return total / static_cast<double>(batches);
+}
+
+std::vector<float> TrafficLM::next_logits(std::span<const int> ids) const {
+  Batch batch;
+  batch.batch_size = 1;
+  batch.seq_len = ids.size();
+  batch.token_ids.assign(ids.begin(), ids.end());
+  batch.segment_ids.assign(ids.size(), 0);
+  batch.attention_mask.assign(ids.size(), 1.0f);
+  const Tensor hidden = encoder_->forward(batch, /*train=*/false);
+  const Tensor logits = head_->forward(hidden);
+  const std::size_t vocab = vocab_.size();
+  const std::size_t last = (ids.size() - 1) * vocab;
+  return {logits.data().begin() + last,
+          logits.data().begin() + last + vocab};
+}
+
+std::vector<std::string> TrafficLM::sample(const SampleOptions& options,
+                                           Rng& rng) const {
+  std::vector<int> ids = {tok::Vocabulary::kCls};
+  std::vector<std::string> out;
+  const std::size_t limit =
+      std::min(options.max_tokens + 1, encoder_->config().max_seq_len);
+  while (ids.size() < limit) {
+    std::vector<float> logits = next_logits(ids);
+    // Never emit padding/[CLS]/[MASK]; [SEP] ends the sequence.
+    logits[tok::Vocabulary::kPad] = -1e9f;
+    logits[tok::Vocabulary::kCls] = -1e9f;
+    logits[tok::Vocabulary::kMask] = -1e9f;
+    logits[tok::Vocabulary::kUnk] = -1e9f;
+
+    // Temperature + optional top-k truncation, then softmax-sample.
+    const float inv_temp =
+        options.temperature > 0.0 ? 1.0f / static_cast<float>(
+                                               options.temperature)
+                                  : 1.0f;
+    for (float& v : logits) v *= inv_temp;
+    if (options.top_k > 0 && options.top_k < logits.size()) {
+      std::vector<float> sorted = logits;
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(
+                                            options.top_k - 1),
+                       sorted.end(), std::greater<float>());
+      const float cutoff = sorted[options.top_k - 1];
+      for (float& v : logits)
+        if (v < cutoff) v = -1e9f;
+    }
+    float max_logit = *std::max_element(logits.begin(), logits.end());
+    std::vector<double> probs(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+      probs[i] = std::exp(static_cast<double>(logits[i]) - max_logit);
+    const int token = static_cast<int>(rng.weighted(probs));
+
+    if (token == tok::Vocabulary::kSep) break;
+    ids.push_back(token);
+    out.push_back(vocab_.token(token));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> TrafficLM::sample_corpus(
+    std::size_t count, const SampleOptions& options, Rng& rng) const {
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto sequence = sample(options, rng);
+    if (!sequence.empty()) corpus.push_back(std::move(sequence));
+  }
+  return corpus;
+}
+
+nn::ParameterList TrafficLM::parameters() const {
+  nn::ParameterList params = encoder_->parameters();
+  head_->collect(params);
+  return params;
+}
+
+}  // namespace netfm::core

@@ -1,0 +1,68 @@
+// TrafficLM — a GPT-style autoregressive model over network tokens.
+//
+// The paper's §4.2 proposes synthetic trace generators as the way around
+// privacy-locked network data, and §3.1 lists "generator" tasks among the
+// downstream uses. TrafficLM closes that loop inside this library: train
+// it on tokenized flows from a private capture, then sample synthetic
+// token sequences that preserve the corpus statistics — usable as a
+// shareable pretraining corpus (experiment E12 quantifies how much
+// downstream utility such synthetic data retains).
+#pragma once
+
+#include <memory>
+
+#include "core/netfm.h"  // TrainLog, data encoding
+
+namespace netfm::core {
+
+struct LmTrainOptions {
+  std::size_t steps = 300;
+  std::size_t batch_size = 8;
+  std::size_t max_seq_len = 48;
+  float peak_lr = 1e-3f;
+  std::size_t warmup_steps = 20;
+  std::uint64_t seed = 77;
+};
+
+struct SampleOptions {
+  std::size_t max_tokens = 46;   // excludes the [CLS] start token
+  double temperature = 1.0;      // <1 sharpens, >1 flattens
+  std::size_t top_k = 0;         // 0 = full distribution
+};
+
+class TrafficLM {
+ public:
+  /// Builds an untrained causal LM over the vocabulary.
+  TrafficLM(tok::Vocabulary vocab, model::TransformerConfig config);
+
+  const tok::Vocabulary& vocab() const noexcept { return vocab_; }
+
+  /// Next-token training over token-string contexts ([CLS] acts as BOS,
+  /// [SEP] as EOS). Returns per-step losses.
+  TrainLog train(const std::vector<std::vector<std::string>>& corpus,
+                 const LmTrainOptions& options);
+
+  /// Average next-token cross-entropy on a corpus (exp() = perplexity).
+  double loss(const std::vector<std::vector<std::string>>& corpus,
+              std::size_t max_seq_len) const;
+
+  /// Samples one synthetic token sequence (without [CLS]/[SEP] framing).
+  std::vector<std::string> sample(const SampleOptions& options,
+                                  Rng& rng) const;
+
+  /// Samples a whole synthetic corpus.
+  std::vector<std::vector<std::string>> sample_corpus(
+      std::size_t count, const SampleOptions& options, Rng& rng) const;
+
+  nn::ParameterList parameters() const;
+
+ private:
+  /// Logits for the next token after `ids` (ids start with [CLS]).
+  std::vector<float> next_logits(std::span<const int> ids) const;
+
+  tok::Vocabulary vocab_;
+  std::unique_ptr<model::TransformerEncoder> encoder_;
+  std::unique_ptr<model::MlmHead> head_;  // tied decoder reused as LM head
+};
+
+}  // namespace netfm::core

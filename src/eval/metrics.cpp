@@ -1,0 +1,245 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace netfm::eval {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0)
+    throw std::invalid_argument("ConfusionMatrix: need at least one class");
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || predicted < 0 ||
+      static_cast<std::size_t>(truth) >= classes_ ||
+      static_cast<std::size_t>(predicted) >= classes_)
+    throw std::out_of_range("ConfusionMatrix: label out of range");
+  ++cells_[static_cast<std::size_t>(truth) * classes_ +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_.at(static_cast<std::size_t>(truth) * classes_ +
+                   static_cast<std::size_t>(predicted));
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c)
+    correct += cells_[c * classes_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < classes_; ++t)
+    predicted += cells_[t * classes_ + c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(cells_[c * classes_ + c]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < classes_; ++p)
+    actual += cells_[c * classes_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(cells_[c * classes_ + c]) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  // Average F1 over classes that actually occur (absent classes would
+  // drag the macro average to zero without measuring anything).
+  double total = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t actual = 0;
+    for (std::size_t p = 0; p < classes_; ++p)
+      actual += cells_[c * classes_ + p];
+    if (actual == 0) continue;
+    total += f1(static_cast<int>(c));
+    ++present;
+  }
+  return present == 0 ? 0.0 : total / static_cast<double>(present);
+}
+
+double ConfusionMatrix::micro_f1() const { return accuracy(); }
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& names) const {
+  std::string out = "truth\\pred";
+  auto name_of = [&](std::size_t c) {
+    return c < names.size() ? names[c] : "c" + std::to_string(c);
+  };
+  for (std::size_t c = 0; c < classes_; ++c) out += "\t" + name_of(c);
+  out += "\n";
+  for (std::size_t t = 0; t < classes_; ++t) {
+    out += name_of(t);
+    for (std::size_t p = 0; p < classes_; ++p)
+      out += "\t" + std::to_string(cells_[t * classes_ + p]);
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Ranks with ties averaged (1-based), ascending by score.
+std::vector<double> average_ranks(std::span<const double> scores) {
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[idx[j + 1]] == scores[idx[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                       1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double auroc(std::span<const double> scores, std::span<const int> labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("auroc: size mismatch");
+  std::size_t positives = 0;
+  for (int label : labels)
+    if (label != 0) ++positives;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Mann-Whitney U from rank sums.
+  const std::vector<double> ranks = average_ranks(scores);
+  double positive_rank_sum = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] != 0) positive_rank_sum += ranks[i];
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+double aupr(std::span<const double> scores, std::span<const int> labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("aupr: size mismatch");
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::size_t positives = 0;
+  for (int label : labels)
+    if (label != 0) ++positives;
+  if (positives == 0) return 0.0;
+
+  double ap = 0.0;
+  std::size_t tp = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (labels[idx[i]] != 0) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(i + 1);
+    }
+  }
+  return ap / static_cast<double>(positives);
+}
+
+double fpr_at_tpr(std::span<const double> scores, std::span<const int> labels,
+                  double tpr) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("fpr_at_tpr: size mismatch");
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::size_t positives = 0;
+  for (int label : labels)
+    if (label != 0) ++positives;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) return 1.0;
+
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i : idx) {
+    if (labels[i] != 0)
+      ++tp;
+    else
+      ++fp;
+    if (static_cast<double>(tp) / static_cast<double>(positives) >= tpr)
+      return static_cast<double>(fp) / static_cast<double>(negatives);
+  }
+  return 1.0;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2)
+    throw std::invalid_argument("spearman: need two equal-length vectors");
+  const std::vector<double> ra = average_ranks(a);
+  const std::vector<double> rb = average_ranks(b);
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    mean_a += ra[i];
+    mean_b += rb[i];
+  }
+  mean_a /= static_cast<double>(ra.size());
+  mean_b /= static_cast<double>(rb.size());
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra[i] - mean_a;
+    const double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+Split stratified_split(std::span<const int> labels, double test_fraction,
+                       std::uint64_t seed) {
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(i);
+
+  Rng rng(seed);
+  Split split;
+  for (auto& [cls, members] : by_class) {
+    rng.shuffle(members);
+    const auto test_count = static_cast<std::size_t>(
+        static_cast<double>(members.size()) * test_fraction + 0.5);
+    for (std::size_t i = 0; i < members.size(); ++i)
+      (i < test_count ? split.test : split.train).push_back(members[i]);
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace netfm::eval

@@ -1,0 +1,66 @@
+// Classification/detection metrics used by every experiment harness:
+// accuracy, per-class precision/recall/F1 (macro + micro), confusion
+// matrix, and threshold-free detection metrics (AUROC, AUPR, FPR@TPR).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netfm::eval {
+
+/// Dense confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int truth, int predicted);
+
+  std::size_t num_classes() const noexcept { return classes_; }
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  double accuracy() const;
+  double precision(int cls) const;  // 0 when the class was never predicted
+  double recall(int cls) const;     // 0 when the class never occurred
+  double f1(int cls) const;
+  double macro_f1() const;
+  double micro_f1() const;  // == accuracy for single-label classification
+
+  /// Render with optional class names.
+  std::string to_string(const std::vector<std::string>& names = {}) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // truth * classes + predicted
+};
+
+/// Area under the ROC curve for scores where higher = more positive.
+/// Handles ties by averaged ranks. Returns 0.5 for degenerate inputs.
+double auroc(std::span<const double> scores, std::span<const int> labels);
+
+/// Area under the precision-recall curve (average precision).
+double aupr(std::span<const double> scores, std::span<const int> labels);
+
+/// False-positive rate at the threshold achieving at least `tpr` true
+/// positive rate (a common OOD-detection operating point).
+double fpr_at_tpr(std::span<const double> scores, std::span<const int> labels,
+                  double tpr);
+
+/// Spearman rank correlation between two score vectors (ties averaged).
+/// Used e.g. to quantify how well attention agrees with occlusion
+/// saliency — the "attention is (not) explanation" probe.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Deterministic stratified train/test index split: `test_fraction` of each
+/// class goes to test.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+Split stratified_split(std::span<const int> labels, double test_fraction,
+                       std::uint64_t seed);
+
+}  // namespace netfm::eval

@@ -1,0 +1,59 @@
+// Interpretability methods for network foundation models (§4.4):
+//   * occlusion saliency — mask each token, measure prediction change;
+//   * attention rollout — propagate attention through layers (Abnar &
+//     Zuidema) from [CLS] to each input token;
+//   * "superbytes" — aggregate token attributions into protocol-field
+//     groups, the networking analogue of superpixels: byte-level tokens
+//     individually mean little, but grouped by the header field they
+//     belong to the attribution becomes readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/netfm.h"
+
+namespace netfm::interpret {
+
+/// One token's attribution.
+struct TokenAttribution {
+  std::string token;
+  double score = 0.0;
+};
+
+/// Occlusion saliency for a classified context: score = drop in the
+/// predicted class's probability when this token is replaced by [MASK].
+/// Requires a fine-tuned model.
+std::vector<TokenAttribution> occlusion_saliency(
+    const core::NetFM& model, const std::vector<std::string>& context,
+    std::size_t max_seq_len);
+
+/// Attention rollout: multiplies per-layer head-averaged attention maps
+/// (with 0.5 residual mixing) and reads the [CLS] row. Scores are over the
+/// encoded sequence (specials included then dropped); returned aligned to
+/// `context` tokens actually encoded.
+std::vector<TokenAttribution> attention_rollout(
+    const core::NetFM& model, const std::vector<std::string>& context,
+    std::size_t max_seq_len);
+
+/// A group of adjacent tokens belonging to one semantic unit.
+struct Superbyte {
+  std::string label;           // e.g. "dns-qname", "tcp-flags", "packet-3"
+  std::size_t begin = 0;       // token range [begin, end) in the context
+  std::size_t end = 0;
+  double score = 0.0;          // aggregated attribution
+};
+
+/// Groups a field-tokenized context by token prefix families (d_* labels,
+/// cs* suites, port tokens, buckets, ...) and aggregates attributions.
+std::vector<Superbyte> group_field_tokens(
+    const std::vector<std::string>& context,
+    const std::vector<TokenAttribution>& attributions);
+
+/// Groups a byte-tokenized packet by protocol header fields: maps byte
+/// offsets (L3-up) to field names via the IPv4/TCP/UDP layouts, then sums
+/// attributions within each field — superpixels for packets.
+std::vector<Superbyte> group_bytes_by_field(
+    BytesView frame, const std::vector<TokenAttribution>& attributions);
+
+}  // namespace netfm::interpret

@@ -1,0 +1,49 @@
+#include "model/config.h"
+
+namespace netfm::model {
+
+TransformerConfig TransformerConfig::tiny(std::size_t vocab) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.d_model = 32;
+  c.num_heads = 2;
+  c.num_layers = 2;
+  c.d_ffn = 64;
+  c.max_seq_len = 64;
+  return c;
+}
+
+TransformerConfig TransformerConfig::small(std::size_t vocab) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.d_model = 64;
+  c.num_heads = 4;
+  c.num_layers = 3;
+  c.d_ffn = 128;
+  c.max_seq_len = 96;
+  return c;
+}
+
+TransformerConfig TransformerConfig::base(std::size_t vocab) {
+  TransformerConfig c;
+  c.vocab_size = vocab;
+  c.d_model = 128;
+  c.num_heads = 4;
+  c.num_layers = 4;
+  c.d_ffn = 256;
+  c.max_seq_len = 128;
+  return c;
+}
+
+std::size_t parameter_count(const TransformerConfig& c) noexcept {
+  const std::size_t embeddings =
+      (c.vocab_size + c.max_seq_len + c.num_segments) * c.d_model +
+      2 * c.d_model;  // embed layernorm
+  const std::size_t per_layer =
+      4 * (c.d_model * c.d_model + c.d_model)      // qkv + output proj
+      + 2 * (c.d_model * c.d_ffn) + c.d_ffn + c.d_model  // ffn
+      + 4 * c.d_model;                             // two layernorms
+  return embeddings + c.num_layers * per_layer;
+}
+
+}  // namespace netfm::model

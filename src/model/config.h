@@ -1,0 +1,45 @@
+// Model hyperparameter presets. The "tiny/small/base" ladder is the
+// model-size axis of the energy/scaling experiment (E10); tiny is the
+// default everywhere else so the full evaluation runs on one CPU core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace netfm::model {
+
+struct TransformerConfig {
+  std::size_t vocab_size = 512;
+  std::size_t d_model = 32;
+  std::size_t num_heads = 2;
+  std::size_t num_layers = 2;
+  std::size_t d_ffn = 64;
+  std::size_t max_seq_len = 64;
+  std::size_t num_segments = 2;  // segment (packet A/B) embedding table
+  float dropout = 0.1f;
+  /// Lower-triangular (autoregressive) attention. Off = BERT-style
+  /// bidirectional encoder; on = GPT-style causal LM (TrafficLM).
+  bool causal = false;
+  std::uint64_t seed = 1234;
+
+  std::size_t head_dim() const noexcept { return d_model / num_heads; }
+
+  static TransformerConfig tiny(std::size_t vocab);
+  static TransformerConfig small(std::size_t vocab);
+  static TransformerConfig base(std::size_t vocab);
+};
+
+struct GruConfig {
+  std::size_t vocab_size = 512;
+  std::size_t embed_dim = 32;
+  std::size_t hidden_dim = 48;
+  std::size_t num_classes = 2;
+  float dropout = 0.1f;
+  std::uint64_t seed = 4321;
+};
+
+/// Approximate trainable parameter count (for the E10 table).
+std::size_t parameter_count(const TransformerConfig& config) noexcept;
+
+}  // namespace netfm::model

@@ -1,0 +1,39 @@
+// GRU sequence classifier — the supervised baseline of experiment E1
+// (NorBERT's comparison): embedding -> single GRU layer -> last hidden ->
+// linear classifier. The embedding is either random-initialized or loaded
+// from pretrained context-independent (GloVe) vectors.
+#pragma once
+
+#include "model/config.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+
+namespace netfm::model {
+
+class GruClassifier {
+ public:
+  explicit GruClassifier(const GruConfig& config);
+
+  /// Initializes the embedding table from row-major [vocab, embed_dim]
+  /// vectors (the GloVe baseline); must match the config dims.
+  void load_embeddings(std::span<const float> vectors, bool freeze = false);
+
+  /// Forward for one sequence: ids (len T) -> logits [1, num_classes].
+  nn::Tensor forward(std::span<const int> ids, bool train = false) const;
+
+  nn::ParameterList parameters() const;
+  const GruConfig& config() const noexcept { return config_; }
+
+ private:
+  GruConfig config_;
+  mutable Rng rng_;
+  nn::Parameter embed_;
+  // GRU weights: update (z), reset (r), candidate (h) gates.
+  nn::Parameter wz_, uz_, bz_;
+  nn::Parameter wr_, ur_, br_;
+  nn::Parameter wh_, uh_, bh_;
+  nn::Parameter out_w_, out_b_;
+  bool freeze_embeddings_ = false;
+};
+
+}  // namespace netfm::model

@@ -1,0 +1,84 @@
+#include "model/heads.h"
+
+namespace netfm::model {
+
+using nn::Tensor;
+
+MlmHead::MlmHead(const TransformerConfig& config,
+                 const nn::Tensor& tied_embeddings, Rng& rng)
+    : transform_(config.d_model, config.d_model, rng, "mlm.transform"),
+      norm_(config.d_model, "mlm.norm"),
+      tied_embeddings_(tied_embeddings),
+      decoder_bias_{"mlm.decoder_bias",
+                    Tensor({config.vocab_size}, true)} {}
+
+Tensor MlmHead::forward(const Tensor& hidden) const {
+  const Tensor transformed =
+      norm_.forward(nn::gelu(transform_.forward(hidden)));
+  // Tied decoder: logits = transformed * E^T + bias.
+  return nn::add(nn::matmul(transformed, nn::transpose(tied_embeddings_)),
+                 decoder_bias_.tensor);
+}
+
+void MlmHead::collect(nn::ParameterList& out) const {
+  transform_.collect(out);
+  norm_.collect(out);
+  out.push_back(decoder_bias_);
+}
+
+Pooler::Pooler(std::size_t d_model, Rng& rng)
+    : dense_(d_model, d_model, rng, "pooler.dense") {}
+
+Tensor Pooler::forward(const Tensor& hidden, std::size_t batch_size,
+                       std::size_t seq_len) const {
+  // Gather row 0 of every sequence.
+  auto map = std::make_shared<std::vector<std::size_t>>();
+  const std::size_t d_model = hidden.dim(1);
+  map->resize(batch_size * d_model);
+  for (std::size_t b = 0; b < batch_size; ++b)
+    for (std::size_t d = 0; d < d_model; ++d)
+      (*map)[b * d_model + d] = b * seq_len * d_model + d;
+  const Tensor cls = nn::remap(hidden, {batch_size, d_model}, map);
+  return nn::tanh_op(dense_.forward(cls));
+}
+
+void Pooler::collect(nn::ParameterList& out) const { dense_.collect(out); }
+
+ClassificationHead::ClassificationHead(std::size_t d_model,
+                                       std::size_t num_classes, Rng& rng)
+    : dense_(d_model, num_classes, rng, "cls.dense"),
+      num_classes_(num_classes) {}
+
+Tensor ClassificationHead::forward(const Tensor& pooled) const {
+  return dense_.forward(pooled);
+}
+
+void ClassificationHead::collect(nn::ParameterList& out) const {
+  dense_.collect(out);
+}
+
+RegressionHead::RegressionHead(std::size_t d_model, Rng& rng)
+    : hidden_(d_model, d_model, rng, "reg.hidden"),
+      out_(d_model, 1, rng, "reg.out") {}
+
+Tensor RegressionHead::forward(const Tensor& pooled) const {
+  return out_.forward(nn::gelu(hidden_.forward(pooled)));
+}
+
+void RegressionHead::collect(nn::ParameterList& out) const {
+  hidden_.collect(out);
+  out_.collect(out);
+}
+
+NextSegmentHead::NextSegmentHead(std::size_t d_model, Rng& rng)
+    : dense_(d_model, 2, rng, "nsp.dense") {}
+
+Tensor NextSegmentHead::forward(const Tensor& pooled) const {
+  return dense_.forward(pooled);
+}
+
+void NextSegmentHead::collect(nn::ParameterList& out) const {
+  dense_.collect(out);
+}
+
+}  // namespace netfm::model

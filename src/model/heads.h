@@ -1,0 +1,81 @@
+// Task heads that sit on top of the encoder's [B*T, D] output:
+// masked-token prediction (pretraining), next-segment prediction
+// (pretraining), sequence classification / regression (fine-tuning).
+#pragma once
+
+#include "model/transformer.h"
+
+namespace netfm::model {
+
+/// Masked-token modeling head: transform + decode over the vocabulary.
+/// The decoder weight is tied to the encoder token embedding.
+class MlmHead {
+ public:
+  MlmHead(const TransformerConfig& config, const nn::Tensor& tied_embeddings,
+          Rng& rng);
+
+  /// hidden [B*T, D] -> logits [B*T, V].
+  nn::Tensor forward(const nn::Tensor& hidden) const;
+  void collect(nn::ParameterList& out) const;
+
+ private:
+  Linear transform_;
+  LayerNorm norm_;
+  nn::Tensor tied_embeddings_;  // [V, D]
+  nn::Parameter decoder_bias_;  // [V]
+};
+
+/// Pools the first token ([CLS]) of each sequence: [B*T, D] -> [B, D],
+/// tanh-squashed through a learned projection (the BERT pooler).
+class Pooler {
+ public:
+  Pooler(std::size_t d_model, Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& hidden, std::size_t batch_size,
+                     std::size_t seq_len) const;
+  void collect(nn::ParameterList& out) const;
+
+ private:
+  Linear dense_;
+};
+
+/// Linear classifier over pooled output: [B, D] -> [B, num_classes].
+class ClassificationHead {
+ public:
+  ClassificationHead(std::size_t d_model, std::size_t num_classes, Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& pooled) const;
+  void collect(nn::ParameterList& out) const;
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  Linear dense_;
+  std::size_t num_classes_;
+};
+
+/// Scalar regression over pooled output: [B, D] -> [B, 1].
+class RegressionHead {
+ public:
+  RegressionHead(std::size_t d_model, Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& pooled) const;
+  void collect(nn::ParameterList& out) const;
+
+ private:
+  Linear hidden_, out_;
+};
+
+/// Binary next-segment prediction over pooled output (the NSP analogue:
+/// "is segment B the packet that actually followed segment A?").
+class NextSegmentHead {
+ public:
+  NextSegmentHead(std::size_t d_model, Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& pooled) const;
+  void collect(nn::ParameterList& out) const;
+
+ private:
+  Linear dense_;
+};
+
+}  // namespace netfm::model

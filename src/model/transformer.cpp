@@ -1,0 +1,216 @@
+#include "model/transformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netfm::model {
+
+using nn::Tensor;
+
+Batch Batch::single(std::span<const int> ids) {
+  Batch b;
+  b.batch_size = 1;
+  b.seq_len = ids.size();
+  b.token_ids.assign(ids.begin(), ids.end());
+  b.segment_ids.assign(ids.size(), 0);
+  b.attention_mask.assign(ids.size(), 1.0f);
+  return b;
+}
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng,
+               const std::string& name) {
+  // Xavier-uniform-equivalent gaussian init.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in + out));
+  weight_ = {name + ".weight", Tensor::randn({in, out}, rng, stddev)};
+  bias_ = {name + ".bias", Tensor({out}, true)};
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return nn::add(nn::matmul(x, weight_.tensor), bias_.tensor);
+}
+
+void Linear::collect(nn::ParameterList& out) const {
+  out.push_back(weight_);
+  out.push_back(bias_);
+}
+
+LayerNorm::LayerNorm(std::size_t dim, const std::string& name) {
+  gain_ = {name + ".gain", Tensor::full({dim}, 1.0f)};
+  gain_.tensor.set_requires_grad(true);
+  bias_ = {name + ".bias", Tensor({dim}, true)};
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return nn::layer_norm(x, gain_.tensor, bias_.tensor);
+}
+
+void LayerNorm::collect(nn::ParameterList& out) const {
+  out.push_back(gain_);
+  out.push_back(bias_);
+}
+
+EncoderBlock::EncoderBlock(const TransformerConfig& config, Rng& rng,
+                           const std::string& prefix)
+    : config_(&config),
+      query_(config.d_model, config.d_model, rng, prefix + ".q"),
+      key_(config.d_model, config.d_model, rng, prefix + ".k"),
+      value_(config.d_model, config.d_model, rng, prefix + ".v"),
+      output_(config.d_model, config.d_model, rng, prefix + ".o"),
+      ffn_in_(config.d_model, config.d_ffn, rng, prefix + ".ffn_in"),
+      ffn_out_(config.d_ffn, config.d_model, rng, prefix + ".ffn_out"),
+      norm_attn_(config.d_model, prefix + ".norm_attn"),
+      norm_ffn_(config.d_model, prefix + ".norm_ffn") {}
+
+namespace {
+
+/// Index maps between [B*T, D] and [B*H, T, dk] layouts.
+struct HeadMaps {
+  std::shared_ptr<std::vector<std::size_t>> split;
+  std::shared_ptr<std::vector<std::size_t>> merge;
+};
+
+HeadMaps make_head_maps(std::size_t batch, std::size_t seq, std::size_t heads,
+                        std::size_t head_dim) {
+  const std::size_t d_model = heads * head_dim;
+  auto split = std::make_shared<std::vector<std::size_t>>(batch * seq *
+                                                          d_model);
+  auto merge = std::make_shared<std::vector<std::size_t>>(batch * seq *
+                                                          d_model);
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t h = 0; h < heads; ++h)
+      for (std::size_t t = 0; t < seq; ++t)
+        for (std::size_t k = 0; k < head_dim; ++k) {
+          const std::size_t flat = (b * seq + t) * d_model + h * head_dim + k;
+          const std::size_t headed = ((b * heads + h) * seq + t) * head_dim + k;
+          (*split)[headed] = flat;
+          (*merge)[flat] = headed;
+        }
+  return {std::move(split), std::move(merge)};
+}
+
+/// Key-padding (and optionally causal) mask for score tensor [B*H, T, T]:
+/// element (bh, i, j) is valid iff token j of sequence b is real and, in
+/// causal mode, j <= i.
+std::vector<float> make_score_mask(const Batch& batch, std::size_t heads,
+                                   bool causal) {
+  const std::size_t bsz = batch.batch_size;
+  const std::size_t seq = batch.seq_len;
+  std::vector<float> mask(bsz * heads * seq * seq);
+  std::size_t at = 0;
+  for (std::size_t b = 0; b < bsz; ++b)
+    for (std::size_t h = 0; h < heads; ++h)
+      for (std::size_t i = 0; i < seq; ++i)
+        for (std::size_t j = 0; j < seq; ++j)
+          mask[at++] = (causal && j > i)
+                           ? 0.0f
+                           : batch.attention_mask[b * seq + j];
+  return mask;
+}
+
+}  // namespace
+
+Tensor EncoderBlock::forward(const Tensor& x, const Batch& batch, bool train,
+                             Rng& rng) const {
+  const TransformerConfig& cfg = *config_;
+  const std::size_t bsz = batch.batch_size;
+  const std::size_t seq = batch.seq_len;
+  const std::size_t heads = cfg.num_heads;
+  const std::size_t head_dim = cfg.head_dim();
+  const HeadMaps maps = make_head_maps(bsz, seq, heads, head_dim);
+  const nn::Shape headed{bsz * heads, seq, head_dim};
+
+  const Tensor q = nn::remap(query_.forward(x), headed, maps.split);
+  const Tensor k = nn::remap(key_.forward(x), headed, maps.split);
+  const Tensor v = nn::remap(value_.forward(x), headed, maps.split);
+
+  Tensor scores = nn::matmul(q, nn::transpose(k));
+  scores = nn::scale(scores, 1.0f / std::sqrt(static_cast<float>(head_dim)));
+  const std::vector<float> mask = make_score_mask(batch, heads, cfg.causal);
+  scores = nn::masked_fill(scores, mask, -1e9f);
+
+  Tensor attn = nn::softmax(scores);
+  last_attention_ = attn;
+  attn = nn::dropout(attn, cfg.dropout, train, rng);
+
+  const Tensor context = nn::matmul(attn, v);
+  const Tensor merged =
+      nn::remap(context, {bsz * seq, cfg.d_model}, maps.merge);
+  Tensor attended = output_.forward(merged);
+  attended = nn::dropout(attended, cfg.dropout, train, rng);
+  const Tensor x1 = norm_attn_.forward(nn::add(x, attended));
+
+  Tensor ffn = ffn_out_.forward(nn::gelu(ffn_in_.forward(x1)));
+  ffn = nn::dropout(ffn, cfg.dropout, train, rng);
+  return norm_ffn_.forward(nn::add(x1, ffn));
+}
+
+void EncoderBlock::collect(nn::ParameterList& out) const {
+  query_.collect(out);
+  key_.collect(out);
+  value_.collect(out);
+  output_.collect(out);
+  ffn_in_.collect(out);
+  ffn_out_.collect(out);
+  norm_attn_.collect(out);
+  norm_ffn_.collect(out);
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
+    : config_(config), rng_(config.seed) {
+  Rng init_rng(config.seed);
+  const float stddev = 0.02f;
+  token_embed_ = {"embed.token",
+                  Tensor::randn({config.vocab_size, config.d_model}, init_rng,
+                                stddev)};
+  position_embed_ = {"embed.position",
+                     Tensor::randn({config.max_seq_len, config.d_model},
+                                   init_rng, stddev)};
+  segment_embed_ = {"embed.segment",
+                    Tensor::randn({config.num_segments, config.d_model},
+                                  init_rng, stddev)};
+  embed_norm_ = LayerNorm(config.d_model, "embed.norm");
+  for (std::size_t layer = 0; layer < config.num_layers; ++layer)
+    blocks_.push_back(std::make_unique<EncoderBlock>(
+        config_, init_rng, "layer" + std::to_string(layer)));
+}
+
+Tensor TransformerEncoder::forward(const Batch& batch, bool train) const {
+  if (batch.seq_len > config_.max_seq_len)
+    throw std::invalid_argument("TransformerEncoder: sequence of length " +
+                                std::to_string(batch.seq_len) +
+                                " exceeds max_seq_len " +
+                                std::to_string(config_.max_seq_len));
+  std::vector<int> positions(batch.batch_size * batch.seq_len);
+  for (std::size_t b = 0; b < batch.batch_size; ++b)
+    for (std::size_t t = 0; t < batch.seq_len; ++t)
+      positions[b * batch.seq_len + t] = static_cast<int>(t);
+
+  Tensor x = nn::embedding(token_embed_.tensor, batch.token_ids);
+  x = nn::add(x, nn::embedding(position_embed_.tensor, positions));
+  x = nn::add(x, nn::embedding(segment_embed_.tensor, batch.segment_ids));
+  x = embed_norm_.forward(x);
+  x = nn::dropout(x, config_.dropout, train, rng_);
+
+  for (const auto& block : blocks_)
+    x = block->forward(x, batch, train, rng_);
+  return x;
+}
+
+nn::ParameterList TransformerEncoder::parameters() const {
+  nn::ParameterList out;
+  out.push_back(token_embed_);
+  out.push_back(position_embed_);
+  out.push_back(segment_embed_);
+  embed_norm_.collect(out);
+  for (const auto& block : blocks_) block->collect(out);
+  return out;
+}
+
+std::vector<Tensor> TransformerEncoder::last_attentions() const {
+  std::vector<Tensor> out;
+  out.reserve(blocks_.size());
+  for (const auto& block : blocks_) out.push_back(block->last_attention());
+  return out;
+}
+
+}  // namespace netfm::model

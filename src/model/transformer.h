@@ -1,0 +1,106 @@
+// BERT-style transformer encoder built on the netfm::nn autograd engine.
+//
+// Forward is batched: a batch of B sequences of length T flows through the
+// network as rank-2 [B*T, D] activations, with attention computed as
+// batched rank-3 [B*H, T, *] matmuls (head split/merge via nn::remap).
+// Post-LN residual blocks, learned positions, GELU FFN — the original BERT
+// recipe, scaled down.
+#pragma once
+
+#include <memory>
+
+#include "model/config.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+
+namespace netfm::model {
+
+/// A batch of same-length token sequences plus masks.
+struct Batch {
+  std::size_t batch_size = 0;
+  std::size_t seq_len = 0;
+  std::vector<int> token_ids;    // B*T, row-major
+  std::vector<int> segment_ids;  // B*T; all zero if unused
+  std::vector<float> attention_mask;  // B*T; 1 = real token, 0 = padding
+
+  /// Single-sequence convenience (B=1, no padding).
+  static Batch single(std::span<const int> ids);
+};
+
+/// Dense affine layer (weight [in, out], bias [out]).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::size_t in, std::size_t out, Rng& rng, const std::string& name);
+
+  nn::Tensor forward(const nn::Tensor& x) const;
+  void collect(nn::ParameterList& out) const;
+
+ private:
+  nn::Parameter weight_, bias_;
+};
+
+/// LayerNorm with learned gain/bias.
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  LayerNorm(std::size_t dim, const std::string& name);
+
+  nn::Tensor forward(const nn::Tensor& x) const;
+  void collect(nn::ParameterList& out) const;
+
+ private:
+  nn::Parameter gain_, bias_;
+};
+
+/// One encoder block: self-attention + FFN, each with residual + LayerNorm.
+class EncoderBlock {
+ public:
+  EncoderBlock(const TransformerConfig& config, Rng& rng,
+               const std::string& prefix);
+
+  /// x is [B*T, D]; returns same shape. `train` enables dropout.
+  nn::Tensor forward(const nn::Tensor& x, const Batch& batch, bool train,
+                     Rng& rng) const;
+  void collect(nn::ParameterList& out) const;
+
+  /// Attention probabilities from the most recent forward: one tensor of
+  /// shape [B*H, T, T]. Kept for interpretability (attention rollout).
+  const nn::Tensor& last_attention() const noexcept { return last_attention_; }
+
+ private:
+  const TransformerConfig* config_;
+  Linear query_, key_, value_, output_;
+  Linear ffn_in_, ffn_out_;
+  LayerNorm norm_attn_, norm_ffn_;
+  mutable nn::Tensor last_attention_;
+};
+
+/// The full encoder: embeddings -> N blocks.
+class TransformerEncoder {
+ public:
+  explicit TransformerEncoder(const TransformerConfig& config);
+
+  /// Returns contextual embeddings [B*T, D].
+  nn::Tensor forward(const Batch& batch, bool train = false) const;
+
+  const TransformerConfig& config() const noexcept { return config_; }
+  nn::ParameterList parameters() const;
+
+  /// Token embedding table [V, D] (tied into the MLM decoder).
+  const nn::Tensor& token_embeddings() const noexcept {
+    return token_embed_.tensor;
+  }
+
+  /// Per-layer attention maps from the last forward ([B*H, T, T] each).
+  std::vector<nn::Tensor> last_attentions() const;
+
+ private:
+  TransformerConfig config_;
+  mutable Rng rng_;  // dropout stream (forward-only state)
+  nn::Parameter token_embed_, position_embed_, segment_embed_;
+  LayerNorm embed_norm_;
+  std::vector<std::unique_ptr<EncoderBlock>> blocks_;
+};
+
+}  // namespace netfm::model

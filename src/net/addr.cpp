@@ -1,0 +1,111 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace netfm {
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  const auto parts = split(text, ':');
+  if (parts.size() != 6) return std::nullopt;
+  MacAddr mac;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].size() != 2) return std::nullopt;
+    unsigned value = 0;
+    if (std::sscanf(parts[i].c_str(), "%2x", &value) != 1) return std::nullopt;
+    mac.octets[i] = static_cast<std::uint8_t>(value);
+  }
+  return mac;
+}
+
+MacAddr MacAddr::from_id(std::uint64_t id) noexcept {
+  MacAddr mac;
+  mac.octets[0] = 0x02;  // locally administered, unicast
+  for (int i = 1; i < 6; ++i)
+    mac.octets[i] = static_cast<std::uint8_t>(id >> (8 * (5 - i)));
+  return mac;
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const std::string& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Addr{value};
+}
+
+std::string Ipv6Addr::to_string() const {
+  std::string out;
+  char buf[6];
+  for (int group = 0; group < 8; ++group) {
+    const unsigned value = (static_cast<unsigned>(octets[group * 2]) << 8) |
+                           octets[group * 2 + 1];
+    std::snprintf(buf, sizeof(buf), group == 0 ? "%04x" : ":%04x", value);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  // Supports the full 8-group form and a single "::" compression.
+  const auto halves = split(text, ':');
+  std::vector<std::string> groups;
+  int compress_at = -1;
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    if (halves[i].empty()) {
+      // "::" produces consecutive empties; allow at most one compression.
+      if (compress_at >= 0 && static_cast<std::size_t>(compress_at) + 1 != i &&
+          i + 1 != halves.size())
+        return std::nullopt;
+      if (compress_at < 0) compress_at = static_cast<int>(groups.size());
+      continue;
+    }
+    groups.push_back(halves[i]);
+  }
+  if (compress_at < 0 && groups.size() != 8) return std::nullopt;
+  if (compress_at >= 0 && groups.size() >= 8) return std::nullopt;
+
+  std::vector<unsigned> values;
+  for (const std::string& g : groups) {
+    if (g.size() > 4) return std::nullopt;
+    unsigned v = 0;
+    if (std::sscanf(g.c_str(), "%4x", &v) != 1) return std::nullopt;
+    values.push_back(v);
+  }
+  if (compress_at >= 0) {
+    const std::size_t missing = 8 - values.size();
+    values.insert(values.begin() + compress_at, missing, 0u);
+  }
+  Ipv6Addr addr;
+  for (int i = 0; i < 8; ++i) {
+    addr.octets[i * 2] = static_cast<std::uint8_t>(values[i] >> 8);
+    addr.octets[i * 2 + 1] = static_cast<std::uint8_t>(values[i]);
+  }
+  return addr;
+}
+
+}  // namespace netfm

@@ -1,0 +1,54 @@
+// Network address value types (MAC, IPv4, IPv6) with parsing/formatting.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netfm {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  auto operator<=>(const MacAddr&) const = default;
+
+  /// "aa:bb:cc:dd:ee:ff"
+  std::string to_string() const;
+  static std::optional<MacAddr> parse(std::string_view text);
+  /// Locally-administered unicast MAC derived from a 64-bit id.
+  static MacAddr from_id(std::uint64_t id) noexcept;
+};
+
+/// IPv4 address stored in host order for arithmetic convenience.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// Dotted quad "a.b.c.d".
+  std::string to_string() const;
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c,
+                                        std::uint8_t d) noexcept {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | d};
+  }
+};
+
+/// IPv6 address (16 bytes, network order).
+struct Ipv6Addr {
+  std::array<std::uint8_t, 16> octets{};
+
+  auto operator<=>(const Ipv6Addr&) const = default;
+
+  /// Full (non-compressed) colon-hex form "2001:0db8:...".
+  std::string to_string() const;
+  static std::optional<Ipv6Addr> parse(std::string_view text);
+};
+
+}  // namespace netfm

@@ -1,0 +1,143 @@
+#include "net/anonymize.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace netfm {
+namespace {
+
+/// L3 offset within an Ethernet frame.
+constexpr std::size_t kL3 = EthernetHeader::kWireSize;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+TraceAnonymizer::TraceAnonymizer(AnonymizeOptions options)
+    : options_(options) {}
+
+std::uint8_t TraceAnonymizer::permute_octet(std::uint8_t octet,
+                                            std::uint64_t prefix_key) const {
+  // Fisher-Yates permutation of 0..255 seeded by (key, prefix).
+  Rng rng(mix(options_.key, prefix_key));
+  std::array<std::uint8_t, 256> table;
+  std::iota(table.begin(), table.end(), 0);
+  for (std::size_t i = 255; i > 0; --i) {
+    const std::size_t j = rng.uniform(i + 1);
+    std::swap(table[i], table[j]);
+  }
+  return table[octet];
+}
+
+Ipv4Addr TraceAnonymizer::anonymize(Ipv4Addr addr) const {
+  std::uint32_t out = 0;
+  std::uint64_t prefix_key = 0x1a2b;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    const auto octet = static_cast<std::uint8_t>(addr.value >> shift);
+    const std::uint8_t mapped = permute_octet(octet, prefix_key);
+    out = (out << 8) | mapped;
+    // Condition the next level on the ORIGINAL prefix so equal original
+    // prefixes keep mapping identically.
+    prefix_key = mix(prefix_key, octet + 1);
+  }
+  return Ipv4Addr{out};
+}
+
+MacAddr TraceAnonymizer::anonymize(const MacAddr& mac) const {
+  MacAddr out;
+  out.octets[0] = 0x06;  // locally administered, unicast; OUI erased
+  std::uint64_t prefix_key = 0x3c4d;
+  for (std::size_t i = 1; i < 6; ++i) {
+    out.octets[i] = permute_octet(mac.octets[i], prefix_key + i * 131);
+    prefix_key = mix(prefix_key, mac.octets[i] + 1);
+  }
+  return out;
+}
+
+bool TraceAnonymizer::anonymize_frame(Bytes& frame) const {
+  const auto parsed = parse_packet(BytesView{frame});
+  if (!parsed || !parsed->ipv4) return false;
+  const Ipv4Header& ip = *parsed->ipv4;
+  const std::size_t ihl = ip.header_length();
+  if (frame.size() < kL3 + ihl) return false;
+
+  // MACs.
+  const MacAddr dst_mac = anonymize(parsed->eth.dst);
+  const MacAddr src_mac = anonymize(parsed->eth.src);
+  std::copy(dst_mac.octets.begin(), dst_mac.octets.end(), frame.begin());
+  std::copy(src_mac.octets.begin(), src_mac.octets.end(), frame.begin() + 6);
+
+  // IPs (offsets 12 and 16 within the IPv4 header).
+  const Ipv4Addr src = anonymize(ip.src);
+  const Ipv4Addr dst = anonymize(ip.dst);
+  auto put_u32 = [&](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      frame[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (24 - 8 * i));
+  };
+  put_u32(kL3 + 12, src.value);
+  put_u32(kL3 + 16, dst.value);
+
+  // Optional payload scrub: keyed noise of the same length, so sizes and
+  // timing survive but content does not.
+  const std::size_t l4_at = kL3 + ihl;
+  std::size_t payload_at = 0;
+  if (parsed->tcp)
+    payload_at = l4_at + parsed->tcp->header_length();
+  else if (parsed->udp)
+    payload_at = l4_at + UdpHeader::kWireSize;
+  if (options_.scrub_payloads && payload_at > 0 &&
+      payload_at < frame.size()) {
+    Rng noise(mix(options_.key, mix(src.value, dst.value)));
+    for (std::size_t i = payload_at; i < frame.size(); ++i)
+      frame[i] = static_cast<std::uint8_t>(noise.next());
+  }
+
+  // Recompute the IPv4 header checksum.
+  frame[kL3 + 10] = 0;
+  frame[kL3 + 11] = 0;
+  const std::uint16_t ip_sum =
+      internet_checksum(BytesView{frame}.subspan(kL3, ihl));
+  frame[kL3 + 10] = static_cast<std::uint8_t>(ip_sum >> 8);
+  frame[kL3 + 11] = static_cast<std::uint8_t>(ip_sum);
+
+  // Recompute the L4 checksum over the rewritten pseudo-header/payload.
+  const std::size_t l4_len = frame.size() - l4_at;
+  Ipv4Header pseudo = ip;
+  pseudo.src = src;
+  pseudo.dst = dst;
+  if (parsed->tcp && l4_len >= 18) {
+    frame[l4_at + 16] = 0;
+    frame[l4_at + 17] = 0;
+    const std::uint16_t sum = l4_checksum_ipv4(
+        pseudo, IpProto::kTcp, BytesView{frame}.subspan(l4_at, l4_len));
+    frame[l4_at + 16] = static_cast<std::uint8_t>(sum >> 8);
+    frame[l4_at + 17] = static_cast<std::uint8_t>(sum);
+  } else if (parsed->udp && l4_len >= 8) {
+    frame[l4_at + 6] = 0;
+    frame[l4_at + 7] = 0;
+    std::uint16_t sum = l4_checksum_ipv4(
+        pseudo, IpProto::kUdp, BytesView{frame}.subspan(l4_at, l4_len));
+    if (sum == 0) sum = 0xffff;
+    frame[l4_at + 6] = static_cast<std::uint8_t>(sum >> 8);
+    frame[l4_at + 7] = static_cast<std::uint8_t>(sum);
+  }
+  return true;
+}
+
+std::size_t TraceAnonymizer::anonymize_trace(
+    std::vector<Packet>& packets) const {
+  std::size_t rewritten = 0;
+  for (Packet& pkt : packets)
+    if (anonymize_frame(pkt.frame)) ++rewritten;
+  return rewritten;
+}
+
+}  // namespace netfm

@@ -1,0 +1,53 @@
+// Trace anonymization (§4.2): the paper names "concerns of leaking
+// sensitive content" as the reason network data is rarely released. This
+// module rewrites captures so they can be shared while keeping the
+// structure models learn from:
+//   * IPv4 addresses: keyed per-octet permutation that preserves prefix
+//     relationships (two addresses sharing a /24 still share one after
+//     anonymization) — the property subnet-aware analysis needs;
+//   * MAC addresses: keyed permutation of the NIC-specific bytes, OUI
+//     replaced by a locally-administered prefix;
+//   * TCP/UDP checksums recomputed so anonymized traces stay well-formed.
+// Payloads are left intact by default (our generator emits no secrets);
+// `scrub_payloads` replaces application payloads with keyed noise of the
+// same length for captures that might contain real content.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace netfm {
+
+struct AnonymizeOptions {
+  std::uint64_t key = 0x5eed;  // deterministic; same key => same mapping
+  bool scrub_payloads = false;
+};
+
+/// Stateful anonymizer: consistent across packets/flows/captures.
+class TraceAnonymizer {
+ public:
+  explicit TraceAnonymizer(AnonymizeOptions options = {});
+
+  /// Prefix-preserving keyed mapping (deterministic per key).
+  Ipv4Addr anonymize(Ipv4Addr addr) const;
+  MacAddr anonymize(const MacAddr& mac) const;
+
+  /// Rewrites one frame in place; returns false if it fails to parse (the
+  /// frame is then left untouched). Checksums are recomputed.
+  bool anonymize_frame(Bytes& frame) const;
+
+  /// Rewrites a whole capture; returns how many frames were rewritten.
+  std::size_t anonymize_trace(std::vector<Packet>& packets) const;
+
+ private:
+  /// Keyed octet permutation conditioned on the address prefix seen so
+  /// far — equal prefixes map to equal prefixes (Crypto-PAn's property,
+  /// with a PRF-seeded Fisher-Yates permutation instead of AES).
+  std::uint8_t permute_octet(std::uint8_t octet, std::uint64_t prefix_key)
+      const;
+
+  AnonymizeOptions options_;
+};
+
+}  // namespace netfm

@@ -1,0 +1,293 @@
+#include "net/dns.h"
+
+#include "common/strings.h"
+
+namespace netfm::dns {
+namespace {
+
+constexpr std::size_t kMaxNameLength = 255;
+constexpr int kMaxPointerHops = 32;
+
+/// Encodes `name` into `out`, compressing against `offsets`. `base` is the
+/// absolute message offset where `out`'s current position will land, so
+/// recorded suffix offsets remain message-relative.
+void encode_name_at(ByteWriter& out, const std::string& name,
+                    std::size_t base,
+                    std::vector<std::pair<std::string, std::size_t>>& offsets) {
+  std::string rest = to_lower(name);
+  while (!rest.empty()) {
+    for (const auto& [suffix, off] : offsets) {
+      if (rest == suffix && off < 0x3fff) {
+        out.u16(static_cast<std::uint16_t>(0xc000 | off));
+        return;
+      }
+    }
+    offsets.emplace_back(rest, base + out.size());
+    const std::size_t dot = rest.find('.');
+    const std::string label =
+        dot == std::string::npos ? rest : rest.substr(0, dot);
+    out.u8(static_cast<std::uint8_t>(label.size()));
+    out.raw(label);
+    rest = dot == std::string::npos ? std::string{} : rest.substr(dot + 1);
+  }
+  out.u8(0);
+}
+
+/// Encodes RDATA for the known types, using name compression for the
+/// name-bearing ones. `rdata_offset` is the absolute message offset where
+/// the RDATA begins.
+Bytes encode_rdata(const ResourceRecord& rr, std::size_t rdata_offset,
+                   std::vector<std::pair<std::string, std::size_t>>& offsets) {
+  ByteWriter w;
+  switch (static_cast<Type>(rr.type)) {
+    case Type::kA:
+    case Type::kAaaa:
+      return rr.rdata;  // stored as raw address bytes
+    case Type::kCname:
+    case Type::kNs:
+    case Type::kPtr: {
+      encode_name_at(w, rr.rdata_name, rdata_offset, offsets);
+      return w.take();
+    }
+    case Type::kMx: {
+      w.u16(rr.preference);
+      ByteWriter name_writer;
+      encode_name_at(name_writer, rr.rdata_name, rdata_offset + 2, offsets);
+      w.raw(BytesView{name_writer.bytes()});
+      return w.take();
+    }
+    case Type::kTxt: {
+      // Single character-string chunking at 255 bytes.
+      std::string_view text = rr.rdata_name;
+      while (text.size() > 255) {
+        w.u8(255);
+        w.raw(text.substr(0, 255));
+        text.remove_prefix(255);
+      }
+      w.u8(static_cast<std::uint8_t>(text.size()));
+      w.raw(text);
+      return w.take();
+    }
+    default:
+      return rr.rdata;
+  }
+}
+
+/// Decodes RDATA convenience fields for known types.
+void decode_rdata(ResourceRecord& rr, BytesView message, std::size_t at,
+                  std::size_t len) {
+  switch (static_cast<Type>(rr.type)) {
+    case Type::kCname:
+    case Type::kNs:
+    case Type::kPtr: {
+      ByteReader r(message);
+      r.skip(at);
+      if (auto name = decode_name(r)) rr.rdata_name = *name;
+      break;
+    }
+    case Type::kMx: {
+      ByteReader r(message);
+      r.skip(at);
+      rr.preference = r.u16();
+      if (auto name = decode_name(r)) rr.rdata_name = *name;
+      break;
+    }
+    case Type::kTxt: {
+      ByteReader r(message);
+      r.skip(at);
+      std::size_t consumed = 0;
+      std::string text;
+      while (consumed < len) {
+        const std::uint8_t chunk = r.u8();
+        text += r.take_string(chunk);
+        consumed += 1 + chunk;
+        if (r.truncated()) break;
+      }
+      rr.rdata_name = text;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void encode_record(ByteWriter& w, const ResourceRecord& rr,
+                   std::vector<std::pair<std::string, std::size_t>>& offsets) {
+  encode_name(w, rr.name, offsets);
+  w.u16(rr.type);
+  w.u16(rr.klass);
+  w.u32(rr.ttl);
+  const std::size_t len_at = w.size();
+  w.u16(0);  // RDLENGTH placeholder
+  const Bytes rdata = encode_rdata(rr, w.size(), offsets);
+  w.raw(BytesView{rdata});
+  w.patch_u16(len_at, static_cast<std::uint16_t>(rdata.size()));
+}
+
+std::optional<ResourceRecord> decode_record(ByteReader& r, BytesView wire) {
+  ResourceRecord rr;
+  auto name = decode_name(r);
+  if (!name) return std::nullopt;
+  rr.name = *name;
+  rr.type = r.u16();
+  rr.klass = r.u16();
+  rr.ttl = r.u32();
+  const std::uint16_t rdlen = r.u16();
+  const std::size_t rdata_at = r.offset();
+  const BytesView raw = r.take(rdlen);
+  if (r.truncated()) return std::nullopt;
+  rr.rdata.assign(raw.begin(), raw.end());
+  decode_rdata(rr, wire, rdata_at, rdlen);
+  return rr;
+}
+
+}  // namespace
+
+ResourceRecord ResourceRecord::a(std::string name, Ipv4Addr addr,
+                                 std::uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = static_cast<std::uint16_t>(Type::kA);
+  rr.ttl = ttl;
+  ByteWriter w;
+  w.u32(addr.value);
+  rr.rdata = w.take();
+  return rr;
+}
+
+ResourceRecord ResourceRecord::aaaa(std::string name, const Ipv6Addr& addr,
+                                    std::uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = static_cast<std::uint16_t>(Type::kAaaa);
+  rr.ttl = ttl;
+  rr.rdata.assign(addr.octets.begin(), addr.octets.end());
+  return rr;
+}
+
+ResourceRecord ResourceRecord::cname(std::string name, std::string target,
+                                     std::uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = static_cast<std::uint16_t>(Type::kCname);
+  rr.ttl = ttl;
+  rr.rdata_name = std::move(target);
+  return rr;
+}
+
+void encode_name(ByteWriter& writer, const std::string& name,
+                 std::vector<std::pair<std::string, std::size_t>>& offsets) {
+  encode_name_at(writer, name, 0, offsets);
+}
+
+std::optional<std::string> decode_name(ByteReader& reader) {
+  std::string out;
+  int hops = 0;
+  bool jumped = false;
+  std::size_t cursor = reader.offset();
+  // We track our own cursor so that after following compression pointers we
+  // can restore the reader just past the *first* pointer.
+  std::size_t resume_at = 0;
+  while (true) {
+    const BytesView len_view = reader.peek_at(cursor, 1);
+    if (len_view.empty()) return std::nullopt;
+    const std::uint8_t len = len_view[0];
+    if ((len & 0xc0) == 0xc0) {
+      const BytesView ptr_view = reader.peek_at(cursor, 2);
+      if (ptr_view.size() < 2) return std::nullopt;
+      if (!jumped) resume_at = cursor + 2;
+      jumped = true;
+      if (++hops > kMaxPointerHops) return std::nullopt;
+      cursor = static_cast<std::size_t>(((len & 0x3f) << 8) | ptr_view[1]);
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // 10/01 prefixes reserved
+    if (len == 0) {
+      ++cursor;
+      break;
+    }
+    const BytesView label = reader.peek_at(cursor + 1, len);
+    if (label.size() < len) return std::nullopt;
+    if (!out.empty()) out += '.';
+    out.append(reinterpret_cast<const char*>(label.data()), label.size());
+    if (out.size() > kMaxNameLength) return std::nullopt;
+    cursor += 1 + len;
+  }
+  const std::size_t end = jumped ? resume_at : cursor;
+  reader.skip(end - reader.offset());
+  return out;
+}
+
+Bytes Message::encode() const {
+  ByteWriter w;
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((opcode & 0x0f) << 11);
+  if (authoritative) flags |= 0x0400;
+  if (truncated) flags |= 0x0200;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode) & 0x0f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+
+  std::vector<std::pair<std::string, std::size_t>> offsets;
+  for (const Question& q : questions) {
+    encode_name(w, q.name, offsets);
+    w.u16(q.type);
+    w.u16(q.klass);
+  }
+  for (const ResourceRecord& rr : answers) encode_record(w, rr, offsets);
+  for (const ResourceRecord& rr : authorities) encode_record(w, rr, offsets);
+  for (const ResourceRecord& rr : additionals) encode_record(w, rr, offsets);
+  return w.take();
+}
+
+std::optional<Message> Message::decode(BytesView wire) {
+  ByteReader r(wire);
+  Message m;
+  m.id = r.u16();
+  const std::uint16_t flags = r.u16();
+  m.is_response = (flags & 0x8000) != 0;
+  m.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0f);
+  m.authoritative = (flags & 0x0400) != 0;
+  m.truncated = (flags & 0x0200) != 0;
+  m.recursion_desired = (flags & 0x0100) != 0;
+  m.recursion_available = (flags & 0x0080) != 0;
+  m.rcode = static_cast<Rcode>(flags & 0x0f);
+  const std::uint16_t qd = r.u16();
+  const std::uint16_t an = r.u16();
+  const std::uint16_t ns = r.u16();
+  const std::uint16_t ar = r.u16();
+  if (r.truncated()) return std::nullopt;
+
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    Question q;
+    auto name = decode_name(r);
+    if (!name) return std::nullopt;
+    q.name = *name;
+    q.type = r.u16();
+    q.klass = r.u16();
+    if (r.truncated()) return std::nullopt;
+    m.questions.push_back(std::move(q));
+  }
+  auto decode_section = [&](std::uint16_t count,
+                            std::vector<ResourceRecord>& out) -> bool {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto rr = decode_record(r, wire);
+      if (!rr) return false;
+      out.push_back(std::move(*rr));
+    }
+    return true;
+  };
+  if (!decode_section(an, m.answers)) return std::nullopt;
+  if (!decode_section(ns, m.authorities)) return std::nullopt;
+  if (!decode_section(ar, m.additionals)) return std::nullopt;
+  return m;
+}
+
+}  // namespace netfm::dns

@@ -1,0 +1,102 @@
+// DNS message codec (RFC 1035) with name compression on both paths.
+//
+// Covers the record types the traffic generator and tokenizer care about:
+// A, AAAA, CNAME, MX, NS, TXT, PTR. Unknown RDATA is preserved raw so a
+// decode→encode round trip never loses bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/addr.h"
+
+namespace netfm::dns {
+
+/// Query/record types (subset).
+enum class Type : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+/// Standard response codes.
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+/// One question entry.
+struct Question {
+  std::string name;  // dotted form, no trailing dot ("www.example.com")
+  std::uint16_t type = 1;
+  std::uint16_t klass = 1;  // IN
+
+  bool operator==(const Question&) const = default;
+};
+
+/// One resource record. RDATA is kept both raw and, for known types,
+/// decoded into `rdata_name`/`rdata_ip` for convenience.
+struct ResourceRecord {
+  std::string name;
+  std::uint16_t type = 1;
+  std::uint16_t klass = 1;
+  std::uint32_t ttl = 300;
+  Bytes rdata;               // raw wire RDATA (post-decompression for names)
+  std::string rdata_name;    // CNAME/NS/PTR/MX target, TXT text
+  std::uint16_t preference = 0;  // MX only
+
+  bool operator==(const ResourceRecord&) const = default;
+
+  /// A-record convenience constructors.
+  static ResourceRecord a(std::string name, Ipv4Addr addr,
+                          std::uint32_t ttl = 300);
+  static ResourceRecord aaaa(std::string name, const Ipv6Addr& addr,
+                             std::uint32_t ttl = 300);
+  static ResourceRecord cname(std::string name, std::string target,
+                              std::uint32_t ttl = 300);
+};
+
+/// Full DNS message.
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = 0;
+  bool authoritative = false;
+  bool truncated = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  Rcode rcode = Rcode::kNoError;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  /// Encodes with name compression (full-suffix reuse).
+  Bytes encode() const;
+
+  /// Decodes a full message; nullopt on malformed/truncated input or
+  /// compression loops.
+  static std::optional<Message> decode(BytesView wire);
+};
+
+/// Encodes one domain name at the current writer position, compressing
+/// against `offsets` (suffix → absolute offset), which it extends.
+void encode_name(ByteWriter& writer, const std::string& name,
+                 std::vector<std::pair<std::string, std::size_t>>& offsets);
+
+/// Decodes a (possibly compressed) name starting at reader's cursor.
+std::optional<std::string> decode_name(ByteReader& reader);
+
+}  // namespace netfm::dns

@@ -1,0 +1,201 @@
+#include "net/headers.h"
+
+namespace netfm {
+
+std::optional<EthernetHeader> EthernetHeader::parse(ByteReader& reader) {
+  EthernetHeader h;
+  for (auto& b : h.dst.octets) b = reader.u8();
+  for (auto& b : h.src.octets) b = reader.u8();
+  h.ether_type = reader.u16();
+  if (reader.truncated()) return std::nullopt;
+  return h;
+}
+
+void EthernetHeader::write(ByteWriter& writer) const {
+  for (std::uint8_t b : dst.octets) writer.u8(b);
+  for (std::uint8_t b : src.octets) writer.u8(b);
+  writer.u16(ether_type);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& reader) {
+  Ipv4Header h;
+  const std::uint8_t version_ihl = reader.u8();
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  if (ihl < 20) return std::nullopt;
+  h.dscp_ecn = reader.u8();
+  h.total_length = reader.u16();
+  h.identification = reader.u16();
+  h.flags_fragment = reader.u16();
+  h.ttl = reader.u8();
+  h.protocol = reader.u8();
+  h.checksum = reader.u16();
+  h.src.value = reader.u32();
+  h.dst.value = reader.u32();
+  if (ihl > 20) {
+    const BytesView opts = reader.take(ihl - 20);
+    h.options.assign(opts.begin(), opts.end());
+  }
+  if (reader.truncated()) return std::nullopt;
+  if (h.total_length < ihl) return std::nullopt;
+  return h;
+}
+
+void Ipv4Header::write(ByteWriter& writer) const {
+  ByteWriter head;
+  const std::size_t ihl_words = header_length() / 4;
+  head.u8(static_cast<std::uint8_t>(0x40 | ihl_words));
+  head.u8(dscp_ecn);
+  head.u16(total_length);
+  head.u16(identification);
+  head.u16(flags_fragment);
+  head.u8(ttl);
+  head.u8(protocol);
+  head.u16(0);  // checksum placeholder
+  head.u32(src.value);
+  head.u32(dst.value);
+  head.raw(BytesView{options});
+  const std::uint16_t sum = internet_checksum(BytesView{head.bytes()});
+  head.patch_u16(10, sum);
+  writer.raw(BytesView{head.bytes()});
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  ByteWriter head;
+  Ipv4Header copy = *this;
+  copy.write(head);
+  // write() recomputes; extract the stored checksum field.
+  return static_cast<std::uint16_t>((head.bytes()[10] << 8) |
+                                    head.bytes()[11]);
+}
+
+std::optional<Ipv6Header> Ipv6Header::parse(ByteReader& reader) {
+  Ipv6Header h;
+  const std::uint32_t word = reader.u32();
+  if ((word >> 28) != 6) return std::nullopt;
+  h.traffic_class = static_cast<std::uint8_t>((word >> 20) & 0xff);
+  h.flow_label = word & 0xfffff;
+  h.payload_length = reader.u16();
+  h.next_header = reader.u8();
+  h.hop_limit = reader.u8();
+  for (auto& b : h.src.octets) b = reader.u8();
+  for (auto& b : h.dst.octets) b = reader.u8();
+  if (reader.truncated()) return std::nullopt;
+  return h;
+}
+
+void Ipv6Header::write(ByteWriter& writer) const {
+  writer.u32((std::uint32_t{6} << 28) |
+             (static_cast<std::uint32_t>(traffic_class) << 20) |
+             (flow_label & 0xfffff));
+  writer.u16(payload_length);
+  writer.u8(next_header);
+  writer.u8(hop_limit);
+  for (std::uint8_t b : src.octets) writer.u8(b);
+  for (std::uint8_t b : dst.octets) writer.u8(b);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(ByteReader& reader) {
+  TcpHeader h;
+  h.src_port = reader.u16();
+  h.dst_port = reader.u16();
+  h.seq = reader.u32();
+  h.ack = reader.u32();
+  const std::uint8_t offset_byte = reader.u8();
+  const std::size_t data_offset =
+      static_cast<std::size_t>(offset_byte >> 4) * 4;
+  if (data_offset < 20) return std::nullopt;
+  h.flags = reader.u8() & 0x3f;
+  h.window = reader.u16();
+  h.checksum = reader.u16();
+  h.urgent = reader.u16();
+  if (data_offset > 20) {
+    const BytesView opts = reader.take(data_offset - 20);
+    h.options.assign(opts.begin(), opts.end());
+  }
+  if (reader.truncated()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::write(ByteWriter& writer, const Ipv4Header& ip,
+                      BytesView payload) const {
+  ByteWriter seg;
+  seg.u16(src_port);
+  seg.u16(dst_port);
+  seg.u32(seq);
+  seg.u32(ack);
+  seg.u8(static_cast<std::uint8_t>((header_length() / 4) << 4));
+  seg.u8(flags);
+  seg.u16(window);
+  seg.u16(0);  // checksum placeholder
+  seg.u16(urgent);
+  seg.raw(BytesView{options});
+  seg.raw(payload);
+  const std::uint16_t sum =
+      l4_checksum_ipv4(ip, IpProto::kTcp, BytesView{seg.bytes()});
+  seg.patch_u16(16, sum);
+  writer.raw(BytesView{seg.bytes()});
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ByteReader& reader) {
+  UdpHeader h;
+  h.src_port = reader.u16();
+  h.dst_port = reader.u16();
+  h.length = reader.u16();
+  h.checksum = reader.u16();
+  if (reader.truncated()) return std::nullopt;
+  if (h.length < kWireSize) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::write(ByteWriter& writer, const Ipv4Header& ip,
+                      BytesView payload) const {
+  ByteWriter seg;
+  seg.u16(src_port);
+  seg.u16(dst_port);
+  seg.u16(static_cast<std::uint16_t>(kWireSize + payload.size()));
+  seg.u16(0);  // checksum placeholder
+  seg.raw(payload);
+  std::uint16_t sum =
+      l4_checksum_ipv4(ip, IpProto::kUdp, BytesView{seg.bytes()});
+  if (sum == 0) sum = 0xffff;  // RFC 768: 0 means "no checksum"
+  seg.patch_u16(6, sum);
+  writer.raw(BytesView{seg.bytes()});
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(ByteReader& reader) {
+  IcmpHeader h;
+  h.type = reader.u8();
+  h.code = reader.u8();
+  h.checksum = reader.u16();
+  h.identifier = reader.u16();
+  h.sequence = reader.u16();
+  if (reader.truncated()) return std::nullopt;
+  return h;
+}
+
+void IcmpHeader::write(ByteWriter& writer, BytesView payload) const {
+  ByteWriter msg;
+  msg.u8(type);
+  msg.u8(code);
+  msg.u16(0);  // checksum placeholder
+  msg.u16(identifier);
+  msg.u16(sequence);
+  msg.raw(payload);
+  msg.patch_u16(2, internet_checksum(BytesView{msg.bytes()}));
+  writer.raw(BytesView{msg.bytes()});
+}
+
+std::uint16_t l4_checksum_ipv4(const Ipv4Header& ip, IpProto proto,
+                               BytesView l4_bytes) {
+  ByteWriter pseudo;
+  pseudo.u32(ip.src.value);
+  pseudo.u32(ip.dst.value);
+  pseudo.u8(0);
+  pseudo.u8(static_cast<std::uint8_t>(proto));
+  pseudo.u16(static_cast<std::uint16_t>(l4_bytes.size()));
+  pseudo.raw(l4_bytes);
+  return internet_checksum(BytesView{pseudo.bytes()});
+}
+
+}  // namespace netfm

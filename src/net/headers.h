@@ -1,0 +1,150 @@
+// Layer-2/3/4 header value types with parse + serialize.
+//
+// Conventions shared by all codecs in this module:
+//   * `parse` consumes from a ByteReader positioned at the header start and
+//     returns std::nullopt on truncation or malformed fields;
+//   * `write` appends the wire form to a ByteWriter;
+//   * checksums are computed on write and verified separately (generators
+//     need to write-then-fix, parsers may face captures with offloaded
+//     checksums).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "net/addr.h"
+
+namespace netfm {
+
+/// EtherType values this library understands.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kIpv6 = 0x86dd,
+};
+
+/// IP protocol numbers (a deliberately small, well-known subset).
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kGre = 47,
+  kIcmpv6 = 58,
+  kSctp = 132,
+};
+
+/// Ethernet II frame header (no 802.1Q tag support; generators don't tag).
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ether_type = 0;
+
+  static constexpr std::size_t kWireSize = 14;
+  static std::optional<EthernetHeader> parse(ByteReader& reader);
+  void write(ByteWriter& writer) const;
+};
+
+/// IPv4 header (options preserved as raw bytes).
+struct Ipv4Header {
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;  // 3-bit flags + 13-bit offset
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // as parsed; recomputed on write
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  Bytes options;
+
+  std::size_t header_length() const noexcept { return 20 + options.size(); }
+  bool dont_fragment() const noexcept { return (flags_fragment & 0x4000) != 0; }
+  bool more_fragments() const noexcept { return (flags_fragment & 0x2000) != 0; }
+  std::uint16_t fragment_offset() const noexcept {
+    return flags_fragment & 0x1fff;
+  }
+
+  static std::optional<Ipv4Header> parse(ByteReader& reader);
+  /// Writes with a freshly computed header checksum; `total_length` must
+  /// already include the payload.
+  void write(ByteWriter& writer) const;
+  /// Checksum as it should appear on the wire for this header's fields.
+  std::uint16_t compute_checksum() const;
+};
+
+/// IPv6 fixed header (extension headers are treated as payload).
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Addr src;
+  Ipv6Addr dst;
+
+  static constexpr std::size_t kWireSize = 40;
+  static std::optional<Ipv6Header> parse(ByteReader& reader);
+  void write(ByteWriter& writer) const;
+};
+
+/// TCP flag bits.
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+};
+
+/// TCP header (options preserved raw; checksum computed with pseudo-header).
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+  Bytes options;
+
+  std::size_t header_length() const noexcept { return 20 + options.size(); }
+  bool has(std::uint8_t flag) const noexcept { return (flags & flag) != 0; }
+
+  static std::optional<TcpHeader> parse(ByteReader& reader);
+  /// Writes with checksum over the IPv4 pseudo-header + this segment.
+  void write(ByteWriter& writer, const Ipv4Header& ip, BytesView payload) const;
+};
+
+/// UDP header.
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  static constexpr std::size_t kWireSize = 8;
+  static std::optional<UdpHeader> parse(ByteReader& reader);
+  void write(ByteWriter& writer, const Ipv4Header& ip, BytesView payload) const;
+};
+
+/// ICMP header (echo request/reply focus).
+struct IcmpHeader {
+  std::uint8_t type = 8;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  static constexpr std::size_t kWireSize = 8;
+  static std::optional<IcmpHeader> parse(ByteReader& reader);
+  void write(ByteWriter& writer, BytesView payload) const;
+};
+
+/// TCP/UDP checksum helper: RFC 793/768 pseudo-header sum for IPv4.
+std::uint16_t l4_checksum_ipv4(const Ipv4Header& ip, IpProto proto,
+                               BytesView l4_bytes);
+
+}  // namespace netfm

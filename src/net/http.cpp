@@ -1,0 +1,184 @@
+#include "net/http.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace netfm::http {
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+/// Splits `wire` into (head lines, body view); nullopt without CRLFCRLF.
+struct Framed {
+  std::vector<std::string> lines;
+  BytesView body;
+};
+
+std::optional<Framed> frame(BytesView wire) {
+  const std::string_view text(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
+  const std::size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return std::nullopt;
+  Framed out;
+  std::string_view head = text.substr(0, head_end);
+  while (!head.empty()) {
+    const std::size_t eol = head.find(kCrlf);
+    if (eol == std::string_view::npos) {
+      out.lines.emplace_back(head);
+      break;
+    }
+    out.lines.emplace_back(head.substr(0, eol));
+    head.remove_prefix(eol + 2);
+  }
+  out.body = wire.subspan(head_end + 4);
+  return out;
+}
+
+std::optional<Headers> parse_headers(const std::vector<std::string>& lines) {
+  Headers headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    std::string name = lines[i].substr(0, colon);
+    std::string value(trim(std::string_view(lines[i]).substr(colon + 1)));
+    if (name.empty()) return std::nullopt;
+    headers.emplace_back(std::move(name), std::move(value));
+  }
+  return headers;
+}
+
+std::optional<std::size_t> content_length(const Headers& headers) {
+  const auto value = find_header(headers, "content-length");
+  if (!value) return std::nullopt;
+  std::size_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), n);
+  if (ec != std::errc{} || ptr != value->data() + value->size())
+    return std::nullopt;
+  return n;
+}
+
+void encode_headers(ByteWriter& w, const Headers& headers,
+                    std::size_t body_size) {
+  bool wrote_length = false;
+  for (const auto& [name, value] : headers) {
+    w.raw(name);
+    w.raw(": ");
+    w.raw(value);
+    w.raw(kCrlf);
+    if (to_lower(name) == "content-length") wrote_length = true;
+  }
+  if (!wrote_length && body_size > 0) {
+    w.raw("Content-Length: ");
+    w.raw(std::to_string(body_size));
+    w.raw(kCrlf);
+  }
+  w.raw(kCrlf);
+}
+
+}  // namespace
+
+std::optional<std::string> find_header(const Headers& headers,
+                                       std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (const auto& [key, value] : headers)
+    if (to_lower(key) == wanted) return value;
+  return std::nullopt;
+}
+
+Bytes Request::encode() const {
+  ByteWriter w;
+  w.raw(method);
+  w.raw(" ");
+  w.raw(target);
+  w.raw(" ");
+  w.raw(version);
+  w.raw(kCrlf);
+  encode_headers(w, headers, body.size());
+  w.raw(BytesView{body});
+  return w.take();
+}
+
+std::optional<Request> Request::decode(BytesView wire) {
+  const auto framed = frame(wire);
+  if (!framed || framed->lines.empty()) return std::nullopt;
+  const auto start = split(framed->lines[0], ' ');
+  if (start.size() != 3) return std::nullopt;
+  Request req;
+  req.method = start[0];
+  req.target = start[1];
+  req.version = start[2];
+  if (!starts_with(req.version, "HTTP/")) return std::nullopt;
+  auto headers = parse_headers(framed->lines);
+  if (!headers) return std::nullopt;
+  req.headers = std::move(*headers);
+  if (const auto len = content_length(req.headers)) {
+    if (framed->body.size() < *len) return std::nullopt;
+    req.body.assign(framed->body.begin(), framed->body.begin() + *len);
+  } else {
+    req.body.assign(framed->body.begin(), framed->body.end());
+  }
+  return req;
+}
+
+Bytes Response::encode() const {
+  ByteWriter w;
+  w.raw(version);
+  w.raw(" ");
+  w.raw(std::to_string(status));
+  w.raw(" ");
+  w.raw(reason);
+  w.raw(kCrlf);
+  encode_headers(w, headers, body.size());
+  w.raw(BytesView{body});
+  return w.take();
+}
+
+std::optional<Response> Response::decode(BytesView wire) {
+  const auto framed = frame(wire);
+  if (!framed || framed->lines.empty()) return std::nullopt;
+  const std::string& line = framed->lines[0];
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  Response resp;
+  resp.version = line.substr(0, sp1);
+  if (!starts_with(resp.version, "HTTP/")) return std::nullopt;
+  const std::string code =
+      sp2 == std::string::npos ? line.substr(sp1 + 1)
+                               : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), resp.status);
+  if (ec != std::errc{} || ptr != code.data() + code.size())
+    return std::nullopt;
+  resp.reason = sp2 == std::string::npos ? std::string{} : line.substr(sp2 + 1);
+  auto headers = parse_headers(framed->lines);
+  if (!headers) return std::nullopt;
+  resp.headers = std::move(*headers);
+  if (const auto len = content_length(resp.headers)) {
+    if (framed->body.size() < *len) return std::nullopt;
+    resp.body.assign(framed->body.begin(), framed->body.begin() + *len);
+  } else {
+    resp.body.assign(framed->body.begin(), framed->body.end());
+  }
+  return resp;
+}
+
+std::string default_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace netfm::http

@@ -1,0 +1,55 @@
+// HTTP/1.1 request/response codec (textual, CRLF-framed).
+//
+// Enough of RFC 7230 for the traffic generator and tokenizer: start line,
+// ordered header fields, Content-Length-delimited bodies. No chunked
+// transfer coding (the generator always sets Content-Length).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace netfm::http {
+
+/// Ordered list of header fields (order matters for tokenization fidelity).
+using Headers = std::vector<std::pair<std::string, std::string>>;
+
+/// Case-insensitive header lookup; returns nullopt if absent.
+std::optional<std::string> find_header(const Headers& headers,
+                                       std::string_view name);
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  Bytes body;
+
+  /// Serializes with Content-Length appended if a body is present and the
+  /// header is missing.
+  Bytes encode() const;
+
+  /// Parses one complete request from `wire`; nullopt if the start line or
+  /// framing is malformed, or the body is shorter than Content-Length.
+  static std::optional<Request> decode(BytesView wire);
+};
+
+struct Response {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  Bytes body;
+
+  Bytes encode() const;
+  static std::optional<Response> decode(BytesView wire);
+};
+
+/// Reason phrase for the status codes the generator emits.
+std::string default_reason(int status);
+
+}  // namespace netfm::http

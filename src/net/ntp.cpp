@@ -1,0 +1,56 @@
+#include "net/ntp.h"
+
+#include <cmath>
+
+namespace netfm::ntp {
+
+Bytes Packet::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>((leap << 6) | ((version & 0x7) << 3) |
+                                 (static_cast<std::uint8_t>(mode) & 0x7)));
+  w.u8(stratum);
+  w.u8(static_cast<std::uint8_t>(poll));
+  w.u8(static_cast<std::uint8_t>(precision));
+  w.u32(root_delay);
+  w.u32(root_dispersion);
+  w.u32(reference_id);
+  w.u64(reference_ts);
+  w.u64(origin_ts);
+  w.u64(receive_ts);
+  w.u64(transmit_ts);
+  return w.take();
+}
+
+std::optional<Packet> Packet::decode(BytesView wire) {
+  if (wire.size() < kWireSize) return std::nullopt;
+  ByteReader r(wire);
+  Packet p;
+  const std::uint8_t first = r.u8();
+  p.leap = first >> 6;
+  p.version = (first >> 3) & 0x7;
+  p.mode = static_cast<Mode>(first & 0x7);
+  p.stratum = r.u8();
+  p.poll = static_cast<std::int8_t>(r.u8());
+  p.precision = static_cast<std::int8_t>(r.u8());
+  p.root_delay = r.u32();
+  p.root_dispersion = r.u32();
+  p.reference_id = r.u32();
+  p.reference_ts = r.u64();
+  p.origin_ts = r.u64();
+  p.receive_ts = r.u64();
+  p.transmit_ts = r.u64();
+  if (r.truncated()) return std::nullopt;
+  return p;
+}
+
+std::uint64_t to_ntp_timestamp(double unix_seconds) noexcept {
+  // NTP era 0 starts 1900-01-01; Unix epoch is 2208988800s later.
+  constexpr double kEraOffset = 2208988800.0;
+  const double total = unix_seconds + kEraOffset;
+  const double whole = std::floor(total);
+  const double frac = total - whole;
+  return (static_cast<std::uint64_t>(whole) << 32) |
+         static_cast<std::uint64_t>(frac * 4294967296.0);
+}
+
+}  // namespace netfm::ntp

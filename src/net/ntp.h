@@ -1,0 +1,42 @@
+// NTPv4 packet codec (RFC 5905 fixed 48-byte header, no extensions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace netfm::ntp {
+
+enum class Mode : std::uint8_t {
+  kSymmetricActive = 1,
+  kSymmetricPassive = 2,
+  kClient = 3,
+  kServer = 4,
+  kBroadcast = 5,
+};
+
+struct Packet {
+  std::uint8_t leap = 0;
+  std::uint8_t version = 4;
+  Mode mode = Mode::kClient;
+  std::uint8_t stratum = 0;
+  std::int8_t poll = 6;
+  std::int8_t precision = -20;
+  std::uint32_t root_delay = 0;
+  std::uint32_t root_dispersion = 0;
+  std::uint32_t reference_id = 0;
+  std::uint64_t reference_ts = 0;
+  std::uint64_t origin_ts = 0;
+  std::uint64_t receive_ts = 0;
+  std::uint64_t transmit_ts = 0;
+
+  static constexpr std::size_t kWireSize = 48;
+  Bytes encode() const;
+  static std::optional<Packet> decode(BytesView wire);
+};
+
+/// Converts seconds-since-epoch (with fraction) into NTP 32.32 fixed point.
+std::uint64_t to_ntp_timestamp(double unix_seconds) noexcept;
+
+}  // namespace netfm::ntp

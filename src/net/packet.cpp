@@ -1,0 +1,175 @@
+#include "net/packet.h"
+
+namespace netfm {
+
+std::uint16_t ParsedPacket::src_port() const noexcept {
+  if (tcp) return tcp->src_port;
+  if (udp) return udp->src_port;
+  return 0;
+}
+
+std::uint16_t ParsedPacket::dst_port() const noexcept {
+  if (tcp) return tcp->dst_port;
+  if (udp) return udp->dst_port;
+  return 0;
+}
+
+std::uint8_t ParsedPacket::ip_protocol() const noexcept {
+  if (ipv4) return ipv4->protocol;
+  if (ipv6) return ipv6->next_header;
+  return 0;
+}
+
+std::optional<ParsedPacket> parse_packet(BytesView frame) {
+  ByteReader r(frame);
+  ParsedPacket pkt;
+  auto eth = EthernetHeader::parse(r);
+  if (!eth) return std::nullopt;
+  pkt.eth = *eth;
+
+  std::uint8_t l4_proto = 0;
+  std::size_t l4_length = 0;
+  if (pkt.eth.ether_type == static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    auto ip = Ipv4Header::parse(r);
+    if (!ip) return std::nullopt;
+    l4_proto = ip->protocol;
+    if (ip->total_length < ip->header_length()) return std::nullopt;
+    l4_length = ip->total_length - ip->header_length();
+    pkt.ipv4 = std::move(*ip);
+  } else if (pkt.eth.ether_type ==
+             static_cast<std::uint16_t>(EtherType::kIpv6)) {
+    auto ip = Ipv6Header::parse(r);
+    if (!ip) return std::nullopt;
+    l4_proto = ip->next_header;
+    l4_length = ip->payload_length;
+    pkt.ipv6 = std::move(*ip);
+  } else {
+    return std::nullopt;
+  }
+  if (l4_length > r.remaining()) return std::nullopt;
+
+  switch (static_cast<IpProto>(l4_proto)) {
+    case IpProto::kTcp: {
+      auto tcp = TcpHeader::parse(r);
+      if (!tcp) return std::nullopt;
+      const std::size_t header = tcp->header_length();
+      if (l4_length < header) return std::nullopt;
+      pkt.l4_payload = r.take(l4_length - header);
+      pkt.tcp = std::move(*tcp);
+      break;
+    }
+    case IpProto::kUdp: {
+      auto udp = UdpHeader::parse(r);
+      if (!udp) return std::nullopt;
+      if (udp->length < UdpHeader::kWireSize) return std::nullopt;
+      pkt.l4_payload = r.take(udp->length - UdpHeader::kWireSize);
+      pkt.udp = std::move(*udp);
+      break;
+    }
+    case IpProto::kIcmp: {
+      auto icmp = IcmpHeader::parse(r);
+      if (!icmp) return std::nullopt;
+      if (l4_length < IcmpHeader::kWireSize) return std::nullopt;
+      pkt.l4_payload = r.take(l4_length - IcmpHeader::kWireSize);
+      pkt.icmp = std::move(*icmp);
+      break;
+    }
+    default:
+      pkt.l4_payload = r.take(l4_length);
+      break;
+  }
+  if (r.truncated()) return std::nullopt;
+  pkt.app = guess_app(pkt.src_port(), pkt.dst_port(), pkt.l4_payload);
+  return pkt;
+}
+
+AppProtocol guess_app(std::uint16_t src_port, std::uint16_t dst_port,
+                      BytesView payload) noexcept {
+  auto port_is = [&](std::uint16_t p) {
+    return src_port == p || dst_port == p;
+  };
+  if (port_is(53) || port_is(5353)) return AppProtocol::kDns;
+  if (port_is(123)) return AppProtocol::kNtp;
+  if (port_is(25) || port_is(587)) return AppProtocol::kSmtp;
+  if (port_is(143) || port_is(993)) return AppProtocol::kImap;
+  if (port_is(22)) return AppProtocol::kSsh;
+  if (port_is(443)) {
+    // Could be TLS-over-TCP or QUIC-over-UDP; payload shape disambiguates.
+    if (!payload.empty() && (payload[0] & 0x80) != 0 && payload.size() > 20)
+      return AppProtocol::kQuic;
+    return AppProtocol::kTls;
+  }
+  if (port_is(80) || port_is(8080)) return AppProtocol::kHttp;
+  if (!payload.empty()) {
+    if (payload[0] == 0x16 && payload.size() >= 3 && payload[1] == 0x03)
+      return AppProtocol::kTls;
+    static constexpr std::string_view kMethods[] = {"GET ", "POST", "HTTP",
+                                                    "HEAD", "PUT "};
+    if (payload.size() >= 4) {
+      const std::string_view head(reinterpret_cast<const char*>(payload.data()),
+                                  4);
+      for (std::string_view m : kMethods)
+        if (head == m) return AppProtocol::kHttp;
+    }
+  }
+  return AppProtocol::kUnknown;
+}
+
+std::string_view app_name(AppProtocol app) noexcept {
+  switch (app) {
+    case AppProtocol::kDns: return "dns";
+    case AppProtocol::kHttp: return "http";
+    case AppProtocol::kTls: return "tls";
+    case AppProtocol::kNtp: return "ntp";
+    case AppProtocol::kSmtp: return "smtp";
+    case AppProtocol::kImap: return "imap";
+    case AppProtocol::kSsh: return "ssh";
+    case AppProtocol::kQuic: return "quic";
+    case AppProtocol::kUnknown: break;
+  }
+  return "unknown";
+}
+
+Bytes build_tcp_frame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                      Ipv4Header ip, TcpHeader tcp, BytesView payload) {
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  ip.total_length = static_cast<std::uint16_t>(
+      ip.header_length() + tcp.header_length() + payload.size());
+  ByteWriter w;
+  EthernetHeader eth{dst_mac, src_mac,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  eth.write(w);
+  ip.write(w);
+  tcp.write(w, ip, payload);
+  return w.take();
+}
+
+Bytes build_udp_frame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                      Ipv4Header ip, UdpHeader udp, BytesView payload) {
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  ip.total_length = static_cast<std::uint16_t>(
+      ip.header_length() + UdpHeader::kWireSize + payload.size());
+  ByteWriter w;
+  EthernetHeader eth{dst_mac, src_mac,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  eth.write(w);
+  ip.write(w);
+  udp.write(w, ip, payload);
+  return w.take();
+}
+
+Bytes build_icmp_frame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                       Ipv4Header ip, IcmpHeader icmp, BytesView payload) {
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kIcmp);
+  ip.total_length = static_cast<std::uint16_t>(
+      ip.header_length() + IcmpHeader::kWireSize + payload.size());
+  ByteWriter w;
+  EthernetHeader eth{dst_mac, src_mac,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  eth.write(w);
+  ip.write(w);
+  icmp.write(w, payload);
+  return w.take();
+}
+
+}  // namespace netfm

@@ -1,0 +1,72 @@
+// Whole-packet model: parse a raw frame into a layered view, or build a
+// frame from layer values. This is the boundary between raw captures and
+// everything above (tokenizers, flow tracking, generators).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "net/headers.h"
+
+namespace netfm {
+
+/// Coarse application-layer guess derived from ports + payload shape.
+enum class AppProtocol : std::uint8_t {
+  kUnknown = 0,
+  kDns,
+  kHttp,
+  kTls,
+  kNtp,
+  kSmtp,
+  kImap,
+  kSsh,
+  kQuic,
+};
+
+/// A captured/generated packet: wall-clock timestamp + raw frame bytes.
+struct Packet {
+  double timestamp = 0.0;  // seconds since trace start
+  Bytes frame;             // Ethernet frame
+};
+
+/// Fully parsed layered view of one frame. Spans borrow from the frame
+/// passed to `parse_packet`, so the view must not outlive those bytes.
+struct ParsedPacket {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<Ipv6Header> ipv6;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+  BytesView l4_payload;  // application bytes (may be empty)
+  AppProtocol app = AppProtocol::kUnknown;
+
+  bool has_ip() const noexcept { return ipv4.has_value() || ipv6.has_value(); }
+  std::uint16_t src_port() const noexcept;
+  std::uint16_t dst_port() const noexcept;
+  std::uint8_t ip_protocol() const noexcept;
+};
+
+/// Parses the full stack; nullopt if the frame is not Ethernet/IPv4-or-IPv6
+/// or a layer is truncated.
+std::optional<ParsedPacket> parse_packet(BytesView frame);
+
+/// Infers the application protocol from ports and the first payload bytes.
+AppProtocol guess_app(std::uint16_t src_port, std::uint16_t dst_port,
+                      BytesView payload) noexcept;
+
+/// Human-readable name ("dns", "http", ...).
+std::string_view app_name(AppProtocol app) noexcept;
+
+/// Frame builders used by the traffic generator. All compute lengths and
+/// checksums; `ip` fields other than total_length/protocol are honored.
+Bytes build_tcp_frame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                      Ipv4Header ip, TcpHeader tcp, BytesView payload);
+Bytes build_udp_frame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                      Ipv4Header ip, UdpHeader udp, BytesView payload);
+Bytes build_icmp_frame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                       Ipv4Header ip, IcmpHeader icmp, BytesView payload);
+
+}  // namespace netfm

@@ -1,0 +1,116 @@
+#include "net/pcap.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace netfm {
+namespace {
+
+constexpr std::uint32_t kMagicBigEndian = 0xa1b2c3d4;   // as we write (BE)
+constexpr std::uint32_t kMagicLittleEndian = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 262144;
+
+/// Little-endian reader shim over ByteReader (pcap is host-endian; we must
+/// handle both byte orders based on the magic).
+struct EndianReader {
+  ByteReader& r;
+  bool swap;  // true when file byte order differs from big-endian reads
+
+  std::uint32_t u32() {
+    const std::uint32_t v = r.u32();
+    if (!swap) return v;
+    return ((v & 0x000000ff) << 24) | ((v & 0x0000ff00) << 8) |
+           ((v & 0x00ff0000) >> 8) | ((v & 0xff000000) >> 24);
+  }
+  std::uint16_t u16() {
+    const std::uint16_t v = r.u16();
+    if (!swap) return v;
+    return static_cast<std::uint16_t>(((v & 0x00ff) << 8) | (v >> 8));
+  }
+};
+
+}  // namespace
+
+Bytes pcap_encode(const std::vector<Packet>& packets) {
+  ByteWriter w;
+  w.u32(kMagicBigEndian);
+  w.u16(2);  // major
+  w.u16(4);  // minor
+  w.u32(0);  // thiszone
+  w.u32(0);  // sigfigs
+  w.u32(kSnapLen);
+  w.u32(kLinkTypeEthernet);
+  for (const Packet& pkt : packets) {
+    const double whole = std::floor(pkt.timestamp);
+    const auto secs = static_cast<std::uint32_t>(whole);
+    const auto usecs =
+        static_cast<std::uint32_t>((pkt.timestamp - whole) * 1e6 + 0.5);
+    w.u32(secs);
+    w.u32(usecs >= 1000000 ? 999999 : usecs);
+    w.u32(static_cast<std::uint32_t>(pkt.frame.size()));  // incl_len
+    w.u32(static_cast<std::uint32_t>(pkt.frame.size()));  // orig_len
+    w.raw(BytesView{pkt.frame});
+  }
+  return w.take();
+}
+
+std::optional<std::vector<Packet>> pcap_decode(BytesView data) {
+  ByteReader r(data);
+  const std::uint32_t magic = r.u32();
+  bool swap = false;
+  if (magic == kMagicBigEndian) {
+    swap = false;
+  } else if (magic == kMagicLittleEndian) {
+    swap = true;
+  } else {
+    return std::nullopt;
+  }
+  EndianReader er{r, swap};
+  er.u16();  // major
+  er.u16();  // minor
+  er.u32();  // thiszone
+  er.u32();  // sigfigs
+  er.u32();  // snaplen
+  const std::uint32_t link = er.u32();
+  if (r.truncated() || link != kLinkTypeEthernet) return std::nullopt;
+
+  std::vector<Packet> packets;
+  while (r.remaining() >= 16) {
+    const std::uint32_t secs = er.u32();
+    const std::uint32_t usecs = er.u32();
+    const std::uint32_t incl = er.u32();
+    er.u32();  // orig_len
+    if (incl > r.remaining()) break;  // truncated final record: drop
+    const BytesView frame = r.take(incl);
+    Packet pkt;
+    pkt.timestamp = static_cast<double>(secs) + usecs * 1e-6;
+    pkt.frame.assign(frame.begin(), frame.end());
+    packets.push_back(std::move(pkt));
+  }
+  return packets;
+}
+
+bool pcap_write_file(const std::string& path,
+                     const std::vector<Packet>& packets) {
+  const Bytes data = pcap_encode(packets);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!file) return false;
+  return std::fwrite(data.data(), 1, data.size(), file.get()) == data.size();
+}
+
+std::optional<std::vector<Packet>> pcap_read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) return std::nullopt;
+  Bytes data;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0)
+    data.insert(data.end(), buf, buf + n);
+  return pcap_decode(BytesView{data});
+}
+
+}  // namespace netfm

@@ -1,0 +1,30 @@
+// Classic pcap (libpcap tcpdump) file format reader/writer, implemented
+// from the format spec — no libpcap dependency. Microsecond resolution,
+// LINKTYPE_ETHERNET, both endiannesses accepted on read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/packet.h"
+
+namespace netfm {
+
+/// Serializes packets to an in-memory pcap byte stream.
+Bytes pcap_encode(const std::vector<Packet>& packets);
+
+/// Parses a pcap byte stream. Returns nullopt on bad magic or truncated
+/// record headers; a truncated final packet body is dropped, not fatal.
+std::optional<std::vector<Packet>> pcap_decode(BytesView data);
+
+/// Writes packets to a pcap file. Returns false on I/O failure.
+bool pcap_write_file(const std::string& path,
+                     const std::vector<Packet>& packets);
+
+/// Reads a pcap file; nullopt on I/O or format failure.
+std::optional<std::vector<Packet>> pcap_read_file(const std::string& path);
+
+}  // namespace netfm

@@ -1,0 +1,94 @@
+#include "net/quic.h"
+
+namespace netfm::quic {
+
+void write_varint(ByteWriter& w, std::uint64_t value) {
+  if (value < 0x40) {
+    w.u8(static_cast<std::uint8_t>(value));
+  } else if (value < 0x4000) {
+    w.u16(static_cast<std::uint16_t>(value | 0x4000));
+  } else if (value < 0x40000000) {
+    w.u32(static_cast<std::uint32_t>(value) | 0x80000000u);
+  } else {
+    w.u64(value | 0xc000000000000000ULL);
+  }
+}
+
+std::optional<std::uint64_t> read_varint(ByteReader& r) {
+  const std::uint8_t first = r.u8();
+  if (r.truncated()) return std::nullopt;
+  const int length = 1 << (first >> 6);
+  std::uint64_t value = first & 0x3f;
+  for (int i = 1; i < length; ++i) {
+    value = (value << 8) | r.u8();
+    if (r.truncated()) return std::nullopt;
+  }
+  return value;
+}
+
+Bytes encode_long_header(const Header& header, BytesView payload) {
+  ByteWriter w;
+  // Long header: 1 | fixed 1 | type(2) | reserved/pn-length(4 bits).
+  w.u8(static_cast<std::uint8_t>(
+      0xc0 | (static_cast<std::uint8_t>(header.type) << 4)));
+  w.u32(header.version);
+  w.u8(static_cast<std::uint8_t>(header.dcid.size()));
+  w.raw(BytesView{header.dcid});
+  w.u8(static_cast<std::uint8_t>(header.scid.size()));
+  w.raw(BytesView{header.scid});
+  if (header.type == PacketType::kInitial)
+    write_varint(w, 0);  // empty token
+  if (header.type != PacketType::kRetry)
+    write_varint(w, payload.size());
+  w.raw(payload);
+  return w.take();
+}
+
+Bytes encode_short_header(BytesView dcid, BytesView payload) {
+  ByteWriter w;
+  w.u8(0x40);  // fixed bit set, short header
+  w.raw(dcid);
+  w.raw(payload);
+  return w.take();
+}
+
+std::optional<Header> decode(BytesView datagram) {
+  ByteReader r(datagram);
+  const std::uint8_t first = r.u8();
+  if (r.truncated()) return std::nullopt;
+  if ((first & 0x40) == 0) return std::nullopt;  // fixed bit must be set
+
+  Header h;
+  if ((first & 0x80) == 0) {
+    h.type = PacketType::kShortHeader;
+    h.payload_length = datagram.size() - 1;
+    return h;
+  }
+  h.type = static_cast<PacketType>((first >> 4) & 0x03);
+  h.version = r.u32();
+  const std::uint8_t dcid_len = r.u8();
+  if (dcid_len > 20) return std::nullopt;
+  const BytesView dcid = r.take(dcid_len);
+  const std::uint8_t scid_len = r.u8();
+  if (scid_len > 20) return std::nullopt;
+  const BytesView scid = r.take(scid_len);
+  if (r.truncated()) return std::nullopt;
+  h.dcid.assign(dcid.begin(), dcid.end());
+  h.scid.assign(scid.begin(), scid.end());
+
+  if (h.type == PacketType::kInitial) {
+    const auto token_length = read_varint(r);
+    if (!token_length) return std::nullopt;
+    r.skip(static_cast<std::size_t>(*token_length));
+  }
+  if (h.type != PacketType::kRetry) {
+    const auto length = read_varint(r);
+    if (!length) return std::nullopt;
+    h.payload_length = static_cast<std::size_t>(*length);
+    if (h.payload_length > r.remaining()) return std::nullopt;
+  }
+  if (r.truncated()) return std::nullopt;
+  return h;
+}
+
+}  // namespace netfm::quic

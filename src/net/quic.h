@@ -1,0 +1,51 @@
+// QUIC long-header packet codec (RFC 9000), scoped to what passive
+// analysis sees before encryption wins: version, DCID/SCID, and packet
+// type of long-header packets (Initial/Handshake), plus opaque
+// short-header recognition. Enough to tokenize and classify QUIC flows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace netfm::quic {
+
+enum class PacketType : std::uint8_t {
+  kInitial = 0,
+  kZeroRtt = 1,
+  kHandshake = 2,
+  kRetry = 3,
+  kShortHeader = 0xff,  // 1-RTT; carries no visible metadata
+};
+
+/// Parsed view of a long-header packet (or the fact of a short header).
+struct Header {
+  PacketType type = PacketType::kInitial;
+  std::uint32_t version = 0x00000001;  // QUIC v1
+  Bytes dcid;
+  Bytes scid;
+  std::size_t payload_length = 0;  // from the length field (Initial/0RTT/HS)
+
+  bool is_long_header() const noexcept {
+    return type != PacketType::kShortHeader;
+  }
+};
+
+/// Encodes a long-header packet with the given payload (already
+/// "protected" — we model it as opaque bytes).
+Bytes encode_long_header(const Header& header, BytesView payload);
+
+/// Encodes a short-header (1-RTT) packet.
+Bytes encode_short_header(BytesView dcid, BytesView payload);
+
+/// Decodes the invariant header fields; nullopt on truncation/garbage.
+/// Short-header packets yield type kShortHeader with empty cids (their
+/// DCID length is connection state we don't track).
+std::optional<Header> decode(BytesView datagram);
+
+/// QUIC variable-length integer codec (RFC 9000 §16).
+void write_varint(ByteWriter& w, std::uint64_t value);
+std::optional<std::uint64_t> read_varint(ByteReader& r);
+
+}  // namespace netfm::quic

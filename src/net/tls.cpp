@@ -1,0 +1,220 @@
+#include "net/tls.h"
+
+#include "common/rng.h"
+
+namespace netfm::tls {
+namespace {
+
+constexpr std::uint8_t kHandshakeClientHello = 1;
+constexpr std::uint8_t kHandshakeServerHello = 2;
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtAlpn = 16;
+constexpr std::uint16_t kExtSupportedVersions = 43;
+
+void write_u24(ByteWriter& w, std::uint32_t v) {
+  w.u8(static_cast<std::uint8_t>(v >> 16));
+  w.u8(static_cast<std::uint8_t>(v >> 8));
+  w.u8(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read_u24(ByteReader& r) {
+  const std::uint32_t hi = r.u8();
+  const std::uint32_t mid = r.u8();
+  const std::uint32_t lo = r.u8();
+  return (hi << 16) | (mid << 8) | lo;
+}
+
+/// Wraps a handshake body with its 4-byte header.
+Bytes handshake_message(std::uint8_t type, const Bytes& body) {
+  ByteWriter w;
+  w.u8(type);
+  write_u24(w, static_cast<std::uint32_t>(body.size()));
+  w.raw(BytesView{body});
+  return w.take();
+}
+
+Bytes wrap_record(ContentType type, const Bytes& fragment) {
+  Record rec;
+  rec.type = type;
+  rec.fragment = fragment;
+  return rec.encode();
+}
+
+}  // namespace
+
+Bytes Record::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(version);
+  w.u16(static_cast<std::uint16_t>(fragment.size()));
+  w.raw(BytesView{fragment});
+  return w.take();
+}
+
+std::optional<Record> Record::decode(BytesView wire, std::size_t& consumed) {
+  ByteReader r(wire);
+  Record rec;
+  rec.type = static_cast<ContentType>(r.u8());
+  rec.version = r.u16();
+  const std::uint16_t length = r.u16();
+  const BytesView body = r.take(length);
+  if (r.truncated()) return std::nullopt;
+  rec.fragment.assign(body.begin(), body.end());
+  consumed = r.offset();
+  return rec;
+}
+
+Bytes ClientHello::encode_handshake() const {
+  ByteWriter body;
+  body.u16(legacy_version);
+  for (std::uint8_t b : random) body.u8(b);
+  body.u8(static_cast<std::uint8_t>(session_id.size()));
+  body.raw(BytesView{session_id});
+  body.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t suite : cipher_suites) body.u16(suite);
+  body.u8(1);  // compression methods: length 1
+  body.u8(0);  // null compression
+
+  ByteWriter exts;
+  if (!server_name.empty()) {
+    exts.u16(kExtServerName);
+    const auto name_len = static_cast<std::uint16_t>(server_name.size());
+    exts.u16(static_cast<std::uint16_t>(name_len + 5));
+    exts.u16(static_cast<std::uint16_t>(name_len + 3));  // server name list
+    exts.u8(0);                                          // host_name
+    exts.u16(name_len);
+    exts.raw(server_name);
+  }
+  if (!alpn.empty()) {
+    ByteWriter list;
+    for (const std::string& proto : alpn) {
+      list.u8(static_cast<std::uint8_t>(proto.size()));
+      list.raw(proto);
+    }
+    exts.u16(kExtAlpn);
+    exts.u16(static_cast<std::uint16_t>(list.size() + 2));
+    exts.u16(static_cast<std::uint16_t>(list.size()));
+    exts.raw(BytesView{list.bytes()});
+  }
+  if (!supported_versions.empty()) {
+    exts.u16(kExtSupportedVersions);
+    exts.u16(static_cast<std::uint16_t>(supported_versions.size() * 2 + 1));
+    exts.u8(static_cast<std::uint8_t>(supported_versions.size() * 2));
+    for (std::uint16_t v : supported_versions) exts.u16(v);
+  }
+  body.u16(static_cast<std::uint16_t>(exts.size()));
+  body.raw(BytesView{exts.bytes()});
+  return handshake_message(kHandshakeClientHello, body.take());
+}
+
+std::optional<ClientHello> ClientHello::decode_handshake(BytesView wire) {
+  ByteReader r(wire);
+  if (r.u8() != kHandshakeClientHello) return std::nullopt;
+  const std::uint32_t length = read_u24(r);
+  if (length > r.remaining()) return std::nullopt;
+
+  ClientHello hello;
+  hello.legacy_version = r.u16();
+  for (auto& b : hello.random) b = r.u8();
+  const std::uint8_t sid_len = r.u8();
+  const BytesView sid = r.take(sid_len);
+  hello.session_id.assign(sid.begin(), sid.end());
+  const std::uint16_t suites_len = r.u16();
+  if (suites_len % 2 != 0) return std::nullopt;
+  for (std::uint16_t i = 0; i < suites_len / 2; ++i)
+    hello.cipher_suites.push_back(r.u16());
+  const std::uint8_t comp_len = r.u8();
+  r.skip(comp_len);
+  if (r.truncated()) return std::nullopt;
+  if (r.remaining() < 2) return hello;  // extensions optional
+
+  const std::uint16_t ext_total = r.u16();
+  std::size_t ext_consumed = 0;
+  while (ext_consumed + 4 <= ext_total && !r.truncated()) {
+    const std::uint16_t ext_type = r.u16();
+    const std::uint16_t ext_len = r.u16();
+    const BytesView ext = r.take(ext_len);
+    if (r.truncated()) return std::nullopt;
+    ext_consumed += 4 + ext_len;
+    ByteReader er(ext);
+    switch (ext_type) {
+      case kExtServerName: {
+        er.u16();  // list length
+        const std::uint8_t name_type = er.u8();
+        const std::uint16_t name_len = er.u16();
+        if (name_type == 0) hello.server_name = er.take_string(name_len);
+        break;
+      }
+      case kExtAlpn: {
+        er.u16();  // list length
+        while (!er.done() && !er.truncated()) {
+          const std::uint8_t proto_len = er.u8();
+          hello.alpn.push_back(er.take_string(proto_len));
+        }
+        break;
+      }
+      case kExtSupportedVersions: {
+        const std::uint8_t versions_len = er.u8();
+        for (std::uint8_t i = 0; i + 1 < versions_len; i += 2)
+          hello.supported_versions.push_back(er.u16());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return hello;
+}
+
+Bytes ClientHello::encode_record() const {
+  return wrap_record(ContentType::kHandshake, encode_handshake());
+}
+
+Bytes ServerHello::encode_handshake() const {
+  ByteWriter body;
+  body.u16(legacy_version);
+  for (std::uint8_t b : random) body.u8(b);
+  body.u8(0);  // empty session id
+  body.u16(cipher_suite);
+  body.u8(0);  // null compression
+  body.u16(0); // no extensions
+  return handshake_message(kHandshakeServerHello, body.take());
+}
+
+std::optional<ServerHello> ServerHello::decode_handshake(BytesView wire) {
+  ByteReader r(wire);
+  if (r.u8() != kHandshakeServerHello) return std::nullopt;
+  read_u24(r);
+  ServerHello hello;
+  hello.legacy_version = r.u16();
+  for (auto& b : hello.random) b = r.u8();
+  const std::uint8_t sid_len = r.u8();
+  r.skip(sid_len);
+  hello.cipher_suite = r.u16();
+  if (r.truncated()) return std::nullopt;
+  return hello;
+}
+
+Bytes ServerHello::encode_record() const {
+  return wrap_record(ContentType::kHandshake, encode_handshake());
+}
+
+Bytes application_data_record(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes fragment(length);
+  for (auto& b : fragment) b = static_cast<std::uint8_t>(rng.next());
+  return wrap_record(ContentType::kApplicationData, fragment);
+}
+
+bool is_weak_suite(std::uint16_t suite) noexcept {
+  switch (static_cast<CipherSuite>(suite)) {
+    case CipherSuite::kRsaAes128CbcSha:
+    case CipherSuite::kRsaAes256CbcSha:
+    case CipherSuite::kRsa3desEdeCbcSha:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace netfm::tls

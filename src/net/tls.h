@@ -1,0 +1,89 @@
+// TLS record + handshake codec, scoped to what traffic analysis sees in the
+// clear: ClientHello (ciphersuites, SNI, ALPN, supported versions) and
+// ServerHello (chosen suite). Encrypted content is modeled as opaque
+// application-data records.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace netfm::tls {
+
+/// TLS record content types.
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// A handful of real ciphersuite code points, including the adjacent pair
+/// (0xc02f / 0xc030 = 49199 / 49200) the paper's NorBERT discussion cites.
+enum class CipherSuite : std::uint16_t {
+  kTlsAes128GcmSha256 = 0x1301,
+  kTlsAes256GcmSha384 = 0x1302,
+  kTlsChacha20Poly1305Sha256 = 0x1303,
+  kEcdheRsaAes128GcmSha256 = 0xc02f,   // 49199
+  kEcdheRsaAes256GcmSha384 = 0xc030,   // 49200
+  kEcdheEcdsaAes128GcmSha256 = 0xc02b,
+  kEcdheEcdsaAes256GcmSha384 = 0xc02c,
+  kRsaAes128CbcSha = 0x002f,   // legacy/weak cluster
+  kRsaAes256CbcSha = 0x0035,
+  kRsa3desEdeCbcSha = 0x000a,
+};
+
+/// One TLS record (header + raw fragment).
+struct Record {
+  ContentType type = ContentType::kHandshake;
+  std::uint16_t version = 0x0303;  // TLS 1.2 on the wire
+  Bytes fragment;
+
+  Bytes encode() const;
+  /// Decodes one record from the front of `wire`; `consumed` receives the
+  /// record's wire size.
+  static std::optional<Record> decode(BytesView wire, std::size_t& consumed);
+};
+
+/// ClientHello body (the fields visible to passive analysis).
+struct ClientHello {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  Bytes session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::string server_name;             // SNI, empty if absent
+  std::vector<std::string> alpn;       // e.g. {"h2", "http/1.1"}
+  std::vector<std::uint16_t> supported_versions;  // e.g. {0x0304, 0x0303}
+
+  /// Encodes the full handshake message (type + length + body).
+  Bytes encode_handshake() const;
+  /// Decodes from a handshake message (starting at the handshake type byte).
+  static std::optional<ClientHello> decode_handshake(BytesView wire);
+
+  /// Wraps the handshake in a TLS record ready for a TCP payload.
+  Bytes encode_record() const;
+};
+
+/// ServerHello body (selected suite only; extensions ignored on decode).
+struct ServerHello {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  std::uint16_t cipher_suite = 0xc02f;
+
+  Bytes encode_handshake() const;
+  static std::optional<ServerHello> decode_handshake(BytesView wire);
+  Bytes encode_record() const;
+};
+
+/// Builds an opaque application-data record of `length` payload bytes
+/// (pseudo-random, keyed by `seed` so traces are reproducible).
+Bytes application_data_record(std::size_t length, std::uint64_t seed);
+
+/// True if the suite is in the legacy/weak cluster (CBC/3DES, no ECDHE).
+bool is_weak_suite(std::uint16_t suite) noexcept;
+
+}  // namespace netfm::tls

@@ -1,0 +1,81 @@
+#include "nn/glove.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netfm::nn {
+
+void CooccurrenceCounts::add_sequence(std::span<const int> ids,
+                                      std::size_t window) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] < 0) continue;
+    const auto end = std::min(ids.size(), i + window + 1);
+    for (std::size_t j = i + 1; j < end; ++j) {
+      if (ids[j] < 0) continue;
+      const double w = 1.0 / static_cast<double>(j - i);
+      counts_[key(static_cast<std::uint32_t>(ids[i]),
+                  static_cast<std::uint32_t>(ids[j]))] += w;
+      counts_[key(static_cast<std::uint32_t>(ids[j]),
+                  static_cast<std::uint32_t>(ids[i]))] += w;
+    }
+  }
+}
+
+std::vector<float> train_glove(const CooccurrenceCounts& counts,
+                               const GloveConfig& config) {
+  const std::size_t vocab = counts.vocab_size();
+  const std::size_t dim = config.dim;
+  Rng rng(config.seed);
+
+  // Word vectors, context vectors, and their biases; AdaGrad accumulators.
+  std::vector<float> w(vocab * dim), c(vocab * dim);
+  std::vector<float> bw(vocab, 0.0f), bc(vocab, 0.0f);
+  for (auto& v : w) v = static_cast<float>(rng.uniform_real(-0.5, 0.5)) / dim;
+  for (auto& v : c) v = static_cast<float>(rng.uniform_real(-0.5, 0.5)) / dim;
+  std::vector<float> gw(vocab * dim, 1.0f), gc(vocab * dim, 1.0f);
+  std::vector<float> gbw(vocab, 1.0f), gbc(vocab, 1.0f);
+
+  // Deterministic iteration order: materialize and shuffle once per epoch.
+  std::vector<std::pair<std::uint64_t, double>> entries(
+      counts.pairs().begin(), counts.pairs().end());
+  std::sort(entries.begin(), entries.end());
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(entries);
+    for (const auto& [key, x] : entries) {
+      const auto i = static_cast<std::size_t>(key >> 32);
+      const auto j = static_cast<std::size_t>(key & 0xffffffff);
+      float* wi = w.data() + i * dim;
+      float* cj = c.data() + j * dim;
+
+      float dot = 0.0f;
+      for (std::size_t d = 0; d < dim; ++d) dot += wi[d] * cj[d];
+      const float diff =
+          dot + bw[i] + bc[j] - static_cast<float>(std::log(x));
+      const float weight =
+          x < config.x_max
+              ? static_cast<float>(std::pow(x / config.x_max, config.alpha))
+              : 1.0f;
+      const float g = weight * diff;
+
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float grad_w = g * cj[d];
+        const float grad_c = g * wi[d];
+        gw[i * dim + d] += grad_w * grad_w;
+        gc[j * dim + d] += grad_c * grad_c;
+        wi[d] -= config.lr * grad_w / std::sqrt(gw[i * dim + d]);
+        cj[d] -= config.lr * grad_c / std::sqrt(gc[j * dim + d]);
+      }
+      gbw[i] += g * g;
+      gbc[j] += g * g;
+      bw[i] -= config.lr * g / std::sqrt(gbw[i]);
+      bc[j] -= config.lr * g / std::sqrt(gbc[j]);
+    }
+  }
+
+  std::vector<float> out(vocab * dim);
+  for (std::size_t i = 0; i < vocab * dim; ++i) out[i] = w[i] + c[i];
+  return out;
+}
+
+}  // namespace netfm::nn

@@ -1,0 +1,55 @@
+// Context-independent embeddings via the GloVe objective (Pennington et
+// al., 2014), trained on token co-occurrence counts. This is the
+// "GloVe-initialized GRU" baseline of experiment E1: embeddings carry
+// global co-occurrence information but — unlike the transformer — the same
+// vector regardless of context.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netfm::nn {
+
+/// Symmetric windowed co-occurrence counts over token-id sequences.
+class CooccurrenceCounts {
+ public:
+  explicit CooccurrenceCounts(std::size_t vocab_size)
+      : vocab_(vocab_size) {}
+
+  /// Adds counts from one sequence with the given window radius; pairs are
+  /// weighted 1/distance like the original GloVe.
+  void add_sequence(std::span<const int> ids, std::size_t window = 4);
+
+  std::size_t vocab_size() const noexcept { return vocab_; }
+  const std::unordered_map<std::uint64_t, double>& pairs() const noexcept {
+    return counts_;
+  }
+
+  static std::uint64_t key(std::uint32_t i, std::uint32_t j) noexcept {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+
+ private:
+  std::size_t vocab_;
+  std::unordered_map<std::uint64_t, double> counts_;
+};
+
+struct GloveConfig {
+  std::size_t dim = 32;
+  std::size_t epochs = 15;
+  float lr = 0.05f;         // AdaGrad initial step
+  float x_max = 100.0f;     // weighting cutoff
+  float alpha = 0.75f;      // weighting exponent
+  std::uint64_t seed = 7;
+};
+
+/// Trains GloVe vectors; returns row-major [vocab, dim] (word + context
+/// vectors summed, the standard choice).
+std::vector<float> train_glove(const CooccurrenceCounts& counts,
+                               const GloveConfig& config);
+
+}  // namespace netfm::nn

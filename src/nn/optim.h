@@ -1,0 +1,80 @@
+// Optimizers and learning-rate schedules for the named-parameter set a
+// model exposes. Parameters are identified by pointer to their TensorNode
+// so optimizer state survives across steps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace netfm::nn {
+
+/// A named trainable tensor (the unit of serialization and optimization).
+struct Parameter {
+  std::string name;
+  Tensor tensor;
+};
+
+/// The list every model exposes. Non-owning views are fine: Tensor is a
+/// shared handle.
+using ParameterList = std::vector<Parameter>;
+
+/// Clips the global L2 norm of all gradients to `max_norm`; returns the
+/// pre-clip norm.
+float clip_grad_norm(ParameterList& params, float max_norm);
+
+/// Zeroes every parameter gradient.
+void zero_grad(ParameterList& params);
+
+/// Plain SGD with optional momentum.
+class Sgd {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f)
+      : lr_(lr), momentum_(momentum) {}
+
+  void step(ParameterList& params);
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  float lr() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam with decoupled weight decay (AdamW).
+class Adam {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.0f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void step(ParameterList& params);
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  float lr() const noexcept { return lr_; }
+  std::int64_t steps() const noexcept { return t_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to 0
+/// at `total_steps` (the BERT schedule).
+class WarmupLinearSchedule {
+ public:
+  WarmupLinearSchedule(float peak_lr, std::int64_t warmup_steps,
+                       std::int64_t total_steps) noexcept
+      : peak_lr_(peak_lr), warmup_(warmup_steps), total_(total_steps) {}
+
+  float lr_at(std::int64_t step) const noexcept;
+
+ private:
+  float peak_lr_;
+  std::int64_t warmup_, total_;
+};
+
+}  // namespace netfm::nn

@@ -1,0 +1,144 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace netfm::nn {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'F', 'M', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+struct Cursor {
+  std::span<const std::uint8_t> data;
+  std::size_t at = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (at + 4 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data[at + i];
+    at += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (at + 8 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data[at + i];
+    at += 8;
+    return v;
+  }
+  std::string str(std::size_t n) {
+    if (at + n > data.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data.data() + at), n);
+    at += n;
+    return s;
+  }
+  bool floats(float* out, std::size_t n) {
+    if (at + n * 4 > data.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, data.data() + at, n * 4);
+    at += n * 4;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> save_parameters(const ParameterList& params) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const Parameter& p : params) {
+    put_u32(out, static_cast<std::uint32_t>(p.name.size()));
+    out.insert(out.end(), p.name.begin(), p.name.end());
+    const Shape& shape = p.tensor.shape();
+    put_u32(out, static_cast<std::uint32_t>(shape.size()));
+    for (std::size_t d : shape) put_u64(out, d);
+    const auto data = p.tensor.data();
+    const std::size_t bytes = data.size() * 4;
+    const std::size_t start = out.size();
+    out.resize(start + bytes);
+    std::memcpy(out.data() + start, data.data(), bytes);
+  }
+  return out;
+}
+
+bool load_parameters(std::span<const std::uint8_t> blob,
+                     ParameterList& params) {
+  if (blob.size() < 12 || std::memcmp(blob.data(), kMagic, 4) != 0)
+    return false;
+  Cursor cur{blob, 4};
+  if (cur.u32() != kVersion) return false;
+  const std::uint32_t count = cur.u32();
+
+  std::unordered_map<std::string, Parameter*> by_name;
+  for (Parameter& p : params) by_name[p.name] = &p;
+
+  std::size_t restored = 0;
+  for (std::uint32_t i = 0; i < count && cur.ok; ++i) {
+    const std::uint32_t name_len = cur.u32();
+    const std::string name = cur.str(name_len);
+    const std::uint32_t rank = cur.u32();
+    Shape shape;
+    std::size_t n = 1;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      shape.push_back(static_cast<std::size_t>(cur.u64()));
+      n *= shape.back();
+    }
+    if (!cur.ok) return false;
+    const auto it = by_name.find(name);
+    if (it == by_name.end() || it->second->tensor.shape() != shape)
+      return false;
+    if (!cur.floats(it->second->tensor.data().data(), n)) return false;
+    ++restored;
+  }
+  return cur.ok && restored == params.size();
+}
+
+bool save_parameters_file(const std::string& path,
+                          const ParameterList& params) {
+  const auto blob = save_parameters(params);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!file) return false;
+  return std::fwrite(blob.data(), 1, blob.size(), file.get()) == blob.size();
+}
+
+bool load_parameters_file(const std::string& path, ParameterList& params) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) return false;
+  std::vector<std::uint8_t> blob;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0)
+    blob.insert(blob.end(), buf, buf + n);
+  return load_parameters(blob, params);
+}
+
+}  // namespace netfm::nn

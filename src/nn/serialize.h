@@ -1,0 +1,29 @@
+// Checkpoint format: named float tensors in a simple tagged binary layout.
+//
+//   magic "NFMC" | u32 version | u32 count |
+//   count x { u32 name_len | name | u32 rank | u64 dims... | f32 data... }
+//
+// Integers little-endian, floats IEEE-754 bit-copied.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "nn/optim.h"
+
+namespace netfm::nn {
+
+/// Serializes parameters to a byte blob.
+std::vector<std::uint8_t> save_parameters(const ParameterList& params);
+
+/// Restores values into matching names/shapes of `params`. Returns false
+/// if the blob is malformed or any tensor is missing/mismatched.
+bool load_parameters(std::span<const std::uint8_t> blob,
+                     ParameterList& params);
+
+/// File convenience wrappers.
+bool save_parameters_file(const std::string& path,
+                          const ParameterList& params);
+bool load_parameters_file(const std::string& path, ParameterList& params);
+
+}  // namespace netfm::nn

@@ -1,0 +1,807 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace netfm::nn {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("netfm::nn: " + what);
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) fail(what);
+}
+
+std::shared_ptr<TensorNode> make_node(
+    Shape shape, std::vector<std::shared_ptr<TensorNode>> parents) {
+  auto node = std::make_shared<TensorNode>();
+  node->shape = std::move(shape);
+  node->value.assign(numel(node->shape), 0.0f);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents)
+    if (p && p->requires_grad) node->requires_grad = true;
+  return node;
+}
+
+/// Interprets a tensor as a batch of matrices: rank 2 = batch 1.
+struct MatView {
+  std::size_t batch, rows, cols;
+};
+
+MatView as_matrices(const Shape& s, const char* name) {
+  if (s.size() == 2) return {1, s[0], s[1]};
+  if (s.size() == 3) return {s[0], s[1], s[2]};
+  fail(std::string(name) + ": expected rank 2 or 3, got " + shape_str(s));
+}
+
+}  // namespace
+
+std::size_t numel(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  return out + "]";
+}
+
+void TensorNode::ensure_grad() {
+  if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, bool requires_grad) {
+  node_ = std::make_shared<TensorNode>();
+  node_->shape = std::move(shape);
+  node_->value.assign(numel(node_->shape), 0.0f);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values, bool requires_grad) {
+  check(numel(shape) == values.size(), "Tensor: values/shape mismatch");
+  node_ = std::make_shared<TensorNode>();
+  node_->shape = std::move(shape);
+  node_->value = std::move(values);
+  node_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::scalar(float v) {
+  return Tensor(Shape{1}, std::vector<float>{v});
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float v) {
+  Tensor t(std::move(shape));
+  std::fill(t.data().begin(), t.data().end(), v);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  Tensor t(std::move(shape), requires_grad);
+  for (float& v : t.data())
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  check(defined(), "shape() on undefined tensor");
+  return node_->shape;
+}
+std::size_t Tensor::size() const { return numel(shape()); }
+std::size_t Tensor::dim(std::size_t i) const { return shape().at(i); }
+std::size_t Tensor::rank() const { return shape().size(); }
+bool Tensor::requires_grad() const { return defined() && node_->requires_grad; }
+void Tensor::set_requires_grad(bool v) {
+  check(defined(), "set_requires_grad on undefined tensor");
+  node_->requires_grad = v;
+}
+
+std::span<float> Tensor::data() {
+  check(defined(), "data() on undefined tensor");
+  return node_->value;
+}
+std::span<const float> Tensor::data() const {
+  check(defined(), "data() on undefined tensor");
+  return node_->value;
+}
+std::span<float> Tensor::grad() {
+  check(defined(), "grad() on undefined tensor");
+  node_->ensure_grad();
+  return node_->grad;
+}
+std::span<const float> Tensor::grad() const {
+  check(defined(), "grad() on undefined tensor");
+  const_cast<TensorNode*>(node_.get())->ensure_grad();
+  return node_->grad;
+}
+
+float Tensor::item() const {
+  check(size() == 1, "item() requires a scalar tensor");
+  return data()[0];
+}
+
+void Tensor::zero_grad() {
+  if (!defined()) return;
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+void Tensor::backward() {
+  check(defined() && size() == 1, "backward() requires a scalar loss");
+  // Topological order via iterative post-order DFS.
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> seen;
+  std::vector<std::pair<TensorNode*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  seen.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorNode* child = node->parents[next_child++].get();
+      if (child && !seen.count(child)) {
+        seen.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  node_->ensure_grad();
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* node = *it;
+    if (node->backward && node->requires_grad) {
+      for (const auto& p : node->parents)
+        if (p && p->requires_grad) p->ensure_grad();
+      node->ensure_grad();
+      node->backward(*node);
+    }
+  }
+}
+
+Tensor Tensor::detach() const {
+  check(defined(), "detach() on undefined tensor");
+  auto node = std::make_shared<TensorNode>();
+  node->shape = node_->shape;
+  node->value = node_->value;
+  node->requires_grad = false;
+  return Tensor(std::move(node));
+}
+
+// ---- ops ----
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const MatView av = as_matrices(a.shape(), "matmul lhs");
+  const MatView bv = as_matrices(b.shape(), "matmul rhs");
+  const bool shared_rhs = a.rank() == 3 && b.rank() == 2;
+  check(av.cols == bv.rows, "matmul: inner dims differ: " +
+                                shape_str(a.shape()) + " x " +
+                                shape_str(b.shape()));
+  check(shared_rhs || av.batch == bv.batch, "matmul: batch mismatch");
+  const std::size_t batch = av.batch;
+
+  Shape out_shape = a.rank() == 3 ? Shape{batch, av.rows, bv.cols}
+                                  : Shape{av.rows, bv.cols};
+  auto node = make_node(std::move(out_shape), {a.node(), b.node()});
+
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* op = node->value.data();
+  const std::size_t m = av.rows, k = av.cols, n = bv.cols;
+  for (std::size_t batch_i = 0; batch_i < batch; ++batch_i) {
+    const float* abase = ap + batch_i * m * k;
+    const float* bbase = shared_rhs ? bp : bp + batch_i * k * n;
+    float* obase = op + batch_i * m * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      float* orow = obase + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av_ik = abase[i * k + kk];
+        if (av_ik == 0.0f) continue;
+        const float* brow = bbase + kk * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av_ik * brow[j];
+      }
+    }
+  }
+
+  node->backward = [m, k, n, batch, shared_rhs](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    TensorNode& B = *self.parents[1];
+    const float* gp = self.grad.data();
+    for (std::size_t batch_i = 0; batch_i < batch; ++batch_i) {
+      const float* gbase = gp + batch_i * m * n;
+      const float* abase = A.value.data() + batch_i * m * k;
+      const float* bbase =
+          shared_rhs ? B.value.data() : B.value.data() + batch_i * k * n;
+      if (A.requires_grad) {
+        float* gabase = A.grad.data() + batch_i * m * k;
+        // dA = dC * B^T
+        for (std::size_t i = 0; i < m; ++i)
+          for (std::size_t j = 0; j < n; ++j) {
+            const float g = gbase[i * n + j];
+            if (g == 0.0f) continue;
+            const float* brow = bbase + j;  // column j of B
+            float* garow = gabase + i * k;
+            for (std::size_t kk = 0; kk < k; ++kk)
+              garow[kk] += g * brow[kk * n];
+          }
+      }
+      if (B.requires_grad) {
+        float* gbbase = shared_rhs ? B.grad.data()
+                                   : B.grad.data() + batch_i * k * n;
+        // dB = A^T * dC
+        for (std::size_t kk = 0; kk < k; ++kk)
+          for (std::size_t i = 0; i < m; ++i) {
+            const float av_ik = abase[i * k + kk];
+            if (av_ik == 0.0f) continue;
+            const float* grow = gbase + i * n;
+            float* gbrow = gbbase + kk * n;
+            for (std::size_t j = 0; j < n; ++j) gbrow[j] += av_ik * grow[j];
+          }
+      }
+    }
+  };
+  return Tensor(node);
+}
+
+namespace {
+
+/// add/sub with optional last-dim broadcast of b.
+Tensor add_like(const Tensor& a, const Tensor& b, float sign) {
+  const std::size_t an = a.size();
+  const std::size_t bn = b.size();
+  const std::size_t last = a.shape().back();
+  const bool broadcast = bn != an;
+  check(!broadcast || bn == last,
+        "add: rhs must match shape or last dim, got " + shape_str(a.shape()) +
+            " vs " + shape_str(b.shape()));
+
+  auto node = make_node(a.shape(), {a.node(), b.node()});
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* op = node->value.data();
+  for (std::size_t i = 0; i < an; ++i)
+    op[i] = ap[i] + sign * bp[broadcast ? i % last : i];
+
+  node->backward = [an, last, broadcast, sign](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    TensorNode& B = *self.parents[1];
+    const float* g = self.grad.data();
+    if (A.requires_grad)
+      for (std::size_t i = 0; i < an; ++i) A.grad[i] += g[i];
+    if (B.requires_grad) {
+      if (broadcast) {
+        for (std::size_t i = 0; i < an; ++i) B.grad[i % last] += sign * g[i];
+      } else {
+        for (std::size_t i = 0; i < an; ++i) B.grad[i] += sign * g[i];
+      }
+    }
+  };
+  return Tensor(node);
+}
+
+/// Shared unary-elementwise builder.
+template <typename F, typename DF>
+Tensor unary(const Tensor& a, F f, DF df) {
+  auto node = make_node(a.shape(), {a.node()});
+  const float* ap = a.data().data();
+  float* op = node->value.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) op[i] = f(ap[i]);
+  node->backward = [n, df](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      A.grad[i] += self.grad[i] * df(A.value[i], self.value[i]);
+  };
+  return Tensor(node);
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) { return add_like(a, b, 1.0f); }
+Tensor sub(const Tensor& a, const Tensor& b) { return add_like(a, b, -1.0f); }
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check(a.size() == b.size(), "mul: shape mismatch");
+  auto node = make_node(a.shape(), {a.node(), b.node()});
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i)
+    node->value[i] = a.data()[i] * b.data()[i];
+  node->backward = [n](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    TensorNode& B = *self.parents[1];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (A.requires_grad) A.grad[i] += self.grad[i] * B.value[i];
+      if (B.requires_grad) B.grad[i] += self.grad[i] * A.value[i];
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor scale(const Tensor& a, float s) {
+  return unary(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor gelu(const Tensor& a) {
+  // tanh approximation of GELU (matches BERT).
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  return unary(
+      a,
+      [](float x) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float x3 = x * x * x;
+        const float inner = kC * (x + 0.044715f * x3);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+namespace {
+
+/// Rows-of-last-dim iteration helper.
+struct LastDim {
+  std::size_t rows, cols;
+};
+LastDim last_dim(const Shape& s) {
+  const std::size_t cols = s.back();
+  return {numel(s) / cols, cols};
+}
+
+}  // namespace
+
+Tensor softmax(const Tensor& a) {
+  const auto [rows, cols] = last_dim(a.shape());
+  auto node = make_node(a.shape(), {a.node()});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + r * cols;
+    float* out = node->value.data() + r * cols;
+    float maxv = in[0];
+    for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, in[c]);
+    float total = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - maxv);
+      total += out[c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) out[c] /= total;
+  }
+  node->backward = [rows = rows, cols = cols](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* y = self.value.data() + r * cols;
+      const float* g = self.grad.data() + r * cols;
+      float dot = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) dot += y[c] * g[c];
+      float* ga = A.grad.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) ga[c] += y[c] * (g[c] - dot);
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor log_softmax(const Tensor& a) {
+  const auto [rows, cols] = last_dim(a.shape());
+  auto node = make_node(a.shape(), {a.node()});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + r * cols;
+    float* out = node->value.data() + r * cols;
+    float maxv = in[0];
+    for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, in[c]);
+    float total = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) total += std::exp(in[c] - maxv);
+    const float log_total = std::log(total) + maxv;
+    for (std::size_t c = 0; c < cols; ++c) out[c] = in[c] - log_total;
+  }
+  node->backward = [rows = rows, cols = cols](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* y = self.value.data() + r * cols;
+      const float* g = self.grad.data() + r * cols;
+      float gsum = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) gsum += g[c];
+      float* ga = A.grad.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c)
+        ga[c] += g[c] - std::exp(y[c]) * gsum;
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                  float eps) {
+  const auto [rows, cols] = last_dim(a.shape());
+  check(gain.size() == cols && bias.size() == cols,
+        "layer_norm: gain/bias must have last-dim length");
+  auto node = make_node(a.shape(), {a.node(), gain.node(), bias.node()});
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(rows * 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + r * cols;
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) mean += in[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float d = in[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    (*stats)[r * 2] = mean;
+    (*stats)[r * 2 + 1] = inv_std;
+    float* out = node->value.data() + r * cols;
+    const float* g = gain.data().data();
+    const float* b = bias.data().data();
+    for (std::size_t c = 0; c < cols; ++c)
+      out[c] = (in[c] - mean) * inv_std * g[c] + b[c];
+  }
+  node->backward = [rows = rows, cols = cols, stats](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    TensorNode& G = *self.parents[1];
+    TensorNode& B = *self.parents[2];
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float mean = (*stats)[r * 2];
+      const float inv_std = (*stats)[r * 2 + 1];
+      const float* in = A.value.data() + r * cols;
+      const float* gout = self.grad.data() + r * cols;
+      const float* g = G.value.data();
+      // xhat_c = (in[c]-mean)*inv_std
+      if (G.requires_grad || B.requires_grad) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float xhat = (in[c] - mean) * inv_std;
+          if (G.requires_grad) G.grad[c] += gout[c] * xhat;
+          if (B.requires_grad) B.grad[c] += gout[c];
+        }
+      }
+      if (A.requires_grad) {
+        float sum_gy = 0.0f, sum_gy_xhat = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float gy = gout[c] * g[c];
+          const float xhat = (in[c] - mean) * inv_std;
+          sum_gy += gy;
+          sum_gy_xhat += gy * xhat;
+        }
+        const float inv_n = 1.0f / static_cast<float>(cols);
+        float* ga = A.grad.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float gy = gout[c] * g[c];
+          const float xhat = (in[c] - mean) * inv_std;
+          ga[c] += inv_std *
+                   (gy - inv_n * sum_gy - xhat * inv_n * sum_gy_xhat);
+        }
+      }
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor embedding(const Tensor& weight, std::span<const int> ids) {
+  check(weight.rank() == 2, "embedding: weight must be [V, D]");
+  const std::size_t vocab = weight.dim(0);
+  const std::size_t dim = weight.dim(1);
+  auto ids_copy = std::make_shared<std::vector<int>>(ids.begin(), ids.end());
+  auto node =
+      make_node(Shape{ids.size(), dim}, {weight.node()});
+  for (std::size_t i = 0; i < ids_copy->size(); ++i) {
+    const int id = (*ids_copy)[i];
+    check(id >= 0 && static_cast<std::size_t>(id) < vocab,
+          "embedding: id out of range");
+    std::copy_n(weight.data().data() + static_cast<std::size_t>(id) * dim,
+                dim, node->value.data() + i * dim);
+  }
+  node->backward = [ids_copy, dim](TensorNode& self) {
+    TensorNode& W = *self.parents[0];
+    if (!W.requires_grad) return;
+    for (std::size_t i = 0; i < ids_copy->size(); ++i) {
+      const auto id = static_cast<std::size_t>((*ids_copy)[i]);
+      const float* g = self.grad.data() + i * dim;
+      float* gw = W.grad.data() + id * dim;
+      for (std::size_t d = 0; d < dim; ++d) gw[d] += g[d];
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
+  if (!train || p <= 0.0f) return a;
+  const std::size_t n = a.size();
+  auto mask = std::make_shared<std::vector<float>>(n);
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < n; ++i)
+    (*mask)[i] = rng.chance(p) ? 0.0f : keep_scale;
+  auto node = make_node(a.shape(), {a.node()});
+  for (std::size_t i = 0; i < n; ++i)
+    node->value[i] = a.data()[i] * (*mask)[i];
+  node->backward = [mask, n](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      A.grad[i] += self.grad[i] * (*mask)[i];
+  };
+  return Tensor(node);
+}
+
+Tensor transpose(const Tensor& a) {
+  const MatView v = as_matrices(a.shape(), "transpose");
+  Shape out_shape = a.shape();
+  std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
+  auto node = make_node(std::move(out_shape), {a.node()});
+  for (std::size_t batch_i = 0; batch_i < v.batch; ++batch_i) {
+    const float* in = a.data().data() + batch_i * v.rows * v.cols;
+    float* out = node->value.data() + batch_i * v.rows * v.cols;
+    for (std::size_t i = 0; i < v.rows; ++i)
+      for (std::size_t j = 0; j < v.cols; ++j)
+        out[j * v.rows + i] = in[i * v.cols + j];
+  }
+  node->backward = [v](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t batch_i = 0; batch_i < v.batch; ++batch_i) {
+      const float* g = self.grad.data() + batch_i * v.rows * v.cols;
+      float* ga = A.grad.data() + batch_i * v.rows * v.cols;
+      for (std::size_t i = 0; i < v.rows; ++i)
+        for (std::size_t j = 0; j < v.cols; ++j)
+          ga[i * v.cols + j] += g[j * v.rows + i];
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor reshape(const Tensor& a, Shape shape) {
+  check(numel(shape) == a.size(), "reshape: element count mismatch " +
+                                      shape_str(a.shape()) + " -> " +
+                                      shape_str(shape));
+  auto node = make_node(std::move(shape), {a.node()});
+  node->value.assign(a.data().begin(), a.data().end());
+  node->backward = [](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < self.grad.size(); ++i)
+      A.grad[i] += self.grad[i];
+  };
+  return Tensor(node);
+}
+
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t end) {
+  check(a.rank() == 2, "slice_rows: rank-2 only");
+  check(begin <= end && end <= a.dim(0), "slice_rows: bad range");
+  const std::size_t cols = a.dim(1);
+  auto node = make_node(Shape{end - begin, cols}, {a.node()});
+  std::copy_n(a.data().data() + begin * cols, (end - begin) * cols,
+              node->value.data());
+  node->backward = [begin, cols](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < self.grad.size(); ++i)
+      A.grad[begin * cols + i] += self.grad[i];
+  };
+  return Tensor(node);
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat_rows: empty input");
+  const std::size_t cols = parts[0].dim(1);
+  std::size_t rows = 0;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  for (const Tensor& t : parts) {
+    check(t.rank() == 2 && t.dim(1) == cols, "concat_rows: column mismatch");
+    rows += t.dim(0);
+    parents.push_back(t.node());
+  }
+  auto node = make_node(Shape{rows, cols}, std::move(parents));
+  std::size_t at = 0;
+  for (const Tensor& t : parts) {
+    std::copy_n(t.data().data(), t.size(), node->value.data() + at);
+    at += t.size();
+  }
+  node->backward = [](TensorNode& self) {
+    std::size_t at = 0;
+    for (const auto& p : self.parents) {
+      if (p->requires_grad)
+        for (std::size_t i = 0; i < p->value.size(); ++i)
+          p->grad[i] += self.grad[at + i];
+      at += p->value.size();
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor mean(const Tensor& a) {
+  auto node = make_node(Shape{1}, {a.node()});
+  const std::size_t n = a.size();
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  node->value[0] = total / static_cast<float>(n);
+  node->backward = [n](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    const float g = self.grad[0] / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) A.grad[i] += g;
+  };
+  return Tensor(node);
+}
+
+Tensor sum(const Tensor& a) {
+  auto node = make_node(Shape{1}, {a.node()});
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  node->value[0] = total;
+  node->backward = [n = a.size()](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i) A.grad[i] += self.grad[0];
+  };
+  return Tensor(node);
+}
+
+Tensor mean_rows(const Tensor& a) {
+  check(a.rank() == 2, "mean_rows: rank-2 only");
+  const std::size_t rows = a.dim(0);
+  const std::size_t cols = a.dim(1);
+  check(rows > 0, "mean_rows: empty tensor");
+  auto node = make_node(Shape{cols}, {a.node()});
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      node->value[c] += a.data()[r * cols + c];
+  for (std::size_t c = 0; c < cols; ++c)
+    node->value[c] /= static_cast<float>(rows);
+  node->backward = [rows, cols](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        A.grad[r * cols + c] += self.grad[c] / static_cast<float>(rows);
+  };
+  return Tensor(node);
+}
+
+Tensor remap(const Tensor& a, Shape out_shape,
+             std::shared_ptr<const std::vector<std::size_t>> map) {
+  check(map != nullptr && map->size() == numel(out_shape),
+        "remap: map size must match output shape");
+  const std::size_t in_size = a.size();
+  auto node = make_node(std::move(out_shape), {a.node()});
+  const float* in = a.data().data();
+  for (std::size_t i = 0; i < map->size(); ++i) {
+    check((*map)[i] < in_size, "remap: index out of range");
+    node->value[i] = in[(*map)[i]];
+  }
+  node->backward = [map](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < map->size(); ++i)
+      A.grad[(*map)[i]] += self.grad[i];
+  };
+  return Tensor(node);
+}
+
+Tensor masked_fill(const Tensor& a, std::span<const float> mask,
+                   float mask_value) {
+  const std::size_t n = a.size();
+  const std::size_t mn = mask.size();
+  check(mn == n || (mn > 0 && n % mn == 0),
+        "masked_fill: mask length must divide tensor size");
+  auto mask_copy =
+      std::make_shared<std::vector<float>>(mask.begin(), mask.end());
+  auto node = make_node(a.shape(), {a.node()});
+  for (std::size_t i = 0; i < n; ++i)
+    node->value[i] =
+        (*mask_copy)[i % mn] != 0.0f ? a.data()[i] : mask_value;
+  node->backward = [mask_copy, n, mn](TensorNode& self) {
+    TensorNode& A = *self.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < n; ++i)
+      if ((*mask_copy)[i % mn] != 0.0f) A.grad[i] += self.grad[i];
+  };
+  return Tensor(node);
+}
+
+Tensor cross_entropy(const Tensor& logits, std::span<const int> targets) {
+  check(logits.rank() == 2, "cross_entropy: logits must be [N, C]");
+  const std::size_t n = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  check(targets.size() == n, "cross_entropy: target count mismatch");
+
+  auto tgt = std::make_shared<std::vector<int>>(targets.begin(),
+                                                targets.end());
+  // Cache probabilities for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(n * classes);
+  auto node = make_node(Shape{1}, {logits.node()});
+  double total = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* in = logits.data().data() + i * classes;
+    float* p = probs->data() + i * classes;
+    float maxv = in[0];
+    for (std::size_t c = 1; c < classes; ++c) maxv = std::max(maxv, in[c]);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      p[c] = std::exp(in[c] - maxv);
+      denom += p[c];
+    }
+    for (std::size_t c = 0; c < classes; ++c) p[c] /= denom;
+    const int t = (*tgt)[i];
+    if (t < 0) continue;  // ignored position
+    check(static_cast<std::size_t>(t) < classes,
+          "cross_entropy: target out of range");
+    total += -std::log(std::max(p[t], 1e-12f));
+    ++active;
+  }
+  const std::size_t denom_count = active == 0 ? 1 : active;
+  node->value[0] = static_cast<float>(total / denom_count);
+  node->backward = [tgt, probs, n, classes, denom_count](TensorNode& self) {
+    TensorNode& L = *self.parents[0];
+    if (!L.requires_grad) return;
+    const float g = self.grad[0] / static_cast<float>(denom_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int t = (*tgt)[i];
+      if (t < 0) continue;
+      const float* p = probs->data() + i * classes;
+      float* gl = L.grad.data() + i * classes;
+      for (std::size_t c = 0; c < classes; ++c)
+        gl[c] += g * (p[c] - (static_cast<int>(c) == t ? 1.0f : 0.0f));
+    }
+  };
+  return Tensor(node);
+}
+
+Tensor mse_loss(const Tensor& pred, std::span<const float> targets) {
+  const std::size_t n = pred.size();
+  check(targets.size() == n, "mse_loss: target count mismatch");
+  auto tgt =
+      std::make_shared<std::vector<float>>(targets.begin(), targets.end());
+  auto node = make_node(Shape{1}, {pred.node()});
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = pred.data()[i] - (*tgt)[i];
+    total += d * d;
+  }
+  node->value[0] = static_cast<float>(total / n);
+  node->backward = [tgt, n](TensorNode& self) {
+    TensorNode& P = *self.parents[0];
+    if (!P.requires_grad) return;
+    const float g = self.grad[0] * 2.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      P.grad[i] += g * (P.value[i] - (*tgt)[i]);
+  };
+  return Tensor(node);
+}
+
+}  // namespace netfm::nn

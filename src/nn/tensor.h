@@ -1,0 +1,173 @@
+// Dense float tensor with reverse-mode automatic differentiation.
+//
+// Design: define-by-run tape. Tensor is a cheap handle onto a shared node;
+// every op allocates a fresh node whose `backward` closure accumulates
+// gradients into its parents. `backward()` on a scalar loss topologically
+// sorts the graph and runs the closures in reverse. This is deliberately a
+// small, readable engine — the models in this library are CPU-sized (a few
+// hundred thousand parameters), and clarity beats kernel tuning here.
+//
+// Shapes are row-major, rank 1..3. Rank-3 tensors are treated as batched
+// matrices by matmul (leading dim is the batch).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netfm::nn {
+
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements in a shape.
+std::size_t numel(const Shape& shape) noexcept;
+
+/// "\[2, 3, 4\]" for error messages.
+std::string shape_str(const Shape& shape);
+
+/// Shared tensor node: storage + gradient + autograd links.
+struct TensorNode {
+  std::vector<float> value;
+  std::vector<float> grad;  // allocated lazily; same length as value
+  Shape shape;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  std::function<void(TensorNode&)> backward;  // reads this->grad, fills parents
+
+  void ensure_grad();
+};
+
+/// Value-semantic handle to a tensor node.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Uninitialized (zero) tensor of the given shape.
+  explicit Tensor(Shape shape, bool requires_grad = false);
+
+  /// Tensor with explicit contents (row-major).
+  Tensor(Shape shape, std::vector<float> values, bool requires_grad = false);
+
+  /// Scalar convenience.
+  static Tensor scalar(float v);
+
+  /// All zeros / ones / constant.
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float v);
+
+  /// Gaussian init with the given stddev (Xavier callers pass their own).
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = true);
+
+  bool defined() const noexcept { return node_ != nullptr; }
+  const Shape& shape() const;
+  std::size_t size() const;  // total elements
+  std::size_t dim(std::size_t i) const;
+  std::size_t rank() const;
+  bool requires_grad() const;
+  void set_requires_grad(bool v);
+
+  std::span<float> data();
+  std::span<const float> data() const;
+  std::span<float> grad();
+  std::span<const float> grad() const;
+
+  float item() const;  // requires size() == 1
+
+  /// Clears gradient to zero (keeps allocation).
+  void zero_grad();
+
+  /// Runs reverse-mode autodiff from this scalar (size()==1) tensor.
+  void backward();
+
+  /// Detached copy sharing no graph history (same storage copy).
+  Tensor detach() const;
+
+  std::shared_ptr<TensorNode> node() const { return node_; }
+  explicit Tensor(std::shared_ptr<TensorNode> node) : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<TensorNode> node_;
+};
+
+// ---- Operations (all differentiable unless noted) ----
+
+/// Matrix product. 2D x 2D -> 2D; 3D x 3D -> 3D with shared batch dim;
+/// 3D x 2D -> 3D (weight shared across the batch).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Elementwise add; `b` may also be a vector broadcast over the last dim.
+Tensor add(const Tensor& a, const Tensor& b);
+/// a - b, same broadcasting as add.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// Elementwise product (exact same shape).
+Tensor mul(const Tensor& a, const Tensor& b);
+/// Scale by a constant.
+Tensor scale(const Tensor& a, float s);
+
+Tensor relu(const Tensor& a);
+Tensor gelu(const Tensor& a);
+Tensor tanh_op(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+
+/// Softmax over the last dimension.
+Tensor softmax(const Tensor& a);
+/// Log-softmax over the last dimension (numerically stable).
+Tensor log_softmax(const Tensor& a);
+
+/// Layer norm over the last dimension with learned gain/bias (vectors of
+/// length last-dim).
+Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                  float eps = 1e-5f);
+
+/// Embedding lookup: ids (len N) into rows of weight [V, D] -> [N, D].
+Tensor embedding(const Tensor& weight, std::span<const int> ids);
+
+/// Dropout with probability p (identity when p<=0 or !train).
+Tensor dropout(const Tensor& a, float p, bool train, Rng& rng);
+
+/// Swap the last two dims (2D or 3D).
+Tensor transpose(const Tensor& a);
+
+/// View with the same element count.
+Tensor reshape(const Tensor& a, Shape shape);
+
+/// Rows [begin, end) of a 2D tensor.
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t end);
+
+/// Concatenate 2D tensors along dim 0.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+/// Mean over all elements -> scalar.
+Tensor mean(const Tensor& a);
+
+/// Sum over all elements -> scalar.
+Tensor sum(const Tensor& a);
+
+/// Mean of rows of a 2D tensor -> [D].
+Tensor mean_rows(const Tensor& a);
+
+/// General differentiable gather: out element i = a element map[i].
+/// `map` indices must be < a.size(); repeated indices accumulate gradient.
+/// This is the primitive behind head split/merge permutations in attention.
+Tensor remap(const Tensor& a, Shape out_shape,
+             std::shared_ptr<const std::vector<std::size_t>> map);
+
+/// Adds `mask_value` where mask==0. `mask` is not differentiated.
+/// Shapes: a [.., N], mask length N (broadcast) or same numel as `a`.
+Tensor masked_fill(const Tensor& a, std::span<const float> mask,
+                   float mask_value);
+
+/// Cross-entropy between logits [N, C] and integer targets (len N).
+/// Targets < 0 are ignored (masked LM convention). Returns scalar mean.
+Tensor cross_entropy(const Tensor& logits, std::span<const int> targets);
+
+/// Mean squared error between predictions [N] (or [N,1]) and targets.
+Tensor mse_loss(const Tensor& pred, std::span<const float> targets);
+
+}  // namespace netfm::nn

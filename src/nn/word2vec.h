@@ -1,0 +1,56 @@
+// Word2Vec skip-gram with negative sampling (Mikolov et al., 2013) — the
+// pre-BERT embedding method the paper's Background (§2) walks through.
+// Like GloVe, it yields context-independent vectors; it serves as a
+// second classical baseline and powers the "King - Man + Woman = Queen"
+// style analogy probes at the token level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netfm::nn {
+
+struct Word2VecConfig {
+  std::size_t dim = 32;
+  std::size_t window = 4;        // symmetric context radius
+  std::size_t negatives = 5;     // negative samples per positive
+  std::size_t epochs = 5;
+  float lr = 0.025f;             // linearly decayed to lr/20
+  double subsample = 1e-3;       // frequent-token downsampling threshold
+  std::uint64_t seed = 17;
+};
+
+/// Trains skip-gram embeddings over token-id sequences.
+class Word2Vec {
+ public:
+  Word2Vec(std::size_t vocab_size, const Word2VecConfig& config);
+
+  /// One pass over the corpus per epoch (call train() once; it loops).
+  void train(const std::vector<std::vector<int>>& corpus);
+
+  /// Input-vector lookup, row-major [vocab, dim].
+  const std::vector<float>& vectors() const noexcept { return input_; }
+  std::size_t dim() const noexcept { return config_.dim; }
+  std::size_t vocab_size() const noexcept { return vocab_; }
+
+  /// Cosine similarity between two token ids.
+  double similarity(int a, int b) const;
+
+  /// Ids of the k nearest tokens to `id` (excluding itself).
+  std::vector<std::pair<int, double>> nearest(int id, std::size_t k) const;
+
+ private:
+  void train_pair(int center, int context, float lr, Rng& rng);
+
+  std::size_t vocab_;
+  Word2VecConfig config_;
+  std::vector<float> input_;    // "word" vectors
+  std::vector<float> output_;   // "context" vectors
+  std::vector<double> unigram_; // negative-sampling distribution (^0.75)
+  std::vector<double> frequency_;  // token frequency for subsampling
+};
+
+}  // namespace netfm::nn

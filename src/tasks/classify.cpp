@@ -1,0 +1,98 @@
+#include "tasks/classify.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "nn/glove.h"
+
+namespace netfm::tasks {
+
+EvalResult evaluate_netfm(const core::NetFM& model, const FlowDataset& data,
+                          std::size_t max_seq_len) {
+  eval::ConfusionMatrix cm(data.num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    cm.add(data.labels[i], model.predict(data.contexts[i], max_seq_len));
+  return {cm.accuracy(), cm.macro_f1(), cm.micro_f1(), 0.0};
+}
+
+std::vector<int> encode_for_gru(const std::vector<std::string>& context,
+                                const tok::Vocabulary& vocab,
+                                std::size_t max_seq_len) {
+  std::vector<int> ids;
+  ids.reserve(std::min(context.size(), max_seq_len));
+  for (std::size_t i = 0; i < context.size() && i < max_seq_len; ++i)
+    ids.push_back(vocab.id(context[i]));
+  if (ids.empty()) ids.push_back(tok::Vocabulary::kUnk);
+  return ids;
+}
+
+EvalResult evaluate_gru(const model::GruClassifier& gru,
+                        const tok::Vocabulary& vocab, const FlowDataset& data,
+                        std::size_t max_seq_len) {
+  eval::ConfusionMatrix cm(data.num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto ids = encode_for_gru(data.contexts[i], vocab, max_seq_len);
+    const nn::Tensor logits = gru.forward(ids, /*train=*/false);
+    const auto view = logits.data();
+    const int predicted = static_cast<int>(
+        std::max_element(view.begin(), view.end()) - view.begin());
+    cm.add(data.labels[i], predicted);
+  }
+  return {cm.accuracy(), cm.macro_f1(), cm.micro_f1(), 0.0};
+}
+
+GruRun train_gru(const FlowDataset& train, const FlowDataset& eval_set,
+                 const tok::Vocabulary& vocab, GruInit init,
+                 const GruTrainOptions& options) {
+  model::GruConfig config;
+  config.vocab_size = vocab.size();
+  config.num_classes = train.num_classes();
+  config.seed = options.seed;
+  auto gru = std::make_unique<model::GruClassifier>(config);
+
+  if (init == GruInit::kGlove) {
+    nn::CooccurrenceCounts counts(vocab.size());
+    for (const auto& context : train.contexts)
+      counts.add_sequence(
+          encode_for_gru(context, vocab, options.max_seq_len));
+    nn::GloveConfig glove;
+    glove.dim = config.embed_dim;
+    glove.seed = options.seed + 7;
+    const auto vectors = nn::train_glove(counts, glove);
+    gru->load_embeddings(vectors, /*freeze=*/false);
+  }
+
+  nn::ParameterList params = gru->parameters();
+  nn::Adam adam(options.lr);
+  Rng rng(options.seed + 13);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      const auto ids =
+          encode_for_gru(train.contexts[i], vocab, options.max_seq_len);
+      const nn::Tensor logits = gru->forward(ids, /*train=*/true);
+      const std::vector<int> target = {train.labels[i]};
+      nn::Tensor loss = nn::cross_entropy(logits, target);
+      nn::zero_grad(params);
+      loss.backward();
+      nn::clip_grad_norm(params, 1.0f);
+      adam.step(params);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  GruRun run;
+  run.result = evaluate_gru(*gru, vocab, eval_set, options.max_seq_len);
+  run.result.train_seconds = seconds;
+  run.model = std::move(gru);
+  return run;
+}
+
+}  // namespace netfm::tasks

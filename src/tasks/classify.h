@@ -1,0 +1,58 @@
+// End-to-end classification runners shared by experiments and examples:
+// train a NetFM or GRU baseline on one dataset, evaluate on another
+// (possibly distribution-shifted), and report the standard metrics.
+#pragma once
+
+#include "core/netfm.h"
+#include "eval/metrics.h"
+#include "model/gru.h"
+#include "tasks/datasets.h"
+
+namespace netfm::tasks {
+
+/// Metrics from one (train, eval) run.
+struct EvalResult {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Evaluates a fine-tuned NetFM on a dataset.
+EvalResult evaluate_netfm(const core::NetFM& model, const FlowDataset& data,
+                          std::size_t max_seq_len);
+
+/// GRU baseline embedding initialization modes (the E1 comparison axes).
+enum class GruInit {
+  kRandom,  // random embedding init
+  kGlove,   // pretrained context-independent GloVe vectors
+};
+
+struct GruTrainOptions {
+  std::size_t epochs = 10;
+  float lr = 3e-3f;
+  std::size_t max_seq_len = 48;
+  std::uint64_t seed = 11;
+};
+
+/// Trains a GRU classifier on `train`, evaluating on `eval`. Builds GloVe
+/// vectors from `train` contexts when init == kGlove.
+struct GruRun {
+  std::unique_ptr<model::GruClassifier> model;
+  EvalResult result;
+};
+GruRun train_gru(const FlowDataset& train, const FlowDataset& eval_set,
+                 const tok::Vocabulary& vocab, GruInit init,
+                 const GruTrainOptions& options);
+
+/// Evaluates an already-trained GRU on a dataset.
+EvalResult evaluate_gru(const model::GruClassifier& gru,
+                        const tok::Vocabulary& vocab, const FlowDataset& data,
+                        std::size_t max_seq_len);
+
+/// Encodes a context for the GRU path: plain vocabulary ids, truncated.
+std::vector<int> encode_for_gru(const std::vector<std::string>& context,
+                                const tok::Vocabulary& vocab,
+                                std::size_t max_seq_len);
+
+}  // namespace netfm::tasks

@@ -1,0 +1,133 @@
+#include "tasks/datasets.h"
+
+#include <cmath>
+
+#include "tasks/features.h"
+
+namespace netfm::tasks {
+namespace {
+
+std::vector<Flow> reassemble(const gen::LabeledTrace& trace) {
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) table.add(p);
+  table.flush();
+  return table.take_finished();
+}
+
+int label_for(const gen::Session& session, TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kAppClass:
+      return static_cast<int>(session.app);
+    case TaskKind::kDeviceClass:
+      return static_cast<int>(session.device);
+    case TaskKind::kThreatBinary:
+      return session.threat == gen::ThreatClass::kBenign ? 0 : 1;
+    case TaskKind::kThreatFamily:
+      return static_cast<int>(session.threat);
+    case TaskKind::kDnsService:
+      return static_cast<int>(session.service);
+  }
+  return 0;
+}
+
+std::vector<std::string> label_names_for(TaskKind kind) {
+  std::vector<std::string> names;
+  switch (kind) {
+    case TaskKind::kAppClass:
+      for (int i = 0; i < static_cast<int>(gen::AppClass::kCount); ++i)
+        names.emplace_back(
+            gen::to_string(static_cast<gen::AppClass>(i)));
+      break;
+    case TaskKind::kDeviceClass:
+      for (int i = 0; i < static_cast<int>(gen::DeviceClass::kCount); ++i)
+        names.emplace_back(
+            gen::to_string(static_cast<gen::DeviceClass>(i)));
+      break;
+    case TaskKind::kThreatBinary:
+      names = {"benign", "attack"};
+      break;
+    case TaskKind::kThreatFamily:
+      for (int i = 0; i < static_cast<int>(gen::ThreatClass::kCount); ++i)
+        names.emplace_back(
+            gen::to_string(static_cast<gen::ThreatClass>(i)));
+      break;
+    case TaskKind::kDnsService:
+      for (int i = 0; i < static_cast<int>(gen::ServiceCategory::kCount); ++i)
+        names.emplace_back(
+            gen::to_string(static_cast<gen::ServiceCategory>(i)));
+      break;
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string_view to_string(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kAppClass: return "app-class";
+    case TaskKind::kDeviceClass: return "device-class";
+    case TaskKind::kThreatBinary: return "threat-binary";
+    case TaskKind::kThreatFamily: return "threat-family";
+    case TaskKind::kDnsService: return "dns-service";
+  }
+  return "?";
+}
+
+FlowDataset build_dataset(const gen::LabeledTrace& trace,
+                          const tok::Tokenizer& tokenizer,
+                          const ctx::Options& options, TaskKind kind) {
+  FlowDataset ds;
+  ds.label_names = label_names_for(kind);
+  for (const Flow& flow : reassemble(trace)) {
+    const gen::Session* session = trace.find(flow.key);
+    if (!session) continue;
+    if (kind == TaskKind::kDnsService &&
+        session->app != gen::AppClass::kDns)
+      continue;  // this task is defined over DNS flows only
+    auto context = ctx::flow_context(flow, tokenizer, options);
+    if (context.empty()) continue;
+    ds.contexts.push_back(std::move(context));
+    ds.labels.push_back(label_for(*session, kind));
+  }
+  return ds;
+}
+
+FeatureDataset build_feature_dataset(const gen::LabeledTrace& trace,
+                                     TaskKind kind) {
+  FeatureDataset ds;
+  ds.label_names = label_names_for(kind);
+  for (const Flow& flow : reassemble(trace)) {
+    const gen::Session* session = trace.find(flow.key);
+    if (!session) continue;
+    if (kind == TaskKind::kDnsService &&
+        session->app != gen::AppClass::kDns)
+      continue;
+    ds.features.push_back(FlowFeatures::extract(flow));
+    ds.labels.push_back(label_for(*session, kind));
+  }
+  return ds;
+}
+
+FlowDataset build_performance_dataset(const gen::LabeledTrace& trace,
+                                      const tok::Tokenizer& tokenizer,
+                                      const ctx::Options& options,
+                                      std::size_t head_packets) {
+  FlowDataset ds;
+  ctx::Options head_options = options;
+  head_options.max_packets_per_flow = head_packets;
+  for (const Flow& flow : reassemble(trace)) {
+    const gen::Session* session = trace.find(flow.key);
+    if (!session) continue;
+    if (flow.packets.size() <= head_packets) continue;  // nothing to predict
+    auto context = ctx::flow_context(flow, tokenizer, head_options);
+    if (context.empty()) continue;
+    ds.contexts.push_back(std::move(context));
+    ds.labels.push_back(0);
+    ds.targets.push_back(
+        std::log10(1.0 + static_cast<double>(flow.bytes_down)));
+  }
+  ds.label_names = {"log10_bytes_down"};
+  return ds;
+}
+
+}  // namespace netfm::tasks

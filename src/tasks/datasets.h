@@ -1,0 +1,67 @@
+// Labeled downstream-task datasets derived from generated traces: the
+// benchmark suite §4.2 asks the community for, over our synthetic data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "context/context.h"
+#include "trafficgen/generator.h"
+
+namespace netfm::tasks {
+
+/// A ready-to-train classification dataset: one tokenized context per
+/// flow, with an integer label and the label-name table.
+struct FlowDataset {
+  std::vector<std::vector<std::string>> contexts;
+  std::vector<int> labels;
+  std::vector<std::string> label_names;
+  /// Extra per-example metadata for regression tasks.
+  std::vector<double> targets;
+
+  std::size_t size() const noexcept { return contexts.size(); }
+  std::size_t num_classes() const noexcept { return label_names.size(); }
+};
+
+/// Which ground-truth field becomes the label.
+enum class TaskKind {
+  kAppClass,     // traffic classification (9-way)
+  kDeviceClass,  // IoT device classification (7-way)
+  kThreatBinary, // benign vs attack
+  kThreatFamily, // benign + per-family (6-way)
+  kDnsService,   // service category from a DNS flow (4-way, E1's task:
+                 // only DNS flows are kept; domains are site-specific)
+};
+
+std::string_view to_string(TaskKind kind) noexcept;
+
+/// Assembles the dataset for `kind` from a labeled trace: reconstructs
+/// flows with a FlowTable, tokenizes each with `tokenizer`/`options`, and
+/// attaches the generating session's label. Flows without ground truth
+/// (should not happen with our generator) are dropped.
+FlowDataset build_dataset(const gen::LabeledTrace& trace,
+                          const tok::Tokenizer& tokenizer,
+                          const ctx::Options& options, TaskKind kind);
+
+/// Regression dataset for flow performance prediction: context = first
+/// `head_packets` packets of the flow, target = log10 of total downstream
+/// bytes (the "how big will this transfer be" early-prediction task).
+FlowDataset build_performance_dataset(const gen::LabeledTrace& trace,
+                                      const tok::Tokenizer& tokenizer,
+                                      const ctx::Options& options,
+                                      std::size_t head_packets = 4);
+
+/// Classical-ML companion dataset: NetFlow-style summary features per
+/// flow (see tasks/features.h), with the same labels as build_dataset
+/// would produce for `kind`. For the handcrafted-feature baselines.
+struct FeatureDataset {
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  std::vector<std::string> label_names;
+
+  std::size_t size() const noexcept { return features.size(); }
+};
+FeatureDataset build_feature_dataset(const gen::LabeledTrace& trace,
+                                     TaskKind kind);
+
+}  // namespace netfm::tasks

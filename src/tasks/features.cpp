@@ -1,0 +1,204 @@
+#include "tasks/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/packet.h"
+
+namespace netfm::tasks {
+namespace {
+
+double shannon_entropy(BytesView data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  double entropy = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(data.size());
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+float log1p_f(double v) { return static_cast<float>(std::log1p(v)); }
+
+}  // namespace
+
+std::vector<float> FlowFeatures::extract(const Flow& flow) {
+  std::vector<float> out(kDim, 0.0f);
+  const std::size_t n = flow.packet_count();
+  out[0] = log1p_f(static_cast<double>(n));
+  out[1] = log1p_f(static_cast<double>(flow.bytes_up));
+  out[2] = log1p_f(static_cast<double>(flow.bytes_down));
+  out[3] = log1p_f(flow.duration());
+
+  // Packet-size and inter-arrival statistics.
+  double size_sum = 0.0, size_sq = 0.0, gap_sum = 0.0, gap_sq = 0.0;
+  double entropy_sum = 0.0;
+  std::size_t entropy_count = 0;
+  bool syn = false, fin = false, rst = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double size = static_cast<double>(flow.packets[i].frame_size);
+    size_sum += size;
+    size_sq += size * size;
+    if (i > 0) {
+      const double gap =
+          flow.packets[i].timestamp - flow.packets[i - 1].timestamp;
+      gap_sum += gap;
+      gap_sq += gap * gap;
+    }
+    const auto parsed = parse_packet(BytesView{flow.packets[i].frame});
+    if (parsed) {
+      if (parsed->tcp) {
+        syn |= parsed->tcp->has(TcpFlags::kSyn);
+        fin |= parsed->tcp->has(TcpFlags::kFin);
+        rst |= parsed->tcp->has(TcpFlags::kRst);
+      }
+      if (!parsed->l4_payload.empty()) {
+        entropy_sum += shannon_entropy(parsed->l4_payload);
+        ++entropy_count;
+      }
+    }
+  }
+  const double mean_size = n > 0 ? size_sum / n : 0.0;
+  const double var_size = n > 0 ? size_sq / n - mean_size * mean_size : 0.0;
+  out[4] = static_cast<float>(mean_size / 1500.0);
+  out[5] = static_cast<float>(std::sqrt(std::max(0.0, var_size)) / 1500.0);
+  const double gaps = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  const double mean_gap = gap_sum / gaps;
+  const double var_gap = gap_sq / gaps - mean_gap * mean_gap;
+  out[6] = log1p_f(mean_gap * 1000.0);
+  out[7] = log1p_f(std::sqrt(std::max(0.0, var_gap)) * 1000.0);
+  const double total = static_cast<double>(flow.bytes_up + flow.bytes_down);
+  out[8] = total > 0.0
+               ? static_cast<float>(static_cast<double>(flow.bytes_up) / total)
+               : 0.5f;
+  out[9] = syn ? 1.0f : 0.0f;
+  out[10] = fin ? 1.0f : 0.0f;
+  out[11] = rst ? 1.0f : 0.0f;
+  out[12] = entropy_count > 0
+                ? static_cast<float>(entropy_sum / entropy_count / 8.0)
+                : 0.0f;
+  // Port class: 0 = well-known service, 1 = registered, 2 = ephemeral.
+  const std::uint16_t port = std::min(flow.key.src_port, flow.key.dst_port);
+  out[13] = port <= 1024 ? 0.0f : (port < 32768 ? 0.5f : 1.0f);
+  return out;
+}
+
+const char* FlowFeatures::name(std::size_t index) {
+  static constexpr const char* kNames[kDim] = {
+      "log_pkts",    "log_bytes_up", "log_bytes_dn", "log_duration",
+      "mean_size",   "std_size",     "log_mean_gap", "log_std_gap",
+      "up_ratio",    "saw_syn",      "saw_fin",      "saw_rst",
+      "mean_entropy", "port_class",
+  };
+  return index < kDim ? kNames[index] : "?";
+}
+
+LogisticClassifier::LogisticClassifier(std::size_t feature_dim,
+                                       std::size_t num_classes,
+                                       std::uint64_t seed)
+    : dim_(feature_dim), classes_(num_classes), rng_(seed),
+      weights_(num_classes * (feature_dim + 1), 0.0f),
+      mean_(feature_dim, 0.0f), stddev_(feature_dim, 1.0f) {
+  if (feature_dim == 0 || num_classes < 2)
+    throw std::invalid_argument("LogisticClassifier: bad dimensions");
+}
+
+std::vector<float> LogisticClassifier::standardize(
+    std::span<const float> features) const {
+  std::vector<float> out(dim_);
+  for (std::size_t d = 0; d < dim_; ++d)
+    out[d] = (features[d] - mean_[d]) / stddev_[d];
+  return out;
+}
+
+void LogisticClassifier::train(
+    const std::vector<std::vector<float>>& features,
+    std::span<const int> labels, const TrainOptions& options) {
+  if (features.empty() || features.size() != labels.size())
+    throw std::invalid_argument("LogisticClassifier: bad training data");
+
+  // Fit the scaler.
+  std::fill(mean_.begin(), mean_.end(), 0.0f);
+  for (const auto& f : features)
+    for (std::size_t d = 0; d < dim_; ++d) mean_[d] += f[d];
+  for (float& m : mean_) m /= static_cast<float>(features.size());
+  std::vector<float> var(dim_, 0.0f);
+  for (const auto& f : features)
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const float r = f[d] - mean_[d];
+      var[d] += r * r;
+    }
+  for (std::size_t d = 0; d < dim_; ++d)
+    stddev_[d] = std::max(1e-4f, std::sqrt(var[d] /
+                                           static_cast<float>(features.size())));
+
+  std::vector<std::size_t> order(features.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const std::size_t stride = dim_ + 1;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t i : order) {
+      const std::vector<float> x = standardize(features[i]);
+      // Softmax over class scores.
+      std::vector<double> scores(classes_);
+      double max_score = -1e30;
+      for (std::size_t c = 0; c < classes_; ++c) {
+        double s = weights_[c * stride + dim_];
+        for (std::size_t d = 0; d < dim_; ++d)
+          s += weights_[c * stride + d] * x[d];
+        scores[c] = s;
+        max_score = std::max(max_score, s);
+      }
+      double denom = 0.0;
+      for (double& s : scores) {
+        s = std::exp(s - max_score);
+        denom += s;
+      }
+      for (std::size_t c = 0; c < classes_; ++c) {
+        const double p = scores[c] / denom;
+        const double g =
+            p - (static_cast<int>(c) == labels[i] ? 1.0 : 0.0);
+        for (std::size_t d = 0; d < dim_; ++d)
+          weights_[c * stride + d] -=
+              options.lr * static_cast<float>(g * x[d]) +
+              options.lr * options.l2 * weights_[c * stride + d];
+        weights_[c * stride + dim_] -= options.lr * static_cast<float>(g);
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticClassifier::predict_proba(
+    std::span<const float> features) const {
+  const std::vector<float> x = standardize(features);
+  const std::size_t stride = dim_ + 1;
+  std::vector<double> scores(classes_);
+  double max_score = -1e30;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    double s = weights_[c * stride + dim_];
+    for (std::size_t d = 0; d < dim_; ++d)
+      s += weights_[c * stride + d] * x[d];
+    scores[c] = s;
+    max_score = std::max(max_score, s);
+  }
+  double denom = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);
+    denom += s;
+  }
+  for (double& s : scores) s /= denom;
+  return scores;
+}
+
+int LogisticClassifier::predict(std::span<const float> features) const {
+  const auto probs = predict_proba(features);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+}  // namespace netfm::tasks

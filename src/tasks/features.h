@@ -1,0 +1,62 @@
+// Classical flow features + multinomial logistic regression — the
+// "traditional ML with handcrafted features" baseline the paper's
+// data-driven-networking survey implicitly compares against. Useful both
+// as a non-neural baseline in the benchmark suite and as a sanity anchor:
+// if a task is solvable from summary statistics alone, a foundation model
+// brings nothing.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/flow.h"
+
+namespace netfm::tasks {
+
+/// Summary statistics of one flow (the classic NetFlow-style vector).
+struct FlowFeatures {
+  static constexpr std::size_t kDim = 14;
+
+  /// Extracts [log packet count, log bytes up/down, duration, mean/std
+  /// packet size, mean/std inter-arrival, up/down ratio, syn/fin/rst
+  /// presence, mean payload entropy, port class] from a flow.
+  static std::vector<float> extract(const Flow& flow);
+
+  /// Human-readable names of the kDim features (for reports).
+  static const char* name(std::size_t index);
+};
+
+/// Multinomial logistic regression trained by mini-batch SGD with L2.
+class LogisticClassifier {
+ public:
+  LogisticClassifier(std::size_t feature_dim, std::size_t num_classes,
+                     std::uint64_t seed = 5);
+
+  struct TrainOptions {
+    std::size_t epochs = 60;
+    float lr = 0.1f;
+    float l2 = 1e-4f;
+  };
+
+  /// Trains on standardized copies of the features (the scaler is fitted
+  /// here and reused by predict()).
+  void train(const std::vector<std::vector<float>>& features,
+             std::span<const int> labels, const TrainOptions& options);
+  void train(const std::vector<std::vector<float>>& features,
+             std::span<const int> labels) {
+    train(features, labels, TrainOptions{});
+  }
+
+  int predict(std::span<const float> features) const;
+  std::vector<double> predict_proba(std::span<const float> features) const;
+
+ private:
+  std::vector<float> standardize(std::span<const float> features) const;
+
+  std::size_t dim_, classes_;
+  Rng rng_;
+  std::vector<float> weights_;  // [classes, dim + 1] with bias column
+  std::vector<float> mean_, stddev_;
+};
+
+}  // namespace netfm::tasks

@@ -1,0 +1,98 @@
+#include "tasks/ood.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace netfm::tasks {
+
+std::string_view to_string(OodMethod method) noexcept {
+  switch (method) {
+    case OodMethod::kMaxSoftmax: return "max-softmax";
+    case OodMethod::kEnergy: return "energy";
+    case OodMethod::kMahalanobis: return "mahalanobis";
+  }
+  return "?";
+}
+
+MahalanobisDetector::MahalanobisDetector(const core::NetFM& model,
+                                         const FlowDataset& train,
+                                         std::size_t max_seq_len)
+    : model_(&model), max_seq_len_(max_seq_len) {
+  const std::size_t classes = train.num_classes();
+  std::vector<std::size_t> counts(classes, 0);
+  std::vector<std::vector<float>> embeddings;
+  embeddings.reserve(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i)
+    embeddings.push_back(model.embed(train.contexts[i], max_seq_len));
+  const std::size_t dim = embeddings.empty() ? 0 : embeddings[0].size();
+
+  means_.assign(classes, std::vector<double>(dim, 0.0));
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(train.labels[i]);
+    ++counts[cls];
+    for (std::size_t d = 0; d < dim; ++d)
+      means_[cls][d] += embeddings[i][d];
+  }
+  for (std::size_t c = 0; c < classes; ++c)
+    if (counts[c] > 0)
+      for (double& v : means_[c]) v /= static_cast<double>(counts[c]);
+
+  // Shared diagonal covariance of residuals, floored for stability.
+  variance_.assign(dim, 0.0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(train.labels[i]);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double r = embeddings[i][d] - means_[cls][d];
+      variance_[d] += r * r;
+    }
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(train.size()));
+  for (double& v : variance_) v = std::max(v / n, 1e-6);
+}
+
+double MahalanobisDetector::score(
+    const std::vector<std::string>& context) const {
+  const std::vector<float> vec = model_->embed(context, max_seq_len_);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& mean : means_) {
+    if (mean.empty()) continue;
+    double dist = 0.0;
+    for (std::size_t d = 0; d < vec.size(); ++d) {
+      const double r = vec[d] - mean[d];
+      dist += r * r / variance_[d];
+    }
+    best = std::min(best, dist);
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+double ood_score(const core::NetFM& model, OodMethod method,
+                 const std::vector<std::string>& context,
+                 std::size_t max_seq_len,
+                 const MahalanobisDetector* mahalanobis) {
+  switch (method) {
+    case OodMethod::kMaxSoftmax: {
+      const auto probs = model.predict_proba(context, max_seq_len);
+      double max_p = 0.0;
+      for (float p : probs) max_p = std::max<double>(max_p, p);
+      return 1.0 - max_p;
+    }
+    case OodMethod::kEnergy: {
+      const auto logits = model.predict_logits(context, max_seq_len);
+      double max_logit = -std::numeric_limits<double>::infinity();
+      for (float v : logits) max_logit = std::max<double>(max_logit, v);
+      double sum = 0.0;
+      for (float v : logits) sum += std::exp(static_cast<double>(v) - max_logit);
+      const double logsumexp = max_logit + std::log(sum);
+      return -logsumexp;  // E(x) = -logsumexp; higher energy = anomalous
+    }
+    case OodMethod::kMahalanobis:
+      if (!mahalanobis)
+        throw std::invalid_argument("ood_score: detector required");
+      return mahalanobis->score(context);
+  }
+  return 0.0;
+}
+
+}  // namespace netfm::tasks

@@ -1,0 +1,43 @@
+// Out-of-distribution scoring for zero-day detection (§4.3): given a
+// model trained on known traffic, score how anomalous a new flow looks.
+// Three standard detectors over the fine-tuned NetFM:
+//   * max-softmax (Hendrycks & Gimpel): 1 - max class probability,
+//   * energy (Liu et al. 2020): -logsumexp(logits),
+//   * Mahalanobis (Lee et al. 2018): distance to the nearest class
+//     Gaussian in frozen embedding space (diagonal shared covariance).
+#pragma once
+
+#include "core/netfm.h"
+#include "tasks/datasets.h"
+
+namespace netfm::tasks {
+
+enum class OodMethod { kMaxSoftmax, kEnergy, kMahalanobis };
+
+std::string_view to_string(OodMethod method) noexcept;
+
+/// Fitted Mahalanobis detector state.
+class MahalanobisDetector {
+ public:
+  /// Fits class means + shared diagonal variance on in-distribution data.
+  MahalanobisDetector(const core::NetFM& model, const FlowDataset& train,
+                      std::size_t max_seq_len);
+
+  /// Distance to the nearest class mean (higher = more anomalous).
+  double score(const std::vector<std::string>& context) const;
+
+ private:
+  const core::NetFM* model_;
+  std::size_t max_seq_len_;
+  std::vector<std::vector<double>> means_;
+  std::vector<double> variance_;
+};
+
+/// OOD score for one context; higher = more anomalous. kMahalanobis
+/// requires a fitted detector (pass it), the others need only the model.
+double ood_score(const core::NetFM& model, OodMethod method,
+                 const std::vector<std::string>& context,
+                 std::size_t max_seq_len,
+                 const MahalanobisDetector* mahalanobis = nullptr);
+
+}  // namespace netfm::tasks

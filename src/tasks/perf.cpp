@@ -1,0 +1,111 @@
+#include "tasks/perf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netfm::tasks {
+namespace {
+
+/// Gaussian elimination with partial pivoting for the (small) normal
+/// equations. `a` is n x n row-major, `b` length n; returns solution.
+std::vector<double> solve(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col]))
+        pivot = row;
+    if (std::fabs(a[pivot * n + col]) < 1e-12)
+      throw std::runtime_error("RidgeRegressor: singular system");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k)
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k)
+        a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i * n + k] * x[k];
+    x[i] = acc / a[i * n + i];
+  }
+  return x;
+}
+
+}  // namespace
+
+void RidgeRegressor::fit(const std::vector<std::vector<float>>& features,
+                         std::span<const double> targets) {
+  if (features.empty() || features.size() != targets.size())
+    throw std::invalid_argument("RidgeRegressor: bad training data");
+  const std::size_t dim = features[0].size() + 1;  // + bias
+
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> row(dim, 1.0);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t d = 0; d + 1 < dim; ++d) row[d] = features[i][d];
+    row[dim - 1] = 1.0;
+    for (std::size_t a = 0; a < dim; ++a) {
+      xty[a] += row[a] * targets[i];
+      for (std::size_t b = 0; b < dim; ++b) xtx[a * dim + b] += row[a] * row[b];
+    }
+  }
+  for (std::size_t d = 0; d + 1 < dim; ++d) xtx[d * dim + d] += l2_;
+  weights_ = solve(std::move(xtx), std::move(xty));
+}
+
+double RidgeRegressor::predict(std::span<const float> features) const {
+  if (!fitted() || features.size() + 1 != weights_.size())
+    throw std::logic_error("RidgeRegressor: not fitted / dim mismatch");
+  double out = weights_.back();
+  for (std::size_t d = 0; d < features.size(); ++d)
+    out += weights_[d] * features[d];
+  return out;
+}
+
+RegressionResult run_performance_regression(const core::NetFM& model,
+                                            const FlowDataset& train,
+                                            const FlowDataset& eval_set,
+                                            std::size_t max_seq_len,
+                                            double l2) {
+  std::vector<std::vector<float>> train_features;
+  train_features.reserve(train.size());
+  for (const auto& context : train.contexts)
+    train_features.push_back(model.embed(context, max_seq_len));
+
+  RidgeRegressor ridge(l2);
+  ridge.fit(train_features, train.targets);
+
+  double sse = 0.0, sae = 0.0, mean_target = 0.0;
+  for (double t : eval_set.targets) mean_target += t;
+  mean_target /= static_cast<double>(eval_set.targets.size());
+  double sst = 0.0;
+  for (std::size_t i = 0; i < eval_set.size(); ++i) {
+    const auto features = model.embed(eval_set.contexts[i], max_seq_len);
+    const double predicted = ridge.predict(features);
+    const double err = predicted - eval_set.targets[i];
+    sse += err * err;
+    sae += std::fabs(err);
+    const double dev = eval_set.targets[i] - mean_target;
+    sst += dev * dev;
+  }
+  const auto n = static_cast<double>(eval_set.size());
+  RegressionResult result;
+  result.mse = sse / n;
+  result.mae = sae / n;
+  result.r2 = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+  return result;
+}
+
+}  // namespace netfm::tasks

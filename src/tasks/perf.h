@@ -1,0 +1,44 @@
+// Flow performance prediction (the "performance prediction" downstream
+// task of §3.1): regress a flow's eventual downstream volume from its
+// first few packets. Ridge regression on frozen foundation-model
+// embeddings — the "features from pretraining, cheap head on top" usage
+// mode — with closed-form normal-equation solving.
+#pragma once
+
+#include "core/netfm.h"
+#include "tasks/datasets.h"
+
+namespace netfm::tasks {
+
+struct RegressionResult {
+  double mse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;  // 1 - SSE/SST on the eval set
+};
+
+/// Ridge regressor over fixed-size feature vectors.
+class RidgeRegressor {
+ public:
+  explicit RidgeRegressor(double l2 = 1e-2) : l2_(l2) {}
+
+  /// Solves (X'X + l2 I) w = X'y. Features get an implicit bias column.
+  void fit(const std::vector<std::vector<float>>& features,
+           std::span<const double> targets);
+
+  double predict(std::span<const float> features) const;
+  bool fitted() const noexcept { return !weights_.empty(); }
+
+ private:
+  double l2_;
+  std::vector<double> weights_;  // last element is the bias
+};
+
+/// Embeds train/eval contexts with the (frozen) model, fits ridge, and
+/// reports eval metrics.
+RegressionResult run_performance_regression(const core::NetFM& model,
+                                            const FlowDataset& train,
+                                            const FlowDataset& eval_set,
+                                            std::size_t max_seq_len,
+                                            double l2 = 1e-2);
+
+}  // namespace netfm::tasks

@@ -1,0 +1,110 @@
+#include "tokenize/bpe.h"
+
+#include <unordered_map>
+
+namespace netfm::tok {
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> BpeTokenizer::to_symbols(BytesView frame) const {
+  const std::size_t begin =
+      frame.size() > 14 ? std::size_t{14} : std::size_t{0};
+  const std::size_t end = std::min(frame.size(), begin + max_bytes_);
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) symbols.push_back(frame[i]);
+  return symbols;
+}
+
+void BpeTokenizer::train(const std::vector<Bytes>& frames,
+                         std::size_t num_merges) {
+  merges_.clear();
+  composition_.clear();
+  std::vector<std::vector<std::uint32_t>> corpus;
+  corpus.reserve(frames.size());
+  for (const Bytes& f : frames) corpus.push_back(to_symbols(BytesView{f}));
+
+  std::uint32_t next_symbol = 256;
+  for (std::size_t m = 0; m < num_merges; ++m) {
+    // Count adjacent pairs.
+    std::unordered_map<std::uint64_t, std::size_t> counts;
+    for (const auto& seq : corpus)
+      for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+        ++counts[pair_key(seq[i], seq[i + 1])];
+    if (counts.empty()) break;
+
+    // Deterministic argmax: highest count, lowest key breaks ties.
+    std::uint64_t best_key = 0;
+    std::size_t best_count = 0;
+    for (const auto& [key, count] : counts)
+      if (count > best_count || (count == best_count && key < best_key)) {
+        best_key = key;
+        best_count = count;
+      }
+    if (best_count < 2) break;  // nothing left worth merging
+
+    const auto left = static_cast<std::uint32_t>(best_key >> 32);
+    const auto right = static_cast<std::uint32_t>(best_key & 0xffffffff);
+    merges_.push_back({left, right, next_symbol});
+    composition_.emplace_back(left, right);
+
+    // Apply the merge across the corpus.
+    for (auto& seq : corpus) {
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < seq.size(); ++read) {
+        if (read + 1 < seq.size() && seq[read] == left &&
+            seq[read + 1] == right) {
+          seq[write++] = next_symbol;
+          ++read;
+        } else {
+          seq[write++] = seq[read];
+        }
+      }
+      seq.resize(write);
+    }
+    ++next_symbol;
+  }
+}
+
+void BpeTokenizer::apply_merges(std::vector<std::uint32_t>& symbols) const {
+  for (const Merge& merge : merges_) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < symbols.size(); ++read) {
+      if (read + 1 < symbols.size() && symbols[read] == merge.left &&
+          symbols[read + 1] == merge.right) {
+        symbols[write++] = merge.result;
+        ++read;
+      } else {
+        symbols[write++] = symbols[read];
+      }
+    }
+    symbols.resize(write);
+  }
+}
+
+std::vector<std::string> BpeTokenizer::tokenize_packet(BytesView frame) const {
+  std::vector<std::uint32_t> symbols = to_symbols(frame);
+  apply_merges(symbols);
+  std::vector<std::string> out;
+  out.reserve(symbols.size());
+  for (std::uint32_t s : symbols) out.push_back("s" + std::to_string(s));
+  if (out.empty()) out.push_back("s0");
+  return out;
+}
+
+std::string BpeTokenizer::spell(std::uint32_t symbol) const {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  if (symbol < 256) {
+    return {kHexDigits[symbol >> 4], kHexDigits[symbol & 0x0f]};
+  }
+  const std::size_t idx = symbol - 256;
+  if (idx >= composition_.size()) return "?";
+  return spell(composition_[idx].first) + spell(composition_[idx].second);
+}
+
+}  // namespace netfm::tok

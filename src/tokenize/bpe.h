@@ -1,0 +1,53 @@
+// Byte-pair encoding over raw packet bytes — the learned-subword strategy
+// of §4.1.2. Training greedily merges the most frequent adjacent symbol
+// pair (Sennrich et al., 2016) on a sample of packets; encoding replays
+// the merge list in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tokenize/tokenizer.h"
+
+namespace netfm::tok {
+
+class BpeTokenizer final : public Tokenizer {
+ public:
+  /// Symbols are byte values 0..255 initially; each merge creates a new
+  /// symbol id 256+i.
+  struct Merge {
+    std::uint32_t left;
+    std::uint32_t right;
+    std::uint32_t result;
+  };
+
+  explicit BpeTokenizer(std::size_t max_bytes = 48) noexcept
+      : max_bytes_(max_bytes) {}
+
+  /// Learns `num_merges` merges from the given frames (L3-up bytes,
+  /// truncated to max_bytes each, packet boundaries respected).
+  void train(const std::vector<Bytes>& frames, std::size_t num_merges);
+
+  std::string name() const override {
+    return "bpe-" + std::to_string(merges_.size());
+  }
+  std::vector<std::string> tokenize_packet(BytesView frame) const override;
+
+  const std::vector<Merge>& merges() const noexcept { return merges_; }
+
+  /// Human-readable symbol spelling (hex of the underlying bytes).
+  std::string spell(std::uint32_t symbol) const;
+
+ private:
+  std::vector<std::uint32_t> to_symbols(BytesView frame) const;
+  void apply_merges(std::vector<std::uint32_t>& symbols) const;
+
+  std::size_t max_bytes_;
+  std::vector<Merge> merges_;
+  // result symbol -> (left, right) for spelling.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> composition_;
+};
+
+}  // namespace netfm::tok

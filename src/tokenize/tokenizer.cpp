@@ -1,0 +1,268 @@
+#include "tokenize/tokenizer.h"
+
+#include <bit>
+
+#include "common/strings.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/ntp.h"
+#include "net/packet.h"
+#include "net/quic.h"
+#include "net/tls.h"
+
+namespace netfm::tok {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string byte_token(std::uint8_t b) {
+  return {'b', kHexDigits[b >> 4], kHexDigits[b & 0x0f]};
+}
+
+/// Well-known + registered service ports we keep as distinct tokens.
+bool is_service_port(std::uint16_t port) noexcept {
+  if (port <= 1024) return true;
+  switch (port) {
+    case 1883: case 4444: case 5353: case 8080: case 8443:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void add_dns_tokens(std::vector<std::string>& out, BytesView payload) {
+  const auto msg = dns::Message::decode(payload);
+  if (!msg) return;
+  out.push_back(msg->is_response ? "dns_resp" : "dns_query");
+  out.push_back("rcode" + std::to_string(static_cast<int>(msg->rcode)));
+  for (const dns::Question& q : msg->questions) {
+    out.push_back("qtype" + std::to_string(q.type));
+    for (const std::string& label : split(to_lower(q.name), '.'))
+      if (!label.empty()) out.push_back("d_" + label);
+  }
+  if (msg->is_response) {
+    out.push_back(FieldTokenizer::bucket_token("ancount",
+                                               msg->answers.size()));
+    for (const dns::ResourceRecord& rr : msg->answers) {
+      out.push_back("rtype" + std::to_string(rr.type));
+      // "attl" (answer TTL), distinct from the IP-header "ttl" buckets.
+      out.push_back(FieldTokenizer::bucket_token("attl", rr.ttl));
+    }
+  }
+}
+
+void add_http_tokens(std::vector<std::string>& out, BytesView payload) {
+  if (const auto req = http::Request::decode(payload)) {
+    out.push_back("http_req");
+    out.push_back("m_" + to_lower(req->method));
+    const auto path = split(req->target, '/');
+    for (std::size_t i = 1; i < path.size() && i <= 2; ++i)
+      if (!path[i].empty()) out.push_back("u_" + to_lower(path[i]));
+    if (const auto host = http::find_header(req->headers, "host"))
+      for (const std::string& label : split(to_lower(*host), '.'))
+        if (!label.empty()) out.push_back("d_" + label);
+    if (const auto agent = http::find_header(req->headers, "user-agent")) {
+      const auto product = split(*agent, '/');
+      if (!product.empty() && !product[0].empty())
+        out.push_back("ua_" + to_lower(split(product[0], ' ')[0]));
+    }
+    out.push_back(FieldTokenizer::bucket_token("clen", req->body.size()));
+    return;
+  }
+  if (const auto resp = http::Response::decode(payload)) {
+    out.push_back("http_resp");
+    out.push_back("s" + std::to_string(resp->status));
+    if (const auto server = http::find_header(resp->headers, "server")) {
+      const auto product = split(*server, '/');
+      if (!product.empty()) out.push_back("sv_" + to_lower(product[0]));
+    }
+    if (const auto type = http::find_header(resp->headers, "content-type"))
+      out.push_back("ct_" + to_lower(split(*type, ';')[0]));
+    out.push_back(FieldTokenizer::bucket_token("clen", resp->body.size()));
+  }
+}
+
+void add_tls_tokens(std::vector<std::string>& out, BytesView payload) {
+  std::size_t consumed = 0;
+  const auto record = tls::Record::decode(payload, consumed);
+  if (!record) return;
+  switch (record->type) {
+    case tls::ContentType::kHandshake: {
+      const BytesView frag{record->fragment};
+      if (const auto hello = tls::ClientHello::decode_handshake(frag)) {
+        out.push_back("tls_ch");
+        for (const std::string& label :
+             split(to_lower(hello->server_name), '.'))
+          if (!label.empty()) out.push_back("d_" + label);
+        for (std::uint16_t suite : hello->cipher_suites)
+          out.push_back("cs" + std::to_string(suite));
+        for (const std::string& proto : hello->alpn)
+          out.push_back("alpn_" + to_lower(proto));
+        break;
+      }
+      if (const auto hello = tls::ServerHello::decode_handshake(frag)) {
+        out.push_back("tls_sh");
+        out.push_back("cs" + std::to_string(hello->cipher_suite));
+      }
+      break;
+    }
+    case tls::ContentType::kApplicationData:
+      out.push_back("tls_data");
+      out.push_back(
+          FieldTokenizer::bucket_token("rlen", record->fragment.size()));
+      break;
+    case tls::ContentType::kAlert:
+      out.push_back("tls_alert");
+      break;
+    case tls::ContentType::kChangeCipherSpec:
+      out.push_back("tls_ccs");
+      break;
+  }
+}
+
+void add_quic_tokens(std::vector<std::string>& out, BytesView payload) {
+  const auto header = quic::decode(payload);
+  if (!header) return;
+  switch (header->type) {
+    case quic::PacketType::kInitial: out.push_back("quic_init"); break;
+    case quic::PacketType::kZeroRtt: out.push_back("quic_0rtt"); break;
+    case quic::PacketType::kHandshake: out.push_back("quic_hs"); break;
+    case quic::PacketType::kRetry: out.push_back("quic_retry"); break;
+    case quic::PacketType::kShortHeader: out.push_back("quic_1rtt"); break;
+  }
+  if (header->is_long_header()) {
+    out.push_back("qv" + std::to_string(header->version));
+    out.push_back(
+        FieldTokenizer::bucket_token("cidl", header->dcid.size()));
+  }
+  out.push_back(
+      FieldTokenizer::bucket_token("qlen", header->payload_length));
+}
+
+void add_ntp_tokens(std::vector<std::string>& out, BytesView payload) {
+  const auto pkt = ntp::Packet::decode(payload);
+  if (!pkt) return;
+  out.push_back("ntp_mode" +
+                std::to_string(static_cast<int>(pkt->mode)));
+  out.push_back("stratum" + std::to_string(pkt->stratum));
+}
+
+/// First-line textual protocols (SMTP/IMAP/SSH): verb or status token.
+void add_textline_tokens(std::vector<std::string>& out, BytesView payload) {
+  if (payload.empty()) return;
+  std::string_view text(reinterpret_cast<const char*>(payload.data()),
+                        std::min<std::size_t>(payload.size(), 64));
+  const std::size_t eol = text.find('\r');
+  if (eol != std::string_view::npos) text = text.substr(0, eol);
+  bool printable = !text.empty();
+  for (char c : text)
+    if (static_cast<unsigned char>(c) < 0x20 ||
+        static_cast<unsigned char>(c) > 0x7e)
+      printable = false;
+  if (!printable) return;
+  const auto words = split(text, ' ');
+  if (!words.empty() && !words[0].empty() && words[0].size() <= 12)
+    out.push_back("w_" + to_lower(words[0]));
+}
+
+}  // namespace
+
+std::vector<std::string> ByteTokenizer::tokenize_packet(
+    BytesView frame) const {
+  std::vector<std::string> out;
+  // Skip the Ethernet header: MACs are per-trace identifiers, not
+  // transferable structure.
+  const std::size_t begin =
+      frame.size() > 14 ? std::size_t{14} : std::size_t{0};
+  const std::size_t end = std::min(frame.size(), begin + max_bytes_);
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(byte_token(frame[i]));
+  if (out.empty()) out.push_back("b00");
+  return out;
+}
+
+std::string FieldTokenizer::port_token(std::uint16_t port) {
+  return is_service_port(port) ? "p" + std::to_string(port) : "p_eph";
+}
+
+std::string FieldTokenizer::bucket_token(const char* prefix,
+                                         std::uint64_t value) {
+  const int bucket = value == 0 ? 0 : std::bit_width(value);
+  return std::string(prefix) + "_b" + std::to_string(bucket);
+}
+
+std::vector<std::string> FieldTokenizer::tokenize_packet(
+    BytesView frame) const {
+  std::vector<std::string> out;
+  const auto parsed = parse_packet(frame);
+  if (!parsed) {
+    out.push_back("raw");
+    out.push_back(bucket_token("len", frame.size()));
+    return out;
+  }
+
+  if (parsed->tcp) {
+    out.push_back("tcp");
+    if (options_.include_ports) {
+      out.push_back(port_token(parsed->tcp->src_port));
+      out.push_back(port_token(parsed->tcp->dst_port));
+    }
+    std::string flags = "fl_";
+    if (parsed->tcp->has(TcpFlags::kSyn)) flags += 'S';
+    if (parsed->tcp->has(TcpFlags::kAck)) flags += 'A';
+    if (parsed->tcp->has(TcpFlags::kFin)) flags += 'F';
+    if (parsed->tcp->has(TcpFlags::kRst)) flags += 'R';
+    if (parsed->tcp->has(TcpFlags::kPsh)) flags += 'P';
+    out.push_back(std::move(flags));
+  } else if (parsed->udp) {
+    out.push_back("udp");
+    if (options_.include_ports) {
+      out.push_back(port_token(parsed->udp->src_port));
+      out.push_back(port_token(parsed->udp->dst_port));
+    }
+  } else if (parsed->icmp) {
+    out.push_back("icmp");
+    out.push_back("it" + std::to_string(parsed->icmp->type));
+  } else {
+    out.push_back("ipproto" + std::to_string(parsed->ip_protocol()));
+  }
+
+  if (options_.include_ip_meta && parsed->ipv4) {
+    out.push_back(bucket_token("ttl", parsed->ipv4->ttl));
+    out.push_back(bucket_token("len", parsed->ipv4->total_length));
+  }
+
+  if (options_.include_app_fields && !parsed->l4_payload.empty()) {
+    switch (parsed->app) {
+      case AppProtocol::kDns:
+        add_dns_tokens(out, parsed->l4_payload);
+        break;
+      case AppProtocol::kHttp:
+        add_http_tokens(out, parsed->l4_payload);
+        break;
+      case AppProtocol::kTls:
+        add_tls_tokens(out, parsed->l4_payload);
+        break;
+      case AppProtocol::kQuic:
+        add_quic_tokens(out, parsed->l4_payload);
+        break;
+      case AppProtocol::kNtp:
+        add_ntp_tokens(out, parsed->l4_payload);
+        break;
+      case AppProtocol::kSmtp:
+      case AppProtocol::kImap:
+      case AppProtocol::kSsh:
+        add_textline_tokens(out, parsed->l4_payload);
+        out.push_back(bucket_token("plen", parsed->l4_payload.size()));
+        break;
+      case AppProtocol::kUnknown:
+        out.push_back(bucket_token("plen", parsed->l4_payload.size()));
+        break;
+    }
+  }
+
+  if (out.size() > options_.max_tokens) out.resize(options_.max_tokens);
+  return out;
+}
+
+}  // namespace netfm::tok

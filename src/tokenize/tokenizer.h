@@ -1,0 +1,74 @@
+// Tokenizer interface + the two non-learned strategies from §4.1.2:
+//   * ByteTokenizer   — character(byte)-level, protocol-agnostic;
+//   * FieldTokenizer  — protocol-aware, one token per semantic field value
+//     ("tokenize based on protocol format: 4 byte IP address, 2 byte port
+//     number, one byte TCP flag, HTTP fields...").
+// The learned subword strategy (BPE) lives in bpe.h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace netfm::tok {
+
+/// Turns one raw frame into a flat sequence of token strings.
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  /// Strategy name for tables ("byte", "field", "bpe-256", ...).
+  virtual std::string name() const = 0;
+
+  /// Token strings for one frame. Never empty for a parseable frame; raw
+  /// garbage yields length/byte tokens rather than nothing.
+  virtual std::vector<std::string> tokenize_packet(BytesView frame) const = 0;
+};
+
+/// One token per payload/header byte ("b3f"), headers included from L3 up.
+/// `max_bytes` caps tokens per packet (contexts are short; §4.1.3).
+class ByteTokenizer final : public Tokenizer {
+ public:
+  explicit ByteTokenizer(std::size_t max_bytes = 48) noexcept
+      : max_bytes_(max_bytes) {}
+
+  std::string name() const override { return "byte"; }
+  std::vector<std::string> tokenize_packet(BytesView frame) const override;
+
+ private:
+  std::size_t max_bytes_;
+};
+
+/// Protocol-aware field tokenizer. Parses the stack with src/net codecs
+/// and emits one token per field value: transport protocol, ports,
+/// TTL/length buckets, TCP flags, and application fields (DNS qname labels
+/// and types, HTTP method/status/host/UA, TLS SNI + ciphersuites, NTP
+/// mode/stratum). Unparseable packets degrade to coarse length tokens.
+class FieldTokenizer final : public Tokenizer {
+ public:
+  struct Options {
+    bool include_ports = true;
+    bool include_ip_meta = true;    // ttl/length buckets
+    bool include_app_fields = true; // DNS/HTTP/TLS/NTP details
+    std::size_t max_tokens = 48;
+  };
+
+  FieldTokenizer() noexcept = default;
+  explicit FieldTokenizer(Options options) noexcept : options_(options) {}
+
+  std::string name() const override { return "field"; }
+  std::vector<std::string> tokenize_packet(BytesView frame) const override;
+
+  /// Port token ("p443" for well-known/registered, "p_eph" otherwise).
+  static std::string port_token(std::uint16_t port);
+
+  /// Log2 bucket token with a prefix ("len_b7" for 128..255).
+  static std::string bucket_token(const char* prefix, std::uint64_t value);
+
+ private:
+  Options options_;
+};
+
+}  // namespace netfm::tok

@@ -1,0 +1,68 @@
+#include "tokenize/vocab.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netfm::tok {
+
+Vocabulary::Vocabulary() {
+  for (const char* s : {"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"})
+    add(s);
+}
+
+int Vocabulary::add(std::string_view token) {
+  const auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int Vocabulary::id(std::string_view token) const noexcept {
+  const auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+bool Vocabulary::contains(std::string_view token) const noexcept {
+  return ids_.count(std::string(token)) > 0;
+}
+
+const std::string& Vocabulary::token(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= tokens_.size())
+    throw std::out_of_range("Vocabulary: bad token id " + std::to_string(id));
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Vocabulary::encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> out;
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) out.push_back(id(t));
+  return out;
+}
+
+Vocabulary Vocabulary::build(
+    const std::vector<std::vector<std::string>>& corpus,
+    std::size_t max_size) {
+  std::unordered_map<std::string, std::size_t> freq;
+  for (const auto& seq : corpus)
+    for (const std::string& t : seq) ++freq[t];
+
+  std::vector<std::pair<std::string, std::size_t>> ranked(freq.begin(),
+                                                          freq.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  Vocabulary vocab;
+  const std::size_t keep =
+      max_size == 0 ? ranked.size()
+                    : (max_size > kNumSpecial ? max_size - kNumSpecial : 0);
+  for (std::size_t i = 0; i < ranked.size() && i < keep; ++i)
+    vocab.add(ranked[i].first);
+  return vocab;
+}
+
+}  // namespace netfm::tok

@@ -1,0 +1,53 @@
+// Token vocabulary with BERT-style special tokens. Ids are dense and
+// stable; [PAD]=0 so zero-initialized id buffers are valid padding.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace netfm::tok {
+
+class Vocabulary {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kCls = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kNumSpecial = 5;
+
+  /// Creates a vocabulary holding only the special tokens.
+  Vocabulary();
+
+  /// Adds a token if absent; returns its id either way.
+  int add(std::string_view token);
+
+  /// Id lookup; kUnk if absent.
+  int id(std::string_view token) const noexcept;
+
+  /// True if the token is known.
+  bool contains(std::string_view token) const noexcept;
+
+  /// Token string for an id ("[UNK]" etc. for specials).
+  const std::string& token(int id) const;
+
+  std::size_t size() const noexcept { return tokens_.size(); }
+
+  /// Encodes a token-string sequence to ids (unknowns -> kUnk).
+  std::vector<int> encode(const std::vector<std::string>& tokens) const;
+
+  /// Builds a vocabulary from a token corpus, keeping the `max_size -
+  /// kNumSpecial` most frequent tokens (ties broken lexicographically for
+  /// determinism). max_size = 0 keeps everything.
+  static Vocabulary build(const std::vector<std::vector<std::string>>& corpus,
+                          std::size_t max_size = 0);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace netfm::tok

@@ -1,0 +1,676 @@
+#include "trafficgen/apps.h"
+
+#include "net/dns.h"
+#include "net/quic.h"
+#include "net/http.h"
+#include "net/ntp.h"
+#include "net/tls.h"
+
+namespace netfm::gen {
+namespace {
+
+/// Base-36 random token of length n (paths, boundary ids, tunnel labels).
+std::string random_token(Rng& rng, std::size_t n) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(kAlphabet[rng.uniform(36)]);
+  return out;
+}
+
+Session start_session(AppClass app, const Host& client, double start) {
+  Session s;
+  s.app = app;
+  s.device = client.device;
+  s.threat = ThreatClass::kBenign;
+  s.start_time = start;
+  return s;
+}
+
+dns::Message dns_query(Rng& rng, const std::string& name,
+                       dns::Type type = dns::Type::kA) {
+  dns::Message q;
+  q.id = static_cast<std::uint16_t>(rng.next());
+  q.recursion_desired = true;
+  q.questions.push_back(
+      {name, static_cast<std::uint16_t>(type), 1});
+  return q;
+}
+
+/// Builds the response for `query` with the answer shape characteristic
+/// of the target's service category (the structure E1's label transfer
+/// rides on): media = CDN CNAME chain + low TTL, commerce = single A +
+/// medium TTL, info = single A + high TTL, social = multiple A records.
+dns::Message dns_answer(const dns::Message& query, const Server& target,
+                        Rng& rng) {
+  dns::Message a = query;
+  a.is_response = true;
+  a.recursion_available = true;
+  const std::string& name = query.questions.front().name;
+
+  // Per-category answer tendencies. Within a site the domain name alone
+  // determines the category (a shortcut feature); the answer shape is the
+  // transferable signal. Which of the two a supervised model ends up
+  // relying on — and what happens when the shortcut breaks across sites —
+  // is what E1 measures.
+  double cname_p = 0.05, multi_p = 0.05;
+  std::uint32_t ttl_lo = 60, ttl_span = 600;
+  switch (target.category) {
+    case ServiceCategory::kMedia:
+      cname_p = 0.85;
+      ttl_lo = 10;
+      ttl_span = 50;  // 10..60s: CDN-style churn
+      break;
+    case ServiceCategory::kCommerce:
+      ttl_lo = 60;
+      ttl_span = 240;  // 1..5 min
+      break;
+    case ServiceCategory::kInfo:
+      ttl_lo = 3600;
+      ttl_span = 10800;  // 1..4 h: stable infrastructure
+      break;
+    case ServiceCategory::kSocial:
+    case ServiceCategory::kCount:
+      multi_p = 0.8;
+      ttl_lo = 30;
+      ttl_span = 90;
+      break;
+  }
+  const auto ttl =
+      static_cast<std::uint32_t>(ttl_lo + rng.uniform(ttl_span));
+  if (rng.chance(cname_p)) {
+    const std::string edge = "edge" + std::to_string(rng.uniform(8)) +
+                             ".cdn." + name.substr(name.find('.') + 1);
+    a.answers.push_back(dns::ResourceRecord::cname(name, edge, ttl));
+    a.answers.push_back(dns::ResourceRecord::a(edge, target.ip, ttl));
+  } else if (rng.chance(multi_p)) {
+    const std::size_t count = 2 + rng.uniform(3);
+    for (std::size_t i = 0; i < count; ++i)
+      a.answers.push_back(dns::ResourceRecord::a(
+          name, Ipv4Addr{target.ip.value + static_cast<std::uint32_t>(i)},
+          ttl));
+  } else {
+    a.answers.push_back(dns::ResourceRecord::a(name, target.ip, ttl));
+  }
+  return a;
+}
+
+/// Random bytes that mimic ciphertext (uniform, high entropy).
+Bytes opaque_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+}  // namespace
+
+Session make_dns_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kDns, client, start);
+  Endpoints ep{client, ctx.world.dns_resolver(), ephemeral_port(ctx.rng), 53};
+  s.tuple = make_tuple(ep, IpProto::kUdp);
+
+  // One target domain per session (so the flow has a single service
+  // label); clients sometimes follow the A lookup with an AAAA.
+  const Server& target = ctx.world.pick_web_server(ctx.rng);
+  s.service = target.category;
+  std::vector<AppMessage> msgs;
+  const auto q = dns_query(ctx.rng, target.domain);
+  const auto a = dns_answer(q, target, ctx.rng);
+  msgs.push_back({true, q.encode(), 0.0});
+  msgs.push_back({false, a.encode(), 0.0});
+  if (ctx.rng.chance(0.4)) {
+    auto q6 = dns_query(ctx.rng, target.domain, dns::Type::kAaaa);
+    dns::Message a6 = q6;
+    a6.is_response = true;
+    a6.recursion_available = true;  // empty answer: v4-only service
+    msgs.push_back({true, q6.encode(), 0.02});
+    msgs.push_back({false, a6.encode(), 0.0});
+  }
+  s.packets = build_udp_exchange(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_web_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kWeb, client, start);
+  // Plain-HTTP browsing skews toward info sites.
+  const Server& server =
+      ctx.world.pick_web_server(ctx.rng, ServiceCategory::kInfo, 0.7);
+  s.service = server.category;
+  Endpoints ep{client, server, ephemeral_port(ctx.rng), 80};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  const auto& agents = ctx.world.profile().user_agents;
+  const std::string agent = agents[ctx.rng.uniform(agents.size())];
+
+  std::vector<AppMessage> msgs;
+  const std::size_t fetches = 1 + ctx.rng.uniform(4);
+  for (std::size_t i = 0; i < fetches; ++i) {
+    http::Request req;
+    req.method = ctx.rng.chance(0.15) ? "POST" : "GET";
+    req.target = i == 0 ? "/" : "/assets/" + random_token(ctx.rng, 8) +
+                                    (ctx.rng.chance(0.5) ? ".js" : ".css");
+    req.headers = {{"Host", server.domain},
+                   {"User-Agent", agent},
+                   {"Accept", "*/*"},
+                   {"Connection", i + 1 == fetches ? "close" : "keep-alive"}};
+    if (req.method == "POST") {
+      req.body = opaque_bytes(ctx.rng, 64 + ctx.rng.uniform(256));
+      req.headers.emplace_back("Content-Type",
+                               "application/x-www-form-urlencoded");
+    }
+
+    http::Response resp;
+    resp.status = ctx.rng.chance(0.9) ? 200 : (ctx.rng.chance(0.5) ? 404 : 304);
+    resp.reason = http::default_reason(resp.status);
+    const std::size_t body_size =
+        resp.status == 200 ? 500 + ctx.rng.uniform(8000) : 0;
+    resp.body = opaque_bytes(ctx.rng, body_size);
+    resp.headers = {{"Server", "nginx/1.18.0"},
+                    {"Content-Type", i == 0 ? "text/html" : "text/plain"},
+                    {"Content-Length", std::to_string(body_size)}};
+
+    msgs.push_back({true, req.encode(), i == 0 ? 0.0 : 0.2});
+    msgs.push_back({false, resp.encode(), 0.01});
+  }
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_tls_web_session(AppContext& ctx, const Host& client,
+                             double start) {
+  Session s = start_session(AppClass::kTlsWeb, client, start);
+  // HTTPS browsing skews toward commerce and social destinations.
+  const ServiceCategory preferred = ctx.rng.chance(0.5)
+                                        ? ServiceCategory::kCommerce
+                                        : ServiceCategory::kSocial;
+  const Server& server = ctx.world.pick_web_server(ctx.rng, preferred, 0.7);
+  s.service = server.category;
+  Endpoints ep{client, server, ephemeral_port(ctx.rng), 443};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  const auto& suites = ctx.world.profile().tls_suites;
+  tls::ClientHello hello;
+  for (auto& b : hello.random) b = static_cast<std::uint8_t>(ctx.rng.next());
+  // Client offers a site-specific ordered subset.
+  const std::size_t offer = 2 + ctx.rng.uniform(suites.size() - 1);
+  hello.cipher_suites.assign(suites.begin(), suites.begin() + offer);
+  hello.server_name = server.domain;
+  hello.alpn = {"h2", "http/1.1"};
+  hello.supported_versions = {0x0304, 0x0303};
+
+  tls::ServerHello server_hello;
+  for (auto& b : server_hello.random)
+    b = static_cast<std::uint8_t>(ctx.rng.next());
+  // Servers pick among the client's top preferences (real deployments
+  // differ in their own orderings), so sibling suites like 49199/49200
+  // appear interchangeably in the chosen-suite slot.
+  server_hello.cipher_suite = hello.cipher_suites[ctx.rng.uniform(
+      std::min<std::size_t>(2, hello.cipher_suites.size()))];
+
+  std::vector<AppMessage> msgs;
+  msgs.push_back({true, hello.encode_record(), 0.0});
+  msgs.push_back({false, server_hello.encode_record(), 0.0});
+  const std::size_t exchanges = 2 + ctx.rng.uniform(5);
+  for (std::size_t i = 0; i < exchanges; ++i) {
+    msgs.push_back({true,
+                    tls::application_data_record(
+                        100 + ctx.rng.uniform(500), ctx.rng.next()),
+                    0.05});
+    msgs.push_back({false,
+                    tls::application_data_record(
+                        800 + ctx.rng.uniform(6000), ctx.rng.next()),
+                    0.01});
+  }
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_ntp_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kNtp, client, start);
+  Endpoints ep{client, ctx.world.ntp_server(), ephemeral_port(ctx.rng), 123};
+  s.tuple = make_tuple(ep, IpProto::kUdp);
+
+  ntp::Packet poll;
+  poll.mode = ntp::Mode::kClient;
+  poll.transmit_ts = ntp::to_ntp_timestamp(1700000000.0 + start);
+
+  ntp::Packet reply;
+  reply.mode = ntp::Mode::kServer;
+  reply.stratum = 2;
+  reply.reference_id = 0x47505300;  // "GPS"
+  reply.origin_ts = poll.transmit_ts;
+  reply.receive_ts = ntp::to_ntp_timestamp(1700000000.0 + start + 0.004);
+  reply.transmit_ts = ntp::to_ntp_timestamp(1700000000.0 + start + 0.0041);
+
+  std::vector<AppMessage> msgs = {{true, poll.encode(), 0.0},
+                                  {false, reply.encode(), 0.0}};
+  s.packets = build_udp_exchange(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_mail_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kMail, client, start);
+  Endpoints ep{client, ctx.world.mail_server(), ephemeral_port(ctx.rng), 587};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  auto line = [](std::string text) {
+    text += "\r\n";
+    return Bytes(text.begin(), text.end());
+  };
+  const std::string site = ctx.world.profile().name;
+  std::vector<AppMessage> msgs;
+  msgs.push_back({false, line("220 mail." + site + ".lan ESMTP ready"), 0.0});
+  msgs.push_back({true, line("EHLO client." + site + ".lan"), 0.02});
+  msgs.push_back({false, line("250-mail." + site + ".lan\r\n250 STARTTLS"), 0.0});
+  msgs.push_back({true, line("MAIL FROM:<user" +
+                             std::to_string(ctx.rng.uniform(50)) + "@" + site +
+                             ".lan>"), 0.02});
+  msgs.push_back({false, line("250 OK"), 0.0});
+  msgs.push_back({true, line("RCPT TO:<peer" +
+                             std::to_string(ctx.rng.uniform(50)) +
+                             "@example.com>"), 0.01});
+  msgs.push_back({false, line("250 OK"), 0.0});
+  msgs.push_back({true, line("DATA"), 0.01});
+  msgs.push_back({false, line("354 End data with <CR><LF>.<CR><LF>"), 0.0});
+  std::string body = "Subject: report " + random_token(ctx.rng, 6) +
+                     "\r\n\r\n" + random_token(ctx.rng, 200) + "\r\n.";
+  msgs.push_back({true, line(std::move(body)), 0.1});
+  msgs.push_back({false, line("250 OK: queued"), 0.0});
+  msgs.push_back({true, line("QUIT"), 0.01});
+  msgs.push_back({false, line("221 Bye"), 0.0});
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_imap_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kImap, client, start);
+  Endpoints ep{client, ctx.world.mail_server(), ephemeral_port(ctx.rng), 143};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  auto line = [](std::string text) {
+    text += "\r\n";
+    return Bytes(text.begin(), text.end());
+  };
+  const std::string user = "user" + std::to_string(ctx.rng.uniform(50));
+  std::vector<AppMessage> msgs;
+  msgs.push_back({false, line("* OK IMAP4rev1 ready"), 0.0});
+  msgs.push_back({true, line("a1 LOGIN " + user + " " +
+                             random_token(ctx.rng, 10)), 0.02});
+  msgs.push_back({false, line("a1 OK LOGIN completed"), 0.0});
+  msgs.push_back({true, line("a2 SELECT INBOX"), 0.02});
+  msgs.push_back({false, line("* " + std::to_string(ctx.rng.uniform(40)) +
+                              " EXISTS\r\na2 OK [READ-WRITE] SELECT done"),
+                  0.0});
+  msgs.push_back({true, line("a3 FETCH 1:5 (FLAGS RFC822.SIZE)"), 0.05});
+  msgs.push_back({false, line("* 1 FETCH (FLAGS (\\Seen) RFC822.SIZE " +
+                              std::to_string(500 + ctx.rng.uniform(9000)) +
+                              ")\r\na3 OK FETCH done"), 0.0});
+  msgs.push_back({true, line("a4 LOGOUT"), 0.02});
+  msgs.push_back({false, line("* BYE\r\na4 OK LOGOUT done"), 0.0});
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_ssh_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kSsh, client, start);
+  Endpoints ep{client, ctx.world.ssh_server(), ephemeral_port(ctx.rng), 22};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  auto line = [](std::string text) {
+    text += "\r\n";
+    return Bytes(text.begin(), text.end());
+  };
+  std::vector<AppMessage> msgs;
+  msgs.push_back({true, line("SSH-2.0-OpenSSH_8.9p1"), 0.0});
+  msgs.push_back({false, line("SSH-2.0-OpenSSH_8.4p1 Debian-5"), 0.0});
+  // Key exchange + interactive channel modeled as opaque records whose
+  // sizes follow the small-keystroke / larger-echo pattern.
+  msgs.push_back({true, opaque_bytes(ctx.rng, 1200), 0.01});
+  msgs.push_back({false, opaque_bytes(ctx.rng, 1100), 0.01});
+  const std::size_t keystroke_bursts = 5 + ctx.rng.uniform(20);
+  for (std::size_t i = 0; i < keystroke_bursts; ++i) {
+    msgs.push_back({true, opaque_bytes(ctx.rng, 36 + ctx.rng.uniform(8)),
+                    0.1 + ctx.rng.exponential(3.0)});
+    msgs.push_back({false, opaque_bytes(ctx.rng, 36 + ctx.rng.uniform(400)),
+                    0.01});
+  }
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_video_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kVideo, client, start);
+  // Streaming overwhelmingly targets media domains.
+  const Server& server =
+      ctx.world.pick_web_server(ctx.rng, ServiceCategory::kMedia, 0.8);
+  s.service = server.category;
+  Endpoints ep{client, server, ephemeral_port(ctx.rng), 443};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  tls::ClientHello hello;
+  for (auto& b : hello.random) b = static_cast<std::uint8_t>(ctx.rng.next());
+  hello.cipher_suites = ctx.world.profile().tls_suites;
+  hello.server_name = "video." + server.domain.substr(4);  // strip "www."
+  hello.alpn = {"h2"};
+  hello.supported_versions = {0x0304};
+  tls::ServerHello server_hello;
+  server_hello.cipher_suite = hello.cipher_suites.front();
+
+  std::vector<AppMessage> msgs;
+  msgs.push_back({true, hello.encode_record(), 0.0});
+  msgs.push_back({false, server_hello.encode_record(), 0.0});
+  // Segment requests every ~2s with large downstream bursts.
+  const std::size_t segments = 4 + ctx.rng.uniform(8);
+  for (std::size_t i = 0; i < segments; ++i) {
+    msgs.push_back({true,
+                    tls::application_data_record(
+                        150 + ctx.rng.uniform(100), ctx.rng.next()),
+                    i == 0 ? 0.02 : 2.0});
+    const std::size_t burst = 2 + ctx.rng.uniform(4);
+    for (std::size_t j = 0; j < burst; ++j)
+      msgs.push_back({false,
+                      tls::application_data_record(
+                          8000 + ctx.rng.uniform(8000), ctx.rng.next()),
+                      0.005});
+  }
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_iot_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kIotTelemetry, client, start);
+  const Server& server = ctx.world.web_servers().front();  // fixed cloud
+  s.service = server.category;
+  Endpoints ep{client, server, ephemeral_port(ctx.rng), 8080};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  http::Request req;
+  req.method = "POST";
+  req.target = "/v1/telemetry";
+  const std::string reading =
+      "{\"device\":\"" + std::string(to_string(client.device)) +
+      "\",\"temp\":" + std::to_string(18 + ctx.rng.uniform(10)) +
+      ",\"seq\":" + std::to_string(ctx.rng.uniform(100000)) + "}";
+  req.body.assign(reading.begin(), reading.end());
+  req.headers = {{"Host", server.domain},
+                 {"User-Agent", "iot-agent/1.2"},
+                 {"Content-Type", "application/json"}};
+  http::Response resp;
+  resp.status = 204;
+  resp.reason = http::default_reason(204);
+  resp.headers = {{"Server", "cloud-ingest"}, {"Content-Length", "0"}};
+
+  std::vector<AppMessage> msgs = {{true, req.encode(), 0.0},
+                                  {false, resp.encode(), 0.0}};
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_quic_session(AppContext& ctx, const Host& client, double start) {
+  Session s = start_session(AppClass::kQuicWeb, client, start);
+  // QUIC browsing targets the same destination mix as HTTPS.
+  const ServiceCategory preferred = ctx.rng.chance(0.5)
+                                        ? ServiceCategory::kCommerce
+                                        : ServiceCategory::kSocial;
+  const Server& server = ctx.world.pick_web_server(ctx.rng, preferred, 0.6);
+  s.service = server.category;
+  Endpoints ep{client, server, ephemeral_port(ctx.rng), 443};
+  s.tuple = make_tuple(ep, IpProto::kUdp);
+
+  auto cid = [&](std::size_t n) { return opaque_bytes(ctx.rng, n); };
+  const Bytes client_dcid = cid(8);
+  const Bytes server_cid = cid(8);
+
+  std::vector<AppMessage> msgs;
+  // Client Initial is padded toward 1200 bytes (RFC 9000 §14.1).
+  quic::Header client_initial;
+  client_initial.type = quic::PacketType::kInitial;
+  client_initial.dcid = client_dcid;
+  client_initial.scid = cid(8);
+  msgs.push_back(
+      {true,
+       quic::encode_long_header(client_initial,
+                                BytesView{opaque_bytes(ctx.rng, 1180)}),
+       0.0});
+  quic::Header server_initial;
+  server_initial.type = quic::PacketType::kInitial;
+  server_initial.dcid = client_initial.scid;
+  server_initial.scid = server_cid;
+  msgs.push_back(
+      {false,
+       quic::encode_long_header(server_initial,
+                                BytesView{opaque_bytes(ctx.rng, 150)}),
+       0.0});
+  quic::Header handshake;
+  handshake.type = quic::PacketType::kHandshake;
+  handshake.dcid = client_initial.scid;
+  handshake.scid = server_cid;
+  msgs.push_back(
+      {false,
+       quic::encode_long_header(handshake,
+                                BytesView{opaque_bytes(ctx.rng, 900)}),
+       0.005});
+
+  // 1-RTT application data: request/response bursts.
+  const std::size_t exchanges = 2 + ctx.rng.uniform(5);
+  for (std::size_t i = 0; i < exchanges; ++i) {
+    msgs.push_back(
+        {true,
+         quic::encode_short_header(
+             BytesView{server_cid},
+             BytesView{opaque_bytes(ctx.rng, 80 + ctx.rng.uniform(300))}),
+         0.05});
+    msgs.push_back(
+        {false,
+         quic::encode_short_header(
+             BytesView{client_dcid},
+             BytesView{opaque_bytes(ctx.rng, 700 + ctx.rng.uniform(600))}),
+         0.01});
+  }
+  s.packets = build_udp_exchange(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_app_session(AppClass app, AppContext& ctx, const Host& client,
+                         double start) {
+  switch (app) {
+    case AppClass::kWeb: return make_web_session(ctx, client, start);
+    case AppClass::kTlsWeb: return make_tls_web_session(ctx, client, start);
+    case AppClass::kDns: return make_dns_session(ctx, client, start);
+    case AppClass::kNtp: return make_ntp_session(ctx, client, start);
+    case AppClass::kMail: return make_mail_session(ctx, client, start);
+    case AppClass::kImap: return make_imap_session(ctx, client, start);
+    case AppClass::kSsh: return make_ssh_session(ctx, client, start);
+    case AppClass::kVideo: return make_video_session(ctx, client, start);
+    case AppClass::kIotTelemetry: return make_iot_session(ctx, client, start);
+    case AppClass::kQuicWeb: return make_quic_session(ctx, client, start);
+    case AppClass::kCount: break;
+  }
+  return make_web_session(ctx, client, start);
+}
+
+Session make_port_scan(AppContext& ctx, const Host& attacker, double start) {
+  Session s = start_session(AppClass::kWeb, attacker, start);
+  s.threat = ThreatClass::kPortScan;
+  const Server& target = ctx.world.pick_web_server(ctx.rng);
+  const std::uint16_t src_port = ephemeral_port(ctx.rng);
+  s.tuple = FiveTuple{attacker.ip, target.ip, src_port, 1,
+                      static_cast<std::uint8_t>(IpProto::kTcp)};
+
+  double clock = start;
+  const std::size_t ports = 40 + ctx.rng.uniform(60);
+  for (std::size_t i = 0; i < ports; ++i) {
+    const auto dst_port = static_cast<std::uint16_t>(1 + ctx.rng.uniform(1024));
+    Ipv4Header ip;
+    ip.src = attacker.ip;
+    ip.dst = target.ip;
+    ip.ttl = ctx.path.client_ttl;
+    ip.identification = static_cast<std::uint16_t>(ctx.rng.next());
+    TcpHeader syn;
+    syn.src_port = src_port;
+    syn.dst_port = dst_port;
+    syn.seq = static_cast<std::uint32_t>(ctx.rng.next());
+    syn.flags = TcpFlags::kSyn;
+    Packet pkt;
+    pkt.timestamp = clock;
+    pkt.frame = build_tcp_frame(attacker.mac, target.mac, ip, syn, {});
+    s.packets.push_back(std::move(pkt));
+
+    // Closed ports answer RST; open ones (rare) SYN-ACK.
+    const bool open = ctx.rng.chance(0.05);
+    Ipv4Header rip;
+    rip.src = target.ip;
+    rip.dst = attacker.ip;
+    rip.ttl = ctx.path.server_ttl;
+    rip.identification = static_cast<std::uint16_t>(ctx.rng.next());
+    TcpHeader reply;
+    reply.src_port = dst_port;
+    reply.dst_port = src_port;
+    reply.seq = open ? static_cast<std::uint32_t>(ctx.rng.next()) : 0;
+    reply.ack = syn.seq + 1;
+    reply.flags = open ? (TcpFlags::kSyn | TcpFlags::kAck)
+                       : (TcpFlags::kRst | TcpFlags::kAck);
+    Packet rpkt;
+    rpkt.timestamp = clock + ctx.path.sample_delay(ctx.rng);
+    rpkt.frame = build_tcp_frame(target.mac, attacker.mac, rip, reply, {});
+    s.packets.push_back(std::move(rpkt));
+    clock += 0.002 + ctx.rng.exponential(200.0);
+  }
+  return s;
+}
+
+Session make_syn_flood(AppContext& ctx, const Host& attacker, double start) {
+  Session s = start_session(AppClass::kWeb, attacker, start);
+  s.threat = ThreatClass::kSynFlood;
+  const Server& target = ctx.world.pick_web_server(ctx.rng);
+  const std::uint16_t src_base = ephemeral_port(ctx.rng);
+  s.tuple = FiveTuple{attacker.ip, target.ip, src_base, 443,
+                      static_cast<std::uint8_t>(IpProto::kTcp)};
+
+  double clock = start;
+  const std::size_t count = 150 + ctx.rng.uniform(150);
+  for (std::size_t i = 0; i < count; ++i) {
+    Ipv4Header ip;
+    ip.src = attacker.ip;
+    ip.dst = target.ip;
+    ip.ttl = static_cast<std::uint8_t>(40 + ctx.rng.uniform(80));
+    ip.identification = static_cast<std::uint16_t>(ctx.rng.next());
+    TcpHeader syn;
+    syn.src_port = static_cast<std::uint16_t>(
+        1024 + ctx.rng.uniform(60000));
+    syn.dst_port = 443;
+    syn.seq = static_cast<std::uint32_t>(ctx.rng.next());
+    syn.flags = TcpFlags::kSyn;
+    syn.window = static_cast<std::uint16_t>(512 + ctx.rng.uniform(1024));
+    Packet pkt;
+    pkt.timestamp = clock;
+    pkt.frame = build_tcp_frame(attacker.mac, target.mac, ip, syn, {});
+    s.packets.push_back(std::move(pkt));
+    clock += ctx.rng.exponential(2000.0);  // ~2000 pps
+  }
+  return s;
+}
+
+Session make_dns_tunnel(AppContext& ctx, const Host& attacker, double start) {
+  Session s = start_session(AppClass::kDns, attacker, start);
+  s.threat = ThreatClass::kDnsTunnel;
+  Endpoints ep{attacker, ctx.world.dns_resolver(), ephemeral_port(ctx.rng),
+               53};
+  s.tuple = make_tuple(ep, IpProto::kUdp);
+
+  std::vector<AppMessage> msgs;
+  const std::string apex = "exfil-" + random_token(ctx.rng, 4) + ".xyz";
+  const std::size_t chunks = 10 + ctx.rng.uniform(30);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    // Long, high-entropy labels: the tunnel's data channel.
+    const std::string name = random_token(ctx.rng, 30) + "." +
+                             random_token(ctx.rng, 30) + "." + apex;
+    auto q = dns_query(ctx.rng, name, dns::Type::kTxt);
+    dns::Message a = q;
+    a.is_response = true;
+    a.recursion_available = true;
+    dns::ResourceRecord txt;
+    txt.name = name;
+    txt.type = static_cast<std::uint16_t>(dns::Type::kTxt);
+    txt.ttl = 1;
+    txt.rdata_name = random_token(ctx.rng, 60);
+    a.answers.push_back(std::move(txt));
+    msgs.push_back({true, q.encode(), i == 0 ? 0.0 : 0.2});
+    msgs.push_back({false, a.encode(), 0.0});
+  }
+  s.packets = build_udp_exchange(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_c2_beacon(AppContext& ctx, const Host& attacker, double start) {
+  Session s = start_session(AppClass::kTlsWeb, attacker, start);
+  s.threat = ThreatClass::kC2Beacon;
+  const Server& controller = ctx.world.web_servers().back();
+  Endpoints ep{attacker, controller, ephemeral_port(ctx.rng), 4444};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  tls::ClientHello hello;
+  for (auto& b : hello.random) b = static_cast<std::uint8_t>(ctx.rng.next());
+  hello.cipher_suites = {0x002f, 0x0035};  // dated, weak offer
+  hello.server_name = random_token(ctx.rng, 12) + ".top";
+  hello.supported_versions = {0x0303};
+  tls::ServerHello server_hello;
+  server_hello.cipher_suite = 0x002f;
+
+  std::vector<AppMessage> msgs;
+  msgs.push_back({true, hello.encode_record(), 0.0});
+  msgs.push_back({false, server_hello.encode_record(), 0.0});
+  const std::size_t beacons = 8 + ctx.rng.uniform(8);
+  for (std::size_t i = 0; i < beacons; ++i) {
+    // Fixed-size check-in, tiny tasking reply, metronomic timing.
+    msgs.push_back({true, tls::application_data_record(256, ctx.rng.next()),
+                    5.0 + ctx.rng.uniform_real(-0.05, 0.05)});
+    msgs.push_back({false, tls::application_data_record(64, ctx.rng.next()),
+                    0.0});
+  }
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_ssh_bruteforce(AppContext& ctx, const Host& attacker,
+                            double start) {
+  Session s = start_session(AppClass::kSsh, attacker, start);
+  s.threat = ThreatClass::kSshBruteForce;
+  Endpoints ep{attacker, ctx.world.ssh_server(), ephemeral_port(ctx.rng), 22};
+  s.tuple = make_tuple(ep, IpProto::kTcp);
+
+  auto line = [](std::string text) {
+    text += "\r\n";
+    return Bytes(text.begin(), text.end());
+  };
+  // Many rapid short auth attempts multiplexed in one capture session.
+  std::vector<AppMessage> msgs;
+  msgs.push_back({true, line("SSH-2.0-libssh_0.9.6"), 0.0});
+  msgs.push_back({false, line("SSH-2.0-OpenSSH_8.4p1 Debian-5"), 0.0});
+  const std::size_t attempts = 20 + ctx.rng.uniform(30);
+  for (std::size_t i = 0; i < attempts; ++i) {
+    msgs.push_back({true, opaque_bytes(ctx.rng, 64), 0.3});
+    msgs.push_back({false, opaque_bytes(ctx.rng, 32), 0.0});
+  }
+  s.packets = build_tcp_conversation(ep, msgs, start, ctx.path, ctx.rng);
+  return s;
+}
+
+Session make_attack_session(ThreatClass threat, AppContext& ctx,
+                            const Host& attacker, double start) {
+  switch (threat) {
+    case ThreatClass::kPortScan: return make_port_scan(ctx, attacker, start);
+    case ThreatClass::kSynFlood: return make_syn_flood(ctx, attacker, start);
+    case ThreatClass::kDnsTunnel: return make_dns_tunnel(ctx, attacker, start);
+    case ThreatClass::kC2Beacon: return make_c2_beacon(ctx, attacker, start);
+    case ThreatClass::kSshBruteForce:
+      return make_ssh_bruteforce(ctx, attacker, start);
+    case ThreatClass::kBenign:
+    case ThreatClass::kCount:
+      break;
+  }
+  return make_port_scan(ctx, attacker, start);
+}
+
+}  // namespace netfm::gen

@@ -1,0 +1,77 @@
+// Application session models. Each synthesizer produces one labeled
+// Session for a (client, world, start time) triple, using the real codecs
+// from src/net so the wire bytes are well-formed protocol messages, not
+// random filler — that is what gives the traffic its learnable semantics.
+#pragma once
+
+#include "trafficgen/session.h"
+
+namespace netfm::gen {
+
+/// Shared inputs every app model receives.
+struct AppContext {
+  const World& world;
+  PathModel path;
+  Rng& rng;
+};
+
+/// DNS: one or more query/response pairs to the site resolver. Domains are
+/// Zipf-popular; responses carry A records (sometimes CNAME chains).
+Session make_dns_session(AppContext& ctx, const Host& client, double start);
+
+/// Plain HTTP browsing: GET page + a few asset fetches on one connection.
+Session make_web_session(AppContext& ctx, const Host& client, double start);
+
+/// HTTPS browsing: TLS handshake (ClientHello with SNI/ALPN) + app data.
+Session make_tls_web_session(AppContext& ctx, const Host& client,
+                             double start);
+
+/// NTP: client poll, server reply.
+Session make_ntp_session(AppContext& ctx, const Host& client, double start);
+
+/// SMTP submission: EHLO/MAIL/RCPT/DATA exchange.
+Session make_mail_session(AppContext& ctx, const Host& client, double start);
+
+/// IMAP polling: LOGIN/SELECT/FETCH.
+Session make_imap_session(AppContext& ctx, const Host& client, double start);
+
+/// SSH: banner exchange + encrypted-looking channel traffic.
+Session make_ssh_session(AppContext& ctx, const Host& client, double start);
+
+/// Video streaming: TLS session with many large downstream records.
+Session make_video_session(AppContext& ctx, const Host& client, double start);
+
+/// IoT telemetry: small periodic HTTP POSTs to a cloud endpoint.
+Session make_iot_session(AppContext& ctx, const Host& client, double start);
+
+/// HTTP/3-style browsing over QUIC: Initial/Handshake exchange, then
+/// short-header data packets.
+Session make_quic_session(AppContext& ctx, const Host& client, double start);
+
+/// Dispatch by class.
+Session make_app_session(AppClass app, AppContext& ctx, const Host& client,
+                         double start);
+
+// --- Attack families (threat-labeled sessions) ---
+
+/// TCP SYN scan across many ports of one server.
+Session make_port_scan(AppContext& ctx, const Host& attacker, double start);
+
+/// SYN flood: burst of spoofed-looking SYNs to one service.
+Session make_syn_flood(AppContext& ctx, const Host& attacker, double start);
+
+/// DNS tunnel: high-entropy long subdomains under one apex, TXT answers.
+Session make_dns_tunnel(AppContext& ctx, const Host& attacker, double start);
+
+/// C2 beacon: low-and-slow periodic TLS to a rare port with fixed sizing.
+Session make_c2_beacon(AppContext& ctx, const Host& attacker, double start);
+
+/// SSH brute force: many short failed-auth connections.
+Session make_ssh_bruteforce(AppContext& ctx, const Host& attacker,
+                            double start);
+
+/// Dispatch by threat class (must not be kBenign).
+Session make_attack_session(ThreatClass threat, AppContext& ctx,
+                            const Host& attacker, double start);
+
+}  // namespace netfm::gen

@@ -1,0 +1,86 @@
+#include "trafficgen/generator.h"
+
+#include <algorithm>
+
+namespace netfm::gen {
+
+const Session* LabeledTrace::find(const FiveTuple& tuple) const {
+  const auto it = by_tuple.find(tuple.canonical());
+  if (it == by_tuple.end()) return nullptr;
+  return &sessions[it->second];
+}
+
+LabeledTrace generate_trace(const TraceConfig& config) {
+  Rng rng(config.seed ^ (config.profile.seed << 32));
+  World world(config.profile, rng);
+  PathModel path;
+  path.client_ttl = config.profile.client_ttl;
+  path.server_ttl = config.profile.server_ttl;
+  AppContext ctx{world, path, rng};
+
+  LabeledTrace trace;
+
+  // Poisson session arrivals per client, thinned by the app mix.
+  const auto app_weights = std::span<const double>(config.profile.app_mix);
+  for (const Host& client : world.clients()) {
+    double clock = rng.exponential(config.profile.session_rate_per_client);
+    while (clock < config.duration_seconds) {
+      Session session;
+      if (config.attack_fraction > 0.0 &&
+          rng.chance(config.attack_fraction) &&
+          !config.attack_families.empty()) {
+        const ThreatClass family =
+            config.attack_families[rng.uniform(config.attack_families.size())];
+        session = make_attack_session(family, ctx, client, clock);
+      } else {
+        const auto app = static_cast<AppClass>(rng.weighted(app_weights));
+        session = make_app_session(app, ctx, client, clock);
+      }
+      trace.sessions.push_back(std::move(session));
+      if (config.max_sessions > 0 &&
+          trace.sessions.size() >= config.max_sessions)
+        break;
+      clock += rng.exponential(config.profile.session_rate_per_client);
+    }
+    if (config.max_sessions > 0 &&
+        trace.sessions.size() >= config.max_sessions)
+      break;
+  }
+
+  // Global interleaving: merge all session packet trains by timestamp.
+  // This is the "packets from different connections may be interleaved"
+  // property §4.1.3 calls out.
+  std::size_t total = 0;
+  for (const Session& s : trace.sessions) total += s.packets.size();
+  trace.interleaved.reserve(total);
+  for (const Session& s : trace.sessions)
+    trace.interleaved.insert(trace.interleaved.end(), s.packets.begin(),
+                             s.packets.end());
+  std::stable_sort(trace.interleaved.begin(), trace.interleaved.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  // Ground-truth index: a session may span many 5-tuples (a port scan
+  // touches one flow per probed port), so every tuple its packets use
+  // maps back to it — not just the nominal session tuple.
+  for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
+    trace.by_tuple.emplace(trace.sessions[i].tuple.canonical(), i);
+    for (const Packet& pkt : trace.sessions[i].packets) {
+      const auto parsed = parse_packet(BytesView{pkt.frame});
+      if (!parsed) continue;
+      const auto tuple = FiveTuple::from_packet(*parsed);
+      if (tuple) trace.by_tuple.emplace(tuple->canonical(), i);
+    }
+  }
+  return trace;
+}
+
+LabeledTrace quick_trace(double seconds, std::uint64_t seed) {
+  TraceConfig config;
+  config.duration_seconds = seconds;
+  config.seed = seed;
+  return generate_trace(config);
+}
+
+}  // namespace netfm::gen

@@ -1,0 +1,45 @@
+// Trace generator: schedules labeled sessions across a simulated
+// deployment, interleaves their packets into one capture, and exposes the
+// ground truth needed by the downstream-task datasets.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "trafficgen/apps.h"
+
+namespace netfm::gen {
+
+/// What to synthesize.
+struct TraceConfig {
+  DeploymentProfile profile = DeploymentProfile::site_a();
+  double duration_seconds = 120.0;
+  std::uint64_t seed = 42;
+  /// Fraction of sessions that are attacks (0 disables).
+  double attack_fraction = 0.0;
+  /// Attack families to draw from when attack_fraction > 0.
+  std::vector<ThreatClass> attack_families = {
+      ThreatClass::kPortScan, ThreatClass::kSynFlood, ThreatClass::kDnsTunnel,
+      ThreatClass::kC2Beacon, ThreatClass::kSshBruteForce};
+  /// Cap on generated sessions (0 = no cap); handy for fixed-size datasets.
+  std::size_t max_sessions = 0;
+};
+
+/// A generated capture with ground truth.
+struct LabeledTrace {
+  std::vector<Session> sessions;     // each with labels + own packets
+  std::vector<Packet> interleaved;   // all packets, globally time-ordered
+
+  /// Ground truth lookup: canonical 5-tuple -> session index.
+  std::unordered_map<FiveTuple, std::size_t, FiveTupleHash> by_tuple;
+
+  const Session* find(const FiveTuple& tuple) const;
+};
+
+/// Synthesizes a trace per the config. Deterministic in (config, seed).
+LabeledTrace generate_trace(const TraceConfig& config);
+
+/// Convenience: site-A benign trace of the given length.
+LabeledTrace quick_trace(double seconds, std::uint64_t seed = 42);
+
+}  // namespace netfm::gen

@@ -1,0 +1,60 @@
+#include "trafficgen/labels.h"
+
+namespace netfm::gen {
+
+std::string_view to_string(AppClass c) noexcept {
+  switch (c) {
+    case AppClass::kWeb: return "web";
+    case AppClass::kTlsWeb: return "tls-web";
+    case AppClass::kDns: return "dns";
+    case AppClass::kNtp: return "ntp";
+    case AppClass::kMail: return "mail";
+    case AppClass::kImap: return "imap";
+    case AppClass::kSsh: return "ssh";
+    case AppClass::kVideo: return "video";
+    case AppClass::kIotTelemetry: return "iot-telemetry";
+    case AppClass::kQuicWeb: return "quic-web";
+    case AppClass::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(ServiceCategory c) noexcept {
+  switch (c) {
+    case ServiceCategory::kMedia: return "media";
+    case ServiceCategory::kCommerce: return "commerce";
+    case ServiceCategory::kInfo: return "info";
+    case ServiceCategory::kSocial: return "social";
+    case ServiceCategory::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(DeviceClass c) noexcept {
+  switch (c) {
+    case DeviceClass::kLaptop: return "laptop";
+    case DeviceClass::kPhone: return "phone";
+    case DeviceClass::kCamera: return "camera";
+    case DeviceClass::kThermostat: return "thermostat";
+    case DeviceClass::kSpeaker: return "speaker";
+    case DeviceClass::kBulb: return "bulb";
+    case DeviceClass::kHub: return "hub";
+    case DeviceClass::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(ThreatClass c) noexcept {
+  switch (c) {
+    case ThreatClass::kBenign: return "benign";
+    case ThreatClass::kPortScan: return "port-scan";
+    case ThreatClass::kSynFlood: return "syn-flood";
+    case ThreatClass::kDnsTunnel: return "dns-tunnel";
+    case ThreatClass::kC2Beacon: return "c2-beacon";
+    case ThreatClass::kSshBruteForce: return "ssh-bruteforce";
+    case ThreatClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace netfm::gen

@@ -1,0 +1,72 @@
+// Ground-truth label vocabulary for generated traffic.
+//
+// Every synthesized session carries three labels: the application class
+// (downstream task: traffic classification), the device class that produced
+// it (downstream task: IoT device classification), and the threat label
+// (benign or one of the attack families; downstream tasks: intrusion
+// detection and out-of-distribution zero-day detection).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace netfm::gen {
+
+/// Application-level class of a session.
+enum class AppClass : std::uint8_t {
+  kWeb = 0,       // HTTP plaintext browsing
+  kTlsWeb,        // HTTPS browsing
+  kDns,           // DNS lookups
+  kNtp,           // clock sync
+  kMail,          // SMTP submission
+  kImap,          // mailbox polling
+  kSsh,           // interactive shell
+  kVideo,         // streaming (long-lived TLS, downstream heavy)
+  kIotTelemetry,  // periodic sensor posts
+  kQuicWeb,       // HTTP/3-style QUIC browsing
+  kCount,
+};
+
+/// Device type that generated the traffic (smart-lab population, after the
+/// IoT classification setting of Sivanathan et al. cited in §4.2).
+enum class DeviceClass : std::uint8_t {
+  kLaptop = 0,
+  kPhone,
+  kCamera,
+  kThermostat,
+  kSpeaker,
+  kBulb,
+  kHub,
+  kCount,
+};
+
+/// Threat label; kBenign for normal traffic, otherwise the attack family.
+enum class ThreatClass : std::uint8_t {
+  kBenign = 0,
+  kPortScan,
+  kSynFlood,
+  kDnsTunnel,
+  kC2Beacon,
+  kSshBruteForce,
+  kCount,
+};
+
+/// Service category of the domain a session talks to (or looks up). This
+/// is the NorBERT-style downstream label of experiment E1: concrete
+/// domains are site-specific, but each category has characteristic DNS
+/// answer behaviour (TTL range, CNAME chains, answer counts) that a
+/// pretrained model can transfer across deployments.
+enum class ServiceCategory : std::uint8_t {
+  kMedia = 0,   // video/music/streaming: CDN-fronted, low TTL, CNAME chain
+  kCommerce,    // shops/banks: single A record, medium TTL
+  kInfo,        // search/news/docs: stable infrastructure, high TTL
+  kSocial,      // social/chat/mail: multi-homed, several A records
+  kCount,
+};
+
+std::string_view to_string(AppClass c) noexcept;
+std::string_view to_string(ServiceCategory c) noexcept;
+std::string_view to_string(DeviceClass c) noexcept;
+std::string_view to_string(ThreatClass c) noexcept;
+
+}  // namespace netfm::gen

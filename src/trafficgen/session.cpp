@@ -1,0 +1,138 @@
+#include "trafficgen/session.h"
+
+namespace netfm::gen {
+namespace {
+
+/// Shared state while emitting one TCP conversation.
+struct TcpEmitter {
+  const Endpoints& ep;
+  const PathModel& path;
+  Rng& rng;
+  std::vector<Packet>& out;
+  double clock;
+  std::uint32_t client_seq;
+  std::uint32_t server_seq;
+  std::uint32_t client_acked = 0;  // next seq the server expects from client
+  std::uint32_t server_acked = 0;  // next seq the client expects from server
+
+  Ipv4Header ip_for(bool c2s) const {
+    Ipv4Header ip;
+    ip.src = c2s ? ep.client.ip : ep.server.ip;
+    ip.dst = c2s ? ep.server.ip : ep.client.ip;
+    ip.ttl = c2s ? path.client_ttl : path.server_ttl;
+    ip.identification = static_cast<std::uint16_t>(rng.next());
+    return ip;
+  }
+
+  void emit(bool c2s, std::uint8_t flags, BytesView payload) {
+    TcpHeader tcp;
+    tcp.src_port = c2s ? ep.client_port : ep.server_port;
+    tcp.dst_port = c2s ? ep.server_port : ep.client_port;
+    tcp.flags = flags;
+    tcp.window = 65535;
+    std::uint32_t& my_seq = c2s ? client_seq : server_seq;
+    const std::uint32_t& peer_next = c2s ? server_acked : client_acked;
+    tcp.seq = my_seq;
+    tcp.ack = (flags & TcpFlags::kAck) ? peer_next : 0;
+
+    const MacAddr& src_mac = c2s ? ep.client.mac : ep.server.mac;
+    const MacAddr& dst_mac = c2s ? ep.server.mac : ep.client.mac;
+    Packet pkt;
+    pkt.timestamp = clock;
+    pkt.frame =
+        build_tcp_frame(src_mac, dst_mac, ip_for(c2s), tcp, payload);
+    out.push_back(std::move(pkt));
+
+    std::uint32_t advance = static_cast<std::uint32_t>(payload.size());
+    if (flags & (TcpFlags::kSyn | TcpFlags::kFin)) advance += 1;
+    my_seq += advance;
+    (c2s ? client_acked : server_acked) = my_seq;
+    clock += path.sample_delay(rng);
+  }
+};
+
+}  // namespace
+
+std::uint16_t ephemeral_port(Rng& rng) {
+  return static_cast<std::uint16_t>(32768 + rng.uniform(60999 - 32768 + 1));
+}
+
+FiveTuple make_tuple(const Endpoints& ep, IpProto proto) noexcept {
+  FiveTuple t;
+  t.src_ip = ep.client.ip;
+  t.dst_ip = ep.server.ip;
+  t.src_port = ep.client_port;
+  t.dst_port = ep.server_port;
+  t.protocol = static_cast<std::uint8_t>(proto);
+  return t;
+}
+
+std::vector<Packet> build_tcp_conversation(const Endpoints& ep,
+                                           const std::vector<AppMessage>& msgs,
+                                           double start_time,
+                                           const PathModel& path, Rng& rng) {
+  std::vector<Packet> out;
+  TcpEmitter em{ep,
+                path,
+                rng,
+                out,
+                start_time,
+                static_cast<std::uint32_t>(rng.next()),
+                static_cast<std::uint32_t>(rng.next())};
+
+  // Three-way handshake.
+  em.emit(true, TcpFlags::kSyn, {});
+  em.emit(false, TcpFlags::kSyn | TcpFlags::kAck, {});
+  em.emit(true, TcpFlags::kAck, {});
+
+  // Application messages, MSS-segmented, each data packet ACKed by peer.
+  for (const AppMessage& msg : msgs) {
+    em.clock += msg.think_time;
+    BytesView rest{msg.payload};
+    if (rest.empty()) continue;
+    while (!rest.empty()) {
+      const std::size_t take = std::min<std::size_t>(rest.size(), path.mss);
+      em.emit(msg.client_to_server,
+              TcpFlags::kAck | (take == rest.size() ? TcpFlags::kPsh : 0),
+              rest.subspan(0, take));
+      rest = rest.subspan(take);
+      em.emit(!msg.client_to_server, TcpFlags::kAck, {});
+    }
+  }
+
+  // Teardown: client FIN, server FIN+ACK, client final ACK.
+  em.emit(true, TcpFlags::kFin | TcpFlags::kAck, {});
+  em.emit(false, TcpFlags::kFin | TcpFlags::kAck, {});
+  em.emit(true, TcpFlags::kAck, {});
+  return out;
+}
+
+std::vector<Packet> build_udp_exchange(const Endpoints& ep,
+                                       const std::vector<AppMessage>& msgs,
+                                       double start_time,
+                                       const PathModel& path, Rng& rng) {
+  std::vector<Packet> out;
+  double clock = start_time;
+  for (const AppMessage& msg : msgs) {
+    clock += msg.think_time;
+    const bool c2s = msg.client_to_server;
+    Ipv4Header ip;
+    ip.src = c2s ? ep.client.ip : ep.server.ip;
+    ip.dst = c2s ? ep.server.ip : ep.client.ip;
+    ip.ttl = c2s ? path.client_ttl : path.server_ttl;
+    ip.identification = static_cast<std::uint16_t>(rng.next());
+    UdpHeader udp;
+    udp.src_port = c2s ? ep.client_port : ep.server_port;
+    udp.dst_port = c2s ? ep.server_port : ep.client_port;
+    Packet pkt;
+    pkt.timestamp = clock;
+    pkt.frame = build_udp_frame(c2s ? ep.client.mac : ep.server.mac,
+                                c2s ? ep.server.mac : ep.client.mac, ip, udp,
+                                BytesView{msg.payload});
+    out.push_back(std::move(pkt));
+    clock += path.sample_delay(rng);
+  }
+  return out;
+}
+
+}  // namespace netfm::gen

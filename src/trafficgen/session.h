@@ -1,0 +1,86 @@
+// Session primitives: a labeled packet group plus builders that turn
+// application-level message exchanges into correctly sequenced TCP/UDP
+// packet trains (handshake, seq/ack bookkeeping, MSS segmentation, FIN
+// teardown).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "trafficgen/labels.h"
+#include "trafficgen/world.h"
+
+namespace netfm::gen {
+
+/// One synthesized conversation with its ground-truth labels.
+struct Session {
+  std::vector<Packet> packets;  // timestamps are absolute trace time
+  FiveTuple tuple;              // client -> server orientation
+  AppClass app = AppClass::kWeb;
+  DeviceClass device = DeviceClass::kLaptop;
+  ThreatClass threat = ThreatClass::kBenign;
+  /// Category of the service this session targets (meaningful for
+  /// domain-directed sessions: dns, web, tls-web, video, iot).
+  ServiceCategory service = ServiceCategory::kInfo;
+  double start_time = 0.0;
+
+  double end_time() const noexcept {
+    return packets.empty() ? start_time : packets.back().timestamp;
+  }
+};
+
+/// One application message inside a TCP conversation.
+struct AppMessage {
+  bool client_to_server = true;
+  Bytes payload;
+  double think_time = 0.0;  // delay before this message is sent
+};
+
+/// Endpoint pair for a conversation.
+struct Endpoints {
+  Host client;
+  Server server;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+};
+
+/// Network path model: per-packet one-way delay = base + jitter, plus the
+/// deployment's IP-TTL conventions (OS defaults and hop distances differ
+/// between sites — one of the "background" distribution shifts of E1).
+struct PathModel {
+  double base_delay = 0.005;   // 5 ms one-way
+  double jitter = 0.002;       // uniform [0, jitter)
+  std::uint16_t mss = 1400;    // payload bytes per segment
+  std::uint8_t client_ttl = 64;
+  std::uint8_t server_ttl = 58;
+
+  double sample_delay(Rng& rng) const {
+    return base_delay + rng.uniform_real(0.0, jitter);
+  }
+};
+
+/// Builds a complete TCP conversation: SYN/SYN-ACK/ACK, each AppMessage as
+/// one or more MSS-sized segments (each ACKed), then FIN/ACK teardown.
+/// Timestamps start at `start_time`.
+std::vector<Packet> build_tcp_conversation(const Endpoints& ep,
+                                           const std::vector<AppMessage>& msgs,
+                                           double start_time,
+                                           const PathModel& path, Rng& rng);
+
+/// Builds a UDP request/response exchange (each message one datagram).
+std::vector<Packet> build_udp_exchange(const Endpoints& ep,
+                                       const std::vector<AppMessage>& msgs,
+                                       double start_time,
+                                       const PathModel& path, Rng& rng);
+
+/// Draws an ephemeral client port in [32768, 60999].
+std::uint16_t ephemeral_port(Rng& rng);
+
+/// Fills a Session's tuple from endpoints + protocol.
+FiveTuple make_tuple(const Endpoints& ep, IpProto proto) noexcept;
+
+}  // namespace netfm::gen

@@ -1,0 +1,133 @@
+#include "trafficgen/world.h"
+
+namespace netfm::gen {
+namespace {
+
+// A plausible universe of second-level names; rank r picks from here (mod
+// size) with the global id appended so domains are unique and disjoint
+// across non-overlapping site offsets. Each base name belongs to one
+// ServiceCategory (kBaseCategories, parallel array).
+constexpr std::string_view kBaseNames[] = {
+    "search",  "video",   "social", "news",   "mail",   "shop",  "cloud",
+    "cdn",     "maps",    "photos", "music",  "docs",   "chat",  "bank",
+    "weather", "sports",  "games",  "forum",  "wiki",   "blog",  "code",
+    "store",   "stream",  "learn",  "travel", "health", "food",  "auto",
+};
+using Cat = netfm::gen::ServiceCategory;
+constexpr Cat kBaseCategories[] = {
+    Cat::kInfo,   Cat::kMedia,  Cat::kSocial, Cat::kInfo,  Cat::kSocial,
+    Cat::kCommerce, Cat::kInfo, Cat::kMedia,  Cat::kInfo,  Cat::kMedia,
+    Cat::kMedia,  Cat::kInfo,   Cat::kSocial, Cat::kCommerce, Cat::kInfo,
+    Cat::kInfo,   Cat::kMedia,  Cat::kSocial, Cat::kInfo,  Cat::kSocial,
+    Cat::kInfo,   Cat::kCommerce, Cat::kMedia, Cat::kInfo, Cat::kCommerce,
+    Cat::kInfo,   Cat::kCommerce, Cat::kCommerce,
+};
+static_assert(std::size(kBaseNames) == std::size(kBaseCategories));
+constexpr std::string_view kTlds[] = {"com", "net", "org", "io", "tv"};
+
+}  // namespace
+
+DeploymentProfile DeploymentProfile::site_a() { return DeploymentProfile{}; }
+
+DeploymentProfile DeploymentProfile::site_b() {
+  DeploymentProfile p;
+  p.name = "site-b";
+  p.seed = 2;
+  p.client_subnet = 0xac100000;  // 172.16.0.0/16
+  p.server_subnet = 0xc0a84000;  // 192.168.64.0/18
+  p.client_count = 24;
+  p.domain_universe = 64;
+  p.domain_offset = 64;          // fully disjoint domains from site-a
+  p.domain_zipf_s = 0.7;         // flatter popularity
+  p.session_rate_per_client = 0.6;
+  p.dns_ttl_mean = 60.0;
+  p.client_ttl = 128;  // Windows-default clients
+  p.server_ttl = 30;   // different topology: servers much closer
+  p.app_mix = {4.0, 2.5, 5.0, 0.3, 0.8, 0.3, 0.5, 2.0, 0.8, 2.2};
+  p.device_mix = {1.0, 4.0, 2.0, 0.5, 2.0, 1.5, 1.0};
+  p.tls_suites = {0x1301, 0x1303, 0xc02b, 0xc02f, 0x1302, 0xc02c};
+  p.user_agents = {
+      "Mozilla/5.0 (Macintosh; Intel Mac OS X 12_5) Safari/605.1.15",
+      "Mozilla/5.0 (iPhone; CPU iPhone OS 15_6 like Mac OS X) Mobile/15E148",
+      "python-requests/2.28.1",
+  };
+  return p;
+}
+
+World::World(const DeploymentProfile& profile, Rng& rng)
+    : profile_(profile),
+      domain_popularity_(profile.domain_universe, profile.domain_zipf_s) {
+  std::uint64_t next_host_id = profile.seed * 1000 + 1;
+  const auto device_weights = std::span<const double>(profile.device_mix);
+
+  clients_.reserve(profile.client_count);
+  for (std::size_t i = 0; i < profile.client_count; ++i) {
+    Host h;
+    h.mac = MacAddr::from_id(next_host_id++);
+    h.ip = Ipv4Addr{profile.client_subnet + 10 + static_cast<std::uint32_t>(i)};
+    h.device = static_cast<DeviceClass>(rng.weighted(device_weights));
+    clients_.push_back(h);
+  }
+
+  web_servers_.reserve(profile.domain_universe);
+  for (std::size_t r = 0; r < profile.domain_universe; ++r) {
+    Server s;
+    s.mac = MacAddr::from_id(next_host_id++);
+    s.ip = Ipv4Addr{profile.server_subnet + 100 + static_cast<std::uint32_t>(r)};
+    s.domain = domain_for_rank(r, profile.domain_offset);
+    s.category = category_for_id(r + profile.domain_offset);
+    web_servers_.push_back(std::move(s));
+  }
+
+  auto infra = [&](std::uint32_t offset, std::string domain) {
+    Server s;
+    s.mac = MacAddr::from_id(next_host_id++);
+    s.ip = Ipv4Addr{profile.server_subnet + offset};
+    s.domain = std::move(domain);
+    return s;
+  };
+  dns_resolver_ = infra(2, "resolver." + profile.name + ".lan");
+  ntp_server_ = infra(3, "time." + profile.name + ".lan");
+  mail_server_ = infra(4, "mail." + profile.name + ".lan");
+  ssh_server_ = infra(5, "bastion." + profile.name + ".lan");
+}
+
+const Server& World::pick_web_server(Rng& rng) const {
+  return web_servers_[domain_popularity_.sample(rng)];
+}
+
+const Server& World::pick_web_server(Rng& rng, ServiceCategory preferred,
+                                     double bias) const {
+  if (rng.chance(bias)) {
+    // Popularity-weighted rejection sampling within the category.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const Server& candidate =
+          web_servers_[domain_popularity_.sample(rng)];
+      if (candidate.category == preferred) return candidate;
+    }
+  }
+  return pick_web_server(rng);
+}
+
+const Host& World::pick_client(Rng& rng) const {
+  return clients_[rng.uniform(clients_.size())];
+}
+
+std::string World::domain_for_rank(std::size_t rank, std::size_t offset) {
+  const std::size_t id = rank + offset;
+  const std::string_view base = kBaseNames[id % std::size(kBaseNames)];
+  const std::string_view tld =
+      kTlds[(id / std::size(kBaseNames)) % std::size(kTlds)];
+  std::string name = "www.";
+  name += base;
+  name += std::to_string(id);
+  name += ".";
+  name += tld;
+  return name;
+}
+
+ServiceCategory World::category_for_id(std::size_t id) noexcept {
+  return kBaseCategories[id % std::size(kBaseCategories)];
+}
+
+}  // namespace netfm::gen

@@ -1,0 +1,119 @@
+// The simulated deployment: client hosts, server catalog, and the knobs
+// that make two deployments statistically different (the dataset-shift
+// setup experiment E1 needs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/addr.h"
+#include "trafficgen/labels.h"
+
+namespace netfm::gen {
+
+/// One end host on the simulated network.
+struct Host {
+  MacAddr mac;
+  Ipv4Addr ip;
+  DeviceClass device = DeviceClass::kLaptop;
+};
+
+/// One reachable service.
+struct Server {
+  MacAddr mac;
+  Ipv4Addr ip;
+  std::string domain;  // DNS name clients resolve for it
+  ServiceCategory category = ServiceCategory::kInfo;
+};
+
+/// Statistical profile of a deployment. Two profiles with different fields
+/// produce distribution-shifted traffic over the same protocol grammar —
+/// the property that makes supervised baselines collapse in E1 while the
+/// pretrained model holds.
+struct DeploymentProfile {
+  std::string name = "site-a";
+  std::uint64_t seed = 1;
+  std::uint32_t client_subnet = 0x0a000000;    // 10.0.0.0/16 base
+  std::uint32_t server_subnet = 0xc0a80000;    // 192.168.0.0/16 base
+  std::size_t client_count = 24;
+  std::size_t domain_universe = 64;   // number of distinct domains
+  std::size_t domain_offset = 0;      // shifts which domains exist
+  double domain_zipf_s = 1.1;         // popularity skew
+  double session_rate_per_client = 0.4;  // Poisson sessions/second
+  double dns_ttl_mean = 300.0;
+  /// IP-TTL conventions: client OS default and observed server hop
+  /// distance. These differ between deployments (different OS mixes and
+  /// topologies) and shift the background token distribution site-wide.
+  std::uint8_t client_ttl = 64;
+  std::uint8_t server_ttl = 58;
+  std::vector<double> app_mix =       // weights indexed by AppClass
+      {2.0, 4.0, 5.0, 0.5, 0.4, 0.6, 0.3, 1.0, 1.5, 1.2};
+  std::vector<double> device_mix =    // weights indexed by DeviceClass
+      {3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 0.5};
+  /// Preferred TLS suites, most popular first (differs across sites).
+  std::vector<std::uint16_t> tls_suites =
+      {0xc02f, 0xc030, 0x1301, 0x1302, 0xc02b, 0xc02c};
+  /// HTTP User-Agent population.
+  std::vector<std::string> user_agents = {
+      "Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/102.0",
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/105.0",
+      "curl/7.81.0",
+  };
+
+  /// A second site: same grammar, shifted statistics. Used by E1/E7.
+  static DeploymentProfile site_a();
+  static DeploymentProfile site_b();
+};
+
+/// Materialized world: concrete hosts and servers drawn from a profile.
+class World {
+ public:
+  World(const DeploymentProfile& profile, Rng& rng);
+
+  const DeploymentProfile& profile() const noexcept { return profile_; }
+  const std::vector<Host>& clients() const noexcept { return clients_; }
+  const std::vector<Server>& web_servers() const noexcept {
+    return web_servers_;
+  }
+  const Server& dns_resolver() const noexcept { return dns_resolver_; }
+  const Server& ntp_server() const noexcept { return ntp_server_; }
+  const Server& mail_server() const noexcept { return mail_server_; }
+  const Server& ssh_server() const noexcept { return ssh_server_; }
+
+  /// Popularity-weighted web server pick (Zipf over the domain universe).
+  const Server& pick_web_server(Rng& rng) const;
+
+  /// Category-biased pick: with probability `bias` the result is a
+  /// popularity-weighted pick *within* the preferred category (falling
+  /// back to the global pick when the category is absent). Application
+  /// models use this so that, e.g., video sessions mostly hit media
+  /// domains — the realistic correlation that lets pretraining associate
+  /// a domain with its service category.
+  const Server& pick_web_server(Rng& rng, ServiceCategory preferred,
+                                double bias) const;
+
+  /// Uniform client pick.
+  const Host& pick_client(Rng& rng) const;
+
+  /// Domain name for rank `r` in this site's universe. Names embed the
+  /// global id ("www.video12.net"), so non-overlapping offsets produce
+  /// fully disjoint domain vocabularies across sites.
+  static std::string domain_for_rank(std::size_t rank, std::size_t offset);
+
+  /// Service category implied by a domain id's base name.
+  static ServiceCategory category_for_id(std::size_t id) noexcept;
+
+ private:
+  DeploymentProfile profile_;
+  std::vector<Host> clients_;
+  std::vector<Server> web_servers_;
+  Server dns_resolver_;
+  Server ntp_server_;
+  Server mail_server_;
+  Server ssh_server_;
+  ZipfTable domain_popularity_;
+};
+
+}  // namespace netfm::gen

@@ -1,0 +1,120 @@
+// ByteReader/ByteWriter, hex codecs, internet checksum.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace netfm {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090a0b0c0d0e0fULL);
+  const Bytes& out = w.bytes();
+  ASSERT_EQ(out.size(), 15u);
+  for (std::size_t i = 0; i < 15; ++i)
+    EXPECT_EQ(out[i], i + 1) << "offset " << i;
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u16(0xbeef);
+  w.patch_u16(0, 0xdead);
+  EXPECT_EQ(w.bytes()[0], 0xde);
+  EXPECT_EQ(w.bytes()[1], 0xad);
+  EXPECT_EQ(w.bytes()[2], 0xbe);
+}
+
+TEST(ByteWriter, PatchOutOfRangeIsNoop) {
+  ByteWriter w;
+  w.u8(1);
+  w.patch_u16(0, 0xffff);  // needs 2 bytes, only 1 present
+  EXPECT_EQ(w.bytes()[0], 1);
+}
+
+TEST(ByteReader, RoundTripsWriter) {
+  ByteWriter w;
+  w.u8(42);
+  w.u16(4242);
+  w.u32(424242);
+  w.u64(42424242424242ULL);
+  w.raw(std::string_view("hello"));
+  ByteReader r(BytesView{w.bytes()});
+  EXPECT_EQ(r.u8(), 42);
+  EXPECT_EQ(r.u16(), 4242);
+  EXPECT_EQ(r.u32(), 424242u);
+  EXPECT_EQ(r.u64(), 42424242424242ULL);
+  EXPECT_EQ(r.take_string(5), "hello");
+  EXPECT_TRUE(r.done());
+  EXPECT_FALSE(r.truncated());
+}
+
+TEST(ByteReader, TruncationLatchesAndReturnsZero) {
+  const Bytes data = {0x01, 0x02};
+  ByteReader r(BytesView{data});
+  EXPECT_EQ(r.u32(), 0u);  // only 2 bytes available
+  EXPECT_TRUE(r.truncated());
+  EXPECT_EQ(r.u8(), 0);  // still truncated
+}
+
+TEST(ByteReader, SkipAndPeek) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r(BytesView{data});
+  r.skip(2);
+  EXPECT_EQ(r.u8(), 3);
+  const BytesView peeked = r.peek_at(0, 2);
+  ASSERT_EQ(peeked.size(), 2u);
+  EXPECT_EQ(peeked[0], 1);
+  EXPECT_EQ(r.offset(), 3u);  // peek does not move
+  EXPECT_TRUE(r.peek_at(4, 2).empty());
+}
+
+TEST(ByteReader, TakeBeyondEndTruncates) {
+  const Bytes data = {1, 2};
+  ByteReader r(BytesView{data});
+  EXPECT_TRUE(r.take(3).empty());
+  EXPECT_TRUE(r.truncated());
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x7f, 0xff, 0xa5};
+  EXPECT_EQ(to_hex(BytesView{data}), "007fffa5");
+  EXPECT_EQ(from_hex("007fffa5"), data);
+  EXPECT_EQ(from_hex("007FFFA5"), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // bad digit
+  EXPECT_TRUE(from_hex("").empty());      // empty ok but empty
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: checksum of {0x0001, 0xf203, 0xf4f5, 0xf6f7}.
+  const Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(BytesView{data}), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const Bytes even = {0x12, 0x34, 0x56, 0x00};
+  const Bytes odd = {0x12, 0x34, 0x56};
+  EXPECT_EQ(internet_checksum(BytesView{even}),
+            internet_checksum(BytesView{odd}));
+}
+
+TEST(Checksum, VerifiesToZero) {
+  // A buffer with its own checksum inserted sums to 0xffff (i.e. ~0 == 0).
+  Bytes data = {0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00,
+                0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(BytesView{data});
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(BytesView{data}), 0);
+}
+
+}  // namespace
+}  // namespace netfm

@@ -1,0 +1,165 @@
+// Context construction strategies (§4.1.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "context/context.h"
+#include "trafficgen/generator.h"
+
+namespace netfm::ctx {
+namespace {
+
+struct Fixture {
+  gen::LabeledTrace trace = gen::quick_trace(20.0, 11);
+  std::vector<Flow> flows;
+  tok::FieldTokenizer tokenizer;
+
+  Fixture() {
+    FlowTable table;
+    for (const Packet& p : trace.interleaved) table.add(p);
+    table.flush();
+    flows = table.take_finished();
+  }
+};
+
+TEST(Context, StrategyNames) {
+  EXPECT_EQ(to_string(Strategy::kPacket), "packet");
+  EXPECT_EQ(to_string(Strategy::kFirstMofN), "first-m-of-n");
+}
+
+TEST(Context, FlowContextRespectsBudget) {
+  Fixture fx;
+  Options options;
+  options.max_tokens = 20;
+  for (const Flow& flow : fx.flows) {
+    const auto context = flow_context(flow, fx.tokenizer, options);
+    EXPECT_LE(context.size(), 20u);
+  }
+}
+
+TEST(Context, FlowContextHasStructureTokens) {
+  Fixture fx;
+  Options options;
+  const Flow* multi = nullptr;
+  for (const Flow& flow : fx.flows)
+    if (flow.packet_count() >= 3) {
+      multi = &flow;
+      break;
+    }
+  ASSERT_NE(multi, nullptr);
+  const auto context = flow_context(*multi, fx.tokenizer, options);
+  EXPECT_NE(std::find(context.begin(), context.end(), "pkt"), context.end());
+  EXPECT_TRUE(context[0] == "dir_up" || context[0] == "dir_dn");
+}
+
+TEST(Context, StructureTokensCanBeDisabled) {
+  Fixture fx;
+  Options options;
+  options.direction_tokens = false;
+  options.packet_boundary_tokens = false;
+  for (const Flow& flow : fx.flows) {
+    const auto context = flow_context(flow, fx.tokenizer, options);
+    EXPECT_EQ(std::find(context.begin(), context.end(), "pkt"), context.end());
+    EXPECT_EQ(std::find(context.begin(), context.end(), "dir_up"),
+              context.end());
+  }
+}
+
+TEST(Context, PacketStrategyYieldsOnePerPacket) {
+  Fixture fx;
+  Options options;
+  options.strategy = Strategy::kPacket;
+  const auto corpus =
+      build_corpus(fx.flows, fx.trace.interleaved, fx.tokenizer, options);
+  std::size_t total_packets = 0;
+  for (const Flow& f : fx.flows) total_packets += f.packet_count();
+  EXPECT_EQ(corpus.size(), total_packets);
+}
+
+TEST(Context, FlowStrategyYieldsOnePerFlow) {
+  Fixture fx;
+  Options options;
+  options.strategy = Strategy::kFlow;
+  const auto corpus =
+      build_corpus(fx.flows, fx.trace.interleaved, fx.tokenizer, options);
+  EXPECT_EQ(corpus.size(), fx.flows.size());
+}
+
+TEST(Context, SessionStrategyGroupsClients) {
+  Fixture fx;
+  Options options;
+  options.strategy = Strategy::kSession;
+  const auto corpus =
+      build_corpus(fx.flows, fx.trace.interleaved, fx.tokenizer, options);
+  // Fewer session contexts than flows (grouping) but at least one per
+  // client that generated traffic.
+  std::set<std::uint32_t> clients;
+  for (const Flow& f : fx.flows) clients.insert(f.key.src_ip.value);
+  EXPECT_GE(corpus.size(), clients.size());
+  EXPECT_LT(corpus.size(), fx.flows.size());
+}
+
+TEST(Context, InterleavedWindowsCoverCapture) {
+  Fixture fx;
+  Options options;
+  options.strategy = Strategy::kInterleaved;
+  options.interleaved_window = 10;
+  const auto corpus =
+      build_corpus(fx.flows, fx.trace.interleaved, fx.tokenizer, options);
+  EXPECT_GE(corpus.size(),
+            fx.trace.interleaved.size() / options.interleaved_window / 2);
+  for (const auto& context : corpus)
+    EXPECT_LE(context.size(), options.max_tokens);
+}
+
+TEST(Context, FirstMofNCapsTokensPerPacket) {
+  Fixture fx;
+  Options options;
+  options.strategy = Strategy::kFirstMofN;
+  options.first_m = 3;
+  options.first_n = 4;
+  options.max_tokens = 200;  // roomy so the per-packet cap binds
+  const auto corpus =
+      build_corpus(fx.flows, fx.trace.interleaved, fx.tokenizer, options);
+  ASSERT_FALSE(corpus.empty());
+  // Each window has at most N packets x (M + 2 structure tokens).
+  for (const auto& context : corpus)
+    EXPECT_LE(context.size(), options.first_n * (options.first_m + 2));
+}
+
+TEST(Context, EmptyInputsYieldEmptyCorpus) {
+  tok::FieldTokenizer tokenizer;
+  Options options;
+  const auto corpus = build_corpus({}, {}, tokenizer, options);
+  EXPECT_TRUE(corpus.empty());
+}
+
+TEST(SegmentPairs, HonestLabelsAndShape) {
+  Fixture fx;
+  Options options;
+  Rng rng(13);
+  const auto pairs =
+      sample_segment_pairs(fx.flows, fx.tokenizer, options, 200, rng);
+  ASSERT_EQ(pairs.size(), 200u);
+  std::size_t next_count = 0;
+  for (const SegmentPair& p : pairs) {
+    EXPECT_FALSE(p.first.empty());
+    EXPECT_FALSE(p.second.empty());
+    EXPECT_LE(p.first.size(), options.max_tokens / 2);
+    if (p.is_next) ++next_count;
+  }
+  // Roughly half are true next-packet pairs.
+  EXPECT_GT(next_count, 70u);
+  EXPECT_LT(next_count, 130u);
+}
+
+TEST(SegmentPairs, EmptyFlowsYieldNothing) {
+  tok::FieldTokenizer tokenizer;
+  Options options;
+  Rng rng(1);
+  EXPECT_TRUE(sample_segment_pairs({}, tokenizer, options, 10, rng).empty());
+}
+
+}  // namespace
+}  // namespace netfm::ctx

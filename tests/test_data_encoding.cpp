@@ -1,0 +1,64 @@
+// Encoding helpers added for field-targeted masking (E1/E6 machinery).
+#include <gtest/gtest.h>
+
+#include "core/data.h"
+
+namespace netfm::core {
+namespace {
+
+tok::Vocabulary demo_vocab() {
+  tok::Vocabulary v;
+  for (const char* t :
+       {"tcp", "udp", "attl_b5", "attl_b12", "rtype1", "rtype5", "d_video1"})
+    v.add(t);
+  return v;
+}
+
+TEST(FocusedMasking, ProbabilityTableByPrefix) {
+  const tok::Vocabulary v = demo_vocab();
+  const std::vector<std::string> prefixes = {"attl_", "rtype"};
+  const auto probs = focused_mask_probabilities(v, prefixes, 0.6, 0.1);
+  ASSERT_EQ(probs.size(), v.size());
+  EXPECT_DOUBLE_EQ(probs[static_cast<std::size_t>(v.id("attl_b5"))], 0.6);
+  EXPECT_DOUBLE_EQ(probs[static_cast<std::size_t>(v.id("attl_b12"))], 0.6);
+  EXPECT_DOUBLE_EQ(probs[static_cast<std::size_t>(v.id("rtype5"))], 0.6);
+  EXPECT_DOUBLE_EQ(probs[static_cast<std::size_t>(v.id("tcp"))], 0.1);
+  EXPECT_DOUBLE_EQ(probs[static_cast<std::size_t>(v.id("d_video1"))], 0.1);
+}
+
+TEST(FocusedMasking, MaskRateFollowsPerIdTable) {
+  const tok::Vocabulary v = demo_vocab();
+  const std::vector<std::string> prefixes = {"attl_"};
+  const auto probs = focused_mask_probabilities(v, prefixes, 0.9, 0.05);
+
+  Rng rng(31);
+  std::size_t focused_masked = 0, base_masked = 0, trials = 0;
+  for (int t = 0; t < 400; ++t) {
+    Encoded e = encode_context({"attl_b5", "tcp", "attl_b12", "udp"}, v, 10);
+    const auto targets = apply_mlm_mask(e.ids, v, rng, 0.05, probs);
+    // Positions 1..4 hold the four tokens.
+    if (targets[1] >= 0) ++focused_masked;
+    if (targets[3] >= 0) ++focused_masked;
+    if (targets[2] >= 0) ++base_masked;
+    if (targets[4] >= 0) ++base_masked;
+    ++trials;
+  }
+  const double focused_rate =
+      static_cast<double>(focused_masked) / (2.0 * trials);
+  const double base_rate = static_cast<double>(base_masked) / (2.0 * trials);
+  EXPECT_NEAR(focused_rate, 0.9, 0.05);
+  EXPECT_NEAR(base_rate, 0.05, 0.03);
+}
+
+TEST(FocusedMasking, EmptyTableFallsBackToUniform) {
+  const tok::Vocabulary v = demo_vocab();
+  Rng rng(33);
+  Encoded e = encode_context({"tcp", "udp"}, v, 8);
+  // Explicit empty span: behaves exactly like the three-arg overload.
+  const auto targets = apply_mlm_mask(e.ids, v, rng, 1.0, {});
+  EXPECT_GE(targets[1], 0);
+  EXPECT_GE(targets[2], 0);
+}
+
+}  // namespace
+}  // namespace netfm::core

@@ -1,0 +1,195 @@
+// DNS message codec: round trips, name compression, malformed input.
+#include <gtest/gtest.h>
+
+#include "net/dns.h"
+
+namespace netfm::dns {
+namespace {
+
+Message simple_query(const std::string& name) {
+  Message q;
+  q.id = 0x1234;
+  q.recursion_desired = true;
+  q.questions.push_back({name, 1, 1});
+  return q;
+}
+
+TEST(DnsName, EncodeDecodeRoundTrip) {
+  ByteWriter w;
+  std::vector<std::pair<std::string, std::size_t>> offsets;
+  encode_name(w, "www.example.com", offsets);
+  ByteReader r(BytesView{w.bytes()});
+  const auto name = decode_name(r);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "www.example.com");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DnsName, CompressionReusesSuffix) {
+  ByteWriter w;
+  std::vector<std::pair<std::string, std::size_t>> offsets;
+  encode_name(w, "www.example.com", offsets);
+  const std::size_t first_len = w.size();
+  encode_name(w, "mail.example.com", offsets);
+  // Second name shares ".example.com": must be shorter than standalone.
+  EXPECT_LT(w.size() - first_len, first_len);
+
+  ByteReader r(BytesView{w.bytes()});
+  EXPECT_EQ(*decode_name(r), "www.example.com");
+  EXPECT_EQ(*decode_name(r), "mail.example.com");
+}
+
+TEST(DnsName, RejectsPointerLoop) {
+  // A name that points to itself: 0xc000 at offset 0.
+  const Bytes loop = {0xc0, 0x00};
+  ByteReader r(BytesView{loop});
+  EXPECT_FALSE(decode_name(r).has_value());
+}
+
+TEST(DnsName, RejectsTruncatedLabel) {
+  const Bytes bad = {0x05, 'a', 'b'};  // label claims 5 bytes, has 2
+  ByteReader r(BytesView{bad});
+  EXPECT_FALSE(decode_name(r).has_value());
+}
+
+TEST(DnsMessage, QueryRoundTrip) {
+  const Message q = simple_query("api.service.net");
+  const auto decoded = Message::decode(BytesView{q.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_FALSE(decoded->is_response);
+  EXPECT_TRUE(decoded->recursion_desired);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "api.service.net");
+  EXPECT_EQ(decoded->questions[0].type, 1);
+}
+
+TEST(DnsMessage, ResponseWithARecordRoundTrip) {
+  Message a = simple_query("cdn.site.org");
+  a.is_response = true;
+  a.recursion_available = true;
+  a.answers.push_back(ResourceRecord::a(
+      "cdn.site.org", Ipv4Addr::from_octets(93, 184, 216, 34), 3600));
+  const auto decoded = Message::decode(BytesView{a.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_response);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "cdn.site.org");
+  EXPECT_EQ(decoded->answers[0].ttl, 3600u);
+  ASSERT_EQ(decoded->answers[0].rdata.size(), 4u);
+  EXPECT_EQ(decoded->answers[0].rdata[0], 93);
+}
+
+TEST(DnsMessage, CnameChainRoundTrip) {
+  Message a = simple_query("www.shop.com");
+  a.is_response = true;
+  a.answers.push_back(
+      ResourceRecord::cname("www.shop.com", "edge1.cdn.shop.com", 60));
+  a.answers.push_back(ResourceRecord::a(
+      "edge1.cdn.shop.com", Ipv4Addr::from_octets(10, 1, 2, 3), 60));
+  const auto decoded = Message::decode(BytesView{a.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers.size(), 2u);
+  EXPECT_EQ(decoded->answers[0].rdata_name, "edge1.cdn.shop.com");
+  EXPECT_EQ(decoded->answers[1].name, "edge1.cdn.shop.com");
+}
+
+TEST(DnsMessage, MxRecordRoundTrip) {
+  Message a = simple_query("corp.example");
+  a.is_response = true;
+  ResourceRecord mx;
+  mx.name = "corp.example";
+  mx.type = static_cast<std::uint16_t>(Type::kMx);
+  mx.ttl = 300;
+  mx.preference = 10;
+  mx.rdata_name = "mx1.corp.example";
+  a.answers.push_back(std::move(mx));
+  const auto decoded = Message::decode(BytesView{a.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].preference, 10);
+  EXPECT_EQ(decoded->answers[0].rdata_name, "mx1.corp.example");
+}
+
+TEST(DnsMessage, TxtRecordRoundTrip) {
+  Message a = simple_query("t.example");
+  a.is_response = true;
+  ResourceRecord txt;
+  txt.name = "t.example";
+  txt.type = static_cast<std::uint16_t>(Type::kTxt);
+  txt.rdata_name = "v=spf1 include:_spf.example ~all";
+  a.answers.push_back(std::move(txt));
+  const auto decoded = Message::decode(BytesView{a.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[0].rdata_name,
+            "v=spf1 include:_spf.example ~all");
+}
+
+TEST(DnsMessage, LongTxtChunksAt255) {
+  Message a = simple_query("big.example");
+  a.is_response = true;
+  ResourceRecord txt;
+  txt.name = "big.example";
+  txt.type = static_cast<std::uint16_t>(Type::kTxt);
+  txt.rdata_name = std::string(300, 'x');
+  a.answers.push_back(std::move(txt));
+  const auto decoded = Message::decode(BytesView{a.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[0].rdata_name, std::string(300, 'x'));
+}
+
+TEST(DnsMessage, FlagsRoundTrip) {
+  Message m = simple_query("flags.test");
+  m.is_response = true;
+  m.authoritative = true;
+  m.truncated = true;
+  m.recursion_desired = false;
+  m.recursion_available = true;
+  m.rcode = Rcode::kNxDomain;
+  const auto decoded = Message::decode(BytesView{m.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->authoritative);
+  EXPECT_TRUE(decoded->truncated);
+  EXPECT_FALSE(decoded->recursion_desired);
+  EXPECT_TRUE(decoded->recursion_available);
+  EXPECT_EQ(decoded->rcode, Rcode::kNxDomain);
+}
+
+TEST(DnsMessage, MultipleAnswersShareCompression) {
+  Message a = simple_query("multi.example.com");
+  a.is_response = true;
+  for (int i = 0; i < 4; ++i)
+    a.answers.push_back(ResourceRecord::a(
+        "multi.example.com", Ipv4Addr::from_octets(10, 0, 0, i), 120));
+  const Bytes wire = a.encode();
+  const auto decoded = Message::decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers.size(), 4u);
+  // With compression, repeated names cost 2 bytes after the first:
+  // generous upper bound check that compression actually engaged.
+  EXPECT_LT(wire.size(), 12 + 23 + 4 * (19 + 2) + 19u);
+}
+
+TEST(DnsMessage, DecodeRejectsTruncation) {
+  const Message q = simple_query("cut.example");
+  Bytes wire = q.encode();
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(Message::decode(BytesView{wire}).has_value());
+  EXPECT_FALSE(Message::decode(BytesView{}).has_value());
+}
+
+TEST(DnsMessage, AaaaRecordRoundTrip) {
+  Message a = simple_query("v6.example");
+  a.is_response = true;
+  Ipv6Addr addr;
+  addr.octets[0] = 0x20;
+  addr.octets[15] = 0x42;
+  a.answers.push_back(ResourceRecord::aaaa("v6.example", addr, 60));
+  const auto decoded = Message::decode(BytesView{a.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers[0].rdata.size(), 16u);
+  EXPECT_EQ(decoded->answers[0].rdata[15], 0x42);
+}
+
+}  // namespace
+}  // namespace netfm::dns

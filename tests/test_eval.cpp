@@ -1,0 +1,216 @@
+// Metrics: confusion matrix, F1, AUROC/AUPR, splits, table rendering.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+
+namespace netfm::eval {
+namespace {
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.micro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, KnownValues) {
+  // truth 0: predicted 0 x3, 1 x1; truth 1: predicted 1 x2, 0 x2.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 3; ++i) cm.add(0, 0);
+  cm.add(0, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 3.0 / 4.0);
+  EXPECT_NEAR(cm.f1(0), 2 * (0.6 * 0.75) / (0.6 + 0.75), 1e-9);
+  EXPECT_EQ(cm.count(1, 0), 2u);
+  EXPECT_EQ(cm.total(), 8u);
+}
+
+TEST(ConfusionMatrix, AbsentClassExcludedFromMacro) {
+  ConfusionMatrix cm(3);  // class 2 never occurs
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, NeverPredictedClassHasZeroPrecision) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+}
+
+TEST(ConfusionMatrix, RejectsBadLabels) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(-1, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, 2), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ToStringContainsNames) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const std::string text = cm.to_string({"cat", "dog"});
+  EXPECT_NE(text.find("cat"), std::string::npos);
+  EXPECT_NE(text.find("dog"), std::string::npos);
+}
+
+TEST(Auroc, PerfectSeparation) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 1.0);
+}
+
+TEST(Auroc, PerfectInversion) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 0.0);
+}
+
+TEST(Auroc, RandomIsHalf) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 0.5);
+}
+
+TEST(Auroc, KnownPartialValue) {
+  // One inversion among 2x2: AUROC = 3/4.
+  const std::vector<double> scores = {0.1, 0.6, 0.4, 0.9};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 0.75);
+}
+
+TEST(Auroc, DegenerateReturnsHalf) {
+  const std::vector<double> scores = {0.5, 0.6};
+  const std::vector<int> all_pos = {1, 1};
+  EXPECT_DOUBLE_EQ(auroc(scores, all_pos), 0.5);
+}
+
+TEST(Aupr, PerfectIsOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(aupr(scores, labels), 1.0);
+}
+
+TEST(Aupr, KnownValue) {
+  // Ranking: pos, neg, pos -> AP = (1/1 + 2/3)/2.
+  const std::vector<double> scores = {0.9, 0.8, 0.7};
+  const std::vector<int> labels = {1, 0, 1};
+  EXPECT_NEAR(aupr(scores, labels), (1.0 + 2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(FprAtTpr, PerfectDetectorZeroFpr) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(scores, labels, 0.95), 0.0);
+}
+
+TEST(FprAtTpr, WorstDetectorFullFpr) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(fpr_at_tpr(scores, labels, 0.95), 1.0);
+}
+
+TEST(Spearman, PerfectAgreementAndInversion) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> c = {40.0, 30.0, 20.0, 10.0};
+  EXPECT_DOUBLE_EQ(spearman(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(spearman(a, c), -1.0);
+}
+
+TEST(Spearman, MonotoneTransformInvariant) {
+  const std::vector<double> a = {0.1, 0.5, 0.2, 0.9};
+  std::vector<double> squared = a;
+  for (double& v : squared) v = v * v;
+  EXPECT_DOUBLE_EQ(spearman(a, squared), 1.0);
+}
+
+TEST(Spearman, DegenerateAndErrors) {
+  const std::vector<double> flat = {1.0, 1.0, 1.0};
+  const std::vector<double> varied = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(spearman(flat, varied), 0.0);
+  const std::vector<double> short_vec = {1.0};
+  EXPECT_THROW(spearman(short_vec, short_vec), std::invalid_argument);
+  const std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_THROW(spearman(mismatched, varied), std::invalid_argument);
+}
+
+TEST(StratifiedSplit, PreservesClassBalance) {
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  const Split split = stratified_split(labels, 0.25, 42);
+  EXPECT_EQ(split.train.size() + split.test.size(), 100u);
+  std::size_t test_minority = 0;
+  for (std::size_t i : split.test)
+    if (labels[i] == 1) ++test_minority;
+  EXPECT_EQ(test_minority, 5u);
+  EXPECT_EQ(split.test.size(), 25u);
+}
+
+TEST(StratifiedSplit, DeterministicBySeed) {
+  std::vector<int> labels(50, 0);
+  const Split a = stratified_split(labels, 0.2, 7);
+  const Split b = stratified_split(labels, 0.2, 7);
+  EXPECT_EQ(a.test, b.test);
+  const Split c = stratified_split(labels, 0.2, 8);
+  EXPECT_NE(a.test, c.test);
+}
+
+TEST(StratifiedSplit, NoIndexAppearsTwice) {
+  std::vector<int> labels = {0, 1, 0, 1, 2, 2, 0, 1};
+  const Split split = stratified_split(labels, 0.5, 3);
+  std::vector<std::size_t> all = split.train;
+  all.insert(all.end(), split.test.begin(), split.test.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"much-longer-name", "12345"});
+  t.note("footnote");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("footnote"), std::string::npos);
+  // All data lines have equal width.
+  const auto lines = split(out, '\n');
+  std::size_t width = 0;
+  for (const auto& line : lines)
+    if (!line.empty() && line[0] == '|') {
+      if (width == 0) width = line.size();
+      EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Strings, Helpers) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_EQ(trim("  pad  "), "pad");
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace netfm::eval

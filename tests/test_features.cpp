@@ -1,0 +1,128 @@
+// Flow features + logistic-regression baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tasks/features.h"
+#include "trafficgen/generator.h"
+
+namespace netfm::tasks {
+namespace {
+
+TEST(FlowFeatures, DimsAndNames) {
+  for (std::size_t i = 0; i < FlowFeatures::kDim; ++i)
+    EXPECT_STRNE(FlowFeatures::name(i), "?");
+  EXPECT_STREQ(FlowFeatures::name(FlowFeatures::kDim), "?");
+}
+
+TEST(FlowFeatures, ExtractsSaneValues) {
+  const auto trace = gen::quick_trace(10.0, 71);
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) table.add(p);
+  table.flush();
+  ASSERT_FALSE(table.finished().empty());
+  for (const Flow& flow : table.finished()) {
+    const auto f = FlowFeatures::extract(flow);
+    ASSERT_EQ(f.size(), FlowFeatures::kDim);
+    for (float v : f) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+    EXPECT_GT(f[0], 0.0f);               // log packet count
+    EXPECT_GE(f[8], 0.0f);               // up ratio in [0,1]
+    EXPECT_LE(f[8], 1.0f);
+    EXPECT_GE(f[12], 0.0f);              // normalized entropy in [0,1]
+    EXPECT_LE(f[12], 1.0f);
+  }
+}
+
+TEST(FlowFeatures, TcpFlowsSeeSyn) {
+  const auto trace = gen::quick_trace(10.0, 73);
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) table.add(p);
+  table.flush();
+  bool found_tcp = false;
+  for (const Flow& flow : table.finished()) {
+    if (flow.key.protocol != static_cast<std::uint8_t>(IpProto::kTcp))
+      continue;
+    found_tcp = true;
+    const auto f = FlowFeatures::extract(flow);
+    EXPECT_FLOAT_EQ(f[9], 1.0f);  // saw_syn
+  }
+  EXPECT_TRUE(found_tcp);
+}
+
+TEST(Logistic, LearnsLinearlySeparableTask) {
+  Rng rng(75);
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const float x = static_cast<float>(rng.normal());
+    const float y = static_cast<float>(rng.normal());
+    features.push_back({x, y});
+    labels.push_back(x + y > 0 ? 1 : 0);
+  }
+  LogisticClassifier clf(2, 2);
+  clf.train(features, labels);
+  int correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i)
+    if (clf.predict(features[i]) == labels[i]) ++correct;
+  EXPECT_GT(correct, 190);
+}
+
+TEST(Logistic, MulticlassAndProbabilities) {
+  Rng rng(77);
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 60; ++i) {
+      features.push_back({static_cast<float>(c * 4 + rng.normal()),
+                          static_cast<float>(-c * 3 + rng.normal())});
+      labels.push_back(c);
+    }
+  LogisticClassifier clf(2, 3);
+  clf.train(features, labels);
+  int correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const auto probs = clf.predict_proba(features[i]);
+    double total = 0.0;
+    for (double p : probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    if (clf.predict(features[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 170);
+}
+
+TEST(Logistic, RejectsBadInputs) {
+  EXPECT_THROW(LogisticClassifier(0, 2), std::invalid_argument);
+  EXPECT_THROW(LogisticClassifier(3, 1), std::invalid_argument);
+  LogisticClassifier clf(2, 2);
+  EXPECT_THROW(clf.train({}, {}), std::invalid_argument);
+}
+
+TEST(Logistic, ClassifiesFlowsByApp) {
+  // End-to-end: features -> logistic over app classes (coarse but should
+  // beat chance comfortably: sizes/ports/flags separate most apps).
+  const auto trace = gen::quick_trace(40.0, 79);
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) table.add(p);
+  table.flush();
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  for (const Flow& flow : table.finished()) {
+    const gen::Session* session = trace.find(flow.key);
+    if (!session) continue;
+    features.push_back(FlowFeatures::extract(flow));
+    labels.push_back(static_cast<int>(session->app));
+  }
+  ASSERT_GT(features.size(), 50u);
+  LogisticClassifier clf(FlowFeatures::kDim,
+                         static_cast<std::size_t>(gen::AppClass::kCount));
+  clf.train(features, labels);
+  int correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i)
+    if (clf.predict(features[i]) == labels[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / features.size(), 0.5);
+}
+
+}  // namespace
+}  // namespace netfm::tasks

@@ -1,0 +1,271 @@
+// L2-L4 header codecs: round trips, checksums, malformed input.
+#include <gtest/gtest.h>
+
+#include "net/addr.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace netfm {
+namespace {
+
+TEST(Addr, MacRoundTrip) {
+  const MacAddr mac = MacAddr::from_id(0x123456789a);
+  const auto parsed = MacAddr::parse(mac.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+  EXPECT_EQ(mac.octets[0], 0x02);  // locally administered
+}
+
+TEST(Addr, MacParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee").has_value());
+  EXPECT_FALSE(MacAddr::parse("aa:bb:cc:dd:ee:zz").has_value());
+  EXPECT_FALSE(MacAddr::parse("").has_value());
+}
+
+TEST(Addr, Ipv4RoundTrip) {
+  const auto addr = Ipv4Addr::parse("192.168.1.200");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "192.168.1.200");
+  EXPECT_EQ(addr->value, 0xc0a801c8u);
+}
+
+TEST(Addr, Ipv4ParseRejects) {
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+}
+
+TEST(Addr, Ipv6FullFormRoundTrip) {
+  const auto addr =
+      Ipv6Addr::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "2001:0db8:0000:0000:0000:0000:0000:0001");
+}
+
+TEST(Addr, Ipv6Compression) {
+  const auto addr = Ipv6Addr::parse("2001:db8::1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->octets[0], 0x20);
+  EXPECT_EQ(addr->octets[15], 0x01);
+  const auto loopback = Ipv6Addr::parse("::1");
+  ASSERT_TRUE(loopback.has_value());
+  EXPECT_EQ(loopback->octets[15], 0x01);
+}
+
+TEST(Ethernet, RoundTrip) {
+  EthernetHeader eth{MacAddr::from_id(1), MacAddr::from_id(2), 0x0800};
+  ByteWriter w;
+  eth.write(w);
+  EXPECT_EQ(w.size(), EthernetHeader::kWireSize);
+  ByteReader r(BytesView{w.bytes()});
+  const auto parsed = EthernetHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, eth.dst);
+  EXPECT_EQ(parsed->src, eth.src);
+  EXPECT_EQ(parsed->ether_type, 0x0800);
+}
+
+TEST(Ipv4Header, RoundTripWithChecksum) {
+  Ipv4Header ip;
+  ip.total_length = 40;
+  ip.identification = 0x1234;
+  ip.ttl = 61;
+  ip.protocol = 6;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  ByteWriter w;
+  ip.write(w);
+  ASSERT_EQ(w.size(), 20u);
+  // On-wire header checksums to zero.
+  EXPECT_EQ(internet_checksum(BytesView{w.bytes()}), 0);
+  ByteReader r(BytesView{w.bytes()});
+  const auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ttl, 61);
+  EXPECT_EQ(parsed->src.to_string(), "10.0.0.1");
+  EXPECT_EQ(parsed->total_length, 40);
+}
+
+TEST(Ipv4Header, RejectsWrongVersion) {
+  Bytes data(20, 0);
+  data[0] = 0x65;  // version 6
+  ByteReader r(BytesView{data});
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+}
+
+TEST(Ipv4Header, RejectsShortIhl) {
+  Bytes data(20, 0);
+  data[0] = 0x44;  // IHL 4 -> 16 bytes < 20
+  ByteReader r(BytesView{data});
+  EXPECT_FALSE(Ipv4Header::parse(r).has_value());
+}
+
+TEST(Ipv4Header, FragmentAccessors) {
+  Ipv4Header ip;
+  ip.flags_fragment = 0x4000;
+  EXPECT_TRUE(ip.dont_fragment());
+  EXPECT_FALSE(ip.more_fragments());
+  ip.flags_fragment = 0x200d;
+  EXPECT_TRUE(ip.more_fragments());
+  EXPECT_EQ(ip.fragment_offset(), 13);
+}
+
+TEST(Ipv6Header, RoundTrip) {
+  Ipv6Header ip;
+  ip.traffic_class = 0x12;
+  ip.flow_label = 0xabcde;
+  ip.payload_length = 100;
+  ip.next_header = 17;
+  ip.hop_limit = 63;
+  ip.src.octets[15] = 1;
+  ip.dst.octets[15] = 2;
+  ByteWriter w;
+  ip.write(w);
+  EXPECT_EQ(w.size(), Ipv6Header::kWireSize);
+  ByteReader r(BytesView{w.bytes()});
+  const auto parsed = Ipv6Header::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->traffic_class, 0x12);
+  EXPECT_EQ(parsed->flow_label, 0xabcdeu);
+  EXPECT_EQ(parsed->next_header, 17);
+}
+
+TEST(TcpHeader, RoundTripAndChecksumVerifies) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  TcpHeader tcp;
+  tcp.src_port = 12345;
+  tcp.dst_port = 443;
+  tcp.seq = 0xdeadbeef;
+  tcp.ack = 0xfeedf00d;
+  tcp.flags = TcpFlags::kAck | TcpFlags::kPsh;
+  const Bytes payload = {'h', 'i'};
+  ByteWriter w;
+  tcp.write(w, ip, BytesView{payload});
+
+  // Verify: pseudo-header + segment checksums to zero.
+  const std::uint16_t check =
+      l4_checksum_ipv4(ip, IpProto::kTcp, BytesView{w.bytes()});
+  EXPECT_EQ(check, 0);
+
+  ByteReader r(BytesView{w.bytes()});
+  const auto parsed = TcpHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+  EXPECT_TRUE(parsed->has(TcpFlags::kPsh));
+  EXPECT_FALSE(parsed->has(TcpFlags::kSyn));
+}
+
+TEST(UdpHeader, RoundTripAndLength) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(8, 8, 8, 8);
+  UdpHeader udp;
+  udp.src_port = 5555;
+  udp.dst_port = 53;
+  const Bytes payload(13, 0xab);
+  ByteWriter w;
+  udp.write(w, ip, BytesView{payload});
+  EXPECT_EQ(w.size(), UdpHeader::kWireSize + 13);
+  EXPECT_EQ(l4_checksum_ipv4(ip, IpProto::kUdp, BytesView{w.bytes()}), 0);
+
+  ByteReader r(BytesView{w.bytes()});
+  const auto parsed = UdpHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->length, UdpHeader::kWireSize + 13);
+}
+
+TEST(IcmpHeader, RoundTrip) {
+  IcmpHeader icmp;
+  icmp.type = 8;
+  icmp.identifier = 77;
+  icmp.sequence = 3;
+  const Bytes payload = {1, 2, 3, 4};
+  ByteWriter w;
+  icmp.write(w, BytesView{payload});
+  EXPECT_EQ(internet_checksum(BytesView{w.bytes()}), 0);
+  ByteReader r(BytesView{w.bytes()});
+  const auto parsed = IcmpHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->identifier, 77);
+}
+
+TEST(FrameBuilders, TcpFrameParsesBack) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 1, 0, 5);
+  ip.dst = Ipv4Addr::from_octets(192, 168, 0, 10);
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kSyn;
+  const Bytes frame = build_tcp_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                      ip, tcp, {});
+  const auto parsed = parse_packet(BytesView{frame});
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->tcp.has_value());
+  EXPECT_EQ(parsed->tcp->dst_port, 80);
+  EXPECT_TRUE(parsed->tcp->has(TcpFlags::kSyn));
+  EXPECT_EQ(parsed->app, AppProtocol::kHttp);
+  EXPECT_TRUE(parsed->l4_payload.empty());
+}
+
+TEST(FrameBuilders, UdpFrameParsesBack) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 1, 0, 5);
+  ip.dst = Ipv4Addr::from_octets(10, 1, 0, 1);
+  UdpHeader udp;
+  udp.src_port = 33333;
+  udp.dst_port = 53;
+  const Bytes payload(7, 0x11);
+  const Bytes frame = build_udp_frame(MacAddr::from_id(3), MacAddr::from_id(4),
+                                      ip, udp, BytesView{payload});
+  const auto parsed = parse_packet(BytesView{frame});
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->udp.has_value());
+  EXPECT_EQ(parsed->l4_payload.size(), 7u);
+  EXPECT_EQ(parsed->app, AppProtocol::kDns);
+}
+
+TEST(ParsePacket, RejectsTruncatedFrames) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(1, 1, 1, 1);
+  ip.dst = Ipv4Addr::from_octets(2, 2, 2, 2);
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  Bytes frame = build_tcp_frame(MacAddr::from_id(1), MacAddr::from_id(2), ip,
+                                tcp, {});
+  frame.resize(frame.size() - 5);  // chop the TCP header
+  EXPECT_FALSE(parse_packet(BytesView{frame}).has_value());
+  EXPECT_FALSE(parse_packet(BytesView{}).has_value());
+}
+
+TEST(ParsePacket, RejectsNonIp) {
+  Bytes frame(20, 0);
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP
+  EXPECT_FALSE(parse_packet(BytesView{frame}).has_value());
+}
+
+TEST(GuessApp, PortAndPayloadHeuristics) {
+  EXPECT_EQ(guess_app(12345, 53, {}), AppProtocol::kDns);
+  EXPECT_EQ(guess_app(123, 40000, {}), AppProtocol::kNtp);
+  EXPECT_EQ(guess_app(40000, 22, {}), AppProtocol::kSsh);
+  const Bytes tls = {0x16, 0x03, 0x03, 0x00, 0x10};
+  EXPECT_EQ(guess_app(9999, 8888, BytesView{tls}), AppProtocol::kTls);
+  const Bytes http = {'G', 'E', 'T', ' ', '/'};
+  EXPECT_EQ(guess_app(9999, 8888, BytesView{http}), AppProtocol::kHttp);
+  EXPECT_EQ(guess_app(9999, 8888, {}), AppProtocol::kUnknown);
+}
+
+TEST(AppName, AllNamed) {
+  EXPECT_EQ(app_name(AppProtocol::kDns), "dns");
+  EXPECT_EQ(app_name(AppProtocol::kUnknown), "unknown");
+  EXPECT_EQ(app_name(AppProtocol::kQuic), "quic");
+}
+
+}  // namespace
+}  // namespace netfm

@@ -1,0 +1,198 @@
+// HTTP, TLS, and NTP codec tests.
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/ntp.h"
+#include "net/tls.h"
+
+namespace netfm {
+namespace {
+
+TEST(Http, RequestRoundTrip) {
+  http::Request req;
+  req.method = "POST";
+  req.target = "/api/v1/items?q=1";
+  req.headers = {{"Host", "api.example.com"}, {"User-Agent", "test/1.0"}};
+  req.body = {'a', 'b', 'c'};
+  const auto decoded = http::Request::decode(BytesView{req.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->method, "POST");
+  EXPECT_EQ(decoded->target, "/api/v1/items?q=1");
+  EXPECT_EQ(http::find_header(decoded->headers, "host"), "api.example.com");
+  EXPECT_EQ(decoded->body, req.body);
+}
+
+TEST(Http, EncodeAddsContentLength) {
+  http::Request req;
+  req.body = Bytes(42, 'x');
+  const Bytes wire = req.encode();
+  const std::string text(wire.begin(), wire.end());
+  EXPECT_NE(text.find("Content-Length: 42"), std::string::npos);
+}
+
+TEST(Http, ResponseRoundTrip) {
+  http::Response resp;
+  resp.status = 404;
+  resp.reason = http::default_reason(404);
+  resp.headers = {{"Server", "nginx"}, {"Content-Length", "0"}};
+  const auto decoded = http::Response::decode(BytesView{resp.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, 404);
+  EXPECT_EQ(decoded->reason, "Not Found");
+}
+
+TEST(Http, HeaderLookupIsCaseInsensitive) {
+  http::Headers headers = {{"X-Custom-Header", "v"}};
+  EXPECT_TRUE(http::find_header(headers, "x-custom-header").has_value());
+  EXPECT_TRUE(http::find_header(headers, "X-CUSTOM-HEADER").has_value());
+  EXPECT_FALSE(http::find_header(headers, "missing").has_value());
+}
+
+TEST(Http, DecodeRejectsMalformed) {
+  const std::string bad1 = "GET /\r\n\r\n";            // missing version
+  const std::string bad2 = "GARBAGE\r\n\r\n";          // not a start line
+  const std::string bad3 = "GET / HTTP/1.1\r\nnope\r\n\r\n";  // bad header
+  const std::string bad4 = "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+  for (const std::string& bad : {bad1, bad2, bad3, bad4}) {
+    const BytesView wire(reinterpret_cast<const std::uint8_t*>(bad.data()),
+                         bad.size());
+    EXPECT_FALSE(http::Request::decode(wire).has_value()) << bad;
+  }
+  const std::string incomplete = "GET / HTTP/1.1\r\n";  // no CRLFCRLF
+  EXPECT_FALSE(http::Request::decode(
+                   BytesView(reinterpret_cast<const std::uint8_t*>(
+                                 incomplete.data()),
+                             incomplete.size()))
+                   .has_value());
+}
+
+TEST(Http, BodyTruncatedAtContentLength) {
+  const std::string wire_str =
+      "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabcdef";
+  const BytesView wire(
+      reinterpret_cast<const std::uint8_t*>(wire_str.data()),
+      wire_str.size());
+  const auto resp = http::Response::decode(wire);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->body.size(), 3u);
+}
+
+TEST(Tls, RecordRoundTrip) {
+  tls::Record rec;
+  rec.type = tls::ContentType::kApplicationData;
+  rec.fragment = {1, 2, 3, 4, 5};
+  std::size_t consumed = 0;
+  const auto decoded = tls::Record::decode(BytesView{rec.encode()}, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, 5u + 5u);
+  EXPECT_EQ(decoded->fragment, rec.fragment);
+  EXPECT_EQ(decoded->type, tls::ContentType::kApplicationData);
+}
+
+TEST(Tls, ClientHelloRoundTrip) {
+  tls::ClientHello hello;
+  hello.cipher_suites = {0xc02f, 0xc030, 0x1301};
+  hello.server_name = "www.example.com";
+  hello.alpn = {"h2", "http/1.1"};
+  hello.supported_versions = {0x0304, 0x0303};
+  const auto decoded =
+      tls::ClientHello::decode_handshake(BytesView{hello.encode_handshake()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cipher_suites, hello.cipher_suites);
+  EXPECT_EQ(decoded->server_name, "www.example.com");
+  EXPECT_EQ(decoded->alpn, hello.alpn);
+  EXPECT_EQ(decoded->supported_versions, hello.supported_versions);
+}
+
+TEST(Tls, ClientHelloWithoutExtensions) {
+  tls::ClientHello hello;
+  hello.cipher_suites = {0x002f};
+  const auto decoded =
+      tls::ClientHello::decode_handshake(BytesView{hello.encode_handshake()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->server_name.empty());
+  EXPECT_TRUE(decoded->alpn.empty());
+}
+
+TEST(Tls, ServerHelloRoundTrip) {
+  tls::ServerHello hello;
+  hello.cipher_suite = 0xc030;
+  const auto decoded =
+      tls::ServerHello::decode_handshake(BytesView{hello.encode_handshake()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cipher_suite, 0xc030);
+}
+
+TEST(Tls, RecordWrappingParses) {
+  tls::ClientHello hello;
+  hello.cipher_suites = {0x1301};
+  hello.server_name = "a.b";
+  const Bytes record = hello.encode_record();
+  std::size_t consumed = 0;
+  const auto rec = tls::Record::decode(BytesView{record}, consumed);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->type, tls::ContentType::kHandshake);
+  const auto inner =
+      tls::ClientHello::decode_handshake(BytesView{rec->fragment});
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->server_name, "a.b");
+}
+
+TEST(Tls, ApplicationDataDeterministic) {
+  const Bytes a = tls::application_data_record(64, 42);
+  const Bytes b = tls::application_data_record(64, 42);
+  const Bytes c = tls::application_data_record(64, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 64u + 5u);
+}
+
+TEST(Tls, WeakSuiteClassification) {
+  EXPECT_TRUE(tls::is_weak_suite(0x002f));
+  EXPECT_TRUE(tls::is_weak_suite(0x000a));
+  EXPECT_FALSE(tls::is_weak_suite(0xc02f));
+  EXPECT_FALSE(tls::is_weak_suite(0x1301));
+}
+
+TEST(Tls, DecodeRejectsTruncatedRecord) {
+  const Bytes bad = {0x16, 0x03, 0x03, 0x00, 0x10, 0x01};  // claims 16 bytes
+  std::size_t consumed = 0;
+  EXPECT_FALSE(tls::Record::decode(BytesView{bad}, consumed).has_value());
+}
+
+TEST(Ntp, RoundTrip) {
+  ntp::Packet p;
+  p.leap = 1;
+  p.mode = ntp::Mode::kServer;
+  p.stratum = 3;
+  p.poll = 10;
+  p.precision = -23;
+  p.reference_id = 0x47505300;
+  p.transmit_ts = ntp::to_ntp_timestamp(1700000000.5);
+  const Bytes wire = p.encode();
+  EXPECT_EQ(wire.size(), ntp::Packet::kWireSize);
+  const auto decoded = ntp::Packet::decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->leap, 1);
+  EXPECT_EQ(decoded->mode, ntp::Mode::kServer);
+  EXPECT_EQ(decoded->stratum, 3);
+  EXPECT_EQ(decoded->precision, -23);
+  EXPECT_EQ(decoded->transmit_ts, p.transmit_ts);
+}
+
+TEST(Ntp, TimestampConversion) {
+  // 1900-01-01 epoch: unix 0 -> NTP era offset seconds.
+  const std::uint64_t ts = ntp::to_ntp_timestamp(0.0);
+  EXPECT_EQ(ts >> 32, 2208988800ULL);
+  // Half-second fraction.
+  const std::uint64_t half = ntp::to_ntp_timestamp(0.5);
+  EXPECT_NEAR(static_cast<double>(half & 0xffffffff), 2147483648.0, 2.0);
+}
+
+TEST(Ntp, DecodeRejectsShortInput) {
+  const Bytes short_input(47, 0);
+  EXPECT_FALSE(ntp::Packet::decode(BytesView{short_input}).has_value());
+}
+
+}  // namespace
+}  // namespace netfm

@@ -1,0 +1,162 @@
+// Interpretability: occlusion saliency, attention rollout, superbytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "interpret/saliency.h"
+#include "net/packet.h"
+
+namespace netfm::interpret {
+namespace {
+
+/// Model fine-tuned so that the label is decided by one token ("p80" vs
+/// "p53") — attribution should concentrate there.
+struct Fixture {
+  tok::Vocabulary vocab;
+  std::unique_ptr<core::NetFM> model;
+  std::vector<std::vector<std::string>> corpus;
+  std::vector<int> labels;
+
+  Fixture() {
+    for (const char* t :
+         {"tcp", "udp", "p80", "p53", "fl_S", "d_www", "dir_up", "pkt",
+          "dns_query", "len_b6", "ttl_b6"})
+      vocab.add(t);
+    auto config = model::TransformerConfig::tiny(vocab.size());
+    config.max_seq_len = 16;
+    config.dropout = 0.0f;
+    model = std::make_unique<core::NetFM>(vocab, config);
+    for (int i = 0; i < 30; ++i) {
+      corpus.push_back({"dir_up", "tcp", "p80", "fl_S", "len_b6", "ttl_b6"});
+      labels.push_back(0);
+      corpus.push_back({"dir_up", "udp", "p53", "fl_S", "len_b6", "ttl_b6"});
+      labels.push_back(1);
+    }
+    core::FineTuneOptions options;
+    options.epochs = 4;
+    options.max_seq_len = 16;
+    model->fine_tune(corpus, labels, 2, options);
+  }
+};
+
+TEST(Occlusion, ConcentratesOnDiscriminativeTokens) {
+  Fixture fx;
+  const std::vector<std::string> context = {"dir_up", "tcp",    "p80",
+                                            "fl_S",   "len_b6", "ttl_b6"};
+  const auto attributions = occlusion_saliency(*fx.model, context, 16);
+  ASSERT_EQ(attributions.size(), context.size());
+  // The class-deciding tokens (tcp / p80) should carry the largest drop.
+  double discriminative = 0.0, background = 0.0;
+  for (const auto& attr : attributions) {
+    if (attr.token == "p80" || attr.token == "tcp")
+      discriminative = std::max(discriminative, attr.score);
+    else if (attr.token == "len_b6" || attr.token == "ttl_b6")
+      background = std::max(background, attr.score);
+  }
+  EXPECT_GT(discriminative, background);
+}
+
+TEST(Occlusion, ScoresAreBoundedProbabilityDrops) {
+  Fixture fx;
+  const auto attributions =
+      occlusion_saliency(*fx.model, fx.corpus[0], 16);
+  for (const auto& attr : attributions) {
+    EXPECT_GE(attr.score, -1.0);
+    EXPECT_LE(attr.score, 1.0);
+  }
+}
+
+TEST(Rollout, ProducesPerTokenScores) {
+  Fixture fx;
+  const auto attributions = attention_rollout(*fx.model, fx.corpus[0], 16);
+  ASSERT_EQ(attributions.size(), fx.corpus[0].size());
+  double total = 0.0;
+  for (const auto& attr : attributions) {
+    EXPECT_GE(attr.score, 0.0);
+    total += attr.score;
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_LE(total, 1.0 + 1e-6);  // CLS row is a distribution over positions
+}
+
+TEST(Superbytes, GroupsFieldTokenFamilies) {
+  const std::vector<std::string> context = {"tcp",   "p80",  "p_eph",
+                                            "fl_SA", "d_www", "d_com"};
+  std::vector<TokenAttribution> attributions;
+  for (const auto& t : context) attributions.push_back({t, 0.1});
+  const auto groups = group_field_tokens(context, attributions);
+  ASSERT_GE(groups.size(), 3u);
+  // Adjacent same-family tokens merge: the two port tokens, two domains.
+  bool found_ports = false, found_domains = false;
+  for (const auto& g : groups) {
+    if (g.label == "port" && g.end - g.begin == 2) found_ports = true;
+    if (g.label == "domain" && g.end - g.begin == 2) {
+      found_domains = true;
+      EXPECT_NEAR(g.score, 0.2, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_ports);
+  EXPECT_TRUE(found_domains);
+}
+
+TEST(Superbytes, ByteGroupingFollowsHeaderLayout) {
+  // Build a real TCP frame and attribute each L3 byte a unit score.
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 80;
+  tcp.flags = TcpFlags::kSyn;
+  const Bytes frame = build_tcp_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                      ip, tcp, {});
+  std::vector<TokenAttribution> attributions;
+  for (std::size_t i = 0; i + 14 < frame.size(); ++i)
+    attributions.push_back({"b00", 1.0});
+
+  const auto groups = group_bytes_by_field(BytesView{frame}, attributions);
+  // Field sizes are respected: ip-src and ip-dst are 4 bytes each.
+  bool saw_src = false, saw_flags = false;
+  for (const auto& g : groups) {
+    if (g.label == "ip-src") {
+      saw_src = true;
+      EXPECT_EQ(g.end - g.begin, 4u);
+      EXPECT_NEAR(g.score, 4.0, 1e-9);
+    }
+    if (g.label == "tcp-flags") {
+      saw_flags = true;
+      EXPECT_EQ(g.end - g.begin, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_src);
+  EXPECT_TRUE(saw_flags);
+}
+
+TEST(Superbytes, UdpLayoutRecognized) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  UdpHeader udp;
+  udp.src_port = 40000;
+  udp.dst_port = 53;
+  const Bytes payload(10, 0);
+  const Bytes frame = build_udp_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                      ip, udp, BytesView{payload});
+  std::vector<TokenAttribution> attributions;
+  for (std::size_t i = 0; i + 14 < frame.size(); ++i)
+    attributions.push_back({"b00", 0.5});
+  const auto groups = group_bytes_by_field(BytesView{frame}, attributions);
+  bool saw_udp_port = false, saw_payload = false;
+  for (const auto& g : groups) {
+    if (g.label == "udp-dport") saw_udp_port = true;
+    if (g.label == "payload") {
+      saw_payload = true;
+      EXPECT_EQ(g.end - g.begin, 10u);
+    }
+  }
+  EXPECT_TRUE(saw_udp_port);
+  EXPECT_TRUE(saw_payload);
+}
+
+}  // namespace
+}  // namespace netfm::interpret

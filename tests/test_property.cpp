@@ -1,0 +1,221 @@
+// Property-based and fuzz-style tests: every decoder must be total
+// (return nullopt or a valid object, never crash or over-read) on
+// arbitrary bytes, and every codec must round-trip randomized field
+// values. Parameterized over seeds per the gtest TEST_P idiom.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/data.h"
+#include "net/anonymize.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/ntp.h"
+#include "net/packet.h"
+#include "net/pcap.h"
+#include "trafficgen/generator.h"
+#include "net/quic.h"
+#include "net/tls.h"
+#include "tokenize/tokenizer.h"
+
+namespace netfm {
+namespace {
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.uniform(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST_P(FuzzSeed, DecodersAreTotalOnGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Bytes data = random_bytes(rng, 200);
+    const BytesView view{data};
+    // None of these may crash; values are allowed but not required.
+    (void)parse_packet(view);
+    (void)dns::Message::decode(view);
+    (void)http::Request::decode(view);
+    (void)http::Response::decode(view);
+    (void)ntp::Packet::decode(view);
+    (void)quic::decode(view);
+    std::size_t consumed = 0;
+    (void)tls::Record::decode(view, consumed);
+    (void)tls::ClientHello::decode_handshake(view);
+    (void)tls::ServerHello::decode_handshake(view);
+    (void)pcap_decode(view);
+    ByteReader reader(view);
+    (void)dns::decode_name(reader);
+    ByteReader reader2(view);
+    (void)quic::read_varint(reader2);
+  }
+}
+
+TEST_P(FuzzSeed, TokenizersAreTotalOnGarbage) {
+  Rng rng(GetParam() + 1);
+  const tok::ByteTokenizer byte_tokenizer(48);
+  const tok::FieldTokenizer field_tokenizer;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes data = random_bytes(rng, 300);
+    EXPECT_FALSE(byte_tokenizer.tokenize_packet(BytesView{data}).empty());
+    EXPECT_FALSE(field_tokenizer.tokenize_packet(BytesView{data}).empty());
+  }
+}
+
+TEST_P(FuzzSeed, TruncationNeverCrashesRealFrames) {
+  // Take real generated frames and decode every truncation prefix.
+  Rng rng(GetParam() + 2);
+  const auto trace = gen::quick_trace(2.0, GetParam());
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, trace.interleaved.size());
+       ++i) {
+    const Bytes& frame = trace.interleaved[i].frame;
+    for (std::size_t cut = 0; cut <= frame.size();
+         cut += 1 + rng.uniform(7)) {
+      const BytesView prefix(frame.data(), cut);
+      (void)parse_packet(prefix);
+    }
+  }
+}
+
+TEST_P(FuzzSeed, DnsRoundTripRandomMessages) {
+  Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    dns::Message m;
+    m.id = static_cast<std::uint16_t>(rng.next());
+    m.is_response = rng.chance(0.5);
+    m.rcode = static_cast<dns::Rcode>(rng.uniform(6));
+    const std::size_t questions = 1 + rng.uniform(2);
+    for (std::size_t q = 0; q < questions; ++q) {
+      std::string name;
+      const std::size_t labels = 1 + rng.uniform(3);
+      for (std::size_t l = 0; l < labels; ++l) {
+        if (l) name += '.';
+        const std::size_t len = 1 + rng.uniform(10);
+        for (std::size_t c = 0; c < len; ++c)
+          name += static_cast<char>('a' + rng.uniform(26));
+      }
+      m.questions.push_back({name, 1, 1});
+    }
+    if (m.is_response) {
+      const std::size_t answers = rng.uniform(4);
+      for (std::size_t a = 0; a < answers; ++a)
+        m.answers.push_back(dns::ResourceRecord::a(
+            m.questions[rng.uniform(m.questions.size())].name,
+            Ipv4Addr{static_cast<std::uint32_t>(rng.next())},
+            static_cast<std::uint32_t>(rng.uniform(100000))));
+    }
+    const auto decoded = dns::Message::decode(BytesView{m.encode()});
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->id, m.id);
+    EXPECT_EQ(decoded->questions.size(), m.questions.size());
+    EXPECT_EQ(decoded->answers.size(), m.answers.size());
+    for (std::size_t q = 0; q < m.questions.size(); ++q)
+      EXPECT_EQ(decoded->questions[q].name, m.questions[q].name);
+  }
+}
+
+TEST_P(FuzzSeed, TcpFramesRoundTripRandomFields) {
+  Rng rng(GetParam() + 4);
+  for (int trial = 0; trial < 60; ++trial) {
+    Ipv4Header ip;
+    ip.src = Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+    ip.dst = Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+    ip.ttl = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    TcpHeader tcp;
+    tcp.src_port = static_cast<std::uint16_t>(rng.next());
+    tcp.dst_port = static_cast<std::uint16_t>(rng.next());
+    tcp.seq = static_cast<std::uint32_t>(rng.next());
+    tcp.ack = static_cast<std::uint32_t>(rng.next());
+    tcp.flags = static_cast<std::uint8_t>(rng.uniform(64));
+    const Bytes payload = random_bytes(rng, 400);
+    const Bytes frame = build_tcp_frame(MacAddr::from_id(rng.next()),
+                                        MacAddr::from_id(rng.next()), ip,
+                                        tcp, BytesView{payload});
+    const auto parsed = parse_packet(BytesView{frame});
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->tcp.has_value());
+    EXPECT_EQ(parsed->tcp->seq, tcp.seq);
+    EXPECT_EQ(parsed->tcp->flags, tcp.flags);
+    EXPECT_EQ(parsed->l4_payload.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           parsed->l4_payload.begin()));
+    // L4 checksum must verify.
+    const std::size_t l4_at = 14 + parsed->ipv4->header_length();
+    EXPECT_EQ(l4_checksum_ipv4(
+                  *parsed->ipv4, IpProto::kTcp,
+                  BytesView{frame}.subspan(l4_at, frame.size() - l4_at)),
+              0);
+  }
+}
+
+TEST_P(FuzzSeed, AnonymizerIsInjectiveOnSample) {
+  // No two distinct addresses may collide after anonymization (it is a
+  // permutation per prefix level).
+  Rng rng(GetParam() + 5);
+  const TraceAnonymizer anon({.key = GetParam()});
+  std::map<std::uint32_t, std::uint32_t> forward;
+  for (int i = 0; i < 400; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng.next())};
+    const Ipv4Addr mapped = anon.anonymize(addr);
+    const auto [it, inserted] = forward.emplace(addr.value, mapped.value);
+    if (!inserted) {
+      EXPECT_EQ(it->second, mapped.value);
+    }
+  }
+  std::map<std::uint32_t, std::uint32_t> reverse;
+  for (const auto& [from, to] : forward) {
+    const auto [it, inserted] = reverse.emplace(to, from);
+    EXPECT_TRUE(inserted) << "collision at " << Ipv4Addr{to}.to_string();
+  }
+}
+
+TEST_P(FuzzSeed, EncodeContextInvariants) {
+  Rng rng(GetParam() + 6);
+  tok::Vocabulary vocab;
+  for (int i = 0; i < 30; ++i) vocab.add("t" + std::to_string(i));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> tokens(rng.uniform(100));
+    for (auto& t : tokens) t = "t" + std::to_string(rng.uniform(40));
+    const std::size_t max_len = 3 + rng.uniform(60);
+    const core::Encoded e = core::encode_context(tokens, vocab, max_len);
+    ASSERT_EQ(e.ids.size(), max_len);
+    ASSERT_EQ(e.mask.size(), max_len);
+    EXPECT_EQ(e.ids[0], tok::Vocabulary::kCls);
+    // Exactly one [SEP]; everything after it is padding with mask 0.
+    std::size_t sep_at = max_len;
+    for (std::size_t i = 0; i < max_len; ++i)
+      if (e.ids[i] == tok::Vocabulary::kSep) {
+        sep_at = i;
+        break;
+      }
+    ASSERT_LT(sep_at, max_len);
+    for (std::size_t i = 0; i <= sep_at; ++i)
+      EXPECT_FLOAT_EQ(e.mask[i], 1.0f);
+    for (std::size_t i = sep_at + 1; i < max_len; ++i) {
+      EXPECT_EQ(e.ids[i], tok::Vocabulary::kPad);
+      EXPECT_FLOAT_EQ(e.mask[i], 0.0f);
+    }
+  }
+}
+
+TEST_P(FuzzSeed, FlowTableNeverLosesParseablePackets) {
+  const auto trace = gen::quick_trace(5.0, GetParam() + 7);
+  FlowTable table;
+  std::size_t accepted = 0;
+  for (const Packet& p : trace.interleaved)
+    if (table.add(p)) ++accepted;
+  table.flush();
+  std::size_t in_flows = 0;
+  for (const Flow& f : table.finished()) in_flows += f.packet_count();
+  EXPECT_EQ(accepted, trace.interleaved.size());
+  EXPECT_EQ(in_flows, accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(1ull, 42ull, 777ull, 31337ull,
+                                           0xdeadbeefull));
+
+}  // namespace
+}  // namespace netfm

@@ -1,0 +1,144 @@
+// QUIC codec and QUIC app-model tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/quic.h"
+#include "tokenize/tokenizer.h"
+#include "trafficgen/apps.h"
+
+namespace netfm::quic {
+namespace {
+
+TEST(QuicVarint, RoundTripAllWidths) {
+  for (std::uint64_t value :
+       {0ull, 63ull, 64ull, 16383ull, 16384ull, 1073741823ull, 1073741824ull,
+        4611686018427387903ull}) {
+    ByteWriter w;
+    write_varint(w, value);
+    ByteReader r(BytesView{w.bytes()});
+    const auto decoded = read_varint(r);
+    ASSERT_TRUE(decoded.has_value()) << value;
+    EXPECT_EQ(*decoded, value);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(QuicVarint, EncodedWidths) {
+  auto width = [](std::uint64_t v) {
+    ByteWriter w;
+    write_varint(w, v);
+    return w.size();
+  };
+  EXPECT_EQ(width(63), 1u);
+  EXPECT_EQ(width(64), 2u);
+  EXPECT_EQ(width(16384), 4u);
+  EXPECT_EQ(width(1073741824ull), 8u);
+}
+
+TEST(QuicVarint, TruncatedFails) {
+  const Bytes bad = {0xc0, 0x01};  // claims 8 bytes, has 2
+  ByteReader r(BytesView{bad});
+  EXPECT_FALSE(read_varint(r).has_value());
+}
+
+TEST(QuicHeader, InitialRoundTrip) {
+  Header h;
+  h.type = PacketType::kInitial;
+  h.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  h.scid = {9, 10, 11, 12};
+  const Bytes payload(100, 0xaa);
+  const Bytes wire = encode_long_header(h, BytesView{payload});
+  const auto decoded = decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, PacketType::kInitial);
+  EXPECT_EQ(decoded->version, 1u);
+  EXPECT_EQ(decoded->dcid, h.dcid);
+  EXPECT_EQ(decoded->scid, h.scid);
+  EXPECT_EQ(decoded->payload_length, 100u);
+}
+
+TEST(QuicHeader, HandshakeRoundTrip) {
+  Header h;
+  h.type = PacketType::kHandshake;
+  h.dcid = {1, 2};
+  const Bytes wire = encode_long_header(h, BytesView{Bytes(10, 1)});
+  const auto decoded = decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, PacketType::kHandshake);
+}
+
+TEST(QuicHeader, ShortHeaderRecognized) {
+  const Bytes dcid = {7, 7, 7, 7};
+  const Bytes wire = encode_short_header(BytesView{dcid},
+                                         BytesView{Bytes(50, 2)});
+  const auto decoded = decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, PacketType::kShortHeader);
+  EXPECT_FALSE(decoded->is_long_header());
+}
+
+TEST(QuicHeader, RejectsGarbage) {
+  EXPECT_FALSE(decode(BytesView{}).has_value());
+  const Bytes no_fixed_bit = {0x00, 0x01};
+  EXPECT_FALSE(decode(BytesView{no_fixed_bit}).has_value());
+  const Bytes oversized_cid = {0xc0, 0, 0, 0, 1, 30};  // dcid_len 30 > 20
+  EXPECT_FALSE(decode(BytesView{oversized_cid}).has_value());
+  Header h;
+  h.type = PacketType::kInitial;
+  Bytes wire = encode_long_header(h, BytesView{Bytes(100, 1)});
+  wire.resize(wire.size() - 50);  // body shorter than the length field
+  EXPECT_FALSE(decode(BytesView{wire}).has_value());
+}
+
+TEST(QuicSession, GeneratesParseableQuicFlow) {
+  Rng rng(5);
+  const gen::World world(gen::DeploymentProfile::site_a(), rng);
+  Rng session_rng(6);
+  gen::AppContext ctx{world, gen::PathModel{}, session_rng};
+  const gen::Session s =
+      gen::make_quic_session(ctx, world.clients()[0], 0.0);
+  EXPECT_EQ(s.app, gen::AppClass::kQuicWeb);
+  ASSERT_GE(s.packets.size(), 5u);
+
+  // First client datagram is a padded Initial; later ones are 1-RTT.
+  const auto first = parse_packet(BytesView{s.packets.front().frame});
+  ASSERT_TRUE(first && first->udp);
+  EXPECT_EQ(first->app, AppProtocol::kQuic);
+  const auto initial = quic::decode(first->l4_payload);
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_EQ(initial->type, PacketType::kInitial);
+  EXPECT_GT(first->l4_payload.size(), 1100u);
+
+  bool saw_short = false;
+  for (const Packet& p : s.packets) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    ASSERT_TRUE(parsed.has_value());
+    const auto header = quic::decode(parsed->l4_payload);
+    ASSERT_TRUE(header.has_value());
+    if (header->type == PacketType::kShortHeader) saw_short = true;
+  }
+  EXPECT_TRUE(saw_short);
+}
+
+TEST(QuicSession, FieldTokenizerEmitsQuicTokens) {
+  Rng rng(5);
+  const gen::World world(gen::DeploymentProfile::site_a(), rng);
+  Rng session_rng(7);
+  gen::AppContext ctx{world, gen::PathModel{}, session_rng};
+  const gen::Session s =
+      gen::make_quic_session(ctx, world.clients()[0], 0.0);
+  tok::FieldTokenizer tokenizer;
+  const auto tokens =
+      tokenizer.tokenize_packet(BytesView{s.packets.front().frame});
+  auto has = [&](const std::string& t) {
+    return std::find(tokens.begin(), tokens.end(), t) != tokens.end();
+  };
+  EXPECT_TRUE(has("quic_init"));
+  EXPECT_TRUE(has("qv1"));
+  EXPECT_TRUE(has("p443"));
+  EXPECT_TRUE(has("udp"));
+}
+
+}  // namespace
+}  // namespace netfm::quic

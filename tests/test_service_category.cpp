@@ -1,0 +1,200 @@
+// Service-category machinery added for E1: category assignment,
+// category-biased server picks, category-shaped DNS answers, the
+// kDnsService dataset, and frozen-embedding fine-tuning.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/dns.h"
+#include "tasks/classify.h"
+#include "trafficgen/generator.h"
+
+namespace netfm {
+namespace {
+
+TEST(ServiceCategory, NamesResolve) {
+  for (int i = 0; i < static_cast<int>(gen::ServiceCategory::kCount); ++i)
+    EXPECT_NE(gen::to_string(static_cast<gen::ServiceCategory>(i)), "?");
+}
+
+TEST(ServiceCategory, DomainIdsAreSiteDisjoint) {
+  std::set<std::string> site_a, site_b;
+  for (std::size_t r = 0; r < 16; ++r) {
+    site_a.insert(gen::World::domain_for_rank(r, 0));
+    site_b.insert(gen::World::domain_for_rank(r, 16));
+  }
+  for (const std::string& domain : site_a)
+    EXPECT_EQ(site_b.count(domain), 0u) << domain;
+}
+
+TEST(ServiceCategory, AllCategoriesCoveredInSmallUniverse) {
+  std::set<gen::ServiceCategory> seen;
+  for (std::size_t id = 0; id < 16; ++id)
+    seen.insert(gen::World::category_for_id(id));
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(gen::ServiceCategory::kCount));
+}
+
+TEST(ServiceCategory, BiasedPickPrefersCategory) {
+  Rng rng(91);
+  gen::DeploymentProfile profile;
+  const gen::World world(profile, rng);
+  std::size_t media_hits = 0;
+  constexpr std::size_t kDraws = 500;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const gen::Server& s =
+        world.pick_web_server(rng, gen::ServiceCategory::kMedia, 0.8);
+    if (s.category == gen::ServiceCategory::kMedia) ++media_hits;
+  }
+  // Bias 0.8 plus occasional popularity hits on media domains.
+  EXPECT_GT(media_hits, kDraws * 7 / 10);
+  // Zero bias degenerates to the popularity pick (not all media).
+  std::size_t unbiased_media = 0;
+  for (std::size_t i = 0; i < kDraws; ++i)
+    if (world.pick_web_server(rng, gen::ServiceCategory::kMedia, 0.0)
+            .category == gen::ServiceCategory::kMedia)
+      ++unbiased_media;
+  EXPECT_LT(unbiased_media, media_hits);
+}
+
+/// Decodes the first DNS response in a session.
+std::optional<dns::Message> first_response(const gen::Session& session) {
+  for (const Packet& p : session.packets) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    if (!parsed || parsed->l4_payload.empty()) continue;
+    const auto msg = dns::Message::decode(parsed->l4_payload);
+    if (msg && msg->is_response && !msg->answers.empty()) return msg;
+  }
+  return std::nullopt;
+}
+
+TEST(ServiceCategory, DnsAnswerShapesFollowCategory) {
+  Rng rng(93);
+  gen::DeploymentProfile profile;
+  profile.domain_universe = 16;
+  const gen::World world(profile, rng);
+  Rng session_rng(94);
+  gen::AppContext ctx{world, gen::PathModel{}, session_rng};
+
+  std::map<gen::ServiceCategory, std::size_t> cname_counts, total;
+  std::map<gen::ServiceCategory, double> ttl_sum;
+  for (int i = 0; i < 300; ++i) {
+    const gen::Session s =
+        gen::make_dns_session(ctx, world.clients()[0], 0.0);
+    const auto resp = first_response(s);
+    ASSERT_TRUE(resp.has_value());
+    ++total[s.service];
+    ttl_sum[s.service] += resp->answers.front().ttl;
+    if (resp->answers.front().type ==
+        static_cast<std::uint16_t>(dns::Type::kCname))
+      ++cname_counts[s.service];
+  }
+  // Media leans CNAME; info rarely does. The tendencies are weak by
+  // design (see dns_answer): they differ in aggregate, not per flow.
+  const auto media = gen::ServiceCategory::kMedia;
+  const auto info = gen::ServiceCategory::kInfo;
+  ASSERT_GT(total[media], 20u);
+  ASSERT_GT(total[info], 20u);
+  const double media_cname =
+      static_cast<double>(cname_counts[media]) / total[media];
+  const double info_cname =
+      static_cast<double>(cname_counts[info]) / total[info];
+  EXPECT_GT(media_cname, info_cname + 0.15);
+  // Info TTLs are clearly larger than media TTLs on average.
+  EXPECT_GT(ttl_sum[info] / total[info], 2.0 * ttl_sum[media] / total[media]);
+}
+
+TEST(ServiceCategory, DnsServiceDatasetOnlyDnsFlows) {
+  gen::TraceConfig config;
+  config.duration_seconds = 30.0;
+  config.seed = 95;
+  const auto trace = gen::generate_trace(config);
+  tok::FieldTokenizer tokenizer;
+  ctx::Options options;
+  const tasks::FlowDataset ds = tasks::build_dataset(
+      trace, tokenizer, options, tasks::TaskKind::kDnsService);
+  ASSERT_GT(ds.size(), 10u);
+  EXPECT_EQ(ds.num_classes(),
+            static_cast<std::size_t>(gen::ServiceCategory::kCount));
+  std::size_t dns_sessions = 0;
+  for (const gen::Session& s : trace.sessions)
+    if (s.app == gen::AppClass::kDns) ++dns_sessions;
+  EXPECT_EQ(ds.size(), dns_sessions);
+  // Every context is a DNS flow (contains a DNS marker token).
+  for (const auto& context : ds.contexts) {
+    bool has_dns = false;
+    for (const std::string& token : context)
+      if (token == "dns_query" || token == "dns_resp") has_dns = true;
+    EXPECT_TRUE(has_dns);
+  }
+}
+
+TEST(ServiceCategory, TokenDropoutStillLearnsRedundantTask) {
+  // Two redundant cues per class; with token dropout the model must
+  // learn despite either cue vanishing at random.
+  tok::Vocabulary vocab;
+  for (const char* t : {"tcp", "udp", "p80", "p53", "d_a", "d_b"})
+    vocab.add(t);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.max_seq_len = 12;
+  config.dropout = 0.0f;
+  core::NetFM fm(vocab, config);
+  std::vector<std::vector<std::string>> contexts;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    contexts.push_back({"tcp", "p80", "d_a"});
+    labels.push_back(0);
+    contexts.push_back({"udp", "p53", "d_b"});
+    labels.push_back(1);
+  }
+  core::FineTuneOptions options;
+  options.epochs = 6;
+  options.max_seq_len = 12;
+  options.token_dropout = 0.3;
+  fm.fine_tune(contexts, labels, 2, options);
+  int correct = 0;
+  for (std::size_t i = 0; i < contexts.size(); ++i)
+    if (fm.predict(contexts[i], 12) == labels[i]) ++correct;
+  EXPECT_GT(correct, static_cast<int>(contexts.size() * 9 / 10));
+  // And the model survives a missing cue at prediction time.
+  EXPECT_EQ(fm.predict({"tcp", "p80", "[MASK]"}, 12), 0);
+}
+
+TEST(ServiceCategory, FrozenEmbeddingsDoNotMoveInFineTune) {
+  tok::Vocabulary vocab;
+  for (const char* t : {"tcp", "udp", "p80", "p53"}) vocab.add(t);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.max_seq_len = 12;
+  core::NetFM fm(vocab, config);
+  const std::vector<float> before =
+      fm.token_vector("p80");
+
+  std::vector<std::vector<std::string>> contexts = {{"tcp", "p80"},
+                                                    {"udp", "p53"}};
+  std::vector<int> labels = {0, 1};
+  core::FineTuneOptions options;
+  options.epochs = 3;
+  options.max_seq_len = 12;
+  options.freeze_token_embeddings = true;
+  fm.fine_tune(contexts, labels, 2, options);
+  const std::vector<float> after = fm.token_vector("p80");
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+
+  // Without the flag, embeddings move.
+  core::NetFM fm2(vocab, config);
+  const std::vector<float> before2 = fm2.token_vector("p80");
+  core::FineTuneOptions options2;
+  options2.epochs = 3;
+  options2.max_seq_len = 12;
+  fm2.fine_tune(contexts, labels, 2, options2);
+  const std::vector<float> after2 = fm2.token_vector("p80");
+  bool moved = false;
+  for (std::size_t i = 0; i < before2.size(); ++i)
+    if (before2[i] != after2[i]) moved = true;
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace netfm

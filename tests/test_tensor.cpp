@@ -1,0 +1,327 @@
+// Autograd correctness: every differentiable op is validated against
+// central-difference numerical gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace netfm::nn {
+namespace {
+
+/// Central-difference gradient check of `loss_fn` w.r.t. `input`.
+/// `loss_fn` must rebuild the graph from the tensor each call.
+void check_gradients(Tensor& input,
+                     const std::function<Tensor()>& loss_fn,
+                     float tol = 2e-2f, float eps = 1e-3f) {
+  input.zero_grad();
+  Tensor loss = loss_fn();
+  loss.backward();
+  std::vector<float> analytic(input.grad().begin(), input.grad().end());
+
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float saved = input.data()[i];
+    input.data()[i] = saved + eps;
+    const float up = loss_fn().item();
+    input.data()[i] = saved - eps;
+    const float down = loss_fn().item();
+    input.data()[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * std::max(1.0f, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+Tensor make_input(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, 0.5f, /*requires_grad=*/true);
+}
+
+TEST(TensorBasics, ShapeAndData) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorBasics, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(3.5f).item(), 3.5f);
+}
+
+TEST(TensorBasics, FullFills) {
+  Tensor t = Tensor::full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(TensorBasics, DetachSharesNoGraph) {
+  Tensor a = make_input({2, 2}, 1);
+  Tensor d = a.detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data()[0], a.data()[0]);
+  d.data()[0] += 1.0f;
+  EXPECT_NE(d.data()[0], a.data()[0]);
+}
+
+TEST(TensorBasics, InvalidShapesThrow) {
+  EXPECT_THROW(Tensor({2}, {1.0f, 2.0f, 3.0f}), std::invalid_argument);
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(reshape(a, {7}), std::invalid_argument);
+  EXPECT_THROW(a.item(), std::invalid_argument);
+}
+
+TEST(Autograd, MatmulGradient2D) {
+  Tensor a = make_input({3, 4}, 2);
+  Tensor b = make_input({4, 2}, 3);
+  check_gradients(a, [&] { return mean(matmul(a, b)); });
+  check_gradients(b, [&] { return mean(matmul(a, b)); });
+}
+
+TEST(Autograd, MatmulGradientBatched) {
+  Tensor a = make_input({2, 3, 4}, 4);
+  Tensor b = make_input({2, 4, 3}, 5);
+  check_gradients(a, [&] { return mean(matmul(a, b)); });
+  check_gradients(b, [&] { return mean(matmul(a, b)); });
+}
+
+TEST(Autograd, MatmulGradientSharedRhs) {
+  Tensor a = make_input({2, 3, 4}, 6);
+  Tensor w = make_input({4, 5}, 7);
+  check_gradients(a, [&] { return mean(matmul(a, w)); });
+  check_gradients(w, [&] { return mean(matmul(a, w)); });
+}
+
+TEST(Autograd, AddSubMulGradients) {
+  Tensor a = make_input({2, 3}, 8);
+  Tensor b = make_input({2, 3}, 9);
+  check_gradients(a, [&] { return mean(add(a, b)); });
+  check_gradients(b, [&] { return mean(sub(a, b)); });
+  check_gradients(a, [&] { return mean(mul(a, b)); });
+  check_gradients(b, [&] { return mean(mul(a, b)); });
+}
+
+TEST(Autograd, BroadcastAddGradient) {
+  Tensor a = make_input({3, 4}, 10);
+  Tensor bias = make_input({4}, 11);
+  check_gradients(bias, [&] { return mean(add(a, bias)); });
+  check_gradients(a, [&] { return mean(add(a, bias)); });
+}
+
+TEST(Autograd, UnaryGradients) {
+  for (std::uint64_t seed : {12ull, 13ull}) {
+    Tensor a = make_input({2, 5}, seed);
+    check_gradients(a, [&] { return mean(relu(a)); });
+    check_gradients(a, [&] { return mean(gelu(a)); });
+    check_gradients(a, [&] { return mean(tanh_op(a)); });
+    check_gradients(a, [&] { return mean(sigmoid(a)); });
+    check_gradients(a, [&] { return mean(scale(a, 2.5f)); });
+  }
+}
+
+TEST(Autograd, SoftmaxGradient) {
+  Tensor a = make_input({3, 4}, 14);
+  // Weighted sum so the gradient is not trivially uniform.
+  Tensor w({3, 4},
+           {0.1f, -0.3f, 0.5f, 0.7f, -0.2f, 0.4f, 0.9f, -0.5f, 0.3f, 0.2f,
+            -0.8f, 0.6f});
+  check_gradients(a, [&] { return sum(mul(softmax(a), w)); });
+}
+
+TEST(Autograd, LogSoftmaxGradient) {
+  Tensor a = make_input({2, 5}, 15);
+  Tensor w({2, 5},
+           {0.1f, -0.3f, 0.5f, 0.7f, -0.2f, 0.4f, 0.9f, -0.5f, 0.3f, 0.2f});
+  check_gradients(a, [&] { return sum(mul(log_softmax(a), w)); });
+}
+
+TEST(Autograd, SoftmaxRowsSumToOne) {
+  Tensor a = make_input({4, 6}, 16);
+  Tensor s = softmax(a);
+  for (std::size_t r = 0; r < 4; ++r) {
+    float total = 0.0f;
+    for (std::size_t c = 0; c < 6; ++c) total += s.data()[r * 6 + c];
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Autograd, LayerNormGradient) {
+  Tensor a = make_input({3, 6}, 17);
+  Tensor gain = make_input({6}, 18);
+  Tensor bias = make_input({6}, 19);
+  Tensor w({3, 6}, std::vector<float>(18, 0.0f));
+  Rng wr(20);
+  for (float& v : w.data()) v = static_cast<float>(wr.normal());
+  auto loss = [&] { return sum(mul(layer_norm(a, gain, bias), w)); };
+  check_gradients(a, loss);
+  check_gradients(gain, loss);
+  check_gradients(bias, loss);
+}
+
+TEST(Autograd, LayerNormNormalizes) {
+  Tensor a = make_input({2, 8}, 21);
+  Tensor gain = Tensor::full({8}, 1.0f);
+  Tensor bias = Tensor::zeros({8});
+  Tensor out = layer_norm(a, gain, bias);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float mean_v = 0.0f, var_v = 0.0f;
+    for (std::size_t c = 0; c < 8; ++c) mean_v += out.data()[r * 8 + c];
+    mean_v /= 8.0f;
+    for (std::size_t c = 0; c < 8; ++c) {
+      const float d = out.data()[r * 8 + c] - mean_v;
+      var_v += d * d;
+    }
+    var_v /= 8.0f;
+    EXPECT_NEAR(mean_v, 0.0f, 1e-4f);
+    EXPECT_NEAR(var_v, 1.0f, 1e-2f);
+  }
+}
+
+TEST(Autograd, EmbeddingGradientAccumulatesRepeats) {
+  Tensor table = make_input({5, 3}, 22);
+  const std::vector<int> ids = {1, 3, 1};  // id 1 used twice
+  Tensor out = embedding(table, ids);
+  Tensor loss = sum(out);
+  loss.backward();
+  // Row 1 gradient should be 2 (used twice), row 3 once, others zero.
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_FLOAT_EQ(table.grad()[1 * 3 + d], 2.0f);
+    EXPECT_FLOAT_EQ(table.grad()[3 * 3 + d], 1.0f);
+    EXPECT_FLOAT_EQ(table.grad()[0 * 3 + d], 0.0f);
+  }
+}
+
+TEST(Autograd, EmbeddingRejectsOutOfRange) {
+  Tensor table({4, 2});
+  const std::vector<int> bad = {5};
+  EXPECT_THROW(embedding(table, bad), std::invalid_argument);
+}
+
+TEST(Autograd, TransposeGradient) {
+  Tensor a = make_input({3, 4}, 23);
+  Tensor w({4, 3}, std::vector<float>(12, 0.0f));
+  Rng wr(24);
+  for (float& v : w.data()) v = static_cast<float>(wr.normal());
+  check_gradients(a, [&] { return sum(mul(transpose(a), w)); });
+}
+
+TEST(Autograd, TransposeValuesCorrect) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(t.data()[1], 4.0f);
+  EXPECT_FLOAT_EQ(t.data()[2], 2.0f);
+}
+
+TEST(Autograd, ReshapeSliceConcatGradients) {
+  Tensor a = make_input({4, 3}, 25);
+  check_gradients(a, [&] { return mean(reshape(a, {2, 6})); });
+  check_gradients(a, [&] { return mean(slice_rows(a, 1, 3)); });
+  Tensor b = make_input({2, 3}, 26);
+  check_gradients(
+      a, [&] { return mean(concat_rows({slice_rows(a, 0, 2), b})); });
+  check_gradients(
+      b, [&] { return mean(concat_rows({slice_rows(a, 0, 2), b})); });
+}
+
+TEST(Autograd, RemapGradientWithRepeats) {
+  Tensor a = make_input({4}, 27);
+  auto map = std::make_shared<const std::vector<std::size_t>>(
+      std::vector<std::size_t>{0, 0, 2, 3, 1, 2});
+  check_gradients(a, [&] { return sum(remap(a, {6}, map)); });
+}
+
+TEST(Autograd, MaskedFillBlocksGradient) {
+  Tensor a = make_input({2, 3}, 28);
+  const std::vector<float> mask = {1.0f, 0.0f, 1.0f};
+  Tensor loss = sum(masked_fill(a, mask, -5.0f));
+  loss.backward();
+  EXPECT_FLOAT_EQ(a.grad()[1], 0.0f);
+  EXPECT_FLOAT_EQ(a.grad()[4], 0.0f);
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+}
+
+TEST(Autograd, MeanSumMeanRowsGradients) {
+  Tensor a = make_input({3, 4}, 29);
+  check_gradients(a, [&] { return mean(a); });
+  check_gradients(a, [&] { return scale(sum(a), 0.1f); });
+  check_gradients(a, [&] { return mean(mean_rows(a)); });
+}
+
+TEST(Autograd, CrossEntropyGradient) {
+  Tensor logits = make_input({4, 3}, 30);
+  const std::vector<int> targets = {0, 2, 1, -1};  // last ignored
+  check_gradients(logits,
+                  [&] { return cross_entropy(logits, targets); });
+}
+
+TEST(Autograd, CrossEntropyIgnoresNegativeTargets) {
+  Tensor logits = make_input({2, 3}, 31);
+  const std::vector<int> all_ignored = {-1, -1};
+  Tensor loss = cross_entropy(logits, all_ignored);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+  loss.backward();
+  for (float g : logits.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(Autograd, CrossEntropyMatchesManual) {
+  Tensor logits({1, 2}, {2.0f, 0.0f});
+  const std::vector<int> target = {0};
+  const float expected =
+      -std::log(std::exp(2.0f) / (std::exp(2.0f) + 1.0f));
+  EXPECT_NEAR(cross_entropy(logits, target).item(), expected, 1e-5f);
+}
+
+TEST(Autograd, MseGradient) {
+  Tensor pred = make_input({5}, 32);
+  const std::vector<float> targets = {0.5f, -1.0f, 2.0f, 0.0f, 1.5f};
+  check_gradients(pred, [&] { return mse_loss(pred, targets); });
+}
+
+TEST(Autograd, DropoutEvalIsIdentity) {
+  Rng rng(33);
+  Tensor a = make_input({10}, 34);
+  Tensor out = dropout(a, 0.5f, /*train=*/false, rng);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_FLOAT_EQ(out.data()[i], a.data()[i]);
+}
+
+TEST(Autograd, DropoutTrainScalesSurvivors) {
+  Rng rng(35);
+  Tensor a = Tensor::full({1000}, 1.0f);
+  a.set_requires_grad(true);
+  Tensor out = dropout(a, 0.25f, /*train=*/true, rng);
+  int zeros = 0;
+  for (float v : out.data()) {
+    if (v == 0.0f)
+      ++zeros;
+    else
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);
+  }
+  EXPECT_NEAR(zeros, 250, 60);
+}
+
+TEST(Autograd, ChainedGraphReusesNodeGradOnce) {
+  // y = x*x + x used twice in the graph: gradient must be 2x + 1.
+  Tensor x({1}, {3.0f}, true);
+  Tensor y = add(mul(x, x), x);
+  y.backward();
+  EXPECT_NEAR(x.grad()[0], 2.0f * 3.0f + 1.0f, 1e-5f);
+}
+
+TEST(Autograd, NoGradWhenRequiresGradFalse) {
+  Tensor a({2, 2}, {1, 2, 3, 4}, false);
+  Tensor b({2, 2}, {1, 1, 1, 1}, true);
+  Tensor loss = mean(mul(a, b));
+  loss.backward();
+  EXPECT_EQ(a.grad().size(), 4u);  // allocated but untouched
+  for (float g : a.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+  for (float g : b.grad()) EXPECT_NE(g, 0.0f);
+}
+
+}  // namespace
+}  // namespace netfm::nn

@@ -1,0 +1,232 @@
+// Vocabulary, byte/field/BPE tokenizers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/dns.h"
+#include "net/packet.h"
+#include "tokenize/bpe.h"
+#include "tokenize/tokenizer.h"
+#include "tokenize/vocab.h"
+#include "trafficgen/generator.h"
+
+namespace netfm::tok {
+namespace {
+
+TEST(Vocabulary, SpecialsAreFixed) {
+  Vocabulary v;
+  EXPECT_EQ(v.size(), static_cast<std::size_t>(Vocabulary::kNumSpecial));
+  EXPECT_EQ(v.token(Vocabulary::kPad), "[PAD]");
+  EXPECT_EQ(v.token(Vocabulary::kMask), "[MASK]");
+  EXPECT_EQ(v.id("[CLS]"), Vocabulary::kCls);
+}
+
+TEST(Vocabulary, AddIsIdempotent) {
+  Vocabulary v;
+  const int a = v.add("tcp");
+  const int b = v.add("tcp");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), static_cast<std::size_t>(Vocabulary::kNumSpecial) + 1);
+}
+
+TEST(Vocabulary, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.id("never-seen"), Vocabulary::kUnk);
+  EXPECT_FALSE(v.contains("never-seen"));
+}
+
+TEST(Vocabulary, EncodeSequence) {
+  Vocabulary v;
+  v.add("a");
+  v.add("b");
+  const auto ids = v.encode({"a", "b", "zzz"});
+  EXPECT_EQ(ids[0], v.id("a"));
+  EXPECT_EQ(ids[2], Vocabulary::kUnk);
+}
+
+TEST(Vocabulary, BuildKeepsMostFrequent) {
+  std::vector<std::vector<std::string>> corpus = {
+      {"common", "common", "common", "rare"},
+      {"common", "medium", "medium"},
+  };
+  const Vocabulary v = Vocabulary::build(corpus, Vocabulary::kNumSpecial + 2);
+  EXPECT_TRUE(v.contains("common"));
+  EXPECT_TRUE(v.contains("medium"));
+  EXPECT_FALSE(v.contains("rare"));
+}
+
+TEST(Vocabulary, BuildIsDeterministicUnderTies) {
+  std::vector<std::vector<std::string>> corpus = {{"bbb", "aaa"}};
+  const Vocabulary v1 = Vocabulary::build(corpus, Vocabulary::kNumSpecial + 1);
+  const Vocabulary v2 = Vocabulary::build(corpus, Vocabulary::kNumSpecial + 1);
+  EXPECT_TRUE(v1.contains("aaa"));  // lexicographic tie-break
+  EXPECT_EQ(v1.contains("aaa"), v2.contains("aaa"));
+}
+
+TEST(Vocabulary, BadIdThrows) {
+  Vocabulary v;
+  EXPECT_THROW(v.token(-1), std::out_of_range);
+  EXPECT_THROW(v.token(1000), std::out_of_range);
+}
+
+Bytes sample_dns_frame() {
+  dns::Message q;
+  q.id = 1;
+  q.questions.push_back({"www.example.com", 1, 1});
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  UdpHeader udp;
+  udp.src_port = 40000;
+  udp.dst_port = 53;
+  return build_udp_frame(MacAddr::from_id(1), MacAddr::from_id(2), ip, udp,
+                         BytesView{q.encode()});
+}
+
+TEST(ByteTokenizer, EmitsOneTokenPerByte) {
+  const Bytes frame = sample_dns_frame();
+  ByteTokenizer tokenizer(32);
+  const auto tokens = tokenizer.tokenize_packet(BytesView{frame});
+  EXPECT_EQ(tokens.size(), std::min<std::size_t>(32, frame.size() - 14));
+  for (const std::string& t : tokens) {
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], 'b');
+  }
+}
+
+TEST(ByteTokenizer, SkipsEthernetHeader) {
+  const Bytes frame = sample_dns_frame();
+  ByteTokenizer tokenizer(4);
+  const auto tokens = tokenizer.tokenize_packet(BytesView{frame});
+  // First L3 byte of IPv4 is 0x45.
+  EXPECT_EQ(tokens[0], "b45");
+}
+
+TEST(ByteTokenizer, EmptyFrameYieldsPlaceholder) {
+  ByteTokenizer tokenizer;
+  const auto tokens = tokenizer.tokenize_packet({});
+  ASSERT_EQ(tokens.size(), 1u);
+}
+
+TEST(FieldTokenizer, DnsQueryFields) {
+  const Bytes frame = sample_dns_frame();
+  FieldTokenizer tokenizer;
+  const auto tokens = tokenizer.tokenize_packet(BytesView{frame});
+  auto has = [&](const std::string& t) {
+    return std::find(tokens.begin(), tokens.end(), t) != tokens.end();
+  };
+  EXPECT_TRUE(has("udp"));
+  EXPECT_TRUE(has("p53"));
+  EXPECT_TRUE(has("p_eph"));
+  EXPECT_TRUE(has("dns_query"));
+  EXPECT_TRUE(has("d_www"));
+  EXPECT_TRUE(has("d_example"));
+  EXPECT_TRUE(has("d_com"));
+  EXPECT_TRUE(has("qtype1"));
+}
+
+TEST(FieldTokenizer, TcpFlagsToken) {
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 443;
+  tcp.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  const Bytes frame = build_tcp_frame(MacAddr::from_id(1), MacAddr::from_id(2),
+                                      ip, tcp, {});
+  FieldTokenizer tokenizer;
+  const auto tokens = tokenizer.tokenize_packet(BytesView{frame});
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "fl_SA"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "p443"), tokens.end());
+}
+
+TEST(FieldTokenizer, UnparseableFallsBackToLength) {
+  FieldTokenizer tokenizer;
+  const Bytes junk(40, 0xff);
+  const auto tokens = tokenizer.tokenize_packet(BytesView{junk});
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "raw");
+}
+
+TEST(FieldTokenizer, OptionsDisableSections) {
+  const Bytes frame = sample_dns_frame();
+  FieldTokenizer::Options options;
+  options.include_ports = false;
+  options.include_app_fields = false;
+  FieldTokenizer tokenizer(options);
+  const auto tokens = tokenizer.tokenize_packet(BytesView{frame});
+  for (const std::string& t : tokens) {
+    EXPECT_NE(t, "p53");
+    EXPECT_NE(t.substr(0, 2), "d_");
+  }
+}
+
+TEST(FieldTokenizer, PortAndBucketHelpers) {
+  EXPECT_EQ(FieldTokenizer::port_token(443), "p443");
+  EXPECT_EQ(FieldTokenizer::port_token(51234), "p_eph");
+  EXPECT_EQ(FieldTokenizer::port_token(8080), "p8080");
+  EXPECT_EQ(FieldTokenizer::bucket_token("len", 0), "len_b0");
+  EXPECT_EQ(FieldTokenizer::bucket_token("len", 1), "len_b1");
+  EXPECT_EQ(FieldTokenizer::bucket_token("len", 255), "len_b8");
+  EXPECT_EQ(FieldTokenizer::bucket_token("len", 256), "len_b9");
+}
+
+TEST(Bpe, TrainingMergesFrequentPairs) {
+  // Corpus dominated by the repeated pair (0xaa, 0xbb).
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 10; ++i) {
+    Bytes f(14, 0);  // ethernet padding (skipped)
+    for (int j = 0; j < 10; ++j) {
+      f.push_back(0xaa);
+      f.push_back(0xbb);
+    }
+    frames.push_back(std::move(f));
+  }
+  BpeTokenizer bpe(32);
+  bpe.train(frames, 4);
+  ASSERT_FALSE(bpe.merges().empty());
+  EXPECT_EQ(bpe.merges()[0].left, 0xaau);
+  EXPECT_EQ(bpe.merges()[0].right, 0xbbu);
+  EXPECT_EQ(bpe.merges()[0].result, 256u);
+  EXPECT_EQ(bpe.spell(256), "aabb");
+
+  // Encoding the same pattern uses the merged symbol.
+  const auto tokens = bpe.tokenize_packet(BytesView{frames[0]});
+  EXPECT_LT(tokens.size(), 20u);  // merged from 20 byte symbols
+}
+
+TEST(Bpe, UntrainedActsLikeBytes) {
+  BpeTokenizer bpe(8);
+  Bytes frame(22, 0x42);
+  const auto tokens = bpe.tokenize_packet(BytesView{frame});
+  EXPECT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0], "s66");  // 0x42
+}
+
+TEST(Bpe, TrainOnRealTrafficReducesSequenceLength) {
+  const auto trace = gen::quick_trace(10.0, 5);
+  std::vector<Bytes> frames;
+  for (std::size_t i = 0; i < std::min<std::size_t>(400, trace.interleaved.size());
+       ++i)
+    frames.push_back(trace.interleaved[i].frame);
+  BpeTokenizer bpe(48);
+  bpe.train(frames, 64);
+  EXPECT_GT(bpe.merges().size(), 32u);
+
+  ByteTokenizer bytes(48);
+  std::size_t byte_total = 0, bpe_total = 0;
+  for (const Bytes& f : frames) {
+    byte_total += bytes.tokenize_packet(BytesView{f}).size();
+    bpe_total += bpe.tokenize_packet(BytesView{f}).size();
+  }
+  EXPECT_LT(bpe_total, byte_total * 3 / 4);  // >= 25% compression
+}
+
+TEST(Bpe, NameReflectsMergeCount) {
+  BpeTokenizer bpe;
+  EXPECT_EQ(bpe.name(), "bpe-0");
+}
+
+}  // namespace
+}  // namespace netfm::tok

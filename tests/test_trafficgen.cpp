@@ -1,0 +1,258 @@
+// Traffic generator: determinism, well-formedness, label fidelity, and
+// the statistical properties experiments rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/dns.h"
+#include "net/tls.h"
+#include "trafficgen/generator.h"
+
+namespace netfm::gen {
+namespace {
+
+
+TEST(World, MaterializesProfile) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  EXPECT_EQ(world.clients().size(), 24u);
+  EXPECT_EQ(world.web_servers().size(), 64u);
+  EXPECT_FALSE(world.dns_resolver().domain.empty());
+  // Client IPs are inside the configured subnet.
+  for (const Host& h : world.clients())
+    EXPECT_EQ(h.ip.value >> 16, 0x0a00u);
+}
+
+TEST(World, DomainsAreDistinct) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  std::set<std::string> domains;
+  for (const Server& s : world.web_servers()) domains.insert(s.domain);
+  EXPECT_EQ(domains.size(), world.web_servers().size());
+}
+
+TEST(World, SiteProfilesDiffer) {
+  const auto a = DeploymentProfile::site_a();
+  const auto b = DeploymentProfile::site_b();
+  EXPECT_NE(a.client_subnet, b.client_subnet);
+  EXPECT_NE(a.domain_offset, b.domain_offset);
+  EXPECT_NE(a.tls_suites, b.tls_suites);
+}
+
+TEST(Generator, DeterministicBySeed) {
+  const auto t1 = quick_trace(10.0, 123);
+  const auto t2 = quick_trace(10.0, 123);
+  const auto t3 = quick_trace(10.0, 124);
+  ASSERT_EQ(t1.interleaved.size(), t2.interleaved.size());
+  for (std::size_t i = 0; i < t1.interleaved.size(); ++i)
+    ASSERT_EQ(t1.interleaved[i].frame, t2.interleaved[i].frame);
+  EXPECT_NE(t1.interleaved.size(), t3.interleaved.size());
+}
+
+TEST(Generator, PacketsAreTimeOrdered) {
+  const auto trace = quick_trace(15.0, 3);
+  for (std::size_t i = 1; i < trace.interleaved.size(); ++i)
+    EXPECT_LE(trace.interleaved[i - 1].timestamp,
+              trace.interleaved[i].timestamp);
+}
+
+TEST(Generator, AllFramesParse) {
+  const auto trace = quick_trace(15.0, 3);
+  for (const Packet& p : trace.interleaved)
+    EXPECT_TRUE(parse_packet(BytesView{p.frame}).has_value());
+}
+
+TEST(Generator, EverySessionHasGroundTruth) {
+  TraceConfig config;
+  config.duration_seconds = 15.0;
+  config.seed = 17;
+  config.attack_fraction = 0.15;
+  const auto trace = generate_trace(config);
+  EXPECT_GT(trace.sessions.size(), 10u);
+  for (const Session& s : trace.sessions) {
+    EXPECT_FALSE(s.packets.empty());
+    EXPECT_NE(trace.find(s.tuple), nullptr);
+  }
+}
+
+TEST(Generator, FlowReassemblyMatchesSessions) {
+  const auto trace = quick_trace(20.0, 21);
+  FlowTable table;
+  for (const Packet& p : trace.interleaved) ASSERT_TRUE(table.add(p));
+  table.flush();
+  EXPECT_EQ(table.finished().size(), trace.sessions.size());
+  // Every reassembled flow maps back to exactly one labeled session.
+  for (const Flow& flow : table.finished()) {
+    const Session* session = trace.find(flow.key);
+    ASSERT_NE(session, nullptr) << flow.key.to_string();
+    EXPECT_EQ(flow.packet_count(), session->packets.size());
+  }
+}
+
+TEST(Generator, AppMixCoversAllClasses) {
+  const auto trace = quick_trace(120.0, 31);
+  std::set<AppClass> seen;
+  for (const Session& s : trace.sessions) seen.insert(s.app);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(AppClass::kCount));
+}
+
+TEST(Generator, AttackFractionRespected) {
+  TraceConfig config;
+  config.duration_seconds = 120.0;
+  config.seed = 37;
+  config.attack_fraction = 0.3;
+  const auto trace = generate_trace(config);
+  std::size_t attacks = 0;
+  for (const Session& s : trace.sessions)
+    if (s.threat != ThreatClass::kBenign) ++attacks;
+  const double fraction =
+      static_cast<double>(attacks) / static_cast<double>(trace.sessions.size());
+  EXPECT_NEAR(fraction, 0.3, 0.07);
+}
+
+TEST(Generator, AttackFamiliesFilterWorks) {
+  TraceConfig config;
+  config.duration_seconds = 60.0;
+  config.seed = 41;
+  config.attack_fraction = 0.5;
+  config.attack_families = {ThreatClass::kDnsTunnel};
+  const auto trace = generate_trace(config);
+  for (const Session& s : trace.sessions) {
+    if (s.threat != ThreatClass::kBenign) {
+      EXPECT_EQ(s.threat, ThreatClass::kDnsTunnel);
+    }
+  }
+}
+
+TEST(Generator, MaxSessionsCaps) {
+  TraceConfig config;
+  config.duration_seconds = 600.0;
+  config.max_sessions = 25;
+  const auto trace = generate_trace(config);
+  EXPECT_EQ(trace.sessions.size(), 25u);
+}
+
+TEST(Sessions, DnsPayloadsDecode) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  Rng session_rng(6);
+  AppContext ctx{world, PathModel{}, session_rng};
+  const Session s = make_dns_session(ctx, world.clients()[0], 0.0);
+  EXPECT_EQ(s.app, AppClass::kDns);
+  ASSERT_GE(s.packets.size(), 2u);
+  for (const Packet& p : s.packets) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->udp.has_value());
+    EXPECT_TRUE(dns::Message::decode(parsed->l4_payload).has_value());
+  }
+}
+
+TEST(Sessions, TlsSessionOffersSiteSuites) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  Rng session_rng(8);
+  AppContext ctx{world, PathModel{}, session_rng};
+  const Session s = make_tls_web_session(ctx, world.clients()[0], 0.0);
+  // Find the ClientHello in the payload stream.
+  bool found = false;
+  for (const Packet& p : s.packets) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    if (!parsed || parsed->l4_payload.empty()) continue;
+    std::size_t consumed = 0;
+    const auto rec = tls::Record::decode(parsed->l4_payload, consumed);
+    if (!rec || rec->type != tls::ContentType::kHandshake) continue;
+    const auto hello =
+        tls::ClientHello::decode_handshake(BytesView{rec->fragment});
+    if (!hello) continue;
+    found = true;
+    EXPECT_FALSE(hello->server_name.empty());
+    ASSERT_FALSE(hello->cipher_suites.empty());
+    // Offered suites come from the site profile's preference list.
+    const auto& site = world.profile().tls_suites;
+    for (std::uint16_t suite : hello->cipher_suites)
+      EXPECT_NE(std::find(site.begin(), site.end(), suite), site.end());
+    break;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sessions, TcpConversationsHaveHandshakeAndTeardown) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  Rng session_rng(9);
+  AppContext ctx{world, PathModel{}, session_rng};
+  const Session s = make_web_session(ctx, world.clients()[0], 0.0);
+  const auto first = parse_packet(BytesView{s.packets.front().frame});
+  ASSERT_TRUE(first && first->tcp);
+  EXPECT_TRUE(first->tcp->has(TcpFlags::kSyn));
+  EXPECT_FALSE(first->tcp->has(TcpFlags::kAck));
+  const auto last = parse_packet(BytesView{s.packets.back().frame});
+  ASSERT_TRUE(last && last->tcp);
+  EXPECT_TRUE(last->tcp->has(TcpFlags::kAck));
+  // Somewhere near the end there are FINs from both sides.
+  int fins = 0;
+  for (const Packet& p : s.packets) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    if (parsed && parsed->tcp && parsed->tcp->has(TcpFlags::kFin)) ++fins;
+  }
+  EXPECT_EQ(fins, 2);
+}
+
+TEST(Sessions, PortScanHitsManyPorts) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  Rng session_rng(10);
+  AppContext ctx{world, PathModel{}, session_rng};
+  const Session s = make_port_scan(ctx, world.clients()[0], 0.0);
+  EXPECT_EQ(s.threat, ThreatClass::kPortScan);
+  std::set<std::uint16_t> ports;
+  for (const Packet& p : s.packets) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    ASSERT_TRUE(parsed && parsed->tcp);
+    if (parsed->tcp->has(TcpFlags::kSyn) && !parsed->tcp->has(TcpFlags::kAck))
+      ports.insert(parsed->tcp->dst_port);
+  }
+  EXPECT_GT(ports.size(), 25u);
+}
+
+TEST(Sessions, C2BeaconIsMetronomic) {
+  Rng rng(5);
+  const World world(DeploymentProfile::site_a(), rng);
+  Rng session_rng(11);
+  AppContext ctx{world, PathModel{}, session_rng};
+  const Session s = make_c2_beacon(ctx, world.clients()[0], 0.0);
+  EXPECT_EQ(s.threat, ThreatClass::kC2Beacon);
+  EXPECT_GT(s.end_time() - s.start_time, 30.0);  // low and slow
+}
+
+TEST(Generator, ProfileTtlConventionsAppearOnTheWire) {
+  gen::TraceConfig config;
+  config.duration_seconds = 10.0;
+  config.seed = 99;
+  config.profile = gen::DeploymentProfile::site_b();  // client_ttl = 128
+  const auto trace = gen::generate_trace(config);
+  bool saw_client_ttl = false;
+  for (const Packet& p : trace.interleaved) {
+    const auto parsed = parse_packet(BytesView{p.frame});
+    ASSERT_TRUE(parsed && parsed->ipv4);
+    if (parsed->ipv4->ttl == config.profile.client_ttl)
+      saw_client_ttl = true;
+    EXPECT_TRUE(parsed->ipv4->ttl == config.profile.client_ttl ||
+                parsed->ipv4->ttl == config.profile.server_ttl)
+        << static_cast<int>(parsed->ipv4->ttl);
+  }
+  EXPECT_TRUE(saw_client_ttl);
+}
+
+TEST(Labels, AllNamesResolve) {
+  for (int i = 0; i < static_cast<int>(AppClass::kCount); ++i)
+    EXPECT_NE(to_string(static_cast<AppClass>(i)), "?");
+  for (int i = 0; i < static_cast<int>(DeviceClass::kCount); ++i)
+    EXPECT_NE(to_string(static_cast<DeviceClass>(i)), "?");
+  for (int i = 0; i < static_cast<int>(ThreatClass::kCount); ++i)
+    EXPECT_NE(to_string(static_cast<ThreatClass>(i)), "?");
+}
+
+}  // namespace
+}  // namespace netfm::gen
