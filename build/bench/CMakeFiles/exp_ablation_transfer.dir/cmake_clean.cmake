@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_transfer.dir/exp_ablation_transfer.cpp.o"
+  "CMakeFiles/exp_ablation_transfer.dir/exp_ablation_transfer.cpp.o.d"
+  "CMakeFiles/exp_ablation_transfer.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_ablation_transfer.dir/harness/bench_util.cpp.o.d"
+  "exp_ablation_transfer"
+  "exp_ablation_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

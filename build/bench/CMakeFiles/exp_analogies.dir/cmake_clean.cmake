@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_analogies.dir/exp_analogies.cpp.o"
+  "CMakeFiles/exp_analogies.dir/exp_analogies.cpp.o.d"
+  "CMakeFiles/exp_analogies.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_analogies.dir/harness/bench_util.cpp.o.d"
+  "exp_analogies"
+  "exp_analogies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_analogies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_benchmark_suite.dir/exp_benchmark_suite.cpp.o"
+  "CMakeFiles/exp_benchmark_suite.dir/exp_benchmark_suite.cpp.o.d"
+  "CMakeFiles/exp_benchmark_suite.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_benchmark_suite.dir/harness/bench_util.cpp.o.d"
+  "exp_benchmark_suite"
+  "exp_benchmark_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_benchmark_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_contexts.dir/exp_contexts.cpp.o"
+  "CMakeFiles/exp_contexts.dir/exp_contexts.cpp.o.d"
+  "CMakeFiles/exp_contexts.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_contexts.dir/harness/bench_util.cpp.o.d"
+  "exp_contexts"
+  "exp_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

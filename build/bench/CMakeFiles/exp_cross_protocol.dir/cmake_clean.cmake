@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cross_protocol.dir/exp_cross_protocol.cpp.o"
+  "CMakeFiles/exp_cross_protocol.dir/exp_cross_protocol.cpp.o.d"
+  "CMakeFiles/exp_cross_protocol.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_cross_protocol.dir/harness/bench_util.cpp.o.d"
+  "exp_cross_protocol"
+  "exp_cross_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cross_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

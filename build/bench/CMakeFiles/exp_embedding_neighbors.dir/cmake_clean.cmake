@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_embedding_neighbors.dir/exp_embedding_neighbors.cpp.o"
+  "CMakeFiles/exp_embedding_neighbors.dir/exp_embedding_neighbors.cpp.o.d"
+  "CMakeFiles/exp_embedding_neighbors.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_embedding_neighbors.dir/harness/bench_util.cpp.o.d"
+  "exp_embedding_neighbors"
+  "exp_embedding_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_embedding_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_energy_scaling.dir/exp_energy_scaling.cpp.o"
+  "CMakeFiles/exp_energy_scaling.dir/exp_energy_scaling.cpp.o.d"
+  "CMakeFiles/exp_energy_scaling.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_energy_scaling.dir/harness/bench_util.cpp.o.d"
+  "exp_energy_scaling"
+  "exp_energy_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_energy_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

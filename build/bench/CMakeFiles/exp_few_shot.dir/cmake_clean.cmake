@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_few_shot.dir/exp_few_shot.cpp.o"
+  "CMakeFiles/exp_few_shot.dir/exp_few_shot.cpp.o.d"
+  "CMakeFiles/exp_few_shot.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_few_shot.dir/harness/bench_util.cpp.o.d"
+  "exp_few_shot"
+  "exp_few_shot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_few_shot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_interpretability.dir/exp_interpretability.cpp.o"
+  "CMakeFiles/exp_interpretability.dir/exp_interpretability.cpp.o.d"
+  "CMakeFiles/exp_interpretability.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_interpretability.dir/harness/bench_util.cpp.o.d"
+  "exp_interpretability"
+  "exp_interpretability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

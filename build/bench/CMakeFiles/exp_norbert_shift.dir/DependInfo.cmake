@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_norbert_shift.cpp" "bench/CMakeFiles/exp_norbert_shift.dir/exp_norbert_shift.cpp.o" "gcc" "bench/CMakeFiles/exp_norbert_shift.dir/exp_norbert_shift.cpp.o.d"
+  "/root/repo/bench/harness/bench_util.cpp" "bench/CMakeFiles/exp_norbert_shift.dir/harness/bench_util.cpp.o" "gcc" "bench/CMakeFiles/exp_norbert_shift.dir/harness/bench_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_interpret.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_norbert_shift.dir/exp_norbert_shift.cpp.o"
+  "CMakeFiles/exp_norbert_shift.dir/exp_norbert_shift.cpp.o.d"
+  "CMakeFiles/exp_norbert_shift.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_norbert_shift.dir/harness/bench_util.cpp.o.d"
+  "exp_norbert_shift"
+  "exp_norbert_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_norbert_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ood_zero_day.dir/exp_ood_zero_day.cpp.o"
+  "CMakeFiles/exp_ood_zero_day.dir/exp_ood_zero_day.cpp.o.d"
+  "CMakeFiles/exp_ood_zero_day.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_ood_zero_day.dir/harness/bench_util.cpp.o.d"
+  "exp_ood_zero_day"
+  "exp_ood_zero_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ood_zero_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

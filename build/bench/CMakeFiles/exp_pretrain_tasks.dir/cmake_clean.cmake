@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_pretrain_tasks.dir/exp_pretrain_tasks.cpp.o"
+  "CMakeFiles/exp_pretrain_tasks.dir/exp_pretrain_tasks.cpp.o.d"
+  "CMakeFiles/exp_pretrain_tasks.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_pretrain_tasks.dir/harness/bench_util.cpp.o.d"
+  "exp_pretrain_tasks"
+  "exp_pretrain_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pretrain_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_synthetic_pretrain.dir/exp_synthetic_pretrain.cpp.o"
+  "CMakeFiles/exp_synthetic_pretrain.dir/exp_synthetic_pretrain.cpp.o.d"
+  "CMakeFiles/exp_synthetic_pretrain.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_synthetic_pretrain.dir/harness/bench_util.cpp.o.d"
+  "exp_synthetic_pretrain"
+  "exp_synthetic_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_synthetic_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tokenizers.dir/exp_tokenizers.cpp.o"
+  "CMakeFiles/exp_tokenizers.dir/exp_tokenizers.cpp.o.d"
+  "CMakeFiles/exp_tokenizers.dir/harness/bench_util.cpp.o"
+  "CMakeFiles/exp_tokenizers.dir/harness/bench_util.cpp.o.d"
+  "exp_tokenizers"
+  "exp_tokenizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tokenizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

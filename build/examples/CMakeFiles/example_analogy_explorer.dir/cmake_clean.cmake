@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analogy_explorer.dir/analogy_explorer.cpp.o"
+  "CMakeFiles/example_analogy_explorer.dir/analogy_explorer.cpp.o.d"
+  "analogy_explorer"
+  "analogy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analogy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anomaly_hunter.dir/anomaly_hunter.cpp.o"
+  "CMakeFiles/example_anomaly_hunter.dir/anomaly_hunter.cpp.o.d"
+  "anomaly_hunter"
+  "anomaly_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anomaly_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

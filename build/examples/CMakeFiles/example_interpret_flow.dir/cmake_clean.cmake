@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_interpret_flow.dir/interpret_flow.cpp.o"
+  "CMakeFiles/example_interpret_flow.dir/interpret_flow.cpp.o.d"
+  "interpret_flow"
+  "interpret_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_interpret_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_make_dataset.dir/make_dataset.cpp.o"
+  "CMakeFiles/example_make_dataset.dir/make_dataset.cpp.o.d"
+  "make_dataset"
+  "make_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_make_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

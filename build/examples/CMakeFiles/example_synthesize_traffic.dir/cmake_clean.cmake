@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_synthesize_traffic.dir/synthesize_traffic.cpp.o"
+  "CMakeFiles/example_synthesize_traffic.dir/synthesize_traffic.cpp.o.d"
+  "synthesize_traffic"
+  "synthesize_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_synthesize_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

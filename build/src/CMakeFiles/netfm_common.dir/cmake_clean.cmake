@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/netfm_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/netfm_common.dir/common/rng.cpp.o"
+  "CMakeFiles/netfm_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/netfm_common.dir/common/strings.cpp.o"
+  "CMakeFiles/netfm_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/netfm_common.dir/common/table.cpp.o"
+  "CMakeFiles/netfm_common.dir/common/table.cpp.o.d"
+  "libnetfm_common.a"
+  "libnetfm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetfm_common.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/context/context.cpp" "src/CMakeFiles/netfm_context.dir/context/context.cpp.o" "gcc" "src/CMakeFiles/netfm_context.dir/context/context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

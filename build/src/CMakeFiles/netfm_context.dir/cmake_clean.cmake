@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_context.dir/context/context.cpp.o"
+  "CMakeFiles/netfm_context.dir/context/context.cpp.o.d"
+  "libnetfm_context.a"
+  "libnetfm_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

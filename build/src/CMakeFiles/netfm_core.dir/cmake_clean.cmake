@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_core.dir/core/data.cpp.o"
+  "CMakeFiles/netfm_core.dir/core/data.cpp.o.d"
+  "CMakeFiles/netfm_core.dir/core/fewshot.cpp.o"
+  "CMakeFiles/netfm_core.dir/core/fewshot.cpp.o.d"
+  "CMakeFiles/netfm_core.dir/core/netfm.cpp.o"
+  "CMakeFiles/netfm_core.dir/core/netfm.cpp.o.d"
+  "CMakeFiles/netfm_core.dir/core/traffic_lm.cpp.o"
+  "CMakeFiles/netfm_core.dir/core/traffic_lm.cpp.o.d"
+  "libnetfm_core.a"
+  "libnetfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/netfm_eval.dir/eval/metrics.cpp.o.d"
+  "libnetfm_eval.a"
+  "libnetfm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

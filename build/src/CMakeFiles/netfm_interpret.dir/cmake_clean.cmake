@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_interpret.dir/interpret/saliency.cpp.o"
+  "CMakeFiles/netfm_interpret.dir/interpret/saliency.cpp.o.d"
+  "libnetfm_interpret.a"
+  "libnetfm_interpret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_interpret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/config.cpp" "src/CMakeFiles/netfm_model.dir/model/config.cpp.o" "gcc" "src/CMakeFiles/netfm_model.dir/model/config.cpp.o.d"
+  "/root/repo/src/model/gru.cpp" "src/CMakeFiles/netfm_model.dir/model/gru.cpp.o" "gcc" "src/CMakeFiles/netfm_model.dir/model/gru.cpp.o.d"
+  "/root/repo/src/model/heads.cpp" "src/CMakeFiles/netfm_model.dir/model/heads.cpp.o" "gcc" "src/CMakeFiles/netfm_model.dir/model/heads.cpp.o.d"
+  "/root/repo/src/model/transformer.cpp" "src/CMakeFiles/netfm_model.dir/model/transformer.cpp.o" "gcc" "src/CMakeFiles/netfm_model.dir/model/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

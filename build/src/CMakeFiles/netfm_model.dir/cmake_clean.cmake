@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_model.dir/model/config.cpp.o"
+  "CMakeFiles/netfm_model.dir/model/config.cpp.o.d"
+  "CMakeFiles/netfm_model.dir/model/gru.cpp.o"
+  "CMakeFiles/netfm_model.dir/model/gru.cpp.o.d"
+  "CMakeFiles/netfm_model.dir/model/heads.cpp.o"
+  "CMakeFiles/netfm_model.dir/model/heads.cpp.o.d"
+  "CMakeFiles/netfm_model.dir/model/transformer.cpp.o"
+  "CMakeFiles/netfm_model.dir/model/transformer.cpp.o.d"
+  "libnetfm_model.a"
+  "libnetfm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/CMakeFiles/netfm_net.dir/net/addr.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/addr.cpp.o.d"
+  "/root/repo/src/net/anonymize.cpp" "src/CMakeFiles/netfm_net.dir/net/anonymize.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/anonymize.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/CMakeFiles/netfm_net.dir/net/dns.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/dns.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/netfm_net.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/netfm_net.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/CMakeFiles/netfm_net.dir/net/http.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/http.cpp.o.d"
+  "/root/repo/src/net/ntp.cpp" "src/CMakeFiles/netfm_net.dir/net/ntp.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/ntp.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/netfm_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/CMakeFiles/netfm_net.dir/net/pcap.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/pcap.cpp.o.d"
+  "/root/repo/src/net/quic.cpp" "src/CMakeFiles/netfm_net.dir/net/quic.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/quic.cpp.o.d"
+  "/root/repo/src/net/tls.cpp" "src/CMakeFiles/netfm_net.dir/net/tls.cpp.o" "gcc" "src/CMakeFiles/netfm_net.dir/net/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

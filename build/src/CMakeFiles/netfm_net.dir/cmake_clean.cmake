@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_net.dir/net/addr.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/addr.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/anonymize.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/anonymize.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/dns.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/dns.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/flow.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/flow.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/headers.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/headers.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/http.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/http.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/ntp.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/ntp.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/packet.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/pcap.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/pcap.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/quic.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/quic.cpp.o.d"
+  "CMakeFiles/netfm_net.dir/net/tls.cpp.o"
+  "CMakeFiles/netfm_net.dir/net/tls.cpp.o.d"
+  "libnetfm_net.a"
+  "libnetfm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

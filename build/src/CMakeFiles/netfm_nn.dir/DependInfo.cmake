@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/glove.cpp" "src/CMakeFiles/netfm_nn.dir/nn/glove.cpp.o" "gcc" "src/CMakeFiles/netfm_nn.dir/nn/glove.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/netfm_nn.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/netfm_nn.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/netfm_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/netfm_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/netfm_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/netfm_nn.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/nn/word2vec.cpp" "src/CMakeFiles/netfm_nn.dir/nn/word2vec.cpp.o" "gcc" "src/CMakeFiles/netfm_nn.dir/nn/word2vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

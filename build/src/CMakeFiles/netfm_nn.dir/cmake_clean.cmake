@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_nn.dir/nn/glove.cpp.o"
+  "CMakeFiles/netfm_nn.dir/nn/glove.cpp.o.d"
+  "CMakeFiles/netfm_nn.dir/nn/optim.cpp.o"
+  "CMakeFiles/netfm_nn.dir/nn/optim.cpp.o.d"
+  "CMakeFiles/netfm_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/netfm_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/netfm_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/netfm_nn.dir/nn/tensor.cpp.o.d"
+  "CMakeFiles/netfm_nn.dir/nn/word2vec.cpp.o"
+  "CMakeFiles/netfm_nn.dir/nn/word2vec.cpp.o.d"
+  "libnetfm_nn.a"
+  "libnetfm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_tasks.dir/tasks/classify.cpp.o"
+  "CMakeFiles/netfm_tasks.dir/tasks/classify.cpp.o.d"
+  "CMakeFiles/netfm_tasks.dir/tasks/datasets.cpp.o"
+  "CMakeFiles/netfm_tasks.dir/tasks/datasets.cpp.o.d"
+  "CMakeFiles/netfm_tasks.dir/tasks/features.cpp.o"
+  "CMakeFiles/netfm_tasks.dir/tasks/features.cpp.o.d"
+  "CMakeFiles/netfm_tasks.dir/tasks/ood.cpp.o"
+  "CMakeFiles/netfm_tasks.dir/tasks/ood.cpp.o.d"
+  "CMakeFiles/netfm_tasks.dir/tasks/perf.cpp.o"
+  "CMakeFiles/netfm_tasks.dir/tasks/perf.cpp.o.d"
+  "libnetfm_tasks.a"
+  "libnetfm_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

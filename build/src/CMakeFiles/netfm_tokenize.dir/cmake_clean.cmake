@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_tokenize.dir/tokenize/bpe.cpp.o"
+  "CMakeFiles/netfm_tokenize.dir/tokenize/bpe.cpp.o.d"
+  "CMakeFiles/netfm_tokenize.dir/tokenize/tokenizer.cpp.o"
+  "CMakeFiles/netfm_tokenize.dir/tokenize/tokenizer.cpp.o.d"
+  "CMakeFiles/netfm_tokenize.dir/tokenize/vocab.cpp.o"
+  "CMakeFiles/netfm_tokenize.dir/tokenize/vocab.cpp.o.d"
+  "libnetfm_tokenize.a"
+  "libnetfm_tokenize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_tokenize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

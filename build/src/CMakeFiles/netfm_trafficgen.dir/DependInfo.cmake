@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficgen/apps.cpp" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/apps.cpp.o" "gcc" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/apps.cpp.o.d"
+  "/root/repo/src/trafficgen/generator.cpp" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/generator.cpp.o" "gcc" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/generator.cpp.o.d"
+  "/root/repo/src/trafficgen/labels.cpp" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/labels.cpp.o" "gcc" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/labels.cpp.o.d"
+  "/root/repo/src/trafficgen/session.cpp" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/session.cpp.o" "gcc" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/session.cpp.o.d"
+  "/root/repo/src/trafficgen/world.cpp" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/world.cpp.o" "gcc" "src/CMakeFiles/netfm_trafficgen.dir/trafficgen/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/apps.cpp.o"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/apps.cpp.o.d"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/generator.cpp.o"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/generator.cpp.o.d"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/labels.cpp.o"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/labels.cpp.o.d"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/session.cpp.o"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/session.cpp.o.d"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/world.cpp.o"
+  "CMakeFiles/netfm_trafficgen.dir/trafficgen/world.cpp.o.d"
+  "libnetfm_trafficgen.a"
+  "libnetfm_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfm_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/netfm_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_context.cpp" "tests/CMakeFiles/netfm_tests.dir/test_context.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_context.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/netfm_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data_encoding.cpp" "tests/CMakeFiles/netfm_tests.dir/test_data_encoding.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_data_encoding.cpp.o.d"
+  "/root/repo/tests/test_dns.cpp" "tests/CMakeFiles/netfm_tests.dir/test_dns.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_dns.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/netfm_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/netfm_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/netfm_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_flow_pcap.cpp" "tests/CMakeFiles/netfm_tests.dir/test_flow_pcap.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_flow_pcap.cpp.o.d"
+  "/root/repo/tests/test_headers.cpp" "tests/CMakeFiles/netfm_tests.dir/test_headers.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_headers.cpp.o.d"
+  "/root/repo/tests/test_http_tls_ntp.cpp" "tests/CMakeFiles/netfm_tests.dir/test_http_tls_ntp.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_http_tls_ntp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/netfm_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interpret.cpp" "tests/CMakeFiles/netfm_tests.dir/test_interpret.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_interpret.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/netfm_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/netfm_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_quic.cpp" "tests/CMakeFiles/netfm_tests.dir/test_quic.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_quic.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/netfm_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_service_category.cpp" "tests/CMakeFiles/netfm_tests.dir/test_service_category.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_service_category.cpp.o.d"
+  "/root/repo/tests/test_tasks.cpp" "tests/CMakeFiles/netfm_tests.dir/test_tasks.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_tasks.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/netfm_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tokenize.cpp" "tests/CMakeFiles/netfm_tests.dir/test_tokenize.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_tokenize.cpp.o.d"
+  "/root/repo/tests/test_trafficgen.cpp" "tests/CMakeFiles/netfm_tests.dir/test_trafficgen.cpp.o" "gcc" "tests/CMakeFiles/netfm_tests.dir/test_trafficgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netfm_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_interpret.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
