@@ -1,7 +1,9 @@
-// M4 — neural-engine microbenchmarks: matmul kernels, transformer forward
-// and forward+backward, GRU step throughput.
+// M4 — neural-engine microbenchmarks: matmul kernels (blocked/parallel vs
+// the naive reference, and thread-count scaling), transformer forward and
+// forward+backward (tiny and NorBERT-ish configs), GRU step throughput.
 #include <benchmark/benchmark.h>
 
+#include "common/threadpool.h"
 #include "model/gru.h"
 #include "model/heads.h"
 #include "model/transformer.h"
@@ -9,6 +11,10 @@
 
 namespace netfm {
 namespace {
+
+double matmul_gflops(const benchmark::State& state, std::size_t n) {
+  return static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9;
+}
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -19,11 +25,46 @@ void BM_Matmul(benchmark::State& state) {
     nn::Tensor c = nn::matmul(a, b);
     benchmark::DoNotOptimize(c.data().data());
   }
-  state.counters["GFLOPS"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
-      benchmark::Counter::kIsRate);
+  state.counters["GFLOPS"] =
+      benchmark::Counter(matmul_gflops(state, n), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The kept naive triple-loop kernel: the baseline every blocked/parallel
+// number in BENCH_*.json is measured against.
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  nn::Tensor b = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  for (auto _ : state) {
+    nn::Tensor c = nn::matmul_reference(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(matmul_gflops(state, n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Thread-count scaling at a fixed size: Arg is the pool size (0 = the
+// NETFM_THREADS / hardware default). Compare threads=1 vs threads=N rows.
+void BM_MatmulThreads(benchmark::State& state) {
+  const std::size_t n = 256;
+  ThreadPool::reset_global(static_cast<std::size_t>(state.range(0)));
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::global().threads());
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  nn::Tensor b = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  for (auto _ : state) {
+    nn::Tensor c = nn::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(matmul_gflops(state, n), benchmark::Counter::kIsRate);
+  ThreadPool::reset_global(0);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 void BM_MatmulBackward(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -36,7 +77,7 @@ void BM_MatmulBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(a.grad().data());
   }
 }
-BENCHMARK(BM_MatmulBackward)->Arg(32)->Arg(64);
+BENCHMARK(BM_MatmulBackward)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 model::Batch random_batch(std::size_t batch, std::size_t seq,
                           std::size_t vocab, std::uint64_t seed) {
@@ -87,6 +128,26 @@ void BM_TransformerTrainStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
 }
 BENCHMARK(BM_TransformerTrainStep);
+
+// NorBERT-ish config (d_model=128, 4 heads, 4 layers, seq=64): the scale
+// the flow-classification pretraining path actually runs at, so the GFLOPS
+// trajectory in BENCH_*.json tracks the real hot path, not just the tiny
+// preset.
+void BM_TransformerNorbertFwdBwd(benchmark::State& state) {
+  const auto config = model::TransformerConfig::base(256);
+  model::TransformerEncoder encoder(config);
+  nn::ParameterList params = encoder.parameters();
+  const model::Batch batch = random_batch(8, 64, 256, 7);
+  for (auto _ : state) {
+    nn::Tensor hidden = encoder.forward(batch, /*train=*/true);
+    nn::Tensor loss = nn::mean(hidden);
+    nn::zero_grad(params);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_TransformerNorbertFwdBwd);
 
 void BM_GruForward(benchmark::State& state) {
   model::GruConfig config;

@@ -1,0 +1,127 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace netfm {
+namespace {
+
+/// True on pool worker threads; nested parallel_for calls run inline.
+thread_local bool t_on_worker = false;
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("NETFM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::can_fan_out() const noexcept {
+  return !workers_.empty() && !t_on_worker;
+}
+
+void ThreadPool::dispatch(std::size_t begin, std::size_t end,
+                          std::size_t grain,
+                          std::function<void(std::size_t, std::size_t)> fn) {
+  auto task = std::make_shared<Task>();
+  task->fn = std::move(fn);
+  task->begin = begin;
+  task->end = end;
+  task->grain = grain;
+  task->num_chunks = (end - begin + grain - 1) / grain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = task;
+    ++generation_;
+  }
+  wake_.notify_all();
+  run_chunks(task);  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return task->chunks_done.load(std::memory_order_acquire) ==
+             task->num_chunks;
+    });
+    if (current_ == task) current_.reset();
+    if (task->error) std::rethrow_exception(task->error);
+  }
+}
+
+void ThreadPool::run_chunks(const std::shared_ptr<Task>& task) {
+  for (;;) {
+    const std::size_t chunk =
+        task->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= task->num_chunks) return;
+    const std::size_t lo = task->begin + chunk * task->grain;
+    const std::size_t hi = std::min(task->end, lo + task->grain);
+    try {
+      task->fn(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!task->error) task->error = std::current_exception();
+    }
+    const std::size_t done =
+        task->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == task->num_chunks) {
+      // Lock pairs with the caller's predicate wait; prevents the notify
+      // from racing past a caller that is between checking and sleeping.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (current_ && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = current_;
+    }
+    run_chunks(task);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace netfm

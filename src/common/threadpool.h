@@ -1,0 +1,100 @@
+// Fixed-size fork-join thread pool shared by every data-parallel kernel in
+// the library (GEMM row-blocks, elementwise autograd loops, row-wise
+// softmax/layer_norm).
+//
+// Design: no work stealing, no per-task queues. `parallel_for` carves an
+// index range into grain-sized chunks; workers and the calling thread pull
+// chunk indices off one atomic counter until the range is drained, then the
+// caller returns. Chunk boundaries depend only on `grain` — never on the
+// number of threads — so any kernel whose chunks write disjoint outputs
+// produces bit-identical results at every pool size (NETFM_THREADS=1 and
+// NETFM_THREADS=8 must match exactly; tests assert this).
+//
+// The pool size comes from the NETFM_THREADS environment variable when set
+// (and positive), otherwise std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netfm {
+
+/// Lane count from NETFM_THREADS (if set and > 0) else hardware concurrency
+/// (min 1). Exposed separately so the env parsing is unit-testable.
+std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// `threads` total lanes including the caller; 0 = default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (worker threads + the calling thread).
+  std::size_t threads() const noexcept { return workers_.size() + 1; }
+
+  /// Invokes fn(lo, hi) over consecutive chunks [lo, hi) of [begin, end),
+  /// each at most `grain` wide, across the pool. Blocks until every chunk
+  /// has run; the first exception thrown by a chunk is rethrown here.
+  /// Runs fn(begin, end) inline when the range fits in one chunk, the pool
+  /// has one lane, or the caller is itself a pool worker (nested calls
+  /// never deadlock — they just serialize).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Fn&& fn) {
+    if (end <= begin) return;
+    if (grain == 0) grain = 1;
+    if (end - begin <= grain || !can_fan_out()) {
+      fn(begin, end);
+      return;
+    }
+    dispatch(begin, end, grain,
+             std::function<void(std::size_t, std::size_t)>(
+                 std::forward<Fn>(fn)));
+  }
+
+  /// Process-wide pool used by the nn kernels.
+  static ThreadPool& global();
+
+  /// Rebuilds the global pool with `threads` lanes (0 = default). Test and
+  /// benchmark hook for comparing thread counts in one process; not safe
+  /// against concurrent parallel_for calls.
+  static void reset_global(std::size_t threads);
+
+ private:
+  /// One parallel_for invocation. Heap-allocated and shared so a worker
+  /// that wakes late (after the range drained and the caller moved on)
+  /// still holds a valid task object and exits cleanly.
+  struct Task {
+    std::function<void(std::size_t, std::size_t)> fn;
+    std::size_t begin = 0, end = 0, grain = 1;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> chunks_done{0};
+    std::exception_ptr error;  // first failure; guarded by pool mutex
+  };
+
+  bool can_fan_out() const noexcept;
+  void dispatch(std::size_t begin, std::size_t end, std::size_t grain,
+                std::function<void(std::size_t, std::size_t)> fn);
+  void run_chunks(const std::shared_ptr<Task>& task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;  // workers: new task or stop
+  std::condition_variable done_;  // caller: all chunks finished
+  std::shared_ptr<Task> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace netfm

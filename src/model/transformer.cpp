@@ -61,80 +61,88 @@ EncoderBlock::EncoderBlock(const TransformerConfig& config, Rng& rng,
       norm_attn_(config.d_model, prefix + ".norm_attn"),
       norm_ffn_(config.d_model, prefix + ".norm_ffn") {}
 
-namespace {
-
-/// Index maps between [B*T, D] and [B*H, T, dk] layouts.
-struct HeadMaps {
-  std::shared_ptr<std::vector<std::size_t>> split;
-  std::shared_ptr<std::vector<std::size_t>> merge;
-};
-
-HeadMaps make_head_maps(std::size_t batch, std::size_t seq, std::size_t heads,
-                        std::size_t head_dim) {
-  const std::size_t d_model = heads * head_dim;
-  auto split = std::make_shared<std::vector<std::size_t>>(batch * seq *
-                                                          d_model);
-  auto merge = std::make_shared<std::vector<std::size_t>>(batch * seq *
-                                                          d_model);
-  for (std::size_t b = 0; b < batch; ++b)
-    for (std::size_t h = 0; h < heads; ++h)
-      for (std::size_t t = 0; t < seq; ++t)
-        for (std::size_t k = 0; k < head_dim; ++k) {
-          const std::size_t flat = (b * seq + t) * d_model + h * head_dim + k;
-          const std::size_t headed = ((b * heads + h) * seq + t) * head_dim + k;
-          (*split)[headed] = flat;
-          (*merge)[flat] = headed;
-        }
-  return {std::move(split), std::move(merge)};
+bool AttentionContext::same_geometry(
+    const Batch& batch, const TransformerConfig& config) const noexcept {
+  return split && merge && batch_size == batch.batch_size &&
+         seq_len == batch.seq_len && heads == config.num_heads &&
+         head_dim == config.head_dim();
 }
 
-/// Key-padding (and optionally causal) mask for score tensor [B*H, T, T]:
-/// element (bh, i, j) is valid iff token j of sequence b is real and, in
-/// causal mode, j <= i.
-std::vector<float> make_score_mask(const Batch& batch, std::size_t heads,
-                                   bool causal) {
-  const std::size_t bsz = batch.batch_size;
-  const std::size_t seq = batch.seq_len;
-  std::vector<float> mask(bsz * heads * seq * seq);
+AttentionContext AttentionContext::build(const Batch& batch,
+                                         const TransformerConfig& config,
+                                         const AttentionContext* previous) {
+  AttentionContext ctx;
+  ctx.batch_size = batch.batch_size;
+  ctx.seq_len = batch.seq_len;
+  ctx.heads = config.num_heads;
+  ctx.head_dim = config.head_dim();
+  const std::size_t bsz = ctx.batch_size, seq = ctx.seq_len;
+  const std::size_t heads = ctx.heads, head_dim = ctx.head_dim;
+  ctx.headed = nn::Shape{bsz * heads, seq, head_dim};
+
+  if (previous && previous->same_geometry(batch, config)) {
+    // Index maps between [B*T, D] and [B*H, T, dk] depend only on the
+    // geometry — reuse them across forwards.
+    ctx.split = previous->split;
+    ctx.merge = previous->merge;
+  } else {
+    const std::size_t d_model = heads * head_dim;
+    auto split =
+        std::make_shared<std::vector<std::size_t>>(bsz * seq * d_model);
+    auto merge =
+        std::make_shared<std::vector<std::size_t>>(bsz * seq * d_model);
+    for (std::size_t b = 0; b < bsz; ++b)
+      for (std::size_t h = 0; h < heads; ++h)
+        for (std::size_t t = 0; t < seq; ++t)
+          for (std::size_t k = 0; k < head_dim; ++k) {
+            const std::size_t flat =
+                (b * seq + t) * d_model + h * head_dim + k;
+            const std::size_t headed =
+                ((b * heads + h) * seq + t) * head_dim + k;
+            (*split)[headed] = flat;
+            (*merge)[flat] = headed;
+          }
+    ctx.split = std::move(split);
+    ctx.merge = std::move(merge);
+  }
+
+  // Key-padding (and optionally causal) mask for score tensor [B*H, T, T]:
+  // element (bh, i, j) is valid iff token j of sequence b is real and, in
+  // causal mode, j <= i. Depends on the batch contents, so rebuilt per
+  // forward — but only once, not once per layer.
+  auto mask = std::make_shared<std::vector<float>>(bsz * heads * seq * seq);
   std::size_t at = 0;
   for (std::size_t b = 0; b < bsz; ++b)
     for (std::size_t h = 0; h < heads; ++h)
       for (std::size_t i = 0; i < seq; ++i)
         for (std::size_t j = 0; j < seq; ++j)
-          mask[at++] = (causal && j > i)
-                           ? 0.0f
-                           : batch.attention_mask[b * seq + j];
-  return mask;
+          (*mask)[at++] = (config.causal && j > i)
+                              ? 0.0f
+                              : batch.attention_mask[b * seq + j];
+  ctx.score_mask = std::move(mask);
+  return ctx;
 }
 
-}  // namespace
-
-Tensor EncoderBlock::forward(const Tensor& x, const Batch& batch, bool train,
-                             Rng& rng) const {
+Tensor EncoderBlock::forward(const Tensor& x, const AttentionContext& ctx,
+                             bool train, Rng& rng) const {
   const TransformerConfig& cfg = *config_;
-  const std::size_t bsz = batch.batch_size;
-  const std::size_t seq = batch.seq_len;
-  const std::size_t heads = cfg.num_heads;
-  const std::size_t head_dim = cfg.head_dim();
-  const HeadMaps maps = make_head_maps(bsz, seq, heads, head_dim);
-  const nn::Shape headed{bsz * heads, seq, head_dim};
 
-  const Tensor q = nn::remap(query_.forward(x), headed, maps.split);
-  const Tensor k = nn::remap(key_.forward(x), headed, maps.split);
-  const Tensor v = nn::remap(value_.forward(x), headed, maps.split);
+  const Tensor q = nn::remap(query_.forward(x), ctx.headed, ctx.split);
+  const Tensor k = nn::remap(key_.forward(x), ctx.headed, ctx.split);
+  const Tensor v = nn::remap(value_.forward(x), ctx.headed, ctx.split);
 
   Tensor scores = nn::matmul(q, nn::transpose(k));
-  scores = nn::scale(scores, 1.0f / std::sqrt(static_cast<float>(head_dim)));
-  const std::vector<float> mask = make_score_mask(batch, heads, cfg.causal);
-  scores = nn::masked_fill(scores, mask, -1e9f);
+  scores =
+      nn::scale(scores, 1.0f / std::sqrt(static_cast<float>(ctx.head_dim)));
+  scores = nn::masked_fill(scores, ctx.score_mask, -1e9f);
 
   Tensor attn = nn::softmax(scores);
   last_attention_ = attn;
   attn = nn::dropout(attn, cfg.dropout, train, rng);
 
   const Tensor context = nn::matmul(attn, v);
-  const Tensor merged =
-      nn::remap(context, {bsz * seq, cfg.d_model}, maps.merge);
+  const Tensor merged = nn::remap(
+      context, {ctx.batch_size * ctx.seq_len, cfg.d_model}, ctx.merge);
   Tensor attended = output_.forward(merged);
   attended = nn::dropout(attended, cfg.dropout, train, rng);
   const Tensor x1 = norm_attn_.forward(nn::add(x, attended));
@@ -191,8 +199,11 @@ Tensor TransformerEncoder::forward(const Batch& batch, bool train) const {
   x = embed_norm_.forward(x);
   x = nn::dropout(x, config_.dropout, train, rng_);
 
+  // One attention context per forward, shared by all layers (head maps are
+  // additionally reused from the previous forward when shapes repeat).
+  attn_ctx_ = AttentionContext::build(batch, config_, &attn_ctx_);
   for (const auto& block : blocks_)
-    x = block->forward(x, batch, train, rng_);
+    x = block->forward(x, attn_ctx_, train, rng_);
   return x;
 }
 

@@ -27,6 +27,29 @@ struct Batch {
   static Batch single(std::span<const int> ids);
 };
 
+/// Per-forward attention geometry shared by every encoder block: the head
+/// split/merge index maps and the key-padding/causal score mask are built
+/// once per batch in TransformerEncoder::forward instead of once per layer
+/// per forward. The maps depend only on (batch, seq, heads), so an encoder
+/// reuses them across forwards with the same geometry; the score mask also
+/// depends on the batch's attention_mask, so it is rebuilt per forward.
+struct AttentionContext {
+  std::size_t batch_size = 0, seq_len = 0, heads = 0, head_dim = 0;
+  nn::Shape headed;  // [B*H, T, head_dim]
+  std::shared_ptr<const std::vector<std::size_t>> split;  // [B*T,D]->headed
+  std::shared_ptr<const std::vector<std::size_t>> merge;  // headed->[B*T,D]
+  std::shared_ptr<const std::vector<float>> score_mask;   // [B*H, T, T]
+
+  bool same_geometry(const Batch& batch,
+                     const TransformerConfig& config) const noexcept;
+
+  /// Builds the context; reuses `previous`'s index maps when the geometry
+  /// matches (the common case of fixed-shape training batches).
+  static AttentionContext build(const Batch& batch,
+                                const TransformerConfig& config,
+                                const AttentionContext* previous = nullptr);
+};
+
 /// Dense affine layer (weight [in, out], bias [out]).
 class Linear {
  public:
@@ -59,9 +82,11 @@ class EncoderBlock {
   EncoderBlock(const TransformerConfig& config, Rng& rng,
                const std::string& prefix);
 
-  /// x is [B*T, D]; returns same shape. `train` enables dropout.
-  nn::Tensor forward(const nn::Tensor& x, const Batch& batch, bool train,
-                     Rng& rng) const;
+  /// x is [B*T, D]; returns same shape. `train` enables dropout. `ctx` is
+  /// the batch's attention geometry, built once per forward by the encoder
+  /// (AttentionContext::build) and shared across layers.
+  nn::Tensor forward(const nn::Tensor& x, const AttentionContext& ctx,
+                     bool train, Rng& rng) const;
   void collect(nn::ParameterList& out) const;
 
   /// Attention probabilities from the most recent forward: one tensor of
@@ -98,6 +123,9 @@ class TransformerEncoder {
  private:
   TransformerConfig config_;
   mutable Rng rng_;  // dropout stream (forward-only state)
+  // Attention geometry from the previous forward; its index maps are
+  // reused whenever the batch shape is unchanged.
+  mutable AttentionContext attn_ctx_;
   nn::Parameter token_embed_, position_embed_, segment_embed_;
   LayerNorm embed_norm_;
   std::vector<std::unique_ptr<EncoderBlock>> blocks_;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/threadpool.h"
+
 namespace netfm::nn {
 namespace {
 
@@ -18,15 +20,160 @@ void check(bool ok, const std::string& what) {
   if (!ok) fail(what);
 }
 
+/// Whether make_node zero-fills the output buffer. Ops that write every
+/// element (matmul, unary, copies) skip the fill; ops that accumulate into
+/// the output (mean_rows) keep it.
+enum class Init { kZero, kUninit };
+
 std::shared_ptr<TensorNode> make_node(
-    Shape shape, std::vector<std::shared_ptr<TensorNode>> parents) {
+    Shape shape, std::vector<std::shared_ptr<TensorNode>> parents,
+    Init init = Init::kZero) {
   auto node = std::make_shared<TensorNode>();
   node->shape = std::move(shape);
-  node->value.assign(numel(node->shape), 0.0f);
+  const std::size_t n = numel(node->shape);
+  if (init == Init::kZero)
+    node->value.assign(n, 0.0f);
+  else
+    node->value.resize(n);  // default-init: no zero-fill (UninitAllocator)
   node->parents = std::move(parents);
   for (const auto& p : node->parents)
     if (p && p->requires_grad) node->requires_grad = true;
   return node;
+}
+
+// ---- parallel loop helpers ----------------------------------------------
+//
+// Every helper partitions work by output ownership: a given output element
+// (or row) is written by exactly one chunk, and each chunk reduces in a
+// fixed serial order, so results are independent of chunking and therefore
+// of the thread count.
+
+/// Elementwise grain: below this many elements a loop stays serial; above,
+/// chunks of this size go to the pool.
+constexpr std::size_t kElemGrain = std::size_t{1} << 13;
+
+template <typename Fn>
+void parallel_elems(std::size_t n, Fn&& fn) {
+  ThreadPool::global().parallel_for(0, n, kElemGrain, std::forward<Fn>(fn));
+}
+
+/// Row-wise grain targeting ~kElemGrain touched elements per chunk.
+template <typename Fn>
+void parallel_rows(std::size_t rows, std::size_t cols, Fn&& fn) {
+  const std::size_t grain =
+      std::max<std::size_t>(1, kElemGrain / std::max<std::size_t>(1, cols));
+  ThreadPool::global().parallel_for(0, rows, grain, std::forward<Fn>(fn));
+}
+
+// ---- blocked GEMM -------------------------------------------------------
+//
+// C (M x N, row-major) = (or +=) op(A) * op(B), where op(A)/op(B) are
+// strided views so transposed operands cost nothing. op(B) is packed once
+// per call into NR-wide column panels (contiguous, zero-padded), then
+// MR x NR register-blocked micro-tiles stream over the packed panels.
+// The reduction over K is not split, so each output element accumulates in
+// the same order as the naive triple loop — blocked and reference kernels
+// agree bit-for-bit.
+
+/// Strided matrix view: element(r, c) = p[r * rs + c * cs].
+struct MatRef {
+  const float* p;
+  std::size_t rs, cs;
+};
+
+constexpr std::size_t kMR = 4;   // micro-tile rows (register-blocked)
+constexpr std::size_t kNR = 16;  // micro-tile cols (two 8-float vectors)
+
+/// Multiply-adds below which a GEMM is not worth fanning out.
+constexpr std::size_t kGemmParallelCutoff = std::size_t{1} << 15;
+
+/// Packs op(B) (K x N) into ceil(N/NR) panels of K x NR, zero-padded on the
+/// right edge, laid out panel-major so the micro-kernel streams linearly.
+void pack_b(MatRef b, std::size_t K, std::size_t N, float* packed) {
+  for (std::size_t jp = 0; jp < N; jp += kNR) {
+    const std::size_t nr = std::min(kNR, N - jp);
+    float* dst = packed + jp * K;
+    for (std::size_t kk = 0; kk < K; ++kk) {
+      const float* src = b.p + kk * b.rs + jp * b.cs;
+      std::size_t c = 0;
+      for (; c < nr; ++c) dst[c] = src[c * b.cs];
+      for (; c < kNR; ++c) dst[c] = 0.0f;
+      dst += kNR;
+    }
+  }
+}
+
+/// Computes rows [row_lo, row_hi) of C from op(A) and packed op(B).
+template <bool Accumulate>
+void gemm_rows(MatRef a, const float* packed_b, std::size_t K, std::size_t N,
+               float* c, std::size_t row_lo, std::size_t row_hi) {
+  for (std::size_t i = row_lo; i < row_hi; i += kMR) {
+    const std::size_t mr = std::min(kMR, row_hi - i);
+    for (std::size_t jp = 0; jp < N; jp += kNR) {
+      const std::size_t nr = std::min(kNR, N - jp);
+      const float* bp = packed_b + jp * K;
+      float acc[kMR][kNR] = {};
+      if (mr == kMR) {
+        for (std::size_t kk = 0; kk < K; ++kk) {
+          const float* brow = bp + kk * kNR;
+          for (std::size_t r = 0; r < kMR; ++r) {
+            const float av = a.p[(i + r) * a.rs + kk * a.cs];
+            for (std::size_t cc = 0; cc < kNR; ++cc)
+              acc[r][cc] += av * brow[cc];
+          }
+        }
+      } else {
+        for (std::size_t kk = 0; kk < K; ++kk) {
+          const float* brow = bp + kk * kNR;
+          for (std::size_t r = 0; r < mr; ++r) {
+            const float av = a.p[(i + r) * a.rs + kk * a.cs];
+            for (std::size_t cc = 0; cc < kNR; ++cc)
+              acc[r][cc] += av * brow[cc];
+          }
+        }
+      }
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* crow = c + (i + r) * N + jp;
+        if constexpr (Accumulate) {
+          for (std::size_t cc = 0; cc < nr; ++cc) crow[cc] += acc[r][cc];
+        } else {
+          for (std::size_t cc = 0; cc < nr; ++cc) crow[cc] = acc[r][cc];
+        }
+      }
+    }
+  }
+}
+
+/// Per-thread packed-B scratch. Only the thread that packs reads/writes its
+/// own buffer until it hands the pointer to pool workers for the duration
+/// of one (blocking) parallel_for, so there is no aliasing across calls.
+thread_local std::vector<float> t_pack_scratch;
+
+/// Full GEMM: packs op(B), then runs row-blocks serially or on the pool.
+/// Chunk grain is derived from the matrix sizes only (never the thread
+/// count), and each chunk owns whole output rows — results are identical
+/// for every pool size.
+template <bool Accumulate>
+void gemm(std::size_t M, std::size_t N, std::size_t K, MatRef a, MatRef b,
+          float* c, bool allow_parallel) {
+  if (M == 0 || N == 0 || K == 0) return;
+  std::vector<float>& scratch = t_pack_scratch;
+  const std::size_t packed_size = (N + kNR - 1) / kNR * kNR * K;
+  if (scratch.size() < packed_size) scratch.resize(packed_size);
+  float* packed = scratch.data();
+  pack_b(b, K, N, packed);
+  const auto run = [=](std::size_t lo, std::size_t hi) {
+    gemm_rows<Accumulate>(a, packed, K, N, c, lo, hi);
+  };
+  if (!allow_parallel || M * N * K < kGemmParallelCutoff) {
+    run(0, M);
+    return;
+  }
+  // At least one micro-tile of rows and ~cutoff flops per chunk.
+  const std::size_t min_rows =
+      kGemmParallelCutoff / std::max<std::size_t>(1, N * K) + 1;
+  const std::size_t grain = (std::max(min_rows, kMR) + kMR - 1) / kMR * kMR;
+  ThreadPool::global().parallel_for(0, M, grain, run);
 }
 
 /// Interprets a tensor as a batch of matrices: rank 2 = batch 1.
@@ -72,7 +219,7 @@ Tensor::Tensor(Shape shape, std::vector<float> values, bool requires_grad) {
   check(numel(shape) == values.size(), "Tensor: values/shape mismatch");
   node_ = std::make_shared<TensorNode>();
   node_->shape = std::move(shape);
-  node_->value = std::move(values);
+  node_->value.assign(values.begin(), values.end());
   node_->requires_grad = requires_grad;
 }
 
@@ -182,7 +329,16 @@ Tensor Tensor::detach() const {
 
 // ---- ops ----
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+namespace {
+
+/// Shape validation shared by matmul and matmul_reference.
+struct MatmulDims {
+  std::size_t batch, m, k, n;
+  bool shared_rhs;
+  Shape out_shape;
+};
+
+MatmulDims matmul_dims(const Tensor& a, const Tensor& b) {
   const MatView av = as_matrices(a.shape(), "matmul lhs");
   const MatView bv = as_matrices(b.shape(), "matmul rhs");
   const bool shared_rhs = a.rank() == 3 && b.rank() == 2;
@@ -190,69 +346,104 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 shape_str(a.shape()) + " x " +
                                 shape_str(b.shape()));
   check(shared_rhs || av.batch == bv.batch, "matmul: batch mismatch");
-  const std::size_t batch = av.batch;
-
-  Shape out_shape = a.rank() == 3 ? Shape{batch, av.rows, bv.cols}
+  Shape out_shape = a.rank() == 3 ? Shape{av.batch, av.rows, bv.cols}
                                   : Shape{av.rows, bv.cols};
-  auto node = make_node(std::move(out_shape), {a.node(), b.node()});
+  return {av.batch, av.rows, av.cols, bv.cols, shared_rhs,
+          std::move(out_shape)};
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MatmulDims d = matmul_dims(a, b);
+  auto node =
+      make_node(std::move(d.out_shape), {a.node(), b.node()}, Init::kUninit);
 
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* op = node->value.data();
-  const std::size_t m = av.rows, k = av.cols, n = bv.cols;
-  for (std::size_t batch_i = 0; batch_i < batch; ++batch_i) {
-    const float* abase = ap + batch_i * m * k;
-    const float* bbase = shared_rhs ? bp : bp + batch_i * k * n;
-    float* obase = op + batch_i * m * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      float* orow = obase + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av_ik = abase[i * k + kk];
-        if (av_ik == 0.0f) continue;
-        const float* brow = bbase + kk * n;
-        for (std::size_t j = 0; j < n; ++j) orow[j] += av_ik * brow[j];
-      }
-    }
+  const std::size_t batch = d.batch, m = d.m, k = d.k, n = d.n;
+  const bool shared_rhs = d.shared_rhs;
+  // Below-cutoff batched products run inline (grain = whole range).
+  const std::size_t batch_grain =
+      batch * m * n * k >= kGemmParallelCutoff ? 1 : batch;
+  if (shared_rhs || batch == 1) {
+    // One GEMM over the collapsed (batch*m) row space: with a shared (or
+    // single) RHS, the batch dim is just more rows of A and C.
+    gemm<false>(batch * m, n, k, {ap, k, 1}, {bp, n, 1}, op,
+                /*allow_parallel=*/true);
+  } else {
+    // Distinct RHS per batch entry (attention): fan out across the batch;
+    // each lane packs and multiplies its own pair serially.
+    ThreadPool::global().parallel_for(
+        0, batch, batch_grain, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t bi = lo; bi < hi; ++bi)
+            gemm<false>(m, n, k, {ap + bi * m * k, k, 1},
+                        {bp + bi * k * n, n, 1}, op + bi * m * n,
+                        /*allow_parallel=*/false);
+        });
   }
 
-  node->backward = [m, k, n, batch, shared_rhs](TensorNode& self) {
+  node->backward = [m, k, n, batch, batch_grain, shared_rhs](
+                       TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& B = *self.parents[1];
     const float* gp = self.grad.data();
-    for (std::size_t batch_i = 0; batch_i < batch; ++batch_i) {
-      const float* gbase = gp + batch_i * m * n;
-      const float* abase = A.value.data() + batch_i * m * k;
-      const float* bbase =
-          shared_rhs ? B.value.data() : B.value.data() + batch_i * k * n;
-      if (A.requires_grad) {
-        float* gabase = A.grad.data() + batch_i * m * k;
-        // dA = dC * B^T
-        for (std::size_t i = 0; i < m; ++i)
-          for (std::size_t j = 0; j < n; ++j) {
-            const float g = gbase[i * n + j];
-            if (g == 0.0f) continue;
-            const float* brow = bbase + j;  // column j of B
-            float* garow = gabase + i * k;
-            for (std::size_t kk = 0; kk < k; ++kk)
-              garow[kk] += g * brow[kk * n];
-          }
+    const float* ap = A.value.data();
+    const float* bp = B.value.data();
+    if (A.requires_grad) {
+      float* ga = A.grad.data();
+      if (shared_rhs || batch == 1) {
+        // dA (batch*m x k) += dC (batch*m x n) · Bᵀ (n x k)
+        gemm<true>(batch * m, k, n, {gp, n, 1}, {bp, 1, n}, ga, true);
+      } else {
+        ThreadPool::global().parallel_for(
+            0, batch, batch_grain, [=](std::size_t lo, std::size_t hi) {
+              for (std::size_t bi = lo; bi < hi; ++bi)
+                gemm<true>(m, k, n, {gp + bi * m * n, n, 1},
+                           {bp + bi * k * n, 1, n}, ga + bi * m * k, false);
+            });
       }
-      if (B.requires_grad) {
-        float* gbbase = shared_rhs ? B.grad.data()
-                                   : B.grad.data() + batch_i * k * n;
-        // dB = A^T * dC
-        for (std::size_t kk = 0; kk < k; ++kk)
-          for (std::size_t i = 0; i < m; ++i) {
-            const float av_ik = abase[i * k + kk];
-            if (av_ik == 0.0f) continue;
-            const float* grow = gbase + i * n;
-            float* gbrow = gbbase + kk * n;
-            for (std::size_t j = 0; j < n; ++j) gbrow[j] += av_ik * grow[j];
-          }
+    }
+    if (B.requires_grad) {
+      float* gb = B.grad.data();
+      if (shared_rhs || batch == 1) {
+        // dB (k x n) += Aᵀ (k x batch*m) · dC (batch*m x n); for shared
+        // RHS the batch reduction is exactly the collapsed K dimension.
+        gemm<true>(k, n, batch * m, {ap, 1, k}, {gp, n, 1}, gb, true);
+      } else {
+        ThreadPool::global().parallel_for(
+            0, batch, batch_grain, [=](std::size_t lo, std::size_t hi) {
+              for (std::size_t bi = lo; bi < hi; ++bi)
+                gemm<true>(k, n, m, {ap + bi * m * k, 1, k},
+                           {gp + bi * m * n, n, 1}, gb + bi * k * n, false);
+            });
       }
     }
   };
   return Tensor(node);
+}
+
+Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  MatmulDims d = matmul_dims(a, b);
+  Tensor out(std::move(d.out_shape));
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* op = out.data().data();
+  for (std::size_t batch_i = 0; batch_i < d.batch; ++batch_i) {
+    const float* abase = ap + batch_i * d.m * d.k;
+    const float* bbase = d.shared_rhs ? bp : bp + batch_i * d.k * d.n;
+    float* obase = op + batch_i * d.m * d.n;
+    for (std::size_t i = 0; i < d.m; ++i) {
+      float* orow = obase + i * d.n;
+      for (std::size_t kk = 0; kk < d.k; ++kk) {
+        const float av_ik = abase[i * d.k + kk];
+        const float* brow = bbase + kk * d.n;
+        for (std::size_t j = 0; j < d.n; ++j) orow[j] += av_ik * brow[j];
+      }
+    }
+  }
+  return out;
 }
 
 namespace {
@@ -267,24 +458,41 @@ Tensor add_like(const Tensor& a, const Tensor& b, float sign) {
         "add: rhs must match shape or last dim, got " + shape_str(a.shape()) +
             " vs " + shape_str(b.shape()));
 
-  auto node = make_node(a.shape(), {a.node(), b.node()});
+  auto node = make_node(a.shape(), {a.node(), b.node()}, Init::kUninit);
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* op = node->value.data();
-  for (std::size_t i = 0; i < an; ++i)
-    op[i] = ap[i] + sign * bp[broadcast ? i % last : i];
+  if (broadcast) {
+    parallel_elems(an, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        op[i] = ap[i] + sign * bp[i % last];
+    });
+  } else {
+    parallel_elems(an, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) op[i] = ap[i] + sign * bp[i];
+    });
+  }
 
   node->backward = [an, last, broadcast, sign](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& B = *self.parents[1];
     const float* g = self.grad.data();
-    if (A.requires_grad)
-      for (std::size_t i = 0; i < an; ++i) A.grad[i] += g[i];
+    if (A.requires_grad) {
+      float* ga = A.grad.data();
+      parallel_elems(an, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i];
+      });
+    }
     if (B.requires_grad) {
       if (broadcast) {
+        // All rows reduce into `last` slots; stays serial so the
+        // accumulation order is fixed (and race-free).
         for (std::size_t i = 0; i < an; ++i) B.grad[i % last] += sign * g[i];
       } else {
-        for (std::size_t i = 0; i < an; ++i) B.grad[i] += sign * g[i];
+        float* gb = B.grad.data();
+        parallel_elems(an, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) gb[i] += sign * g[i];
+        });
       }
     }
   };
@@ -294,16 +502,23 @@ Tensor add_like(const Tensor& a, const Tensor& b, float sign) {
 /// Shared unary-elementwise builder.
 template <typename F, typename DF>
 Tensor unary(const Tensor& a, F f, DF df) {
-  auto node = make_node(a.shape(), {a.node()});
+  auto node = make_node(a.shape(), {a.node()}, Init::kUninit);
   const float* ap = a.data().data();
   float* op = node->value.data();
   const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) op[i] = f(ap[i]);
+  parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) op[i] = f(ap[i]);
+  });
   node->backward = [n, df](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
-    for (std::size_t i = 0; i < n; ++i)
-      A.grad[i] += self.grad[i] * df(A.value[i], self.value[i]);
+    float* ga = A.grad.data();
+    const float* av = A.value.data();
+    const float* g = self.grad.data();
+    const float* y = self.value.data();
+    parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i] * df(av[i], y[i]);
+    });
   };
   return Tensor(node);
 }
@@ -315,17 +530,29 @@ Tensor sub(const Tensor& a, const Tensor& b) { return add_like(a, b, -1.0f); }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check(a.size() == b.size(), "mul: shape mismatch");
-  auto node = make_node(a.shape(), {a.node(), b.node()});
+  auto node = make_node(a.shape(), {a.node(), b.node()}, Init::kUninit);
   const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i)
-    node->value[i] = a.data()[i] * b.data()[i];
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* op = node->value.data();
+  parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) op[i] = ap[i] * bp[i];
+  });
   node->backward = [n](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& B = *self.parents[1];
-    for (std::size_t i = 0; i < n; ++i) {
-      if (A.requires_grad) A.grad[i] += self.grad[i] * B.value[i];
-      if (B.requires_grad) B.grad[i] += self.grad[i] * A.value[i];
-    }
+    const bool need_a = A.requires_grad, need_b = B.requires_grad;
+    const float* g = self.grad.data();
+    const float* av = A.value.data();
+    const float* bv = B.value.data();
+    float* ga = need_a ? A.grad.data() : nullptr;
+    float* gb = need_b ? B.grad.data() : nullptr;
+    parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (need_a) ga[i] += g[i] * bv[i];
+        if (need_b) gb[i] += g[i] * av[i];
+      }
+    });
   };
   return Tensor(node);
 }
@@ -387,59 +614,77 @@ LastDim last_dim(const Shape& s) {
 
 Tensor softmax(const Tensor& a) {
   const auto [rows, cols] = last_dim(a.shape());
-  auto node = make_node(a.shape(), {a.node()});
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + r * cols;
-    float* out = node->value.data() + r * cols;
-    float maxv = in[0];
-    for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, in[c]);
-    float total = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) {
-      out[c] = std::exp(in[c] - maxv);
-      total += out[c];
+  auto node = make_node(a.shape(), {a.node()}, Init::kUninit);
+  const float* ap = a.data().data();
+  float* op = node->value.data();
+  parallel_rows(rows, cols, [=, cols = cols](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const float* in = ap + r * cols;
+      float* out = op + r * cols;
+      float maxv = in[0];
+      for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, in[c]);
+      float total = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c] = std::exp(in[c] - maxv);
+        total += out[c];
+      }
+      for (std::size_t c = 0; c < cols; ++c) out[c] /= total;
     }
-    for (std::size_t c = 0; c < cols; ++c) out[c] /= total;
-  }
+  });
   node->backward = [rows = rows, cols = cols](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* y = self.value.data() + r * cols;
-      const float* g = self.grad.data() + r * cols;
-      float dot = 0.0f;
-      for (std::size_t c = 0; c < cols; ++c) dot += y[c] * g[c];
-      float* ga = A.grad.data() + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) ga[c] += y[c] * (g[c] - dot);
-    }
+    const float* yp = self.value.data();
+    const float* gp = self.grad.data();
+    float* gap = A.grad.data();
+    parallel_rows(rows, cols, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const float* y = yp + r * cols;
+        const float* g = gp + r * cols;
+        float dot = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) dot += y[c] * g[c];
+        float* ga = gap + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) ga[c] += y[c] * (g[c] - dot);
+      }
+    });
   };
   return Tensor(node);
 }
 
 Tensor log_softmax(const Tensor& a) {
   const auto [rows, cols] = last_dim(a.shape());
-  auto node = make_node(a.shape(), {a.node()});
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + r * cols;
-    float* out = node->value.data() + r * cols;
-    float maxv = in[0];
-    for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, in[c]);
-    float total = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) total += std::exp(in[c] - maxv);
-    const float log_total = std::log(total) + maxv;
-    for (std::size_t c = 0; c < cols; ++c) out[c] = in[c] - log_total;
-  }
+  auto node = make_node(a.shape(), {a.node()}, Init::kUninit);
+  const float* ap = a.data().data();
+  float* op = node->value.data();
+  parallel_rows(rows, cols, [=, cols = cols](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const float* in = ap + r * cols;
+      float* out = op + r * cols;
+      float maxv = in[0];
+      for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, in[c]);
+      float total = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) total += std::exp(in[c] - maxv);
+      const float log_total = std::log(total) + maxv;
+      for (std::size_t c = 0; c < cols; ++c) out[c] = in[c] - log_total;
+    }
+  });
   node->backward = [rows = rows, cols = cols](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* y = self.value.data() + r * cols;
-      const float* g = self.grad.data() + r * cols;
-      float gsum = 0.0f;
-      for (std::size_t c = 0; c < cols; ++c) gsum += g[c];
-      float* ga = A.grad.data() + r * cols;
-      for (std::size_t c = 0; c < cols; ++c)
-        ga[c] += g[c] - std::exp(y[c]) * gsum;
-    }
+    const float* yp = self.value.data();
+    const float* gp = self.grad.data();
+    float* gap = A.grad.data();
+    parallel_rows(rows, cols, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const float* y = yp + r * cols;
+        const float* g = gp + r * cols;
+        float gsum = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) gsum += g[c];
+        float* ga = gap + r * cols;
+        for (std::size_t c = 0; c < cols; ++c)
+          ga[c] += g[c] - std::exp(y[c]) * gsum;
+      }
+    });
   };
   return Tensor(node);
 }
@@ -449,64 +694,88 @@ Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   const auto [rows, cols] = last_dim(a.shape());
   check(gain.size() == cols && bias.size() == cols,
         "layer_norm: gain/bias must have last-dim length");
-  auto node = make_node(a.shape(), {a.node(), gain.node(), bias.node()});
+  auto node =
+      make_node(a.shape(), {a.node(), gain.node(), bias.node()},
+                Init::kUninit);
   // Cache per-row mean and inverse stddev for the backward pass.
   auto stats = std::make_shared<std::vector<float>>(rows * 2);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + r * cols;
-    float mean = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) mean += in[c];
-    mean /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (std::size_t c = 0; c < cols; ++c) {
-      const float d = in[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(cols);
-    const float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[r * 2] = mean;
-    (*stats)[r * 2 + 1] = inv_std;
-    float* out = node->value.data() + r * cols;
+  {
+    const float* ap = a.data().data();
     const float* g = gain.data().data();
     const float* b = bias.data().data();
-    for (std::size_t c = 0; c < cols; ++c)
-      out[c] = (in[c] - mean) * inv_std * g[c] + b[c];
+    float* op = node->value.data();
+    float* st = stats->data();
+    parallel_rows(rows, cols,
+                  [=, cols = cols](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        const float* in = ap + r * cols;
+        float mean = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) mean += in[c];
+        mean /= static_cast<float>(cols);
+        float var = 0.0f;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float d = in[c] - mean;
+          var += d * d;
+        }
+        var /= static_cast<float>(cols);
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        st[r * 2] = mean;
+        st[r * 2 + 1] = inv_std;
+        float* out = op + r * cols;
+        for (std::size_t c = 0; c < cols; ++c)
+          out[c] = (in[c] - mean) * inv_std * g[c] + b[c];
+      }
+    });
   }
   node->backward = [rows = rows, cols = cols, stats](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& G = *self.parents[1];
     TensorNode& B = *self.parents[2];
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float mean = (*stats)[r * 2];
-      const float inv_std = (*stats)[r * 2 + 1];
-      const float* in = A.value.data() + r * cols;
-      const float* gout = self.grad.data() + r * cols;
-      const float* g = G.value.data();
-      // xhat_c = (in[c]-mean)*inv_std
-      if (G.requires_grad || B.requires_grad) {
+    const float* st = stats->data();
+    const float* in0 = A.value.data();
+    const float* gout0 = self.grad.data();
+    const float* g = G.value.data();
+    // Gain/bias gradients reduce over all rows into `cols` slots: serial,
+    // fixed order (and race-free).
+    if (G.requires_grad || B.requires_grad) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float mean = st[r * 2];
+        const float inv_std = st[r * 2 + 1];
+        const float* in = in0 + r * cols;
+        const float* gout = gout0 + r * cols;
         for (std::size_t c = 0; c < cols; ++c) {
           const float xhat = (in[c] - mean) * inv_std;
           if (G.requires_grad) G.grad[c] += gout[c] * xhat;
           if (B.requires_grad) B.grad[c] += gout[c];
         }
       }
-      if (A.requires_grad) {
-        float sum_gy = 0.0f, sum_gy_xhat = 0.0f;
-        for (std::size_t c = 0; c < cols; ++c) {
-          const float gy = gout[c] * g[c];
-          const float xhat = (in[c] - mean) * inv_std;
-          sum_gy += gy;
-          sum_gy_xhat += gy * xhat;
+    }
+    // Input gradient is row-owned: parallel.
+    if (A.requires_grad) {
+      float* ga0 = A.grad.data();
+      parallel_rows(rows, cols, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float mean = st[r * 2];
+          const float inv_std = st[r * 2 + 1];
+          const float* in = in0 + r * cols;
+          const float* gout = gout0 + r * cols;
+          float sum_gy = 0.0f, sum_gy_xhat = 0.0f;
+          for (std::size_t c = 0; c < cols; ++c) {
+            const float gy = gout[c] * g[c];
+            const float xhat = (in[c] - mean) * inv_std;
+            sum_gy += gy;
+            sum_gy_xhat += gy * xhat;
+          }
+          const float inv_n = 1.0f / static_cast<float>(cols);
+          float* ga = ga0 + r * cols;
+          for (std::size_t c = 0; c < cols; ++c) {
+            const float gy = gout[c] * g[c];
+            const float xhat = (in[c] - mean) * inv_std;
+            ga[c] += inv_std *
+                     (gy - inv_n * sum_gy - xhat * inv_n * sum_gy_xhat);
+          }
         }
-        const float inv_n = 1.0f / static_cast<float>(cols);
-        float* ga = A.grad.data() + r * cols;
-        for (std::size_t c = 0; c < cols; ++c) {
-          const float gy = gout[c] * g[c];
-          const float xhat = (in[c] - mean) * inv_std;
-          ga[c] += inv_std *
-                   (gy - inv_n * sum_gy - xhat * inv_n * sum_gy_xhat);
-        }
-      }
+      });
     }
   };
   return Tensor(node);
@@ -517,8 +786,8 @@ Tensor embedding(const Tensor& weight, std::span<const int> ids) {
   const std::size_t vocab = weight.dim(0);
   const std::size_t dim = weight.dim(1);
   auto ids_copy = std::make_shared<std::vector<int>>(ids.begin(), ids.end());
-  auto node =
-      make_node(Shape{ids.size(), dim}, {weight.node()});
+  auto node = make_node(Shape{ids.size(), dim}, {weight.node()},
+                        Init::kUninit);
   for (std::size_t i = 0; i < ids_copy->size(); ++i) {
     const int id = (*ids_copy)[i];
     check(id >= 0 && static_cast<std::size_t>(id) < vocab,
@@ -544,16 +813,25 @@ Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
   const std::size_t n = a.size();
   auto mask = std::make_shared<std::vector<float>>(n);
   const float keep_scale = 1.0f / (1.0f - p);
+  // Mask draw stays serial: the rng stream must not depend on threading.
   for (std::size_t i = 0; i < n; ++i)
     (*mask)[i] = rng.chance(p) ? 0.0f : keep_scale;
-  auto node = make_node(a.shape(), {a.node()});
-  for (std::size_t i = 0; i < n; ++i)
-    node->value[i] = a.data()[i] * (*mask)[i];
+  auto node = make_node(a.shape(), {a.node()}, Init::kUninit);
+  const float* ap = a.data().data();
+  const float* mp = mask->data();
+  float* op = node->value.data();
+  parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) op[i] = ap[i] * mp[i];
+  });
   node->backward = [mask, n](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
-    for (std::size_t i = 0; i < n; ++i)
-      A.grad[i] += self.grad[i] * (*mask)[i];
+    const float* g = self.grad.data();
+    const float* mp = mask->data();
+    float* ga = A.grad.data();
+    parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i] * mp[i];
+    });
   };
   return Tensor(node);
 }
@@ -562,7 +840,7 @@ Tensor transpose(const Tensor& a) {
   const MatView v = as_matrices(a.shape(), "transpose");
   Shape out_shape = a.shape();
   std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
-  auto node = make_node(std::move(out_shape), {a.node()});
+  auto node = make_node(std::move(out_shape), {a.node()}, Init::kUninit);
   for (std::size_t batch_i = 0; batch_i < v.batch; ++batch_i) {
     const float* in = a.data().data() + batch_i * v.rows * v.cols;
     float* out = node->value.data() + batch_i * v.rows * v.cols;
@@ -588,7 +866,7 @@ Tensor reshape(const Tensor& a, Shape shape) {
   check(numel(shape) == a.size(), "reshape: element count mismatch " +
                                       shape_str(a.shape()) + " -> " +
                                       shape_str(shape));
-  auto node = make_node(std::move(shape), {a.node()});
+  auto node = make_node(std::move(shape), {a.node()}, Init::kUninit);
   node->value.assign(a.data().begin(), a.data().end());
   node->backward = [](TensorNode& self) {
     TensorNode& A = *self.parents[0];
@@ -603,7 +881,8 @@ Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t end) {
   check(a.rank() == 2, "slice_rows: rank-2 only");
   check(begin <= end && end <= a.dim(0), "slice_rows: bad range");
   const std::size_t cols = a.dim(1);
-  auto node = make_node(Shape{end - begin, cols}, {a.node()});
+  auto node =
+      make_node(Shape{end - begin, cols}, {a.node()}, Init::kUninit);
   std::copy_n(a.data().data() + begin * cols, (end - begin) * cols,
               node->value.data());
   node->backward = [begin, cols](TensorNode& self) {
@@ -625,7 +904,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     rows += t.dim(0);
     parents.push_back(t.node());
   }
-  auto node = make_node(Shape{rows, cols}, std::move(parents));
+  auto node = make_node(Shape{rows, cols}, std::move(parents), Init::kUninit);
   std::size_t at = 0;
   for (const Tensor& t : parts) {
     std::copy_n(t.data().data(), t.size(), node->value.data() + at);
@@ -697,7 +976,7 @@ Tensor remap(const Tensor& a, Shape out_shape,
   check(map != nullptr && map->size() == numel(out_shape),
         "remap: map size must match output shape");
   const std::size_t in_size = a.size();
-  auto node = make_node(std::move(out_shape), {a.node()});
+  auto node = make_node(std::move(out_shape), {a.node()}, Init::kUninit);
   const float* in = a.data().data();
   for (std::size_t i = 0; i < map->size(); ++i) {
     check((*map)[i] < in_size, "remap: index out of range");
@@ -714,21 +993,37 @@ Tensor remap(const Tensor& a, Shape out_shape,
 
 Tensor masked_fill(const Tensor& a, std::span<const float> mask,
                    float mask_value) {
+  return masked_fill(
+      a, std::make_shared<const std::vector<float>>(mask.begin(), mask.end()),
+      mask_value);
+}
+
+Tensor masked_fill(const Tensor& a,
+                   std::shared_ptr<const std::vector<float>> mask,
+                   float mask_value) {
+  check(mask != nullptr, "masked_fill: null mask");
   const std::size_t n = a.size();
-  const std::size_t mn = mask.size();
+  const std::size_t mn = mask->size();
   check(mn == n || (mn > 0 && n % mn == 0),
         "masked_fill: mask length must divide tensor size");
-  auto mask_copy =
-      std::make_shared<std::vector<float>>(mask.begin(), mask.end());
-  auto node = make_node(a.shape(), {a.node()});
-  for (std::size_t i = 0; i < n; ++i)
-    node->value[i] =
-        (*mask_copy)[i % mn] != 0.0f ? a.data()[i] : mask_value;
-  node->backward = [mask_copy, n, mn](TensorNode& self) {
+  auto node = make_node(a.shape(), {a.node()}, Init::kUninit);
+  const float* ap = a.data().data();
+  const float* mp = mask->data();
+  float* op = node->value.data();
+  parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      op[i] = mp[i % mn] != 0.0f ? ap[i] : mask_value;
+  });
+  node->backward = [mask, n, mn](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
-    for (std::size_t i = 0; i < n; ++i)
-      if ((*mask_copy)[i % mn] != 0.0f) A.grad[i] += self.grad[i];
+    const float* g = self.grad.data();
+    const float* mp = mask->data();
+    float* ga = A.grad.data();
+    parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        if (mp[i % mn] != 0.0f) ga[i] += g[i];
+    });
   };
   return Tensor(node);
 }

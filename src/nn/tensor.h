@@ -3,9 +3,13 @@
 // Design: define-by-run tape. Tensor is a cheap handle onto a shared node;
 // every op allocates a fresh node whose `backward` closure accumulates
 // gradients into its parents. `backward()` on a scalar loss topologically
-// sorts the graph and runs the closures in reverse. This is deliberately a
-// small, readable engine — the models in this library are CPU-sized (a few
-// hundred thousand parameters), and clarity beats kernel tuning here.
+// sorts the graph and runs the closures in reverse.
+//
+// Performance: matmul runs as a blocked/packed GEMM whose row-blocks are
+// dispatched onto the shared ThreadPool (see common/threadpool.h), and the
+// O(n) op loops go through parallel_for above a size threshold. Kernels
+// are written so results are bit-identical at every thread count (each
+// output element is reduced in a fixed order by exactly one chunk).
 //
 // Shapes are row-major, rank 1..3. Rank-3 tensors are treated as batched
 // matrices by matmul (leading dim is the batch).
@@ -14,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <span>
 #include <string>
 #include <vector>
@@ -24,6 +29,32 @@ namespace netfm::nn {
 
 using Shape = std::vector<std::size_t>;
 
+namespace detail {
+
+/// Allocator whose resize() default-initializes floats (i.e. leaves them
+/// uninitialized) instead of zero-filling. Ops that overwrite every output
+/// element (matmul, unary, copies) use it to skip the memset; ops that
+/// accumulate still zero explicitly via assign().
+template <typename T>
+struct UninitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = UninitAllocator<U>;
+  };
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0)
+      ::new (static_cast<void*>(p)) U;
+    else
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
+/// Contiguous float storage for tensor values/gradients.
+using FloatBuffer = std::vector<float, detail::UninitAllocator<float>>;
+
 /// Number of elements in a shape.
 std::size_t numel(const Shape& shape) noexcept;
 
@@ -32,8 +63,8 @@ std::string shape_str(const Shape& shape);
 
 /// Shared tensor node: storage + gradient + autograd links.
 struct TensorNode {
-  std::vector<float> value;
-  std::vector<float> grad;  // allocated lazily; same length as value
+  FloatBuffer value;
+  FloatBuffer grad;  // allocated lazily; same length as value
   Shape shape;
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorNode>> parents;
@@ -99,7 +130,14 @@ class Tensor {
 
 /// Matrix product. 2D x 2D -> 2D; 3D x 3D -> 3D with shared batch dim;
 /// 3D x 2D -> 3D (weight shared across the batch).
+/// Runs as a blocked, B-packed, thread-parallel kernel; results match
+/// matmul_reference bit-for-bit at every thread count.
 Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Naive triple-loop matmul with the same shape rules as matmul(). No
+/// autograd. Kept as the correctness oracle for the blocked kernel (tests)
+/// and the baseline for the kernel benchmarks.
+Tensor matmul_reference(const Tensor& a, const Tensor& b);
 
 /// Elementwise add; `b` may also be a vector broadcast over the last dim.
 Tensor add(const Tensor& a, const Tensor& b);
@@ -161,6 +199,13 @@ Tensor remap(const Tensor& a, Shape out_shape,
 /// Adds `mask_value` where mask==0. `mask` is not differentiated.
 /// Shapes: a [.., N], mask length N (broadcast) or same numel as `a`.
 Tensor masked_fill(const Tensor& a, std::span<const float> mask,
+                   float mask_value);
+
+/// As above, but shares ownership of the mask instead of copying it —
+/// callers that apply one mask across many layers (attention) build it
+/// once and pass the same pointer every time.
+Tensor masked_fill(const Tensor& a,
+                   std::shared_ptr<const std::vector<float>> mask,
                    float mask_value);
 
 /// Cross-entropy between logits [N, C] and integer targets (len N).

@@ -2,6 +2,7 @@
 // central-difference numerical gradients.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <functional>
 
@@ -72,6 +73,45 @@ TEST(TensorBasics, InvalidShapesThrow) {
   EXPECT_THROW(matmul(a, b), std::invalid_argument);
   EXPECT_THROW(reshape(a, {7}), std::invalid_argument);
   EXPECT_THROW(a.item(), std::invalid_argument);
+}
+
+TEST(MatmulKernel, MatchesNaiveReferenceOddSizes) {
+  // The blocked/parallel kernel must agree with the kept naive reference
+  // across odd shapes that exercise partial micro-tiles.
+  Rng rng(90);
+  for (auto [m, k, n] : {std::array<std::size_t, 3>{1, 1, 1},
+                         std::array<std::size_t, 3>{7, 33, 129},
+                         std::array<std::size_t, 3>{129, 7, 33},
+                         std::array<std::size_t, 3>{33, 129, 7}}) {
+    const Tensor a = Tensor::randn({m, k}, rng, 1.0f, false);
+    const Tensor b = Tensor::randn({k, n}, rng, 1.0f, false);
+    const Tensor fast = matmul(a, b);
+    const Tensor ref = matmul_reference(a, b);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(fast.data()[i], ref.data()[i], 1e-5f) << m << "x" << k
+                                                        << "x" << n;
+  }
+}
+
+TEST(MatmulKernel, MatchesNaiveReferenceBatchedAndSharedRhs) {
+  Rng rng(91);
+  {
+    const Tensor a = Tensor::randn({3, 5, 17}, rng, 1.0f, false);
+    const Tensor b = Tensor::randn({3, 17, 9}, rng, 1.0f, false);
+    const Tensor fast = matmul(a, b);
+    const Tensor ref = matmul_reference(a, b);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(fast.data()[i], ref.data()[i], 1e-5f);
+  }
+  {
+    const Tensor a = Tensor::randn({4, 7, 33}, rng, 1.0f, false);
+    const Tensor w = Tensor::randn({33, 13}, rng, 1.0f, false);
+    const Tensor fast = matmul(a, w);
+    const Tensor ref = matmul_reference(a, w);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(fast.data()[i], ref.data()[i], 1e-5f);
+  }
 }
 
 TEST(Autograd, MatmulGradient2D) {

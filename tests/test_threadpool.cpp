@@ -1,0 +1,159 @@
+// Thread pool semantics: full range coverage exactly once, grain-derived
+// chunking, inline nested calls, exception propagation, env-based sizing.
+// This file is part of the `concurrency` ctest label and is the primary
+// TSan target for the pool itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.h"
+
+namespace netfm {
+namespace {
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  EXPECT_EQ(ThreadPool(1).threads(), 1u);
+  EXPECT_EQ(ThreadPool(4).threads(), 4u);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  ::setenv("NETFM_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ::setenv("NETFM_THREADS", "0", 1);  // non-positive -> hardware default
+  EXPECT_GE(default_thread_count(), 1u);
+  ::setenv("NETFM_THREADS", "junk", 1);
+  EXPECT_GE(default_thread_count(), 1u);
+  ::unsetenv("NETFM_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunksRespectGrainNotThreadCount) {
+  // Chunk boundaries must be [begin + c*grain, ...) regardless of pool
+  // size: record every chunk and check the partition.
+  for (std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(3, 103, 8, [&](std::size_t lo, std::size_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    if (threads == 1) {
+      // Single lane runs the whole range inline as one chunk.
+      ASSERT_EQ(chunks.size(), 1u);
+      EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{3, 103}));
+      continue;
+    }
+    ASSERT_EQ(chunks.size(), 13u);  // ceil(100 / 8)
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_EQ(chunks[c].first, 3 + c * 8);
+      EXPECT_EQ(chunks[c].second, std::min<std::size_t>(103, 3 + (c + 1) * 8));
+    }
+  }
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100'000;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    values[i] = static_cast<double>(i % 97) * 0.25;
+  // Chunk-owned partial sums reduced in chunk order.
+  const std::size_t grain = 1024;
+  std::vector<double> partial((kN + grain - 1) / grain, 0.0);
+  pool.parallel_for(0, kN, grain, [&](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += values[i];
+    partial[lo / grain] = s;
+  });
+  const double parallel_sum =
+      std::accumulate(partial.begin(), partial.end(), 0.0);
+  const double serial_sum =
+      std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_NEAR(parallel_sum, serial_sum, 1e-6 * serial_sum);
+}
+
+TEST(ThreadPool, EmptyAndTinyRangesRunInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(0, 3, 8, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 3u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForSerializes) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(0, 64, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      // Nested call from a worker must run inline, not deadlock.
+      pool.parallel_for(0, 64, 4, [&, i](std::size_t jlo, std::size_t jhi) {
+        for (std::size_t j = jlo; j < jhi; ++j)
+          hits[i * 64 + j].fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 10,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 500) throw std::runtime_error("chunk 50");
+                        }),
+      std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ManySmallJobsBackToBack) {
+  // Stresses task handoff between consecutive parallel_for calls (stale
+  // worker wakeups, generation tracking). Meaningful under TSan.
+  ThreadPool pool(4);
+  for (int round = 0; round < 500; ++round) {
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(total.load(), 64);
+  }
+}
+
+TEST(ThreadPool, GlobalResetChangesSize) {
+  ThreadPool::reset_global(2);
+  EXPECT_EQ(ThreadPool::global().threads(), 2u);
+  ThreadPool::reset_global(0);
+  EXPECT_EQ(ThreadPool::global().threads(), default_thread_count());
+}
+
+}  // namespace
+}  // namespace netfm
