@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json emissions from the bench harness.
+
+Stdlib only. Three checks, composable on one command line:
+
+  --schema FILE            FILE is a JSON array of records, each matching
+                           {bench, metric, value, unit, threads, git_sha}
+                           with the right types (value finite number,
+                           threads positive int).
+  --overhead OFF ON        compare GEMM throughput between a metrics-off
+                           run (OFF) and a metrics-on run (ON); fail if
+                           the instrumented run is more than --overhead-pct
+                           slower (default 10% -- CI machines are noisy;
+                           the 2% budget is asserted locally on quiet
+                           hardware, see DESIGN.md).
+  --baseline BASE CUR      sanity-check a current emission against a
+                           committed baseline: same bench name and no
+                           metric names lost (values may drift).
+
+Exit 0 if every requested check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_FIELDS = ("bench", "metric", "value", "unit", "threads", "git_sha")
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> list[dict]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse: {exc}")
+    if not isinstance(doc, list) or not doc:
+        fail(f"{path}: expected a non-empty JSON array of records")
+    return doc
+
+
+def check_schema(path: str) -> None:
+    for i, rec in enumerate(load(path)):
+        where = f"{path}[{i}]"
+        if not isinstance(rec, dict):
+            fail(f"{where}: record is not an object")
+        missing = [f for f in REQUIRED_FIELDS if f not in rec]
+        if missing:
+            fail(f"{where}: missing fields {missing}")
+        if not isinstance(rec["bench"], str) or not rec["bench"]:
+            fail(f"{where}: 'bench' must be a non-empty string")
+        if not isinstance(rec["metric"], str) or not rec["metric"]:
+            fail(f"{where}: 'metric' must be a non-empty string")
+        if not isinstance(rec["value"], (int, float)) or isinstance(
+            rec["value"], bool
+        ):
+            fail(f"{where}: 'value' must be a number, got {rec['value']!r}")
+        if not math.isfinite(rec["value"]):
+            fail(f"{where}: 'value' must be finite, got {rec['value']!r}")
+        if not isinstance(rec["unit"], str):
+            fail(f"{where}: 'unit' must be a string")
+        if not isinstance(rec["threads"], int) or isinstance(
+            rec["threads"], bool
+        ) or rec["threads"] < 1:
+            fail(f"{where}: 'threads' must be a positive integer")
+        if not isinstance(rec["git_sha"], str) or not rec["git_sha"]:
+            fail(f"{where}: 'git_sha' must be a non-empty string")
+    print(f"check_bench_json: OK schema {path}")
+
+
+def gemm_throughput(path: str) -> float:
+    """Best GFLOPS counter among the matmul benchmarks in an emission."""
+    best = 0.0
+    for rec in load(path):
+        if "Matmul" in rec["bench"] and rec["metric"] == "GFLOPS":
+            best = max(best, float(rec["value"]))
+    if best <= 0.0:
+        fail(f"{path}: no Matmul GFLOPS records found for overhead check")
+    return best
+
+
+def check_overhead(off_path: str, on_path: str, pct: float) -> None:
+    off = gemm_throughput(off_path)
+    on = gemm_throughput(on_path)
+    drop = 100.0 * (off - on) / off
+    print(
+        f"check_bench_json: GEMM {off:.2f} GFLOPS off / {on:.2f} GFLOPS on "
+        f"-> {drop:+.2f}% drop (budget {pct:.1f}%)"
+    )
+    if drop > pct:
+        fail(
+            f"metrics-on GEMM is {drop:.2f}% slower than metrics-off "
+            f"(budget {pct:.1f}%)"
+        )
+
+
+def check_baseline(base_path: str, cur_path: str) -> None:
+    base = load(base_path)
+    cur = load(cur_path)
+    base_bench = {rec["bench"] for rec in base}
+    cur_bench = {rec["bench"] for rec in cur}
+    if base_bench != cur_bench:
+        fail(
+            f"bench name drift: baseline {sorted(base_bench)} vs "
+            f"current {sorted(cur_bench)}"
+        )
+    base_metrics = {rec["metric"] for rec in base}
+    cur_metrics = {rec["metric"] for rec in cur}
+    lost = sorted(base_metrics - cur_metrics)
+    if lost:
+        fail(f"metrics present in {base_path} but missing from {cur_path}: {lost}")
+    print(f"check_bench_json: OK baseline {base_path} vs {cur_path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", action="append", default=[], metavar="FILE")
+    parser.add_argument("--overhead", nargs=2, metavar=("OFF", "ON"))
+    parser.add_argument("--overhead-pct", type=float, default=10.0)
+    parser.add_argument("--baseline", nargs=2, metavar=("BASE", "CUR"))
+    args = parser.parse_args()
+
+    if not args.schema and not args.overhead and not args.baseline:
+        fail("nothing to check (pass --schema/--overhead/--baseline)")
+    for path in args.schema:
+        check_schema(path)
+    if args.overhead:
+        check_overhead(args.overhead[0], args.overhead[1], args.overhead_pct)
+    if args.baseline:
+        check_baseline(args.baseline[0], args.baseline[1])
+    print("check_bench_json: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,9 +2,19 @@
 // construction with consistent defaults, dataset slicing, and the
 // paper-shape table conventions. Every experiment binary prints the table
 // it reproduces and cites the paper section it regenerates.
+//
+// Observability hooks: banner() turns metrics collection on and registers
+// an exit handler that writes the process's metrics registry to
+// BENCH_<binary>.json, so every exp_* run leaves a machine-readable record
+// alongside its printed table. micro_* binaries call benchmark_main(),
+// which additionally captures every google-benchmark result. Both paths
+// emit the same flat schema:
+//   [{"bench": ..., "metric": ..., "value": ..., "unit": ...,
+//     "threads": ..., "git_sha": ...}, ...]
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "common/table.h"
@@ -18,7 +28,8 @@ namespace netfm::bench {
 
 /// Standard experiment scale, chosen so the full suite runs on one CPU
 /// core in minutes. Scale up via NETFM_BENCH_SCALE=2,3,... (multiplies
-/// trace durations and pretraining steps).
+/// trace durations and pretraining steps); NETFM_BENCH_SMOKE=1 shrinks
+/// everything to a seconds-long CI smoke run and wins over SCALE.
 struct Scale {
   double trace_seconds = 60.0;
   std::size_t pretrain_steps = 300;
@@ -27,6 +38,27 @@ struct Scale {
 
   static Scale from_env();
 };
+
+/// True when NETFM_BENCH_SMOKE is set to anything but "0".
+bool smoke_mode();
+
+/// One row of a BENCH_<name>.json emission.
+struct BenchRecord {
+  std::string bench;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Writes BENCH_<name>.json (a JSON array of records, each stamped with the
+/// thread count and build git sha) into the working directory.
+void write_bench_json(const std::string& name,
+                      const std::vector<BenchRecord>& records);
+
+/// google-benchmark driver for micro_* binaries: runs the registered
+/// benchmarks (forcing short runs under NETFM_BENCH_SMOKE=1) and writes
+/// every result — times, counters, rates — to BENCH_<name>.json.
+int benchmark_main(int argc, char** argv, const std::string& name);
 
 /// Generates a labeled trace for one site.
 gen::LabeledTrace make_trace(const gen::DeploymentProfile& profile,
@@ -56,7 +88,9 @@ core::NetFM pretrained_model(const tok::Vocabulary& vocab,
                              const std::vector<std::vector<std::string>>& corpus,
                              std::size_t steps, std::uint64_t seed = 99);
 
-/// Prints the standard experiment banner.
+/// Prints the standard experiment banner, enables metrics collection, and
+/// registers the exit hook that writes this binary's BENCH_<name>.json from
+/// the metrics registry.
 void banner(const std::string& experiment, const std::string& claim);
 
 }  // namespace netfm::bench

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/threadpool.h"
+#include "harness/bench_util.h"
 #include "model/gru.h"
 #include "model/heads.h"
 #include "model/transformer.h"
@@ -169,4 +170,6 @@ BENCHMARK(BM_GruForward)->Arg(16)->Arg(48);
 }  // namespace
 }  // namespace netfm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return netfm::bench::benchmark_main(argc, argv, "micro_nn");
+}

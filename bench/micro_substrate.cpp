@@ -2,6 +2,7 @@
 // throughput, flow-table ingestion, tokenizer throughput, pcap codec.
 #include <benchmark/benchmark.h>
 
+#include "harness/bench_util.h"
 #include "net/dns.h"
 #include "net/flow.h"
 #include "net/pcap.h"
@@ -140,4 +141,6 @@ BENCHMARK(BM_PcapRoundTrip);
 }  // namespace
 }  // namespace netfm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return netfm::bench::benchmark_main(argc, argv, "micro_substrate");
+}

@@ -1,0 +1,73 @@
+// Minimal JSON value: enough to write the metrics/bench emissions and to
+// parse them back (tests round-trip what we emit; CI validates the files
+// with python3 -m json.tool). Objects preserve insertion order so emitted
+// files diff cleanly across runs.
+//
+// Not a general-purpose JSON library: numbers are doubles (integral values
+// within 2^53 print without a fraction), \uXXXX escapes decode the BMP plus
+// surrogate pairs, and there is no streaming — documents are strings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace netfm::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object; lookup is linear (documents here are small).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : v_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : v_(static_cast<double>(u)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(v_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(v_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(v_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Serializes. indent < 0 → compact one-line; otherwise pretty-printed
+  /// with that many spaces per level. NaN/Inf (invalid JSON) emit as null.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of one document (trailing garbage fails).
+  static std::optional<Value> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Escapes and quotes `s` as a JSON string literal.
+std::string escape(std::string_view s);
+
+}  // namespace netfm::json

@@ -1,0 +1,348 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/json.h"
+
+namespace netfm::metrics {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  std::string name;
+  std::string unit;
+};
+
+/// Per-thread accumulation for counters and histograms. Slots are indexed
+/// by metric id and sized lazily (registration can happen after a shard
+/// exists). Destructor folds the shard into the registry's retired totals
+/// so short-lived threads aren't lost.
+struct Shard;
+
+class Registry {
+ public:
+  // Leaked singleton: worker-thread shard destructors and atexit dump
+  // handlers run during static destruction and must find it alive.
+  static Registry& instance() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  std::uint32_t register_metric(Kind kind, std::string_view name,
+                                std::string_view unit);
+  void set_gauge(std::uint32_t id, double v);
+
+  void attach(Shard* shard);
+  void retire(Shard* shard);
+
+  Snapshot snapshot();
+  void reset();
+
+  void init_env_once();
+
+ private:
+  Registry() = default;
+
+  std::mutex mutex_;
+  std::vector<MetricInfo> counters_, gauges_, histograms_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_, gauge_ids_,
+      histogram_ids_;
+  std::vector<double> gauge_values_;
+  std::vector<bool> gauge_set_;
+  // Totals folded in from exited threads (and from reset()).
+  std::vector<std::uint64_t> retired_counters_;
+  std::vector<HistogramData> retired_histograms_;
+  std::vector<Shard*> live_;
+  std::once_flag env_once_;
+};
+
+struct Shard {
+  std::vector<std::uint64_t> counters;
+  std::vector<HistogramData> histograms;
+
+  Shard() { Registry::instance().attach(this); }
+  ~Shard() { Registry::instance().retire(this); }
+
+  void clear() {
+    std::fill(counters.begin(), counters.end(), 0);
+    std::fill(histograms.begin(), histograms.end(), HistogramData{});
+  }
+};
+
+Shard& local_shard() {
+  thread_local Shard shard;
+  return shard;
+}
+
+std::uint32_t Registry::register_metric(Kind kind, std::string_view name,
+                                        std::string_view unit) {
+  init_env_once();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& ids = kind == Kind::kCounter   ? counter_ids_
+              : kind == Kind::kGauge   ? gauge_ids_
+                                       : histogram_ids_;
+  auto& infos = kind == Kind::kCounter   ? counters_
+                : kind == Kind::kGauge   ? gauges_
+                                         : histograms_;
+  const auto it = ids.find(std::string(name));
+  if (it != ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(infos.size());
+  infos.push_back({std::string(name), std::string(unit)});
+  ids.emplace(std::string(name), id);
+  if (kind == Kind::kGauge) {
+    gauge_values_.push_back(0.0);
+    gauge_set_.push_back(false);
+  }
+  return id;
+}
+
+void Registry::set_gauge(std::uint32_t id, double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < gauge_values_.size()) {
+    gauge_values_[id] = v;
+    gauge_set_[id] = true;
+  }
+}
+
+void Registry::attach(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.push_back(shard);
+}
+
+void Registry::retire(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (retired_counters_.size() < shard->counters.size())
+    retired_counters_.resize(shard->counters.size());
+  for (std::size_t i = 0; i < shard->counters.size(); ++i)
+    retired_counters_[i] += shard->counters[i];
+  if (retired_histograms_.size() < shard->histograms.size())
+    retired_histograms_.resize(shard->histograms.size());
+  for (std::size_t i = 0; i < shard->histograms.size(); ++i)
+    retired_histograms_[i].merge(shard->histograms[i]);
+  live_.erase(std::remove(live_.begin(), live_.end(), shard), live_.end());
+}
+
+Snapshot Registry::snapshot() {
+  init_env_once();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> counter_totals = retired_counters_;
+  counter_totals.resize(counters_.size(), 0);
+  std::vector<HistogramData> hist_totals = retired_histograms_;
+  hist_totals.resize(histograms_.size());
+  for (const Shard* shard : live_) {
+    for (std::size_t i = 0; i < shard->counters.size(); ++i)
+      counter_totals[i] += shard->counters[i];
+    for (std::size_t i = 0; i < shard->histograms.size(); ++i)
+      hist_totals[i].merge(shard->histograms[i]);
+  }
+
+  Snapshot snap;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    snap.counters.emplace_back(counters_[i].name, counter_totals[i]);
+    snap.units.emplace_back(counters_[i].name, counters_[i].unit);
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (!gauge_set_[i]) continue;
+    snap.gauges.emplace_back(gauges_[i].name, gauge_values_[i]);
+    snap.units.emplace_back(gauges_[i].name, gauges_[i].unit);
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    snap.histograms.emplace_back(histograms_[i].name, hist_totals[i]);
+    snap.units.emplace_back(histograms_[i].name, histograms_[i].unit);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(retired_counters_.begin(), retired_counters_.end(), 0);
+  std::fill(retired_histograms_.begin(), retired_histograms_.end(),
+            HistogramData{});
+  std::fill(gauge_values_.begin(), gauge_values_.end(), 0.0);
+  std::fill(gauge_set_.begin(), gauge_set_.end(), false);
+  for (Shard* shard : live_) shard->clear();
+}
+
+void exit_dump() {
+  const char* env = std::getenv("NETFM_METRICS");
+  if (!env || !*env) return;
+  const std::string_view spec(env);
+  if (spec.rfind("json:", 0) == 0) {
+    std::ofstream out(std::string(spec.substr(5)));
+    if (out) dump(out);
+  } else {
+    dump(std::cerr);  // "stderr" and anything unrecognized
+  }
+}
+
+void Registry::init_env_once() {
+  std::call_once(env_once_, [] {
+    const char* env = std::getenv("NETFM_METRICS");
+    if (env && *env) {
+      g_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(exit_dump);
+    }
+  });
+}
+
+}  // namespace
+
+void HistogramData::record(double v) noexcept {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+  std::size_t bucket = 0;
+  if (v >= 1.0) {
+    const auto u = static_cast<std::uint64_t>(v);
+    bucket = std::min<std::size_t>(std::bit_width(u), kHistogramBuckets - 1);
+  }
+  ++buckets[bucket];
+}
+
+void HistogramData::merge(const HistogramData& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+    buckets[i] += other.buckets[i];
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(seen + buckets[i]) >= target) {
+      // bucket i covers [2^(i-1), 2^i); interpolate by rank within it.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      const double hi = static_cast<double>(
+          i >= 63 ? 9.22e18 : static_cast<double>(1ULL << i));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+std::string Snapshot::unit_of(std::string_view name) const {
+  for (const auto& [n, u] : units)
+    if (n == name) return u;
+  return "";
+}
+
+std::string Snapshot::to_json(int indent) const {
+  json::Object counters_obj;
+  for (const auto& [name, value] : counters)
+    counters_obj.emplace_back(name, json::Value(value));
+  json::Object gauges_obj;
+  for (const auto& [name, value] : gauges)
+    gauges_obj.emplace_back(name, json::Value(value));
+  json::Object hists_obj;
+  for (const auto& [name, h] : histograms) {
+    json::Object entry;
+    entry.emplace_back("count", json::Value(h.count));
+    entry.emplace_back("sum", json::Value(h.sum));
+    entry.emplace_back("min", json::Value(h.min));
+    entry.emplace_back("max", json::Value(h.max));
+    entry.emplace_back("mean", json::Value(h.mean()));
+    entry.emplace_back("p50", json::Value(h.quantile(0.50)));
+    entry.emplace_back("p90", json::Value(h.quantile(0.90)));
+    entry.emplace_back("p99", json::Value(h.quantile(0.99)));
+    hists_obj.emplace_back(name, json::Value(std::move(entry)));
+  }
+  json::Object root;
+  root.emplace_back("counters", json::Value(std::move(counters_obj)));
+  root.emplace_back("gauges", json::Value(std::move(gauges_obj)));
+  root.emplace_back("histograms", json::Value(std::move(hists_obj)));
+  return json::Value(std::move(root)).dump(indent);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  Registry::instance().init_env_once();
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Counter::add(std::uint64_t n) const noexcept {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  if (shard.counters.size() <= id_) shard.counters.resize(id_ + 1, 0);
+  shard.counters[id_] += n;
+}
+
+void Gauge::set(double v) const noexcept {
+  if (!enabled()) return;
+  Registry::instance().set_gauge(id_, v);
+}
+
+void Histogram::record(double v) const noexcept {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  if (shard.histograms.size() <= id_) shard.histograms.resize(id_ + 1);
+  shard.histograms[id_].record(v);
+}
+
+Counter counter(std::string_view name, std::string_view unit) {
+  return Counter(
+      Registry::instance().register_metric(Kind::kCounter, name, unit));
+}
+
+Gauge gauge(std::string_view name, std::string_view unit) {
+  return Gauge(Registry::instance().register_metric(Kind::kGauge, name, unit));
+}
+
+Histogram histogram(std::string_view name, std::string_view unit) {
+  return Histogram(
+      Registry::instance().register_metric(Kind::kHistogram, name, unit));
+}
+
+ScopedTimer::ScopedTimer(Histogram hist) noexcept
+    : hist_(hist), start_ns_(enabled() ? now_ns() : 0) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ == 0) return;
+  hist_.record(static_cast<double>(now_ns() - start_ns_));
+}
+
+Snapshot snapshot() { return Registry::instance().snapshot(); }
+
+void reset() { Registry::instance().reset(); }
+
+void dump(std::ostream& os) { os << snapshot().to_json() << "\n"; }
+
+}  // namespace netfm::metrics

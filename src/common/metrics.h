@@ -1,0 +1,131 @@
+// Process-wide metrics/tracing registry: counters, gauges, and log-bucketed
+// histograms with RAII scoped timers. The substrate every BENCH_*.json and
+// the NETFM_METRICS exit dump is built on.
+//
+// Hot-path design: counters and histograms accumulate into *thread-local*
+// shards — recording is an enabled() check plus a plain (non-atomic)
+// increment, so instrumented kernels running under the thread pool never
+// contend. Shards merge into the registry under a mutex only at snapshot
+// time and at thread exit. Snapshots taken after a parallel_for has joined
+// see every worker's writes (the pool's join is the happens-before edge);
+// there is no other synchronization, so don't snapshot concurrently with a
+// running parallel region.
+//
+// Collection is OFF by default. It turns on when the NETFM_METRICS
+// environment variable is set (NETFM_METRICS=stderr dumps the registry to
+// stderr at exit; NETFM_METRICS=json:<path> writes a JSON file) or when a
+// harness calls set_enabled(true). Disabled instrumentation costs one
+// relaxed atomic load per call site — the GEMM path stays within noise of
+// the uninstrumented kernel.
+//
+// Gauges are last-write-wins and rare (a loss per training step), so they
+// write straight to the registry under its mutex.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace netfm::metrics {
+
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// One histogram's aggregate: count/sum/min/max plus power-of-two buckets
+/// (bucket i holds values v with bit_width(v) == i, i.e. [2^(i-1), 2^i)).
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  void record(double v) noexcept;
+  void merge(const HistogramData& other) noexcept;
+  double mean() const noexcept { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// containing log bucket, clamped to the exact [min, max].
+  double quantile(double q) const noexcept;
+};
+
+/// Point-in-time merged view of the registry.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Unit registered for a metric name ("" when none).
+  std::string unit_of(std::string_view name) const;
+  std::vector<std::pair<std::string, std::string>> units;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, mean, p50, p90, p99}}} — parseable by common/json.
+  std::string to_json(int indent = 2) const;
+};
+
+/// True when any instrumentation should record. Relaxed atomic load.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) const noexcept;
+ private:
+  friend Counter counter(std::string_view, std::string_view);
+  explicit Counter(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+class Gauge {
+ public:
+  void set(double v) const noexcept;
+ private:
+  friend Gauge gauge(std::string_view, std::string_view);
+  explicit Gauge(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+class Histogram {
+ public:
+  void record(double v) const noexcept;
+ private:
+  friend Histogram histogram(std::string_view, std::string_view);
+  friend class ScopedTimer;
+  explicit Histogram(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Registers (or finds) a metric by name. Call sites cache the handle in a
+/// function-local static:
+///   static const auto c = metrics::counter("nn.matmul.calls");
+Counter counter(std::string_view name, std::string_view unit = "count");
+Gauge gauge(std::string_view name, std::string_view unit = "");
+Histogram histogram(std::string_view name, std::string_view unit = "ns");
+
+/// Records elapsed wall time in nanoseconds into a histogram at scope exit.
+/// When collection is disabled at construction the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+ private:
+  Histogram hist_;
+  std::uint64_t start_ns_;  // 0 = disabled at construction
+};
+
+/// Merges every live thread-local shard plus retired totals. Non-destructive.
+Snapshot snapshot();
+
+/// Zeroes all aggregates and live shards (test hook). Metric registrations
+/// (names/ids) survive.
+void reset();
+
+/// snapshot().to_json() to `os`.
+void dump(std::ostream& os);
+
+}  // namespace netfm::metrics

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/metrics.h"
+
 namespace netfm {
 namespace {
 
@@ -15,6 +17,22 @@ std::unique_ptr<ThreadPool>& global_slot() {
 }
 
 }  // namespace
+
+namespace detail {
+
+void note_parallel_inline() noexcept {
+  static const auto c = metrics::counter("threadpool.inline_runs");
+  c.add();
+}
+
+void note_parallel_dispatch(std::size_t chunks) noexcept {
+  static const auto c_dispatch = metrics::counter("threadpool.dispatches");
+  static const auto c_chunks = metrics::counter("threadpool.chunks");
+  c_dispatch.add();
+  c_chunks.add(chunks);
+}
+
+}  // namespace detail
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("NETFM_THREADS")) {
@@ -54,6 +72,7 @@ void ThreadPool::dispatch(std::size_t begin, std::size_t end,
   task->end = end;
   task->grain = grain;
   task->num_chunks = (end - begin + grain - 1) / grain;
+  detail::note_parallel_dispatch(task->num_chunks);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     current_ = task;

@@ -30,6 +30,13 @@ namespace netfm {
 /// (min 1). Exposed separately so the env parsing is unit-testable.
 std::size_t default_thread_count();
 
+namespace detail {
+/// Observability hooks (common/metrics counters), out-of-line so this header
+/// doesn't drag metrics.h into every kernel. No-ops while collection is off.
+void note_parallel_inline() noexcept;
+void note_parallel_dispatch(std::size_t chunks) noexcept;
+}  // namespace detail
+
 class ThreadPool {
  public:
   /// `threads` total lanes including the caller; 0 = default_thread_count().
@@ -53,6 +60,7 @@ class ThreadPool {
     if (end <= begin) return;
     if (grain == 0) grain = 1;
     if (end - begin <= grain || !can_fan_out()) {
+      detail::note_parallel_inline();
       fn(begin, end);
       return;
     }

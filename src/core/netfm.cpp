@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace netfm::core {
 
 using model::Batch;
@@ -83,10 +85,15 @@ TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
         vocab_, options.focus_prefixes, options.focus_prob,
         options.mask_prob);
 
+  static const auto h_step = metrics::histogram("core.pretrain.step.ns");
+  static const auto c_tokens =
+      metrics::counter("core.pretrain.tokens", "token");
+  static const auto g_loss = metrics::gauge("core.pretrain.loss", "nats");
   Rng rng(options.seed);
   TrainLog log;
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t step = 0; step < options.steps; ++step) {
+    metrics::ScopedTimer step_timer(h_step);
     // Assemble the batch in two runs — contexts first, then segment pairs —
     // so pair rows are contiguous for the next-packet head.
     std::vector<Encoded> batch_items;
@@ -140,6 +147,8 @@ TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
     adam.step(params);
 
     log.losses.push_back(loss.item());
+    c_tokens.add(batch.token_ids.size());
+    g_loss.set(loss.item());
     if (options.verbose && step % 20 == 0)
       std::printf("  pretrain step %zu loss %.4f\n", step, loss.item());
   }
@@ -245,8 +254,12 @@ TrainLog NetFM::fine_tune(
       epoch_loss += loss.item();
       ++batches;
       ++log.steps;
+      static const auto c_steps = metrics::counter("core.finetune.steps");
+      c_steps.add();
     }
     log.losses.push_back(batches ? epoch_loss / batches : 0.0f);
+    static const auto g_loss = metrics::gauge("core.finetune.loss", "nats");
+    g_loss.set(batches ? epoch_loss / batches : 0.0f);
   }
   log.seconds = seconds_since(start);
   return log;

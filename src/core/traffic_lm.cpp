@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace netfm::core {
 
 using model::Batch;
@@ -55,9 +57,13 @@ TrainLog TrafficLM::train(
       static_cast<std::int64_t>(options.steps));
   Rng rng(options.seed);
 
+  static const auto h_step = metrics::histogram("core.lm.step.ns");
+  static const auto c_tokens = metrics::counter("core.lm.tokens", "token");
+  static const auto g_loss = metrics::gauge("core.lm.loss", "nats");
   TrainLog log;
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t step = 0; step < options.steps; ++step) {
+    metrics::ScopedTimer step_timer(h_step);
     std::vector<Encoded> items;
     std::vector<int> targets;
     for (std::size_t b = 0; b < options.batch_size; ++b) {
@@ -76,6 +82,8 @@ TrainLog TrafficLM::train(
     adam.set_lr(schedule.lr_at(static_cast<std::int64_t>(step)));
     adam.step(params);
     log.losses.push_back(loss.item());
+    c_tokens.add(batch.token_ids.size());
+    g_loss.set(loss.item());
   }
   log.steps = options.steps;
   log.seconds =

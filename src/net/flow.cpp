@@ -1,6 +1,16 @@
 #include "net/flow.h"
 
+#include "common/metrics.h"
+
 namespace netfm {
+namespace {
+
+void note_flow_finished(std::size_t n = 1) {
+  static const auto c = metrics::counter("net.flow.flows_finished");
+  c.add(n);
+}
+
+}  // namespace
 
 FiveTuple FiveTuple::canonical() const noexcept {
   const auto a = std::make_tuple(src_ip.value, src_port);
@@ -50,6 +60,10 @@ std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
 }
 
 bool FlowTable::add(const Packet& packet) {
+  static const auto c_packets = metrics::counter("net.flow.packets");
+  static const auto c_bytes = metrics::counter("net.flow.bytes", "byte");
+  c_packets.add();
+  c_bytes.add(packet.frame.size());
   const auto parsed = parse_packet(BytesView{packet.frame});
   if (!parsed) return false;
   const auto tuple = FiveTuple::from_packet(*parsed);
@@ -104,6 +118,7 @@ bool FlowTable::add(const Packet& packet) {
     if (flow.tcp_state == TcpState::kReset || absorb_final_ack) {
       finished_.push_back(std::move(flow));
       active_.erase(it);
+      note_flow_finished();
     }
   }
   return true;
@@ -114,6 +129,7 @@ void FlowTable::evict_idle(double now) {
     if (now - it->second.last_ts > idle_timeout_) {
       finished_.push_back(std::move(it->second));
       it = active_.erase(it);
+      note_flow_finished();
     } else {
       ++it;
     }
@@ -121,6 +137,7 @@ void FlowTable::evict_idle(double now) {
 }
 
 void FlowTable::flush() {
+  note_flow_finished(active_.size());
   for (auto& [key, flow] : active_) finished_.push_back(std::move(flow));
   active_.clear();
 }

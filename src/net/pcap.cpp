@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/metrics.h"
+
 namespace netfm {
 namespace {
 
@@ -53,6 +55,8 @@ Bytes pcap_encode(const std::vector<Packet>& packets) {
     w.u32(static_cast<std::uint32_t>(pkt.frame.size()));  // orig_len
     w.raw(BytesView{pkt.frame});
   }
+  static const auto c = metrics::counter("net.pcap.packets_encoded");
+  c.add(packets.size());
   return w.take();
 }
 
@@ -89,6 +93,8 @@ std::optional<std::vector<Packet>> pcap_decode(BytesView data) {
     pkt.frame.assign(frame.begin(), frame.end());
     packets.push_back(std::move(pkt));
   }
+  static const auto c = metrics::counter("net.pcap.packets_decoded");
+  c.add(packets.size());
   return packets;
 }
 

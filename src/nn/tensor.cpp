@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/threadpool.h"
 
 namespace netfm::nn {
@@ -356,6 +357,14 @@ MatmulDims matmul_dims(const Tensor& a, const Tensor& b) {
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   MatmulDims d = matmul_dims(a, b);
+  // One counter bump + (when collecting) two clock reads per GEMM call —
+  // nothing per element, so the kernel stays within noise of PR 1.
+  static const auto c_calls = metrics::counter("nn.matmul.calls");
+  static const auto c_flops = metrics::counter("nn.matmul.flops", "flop");
+  static const auto h_time = metrics::histogram("nn.matmul.ns");
+  c_calls.add();
+  c_flops.add(2 * d.batch * d.m * d.k * d.n);
+  metrics::ScopedTimer timer(h_time);
   auto node =
       make_node(std::move(d.out_shape), {a.node(), b.node()}, Init::kUninit);
 
@@ -386,6 +395,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
   node->backward = [m, k, n, batch, batch_grain, shared_rhs](
                        TensorNode& self) {
+    static const auto c_bwd = metrics::counter("nn.matmul.backward.calls");
+    static const auto h_bwd = metrics::histogram("nn.matmul.backward.ns");
+    c_bwd.add();
+    metrics::ScopedTimer bwd_timer(h_bwd);
     TensorNode& A = *self.parents[0];
     TensorNode& B = *self.parents[1];
     const float* gp = self.grad.data();

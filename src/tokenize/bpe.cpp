@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace netfm::tok {
 namespace {
 
@@ -94,6 +96,10 @@ std::vector<std::string> BpeTokenizer::tokenize_packet(BytesView frame) const {
   out.reserve(symbols.size());
   for (std::uint32_t s : symbols) out.push_back("s" + std::to_string(s));
   if (out.empty()) out.push_back("s0");
+  static const auto c_packets = metrics::counter("tokenize.packets");
+  static const auto c_tokens = metrics::counter("tokenize.tokens", "token");
+  c_packets.add();
+  c_tokens.add(out.size());
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "net/dns.h"
 #include "net/http.h"
@@ -14,6 +15,15 @@ namespace netfm::tok {
 namespace {
 
 constexpr char kHexDigits[] = "0123456789abcdef";
+
+/// Shared throughput counters: every tokenizer flavor reports into the same
+/// pair so tokens/packet ratios compare across schemes.
+void note_tokenized(std::size_t tokens) {
+  static const auto c_packets = metrics::counter("tokenize.packets");
+  static const auto c_tokens = metrics::counter("tokenize.tokens", "token");
+  c_packets.add();
+  c_tokens.add(tokens);
+}
 
 std::string byte_token(std::uint8_t b) {
   return {'b', kHexDigits[b >> 4], kHexDigits[b & 0x0f]};
@@ -178,6 +188,7 @@ std::vector<std::string> ByteTokenizer::tokenize_packet(
   out.reserve(end - begin);
   for (std::size_t i = begin; i < end; ++i) out.push_back(byte_token(frame[i]));
   if (out.empty()) out.push_back("b00");
+  note_tokenized(out.size());
   return out;
 }
 
@@ -198,6 +209,7 @@ std::vector<std::string> FieldTokenizer::tokenize_packet(
   if (!parsed) {
     out.push_back("raw");
     out.push_back(bucket_token("len", frame.size()));
+    note_tokenized(out.size());
     return out;
   }
 
@@ -262,6 +274,7 @@ std::vector<std::string> FieldTokenizer::tokenize_packet(
   }
 
   if (out.size() > options_.max_tokens) out.resize(options_.max_tokens);
+  note_tokenized(out.size());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace netfm::gen {
 
 const Session* LabeledTrace::find(const FiveTuple& tuple) const {
@@ -11,6 +13,8 @@ const Session* LabeledTrace::find(const FiveTuple& tuple) const {
 }
 
 LabeledTrace generate_trace(const TraceConfig& config) {
+  static const auto h_time = metrics::histogram("trafficgen.generate.ns");
+  metrics::ScopedTimer timer(h_time);
   Rng rng(config.seed ^ (config.profile.seed << 32));
   World world(config.profile, rng);
   PathModel path;
@@ -73,6 +77,10 @@ LabeledTrace generate_trace(const TraceConfig& config) {
       if (tuple) trace.by_tuple.emplace(tuple->canonical(), i);
     }
   }
+  static const auto c_sessions = metrics::counter("trafficgen.sessions");
+  static const auto c_packets = metrics::counter("trafficgen.packets");
+  c_sessions.add(trace.sessions.size());
+  c_packets.add(trace.interleaved.size());
   return trace;
 }
 
