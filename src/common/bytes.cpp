@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include <array>
+
 namespace netfm {
 
 std::uint8_t ByteReader::u8() noexcept {
@@ -138,6 +140,22 @@ Bytes from_hex(std::string_view hex) {
     out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
   }
   return out;
+}
+
+std::uint32_t crc32(BytesView bytes) noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
 }
 
 std::uint16_t internet_checksum(BytesView bytes) noexcept {

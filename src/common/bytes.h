@@ -84,4 +84,8 @@ Bytes from_hex(std::string_view hex);
 /// RFC 1071 internet checksum over `bytes` (used by IPv4/TCP/UDP/ICMP).
 std::uint16_t internet_checksum(BytesView bytes) noexcept;
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `bytes`. Guards the
+/// checkpoint format in nn/serialize against silent corruption.
+std::uint32_t crc32(BytesView bytes) noexcept;
+
 }  // namespace netfm

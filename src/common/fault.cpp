@@ -1,0 +1,350 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace netfm::fault {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One parsed spec item: fire with `probability`, or exactly on evaluation
+/// `nth` (1-based) when nth != 0. `kill` hard-exits instead of returning
+/// true (the '!' suffix).
+struct Rule {
+  std::string pattern;  // exact name, or prefix when trailing '*'
+  double probability = 0.0;
+  std::uint64_t nth = 0;
+  bool kill = false;
+
+  bool matches(std::string_view name) const noexcept {
+    if (!pattern.empty() && pattern.back() == '*')
+      return name.substr(0, pattern.size() - 1) ==
+             std::string_view(pattern).substr(0, pattern.size() - 1);
+    return name == pattern;
+  }
+};
+
+/// One configuration layer: the environment spec at the bottom, then one
+/// layer per live Scope. The topmost matching rule wins.
+struct Layer {
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  std::vector<Rule> rules;
+};
+
+struct PointState {
+  std::string name;
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+};
+
+Layer parse_spec(std::string_view spec) {
+  Layer layer;
+  std::string normalized(spec);
+  std::replace(normalized.begin(), normalized.end(), ';', ',');
+  for (const std::string& raw : split(normalized, ',')) {
+    const std::string item(trim(raw));
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) continue;  // malformed: ignore
+    const std::string key(trim(std::string_view(item).substr(0, eq)));
+    std::string value(trim(std::string_view(item).substr(eq + 1)));
+    if (key == "seed") {
+      layer.seed = std::strtoull(value.c_str(), nullptr, 10);
+      layer.has_seed = true;
+      continue;
+    }
+    Rule rule;
+    rule.pattern = key;
+    if (!value.empty() && value.back() == '!') {
+      rule.kill = true;
+      value.pop_back();
+    }
+    if (!value.empty() && value.front() == '@') {
+      rule.nth = std::strtoull(value.c_str() + 1, nullptr, 10);
+      if (rule.nth == 0) continue;  // "@0" is meaningless: ignore
+    } else {
+      char* end = nullptr;
+      rule.probability = std::strtod(value.c_str(), &end);
+      if (end == value.c_str()) continue;  // not a number: ignore
+      rule.probability = std::clamp(rule.probability, 0.0, 1.0);
+    }
+    layer.rules.push_back(std::move(rule));
+  }
+  return layer;
+}
+
+class Registry {
+ public:
+  // Leaked singleton, same rationale as the metrics registry: Scope
+  // destructors and late fire() calls during static destruction must find
+  // it alive.
+  static Registry& instance() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  std::uint32_t register_point(std::string_view name) {
+    init_env_once();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint32_t i = 0; i < points_.size(); ++i)
+      if (points_[i].name == name) return i;
+    points_.push_back({std::string(name), 0, 0});
+    return static_cast<std::uint32_t>(points_.size() - 1);
+  }
+
+  bool fire(std::uint32_t id) {
+    const Rule* rule = nullptr;
+    std::uint64_t n = 0;
+    std::uint64_t seed = 0;
+    bool kill = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (id >= points_.size()) return false;
+      PointState& p = points_[id];
+      n = ++p.evaluations;
+      // Topmost matching rule wins; the topmost layer carrying a seed
+      // drives the decision stream (the two may be different layers).
+      bool seed_found = false;
+      for (auto layer = layers_.rbegin(); layer != layers_.rend(); ++layer) {
+        if (!rule) {
+          for (const Rule& r : layer->rules)
+            if (r.matches(p.name)) {
+              rule = &r;
+              break;
+            }
+        }
+        if (!seed_found && layer->has_seed) {
+          seed = layer->seed;
+          seed_found = true;
+        }
+      }
+      if (!rule) return false;
+      bool fired = false;
+      if (rule->nth != 0) {
+        fired = n == rule->nth;
+      } else {
+        const std::uint64_t point_hash =
+            splitmix64(seed ^ splitmix64(std::hash<std::string>{}(p.name)));
+        const std::uint64_t draw = splitmix64(point_hash ^ n);
+        fired = static_cast<double>(draw) <
+                rule->probability *
+                    static_cast<double>(
+                        std::numeric_limits<std::uint64_t>::max());
+      }
+      if (!fired) return false;
+      ++p.fires;
+      kill = rule->kill;
+    }
+    if (kill) std::_Exit(kKillExitCode);
+    return true;
+  }
+
+  void push_layer(Layer layer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    layers_.push_back(std::move(layer));
+  }
+
+  void pop_layer() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (layers_.size() > base_layers_) layers_.pop_back();
+  }
+
+  std::vector<PointStats> stats() {
+    init_env_once();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PointStats> out;
+    out.reserve(points_.size());
+    for (const PointState& p : points_)
+      out.push_back({p.name, p.evaluations, p.fires});
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PointState& p : points_) p.evaluations = p.fires = 0;
+  }
+
+  void init_env_once() {
+    std::call_once(env_once_, [this] {
+      const char* env = std::getenv("NETFM_FAULTS");
+      if (env && *env) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          layers_.push_back(parse_spec(env));
+          base_layers_ = 1;
+        }
+        g_enabled.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+ private:
+  Registry() = default;
+
+  std::mutex mutex_;
+  std::vector<PointState> points_;
+  std::vector<Layer> layers_;
+  std::size_t base_layers_ = 0;  // env layer count; Scopes never pop it
+  std::once_flag env_once_;
+};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  Registry::instance().init_env_once();
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Point::fire() const noexcept {
+  if (!enabled()) return false;
+  return Registry::instance().fire(id_);
+}
+
+Point point(std::string_view name) {
+  return Point(Registry::instance().register_point(name));
+}
+
+Scope::Scope(std::string_view spec) : was_enabled_(enabled()) {
+  Registry::instance().init_env_once();
+  Registry::instance().push_layer(parse_spec(spec));
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+Scope::~Scope() {
+  Registry::instance().pop_layer();
+  g_enabled.store(was_enabled_, std::memory_order_relaxed);
+}
+
+std::vector<PointStats> stats() { return Registry::instance().stats(); }
+
+void reset() { Registry::instance().reset(); }
+
+std::optional<float> corrupt_float(const Point& p) noexcept {
+  if (!p.fire()) return std::nullopt;
+  // Cycle NaN / +Inf / -Inf so detection paths see every flavor.
+  static std::atomic<unsigned> which{0};
+  switch (which.fetch_add(1, std::memory_order_relaxed) % 3) {
+    case 0: return std::numeric_limits<float>::quiet_NaN();
+    case 1: return std::numeric_limits<float>::infinity();
+    default: return -std::numeric_limits<float>::infinity();
+  }
+}
+
+std::string_view mutation_kind_name(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::kBitFlip: return "bit_flip";
+    case MutationKind::kByteSet: return "byte_set";
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kExtend: return "extend";
+    case MutationKind::kLengthLie: return "length_lie";
+    case MutationKind::kDuplicate: return "duplicate";
+    case MutationKind::kReorder: return "reorder";
+    case MutationKind::kZeroRun: return "zero_run";
+  }
+  return "unknown";
+}
+
+Mutation mutate(Bytes& data, std::uint64_t seed, std::uint64_t index) {
+  Rng rng(splitmix64(seed) ^ splitmix64(index * 0x9e3779b97f4a7c15ULL + 1));
+  Mutation m;
+  // Empty input can only grow; otherwise draw a kind uniformly.
+  m.kind = data.empty() ? MutationKind::kExtend
+                        : static_cast<MutationKind>(rng.uniform(8));
+  switch (m.kind) {
+    case MutationKind::kBitFlip: {
+      m.offset = rng.uniform(data.size());
+      m.length = 1;
+      data[m.offset] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+      break;
+    }
+    case MutationKind::kByteSet: {
+      static constexpr std::uint8_t kBoundary[] = {0x00, 0x01, 0x7f,
+                                                   0x80, 0xfe, 0xff};
+      m.offset = rng.uniform(data.size());
+      m.length = 1;
+      data[m.offset] = kBoundary[rng.uniform(std::size(kBoundary))];
+      break;
+    }
+    case MutationKind::kTruncate: {
+      m.length = 1 + rng.uniform(data.size());
+      m.offset = data.size() - m.length;
+      data.resize(m.offset);
+      break;
+    }
+    case MutationKind::kExtend: {
+      m.offset = data.size();
+      m.length = 1 + rng.uniform(64);
+      for (std::size_t i = 0; i < m.length; ++i)
+        data.push_back(static_cast<std::uint8_t>(rng.next()));
+      break;
+    }
+    case MutationKind::kLengthLie: {
+      // Overwrite a 2- or 4-byte window with an extreme value a
+      // length-prefixed format will misread.
+      m.length = std::min<std::size_t>(rng.chance(0.5) ? 2 : 4, data.size());
+      m.offset = rng.uniform(data.size() - m.length + 1);
+      static constexpr std::uint32_t kLies[] = {0x00000000u, 0x0000ffffu,
+                                                0x7fffffffu, 0xffffffffu,
+                                                0x00010000u, 0x80000000u};
+      const std::uint32_t lie = kLies[rng.uniform(std::size(kLies))];
+      for (std::size_t i = 0; i < m.length; ++i)
+        data[m.offset + i] =
+            static_cast<std::uint8_t>(lie >> (8 * (m.length - 1 - i)));
+      break;
+    }
+    case MutationKind::kDuplicate: {
+      m.length = 1 + rng.uniform(std::min<std::size_t>(data.size(), 32));
+      m.offset = rng.uniform(data.size() - m.length + 1);
+      const Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(m.offset),
+                        data.begin() +
+                            static_cast<std::ptrdiff_t>(m.offset + m.length));
+      const std::size_t at = rng.uniform(data.size() + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                  chunk.begin(), chunk.end());
+      break;
+    }
+    case MutationKind::kReorder: {
+      m.length = 1 + rng.uniform(std::min<std::size_t>(data.size() / 2, 16));
+      if (data.size() < 2 * m.length) {
+        m.length = 1;
+        if (data.size() < 2) break;
+      }
+      const std::size_t a = rng.uniform(data.size() - 2 * m.length + 1);
+      const std::size_t b =
+          a + m.length + rng.uniform(data.size() - a - 2 * m.length + 1);
+      m.offset = a;
+      for (std::size_t i = 0; i < m.length; ++i)
+        std::swap(data[a + i], data[b + i]);
+      break;
+    }
+    case MutationKind::kZeroRun: {
+      m.length = 1 + rng.uniform(std::min<std::size_t>(data.size(), 32));
+      m.offset = rng.uniform(data.size() - m.length + 1);
+      std::fill(data.begin() + static_cast<std::ptrdiff_t>(m.offset),
+                data.begin() + static_cast<std::ptrdiff_t>(m.offset + m.length),
+                std::uint8_t{0});
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace netfm::fault

@@ -1,0 +1,60 @@
+#include "common/fileio.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/fault.h"
+
+namespace netfm::io {
+namespace {
+
+using FileHandle = std::unique_ptr<std::FILE, int (*)(std::FILE*)>;
+
+FileHandle open_file(const std::string& path, const char* mode) {
+  return FileHandle(std::fopen(path.c_str(), mode), &std::fclose);
+}
+
+}  // namespace
+
+std::optional<Bytes> read_file(const std::string& path) {
+  static const auto f_open = fault::point("io.open.read");
+  if (f_open.fire()) return std::nullopt;
+  FileHandle file = open_file(path, "rb");
+  if (!file) return std::nullopt;
+  Bytes data;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0)
+    data.insert(data.end(), buf, buf + n);
+  return data;
+}
+
+bool write_file_atomic(const std::string& path, BytesView data) {
+  static const auto f_open = fault::point("io.open.write");
+  static const auto f_short = fault::point("io.short_write");
+  static const auto f_crash = fault::point("io.crash_rename");
+
+  const std::string tmp = path + ".tmp";
+  if (f_open.fire()) return false;
+  {
+    FileHandle file = open_file(tmp, "wb");
+    if (!file) return false;
+    std::size_t to_write = data.size();
+    if (f_short.fire()) to_write /= 2;
+    const std::size_t written =
+        std::fwrite(data.data(), 1, to_write, file.get());
+    if (written != data.size() || std::fflush(file.get()) != 0) {
+      file.reset();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (f_crash.fire()) return false;  // crash window: temp exists, no rename
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netfm::io

@@ -1,0 +1,30 @@
+// Whole-file read/write with crash-safe replacement semantics.
+//
+// Every durable artifact in the library (model checkpoints, pcap exports)
+// goes through these two calls so that (a) a reader never observes a
+// half-written file — writes land in a same-directory temp file that is
+// rename()d over the target only after a successful flush — and (b) the
+// fault-injection points for file I/O live in exactly one place:
+//   io.open.read      read_file's fopen fails
+//   io.open.write     write_file_atomic's fopen fails
+//   io.short_write    the write stops halfway and reports failure
+//   io.crash_rename   temp written and flushed, rename never happens
+//                     (the classic torn-update crash window)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace netfm::io {
+
+/// Entire contents of `path`; nullopt when it cannot be opened.
+std::optional<Bytes> read_file(const std::string& path);
+
+/// Atomically replaces `path` with `data` (temp file + rename). On any
+/// failure the previous contents of `path` are untouched; the temp file is
+/// removed except in the simulated-crash case.
+bool write_file_atomic(const std::string& path, BytesView data);
+
+}  // namespace netfm::io

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 
 namespace netfm::core {
@@ -21,6 +22,17 @@ double seconds_since(
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// Per-step batch RNG: deterministic in (seed, step) alone, so a run
+/// resumed from a step-k checkpoint draws exactly the batches the
+/// uninterrupted run would have drawn from step k on.
+Rng step_rng(std::uint64_t seed, std::size_t step) noexcept {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(step) + 1) *
+                               0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(x ^ (x >> 31));
 }
 
 double cosine(std::span<const float> a, std::span<const float> b) {
@@ -89,11 +101,28 @@ TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
   static const auto c_tokens =
       metrics::counter("core.pretrain.tokens", "token");
   static const auto g_loss = metrics::gauge("core.pretrain.loss", "nats");
-  Rng rng(options.seed);
+  static const auto c_nonfinite =
+      metrics::counter("core.pretrain.nonfinite_skipped");
+  static const auto f_crash = fault::point("core.pretrain.crash");
+  static const auto f_loss = fault::point("core.pretrain.loss");
+
   TrainLog log;
+  std::size_t start_step = 0;
+  if (!options.checkpoint_path.empty()) {
+    if (const auto at =
+            nn::load_checkpoint_file(options.checkpoint_path, params)) {
+      start_step = std::min(static_cast<std::size_t>(*at), options.steps);
+      log.resumed_from = start_step;
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t step = 0; step < options.steps; ++step) {
+  for (std::size_t step = start_step; step < options.steps; ++step) {
     metrics::ScopedTimer step_timer(h_step);
+    if (f_crash.fire()) throw fault::CrashInjected{"core.pretrain.crash"};
+    // Batches are a pure function of (seed, step): a resumed run draws the
+    // same data the uninterrupted run would have from this step on.
+    Rng rng = step_rng(options.seed, step);
     // Assemble the batch in two runs — contexts first, then segment pairs —
     // so pair rows are contiguous for the next-packet head.
     std::vector<Encoded> batch_items;
@@ -140,20 +169,42 @@ TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
       loss = nn::add(loss, nn::cross_entropy(next_logits, batch_next_labels));
     }
 
+    float loss_value = loss.item();
+    if (const auto injected = fault::corrupt_float(f_loss))
+      loss_value = *injected;
+    if (!std::isfinite(loss_value)) {
+      // A NaN/Inf loss would poison every parameter through backward();
+      // drop the step instead of the run.
+      ++log.nonfinite_skipped;
+      c_nonfinite.add();
+      continue;
+    }
+
     nn::zero_grad(params);
     loss.backward();
-    nn::clip_grad_norm(params, 1.0f);
+    const float grad_norm = nn::clip_grad_norm(params, 1.0f);
+    if (!std::isfinite(grad_norm)) {
+      ++log.nonfinite_skipped;
+      c_nonfinite.add();
+      continue;
+    }
     adam.set_lr(schedule.lr_at(static_cast<std::int64_t>(step)));
     adam.step(params);
 
-    log.losses.push_back(loss.item());
+    log.losses.push_back(loss_value);
     c_tokens.add(batch.token_ids.size());
-    g_loss.set(loss.item());
+    g_loss.set(loss_value);
     if (options.verbose && step % 20 == 0)
-      std::printf("  pretrain step %zu loss %.4f\n", step, loss.item());
+      std::printf("  pretrain step %zu loss %.4f\n", step, loss_value);
+
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        (step + 1) % options.checkpoint_every == 0)
+      nn::save_checkpoint_file(options.checkpoint_path, params, step + 1);
   }
+  if (!options.checkpoint_path.empty())
+    nn::save_checkpoint_file(options.checkpoint_path, params, options.steps);
   log.seconds = seconds_since(start);
-  log.steps = options.steps;
+  log.steps = options.steps - start_step;
   return log;
 }
 
@@ -214,13 +265,30 @@ TrainLog NetFM::fine_tune(
     encoded.push_back(encode_context(tokens, vocab_, seq_len));
 
   nn::Adam adam(options.lr);
-  Rng rng(options.seed + 1);
+  static const auto f_crash = fault::point("core.finetune.crash");
+  static const auto f_loss = fault::point("core.finetune.loss");
+  static const auto c_nonfinite =
+      metrics::counter("core.finetune.nonfinite_skipped");
+
   TrainLog log;
+  std::size_t start_epoch = 0;
+  if (!options.checkpoint_path.empty()) {
+    if (const auto at =
+            nn::load_checkpoint_file(options.checkpoint_path, params)) {
+      start_epoch = std::min(static_cast<std::size_t>(*at), options.epochs);
+      log.resumed_from = start_epoch;
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::size_t> order(encoded.size());
   std::iota(order.begin(), order.end(), 0);
 
-  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+  for (std::size_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    if (f_crash.fire()) throw fault::CrashInjected{"core.finetune.crash"};
+    // Shuffle and dropout are a pure function of (seed, epoch) so a resumed
+    // run replays the uninterrupted run's batch order.
+    Rng rng = step_rng(options.seed + 1, epoch);
     rng.shuffle(order);
     float epoch_loss = 0.0f;
     std::size_t batches = 0;
@@ -247,11 +315,25 @@ TrainLog NetFM::fine_tune(
       const Tensor logits = classifier_->forward(pooled);
       Tensor loss = nn::cross_entropy(logits, batch_labels);
 
+      float loss_value = loss.item();
+      if (const auto injected = fault::corrupt_float(f_loss))
+        loss_value = *injected;
+      if (!std::isfinite(loss_value)) {
+        ++log.nonfinite_skipped;
+        c_nonfinite.add();
+        continue;
+      }
+
       nn::zero_grad(params);
       loss.backward();
-      nn::clip_grad_norm(params, 1.0f);
+      const float grad_norm = nn::clip_grad_norm(params, 1.0f);
+      if (!std::isfinite(grad_norm)) {
+        ++log.nonfinite_skipped;
+        c_nonfinite.add();
+        continue;
+      }
       adam.step(params);
-      epoch_loss += loss.item();
+      epoch_loss += loss_value;
       ++batches;
       ++log.steps;
       static const auto c_steps = metrics::counter("core.finetune.steps");
@@ -260,6 +342,10 @@ TrainLog NetFM::fine_tune(
     log.losses.push_back(batches ? epoch_loss / batches : 0.0f);
     static const auto g_loss = metrics::gauge("core.finetune.loss", "nats");
     g_loss.set(batches ? epoch_loss / batches : 0.0f);
+
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        (epoch + 1) % options.checkpoint_every == 0)
+      nn::save_checkpoint_file(options.checkpoint_path, params, epoch + 1);
   }
   log.seconds = seconds_since(start);
   return log;

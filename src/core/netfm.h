@@ -44,6 +44,13 @@ struct PretrainOptions {
   double focus_prob = 0.5;
   std::uint64_t seed = 99;
   bool verbose = false;
+  /// When `checkpoint_path` is non-empty, a checkpoint (parameters + step)
+  /// is written atomically every `checkpoint_every` steps, and a valid
+  /// checkpoint found at entry resumes training from its step. Batches are
+  /// derived per-step from `seed`, so a resumed run replays the same data
+  /// order the uninterrupted run would have seen.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 25;
 };
 
 struct FineTuneOptions {
@@ -63,12 +70,21 @@ struct FineTuneOptions {
   /// redundant features — the robust-adaptation recipe §4.1.4 invites.
   double token_dropout = 0.0;
   std::uint64_t seed = 101;
+  /// Per-epoch atomic checkpointing + auto-resume (see PretrainOptions;
+  /// here `checkpoint_every` counts epochs).
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
 };
 
 struct TrainLog {
   std::vector<float> losses;  // per logging interval
   double seconds = 0.0;
   std::size_t steps = 0;
+  /// Step/epoch a checkpoint restore skipped to (0 = started fresh).
+  std::size_t resumed_from = 0;
+  /// Optimizer steps skipped because the loss or gradient norm went
+  /// non-finite (NaN/Inf detection in the hardened training loops).
+  std::size_t nonfinite_skipped = 0;
 };
 
 class NetFM {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 
 namespace netfm::core {
@@ -35,6 +36,16 @@ std::vector<int> next_token_targets(const Encoded& item) {
   return targets;
 }
 
+/// Same per-step batch RNG as NetFM::pretrain: deterministic in
+/// (seed, step) alone so checkpoint resume replays identical batches.
+Rng step_rng(std::uint64_t seed, std::size_t step) noexcept {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(step) + 1) *
+                               0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(x ^ (x >> 31));
+}
+
 }  // namespace
 
 TrainLog TrafficLM::train(
@@ -55,15 +66,29 @@ TrainLog TrafficLM::train(
   nn::WarmupLinearSchedule schedule(
       options.peak_lr, static_cast<std::int64_t>(options.warmup_steps),
       static_cast<std::int64_t>(options.steps));
-  Rng rng(options.seed);
-
   static const auto h_step = metrics::histogram("core.lm.step.ns");
   static const auto c_tokens = metrics::counter("core.lm.tokens", "token");
   static const auto g_loss = metrics::gauge("core.lm.loss", "nats");
+  static const auto c_nonfinite =
+      metrics::counter("core.lm.nonfinite_skipped");
+  static const auto f_crash = fault::point("core.lm.crash");
+  static const auto f_loss = fault::point("core.lm.loss");
+
   TrainLog log;
+  std::size_t start_step = 0;
+  if (!options.checkpoint_path.empty()) {
+    if (const auto at =
+            nn::load_checkpoint_file(options.checkpoint_path, params)) {
+      start_step = std::min(static_cast<std::size_t>(*at), options.steps);
+      log.resumed_from = start_step;
+    }
+  }
+
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t step = 0; step < options.steps; ++step) {
+  for (std::size_t step = start_step; step < options.steps; ++step) {
     metrics::ScopedTimer step_timer(h_step);
+    if (f_crash.fire()) throw fault::CrashInjected{"core.lm.crash"};
+    Rng rng = step_rng(options.seed, step);
     std::vector<Encoded> items;
     std::vector<int> targets;
     for (std::size_t b = 0; b < options.batch_size; ++b) {
@@ -76,16 +101,36 @@ TrainLog TrafficLM::train(
     const Tensor hidden = encoder_->forward(batch, /*train=*/true);
     Tensor loss = nn::cross_entropy(head_->forward(hidden), targets);
 
+    float loss_value = loss.item();
+    if (const auto injected = fault::corrupt_float(f_loss))
+      loss_value = *injected;
+    if (!std::isfinite(loss_value)) {
+      ++log.nonfinite_skipped;
+      c_nonfinite.add();
+      continue;
+    }
+
     nn::zero_grad(params);
     loss.backward();
-    nn::clip_grad_norm(params, 1.0f);
+    const float grad_norm = nn::clip_grad_norm(params, 1.0f);
+    if (!std::isfinite(grad_norm)) {
+      ++log.nonfinite_skipped;
+      c_nonfinite.add();
+      continue;
+    }
     adam.set_lr(schedule.lr_at(static_cast<std::int64_t>(step)));
     adam.step(params);
-    log.losses.push_back(loss.item());
+    log.losses.push_back(loss_value);
     c_tokens.add(batch.token_ids.size());
-    g_loss.set(loss.item());
+    g_loss.set(loss_value);
+
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        (step + 1) % options.checkpoint_every == 0)
+      nn::save_checkpoint_file(options.checkpoint_path, params, step + 1);
   }
-  log.steps = options.steps;
+  if (!options.checkpoint_path.empty())
+    nn::save_checkpoint_file(options.checkpoint_path, params, options.steps);
+  log.steps = options.steps - start_step;
   log.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -22,6 +22,11 @@ struct LmTrainOptions {
   float peak_lr = 1e-3f;
   std::size_t warmup_steps = 20;
   std::uint64_t seed = 77;
+  /// Periodic atomic checkpointing + auto-resume, as in PretrainOptions:
+  /// batches derive per-step from `seed`, so a resumed run replays the
+  /// uninterrupted run's data order.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 25;
 };
 
 struct SampleOptions {

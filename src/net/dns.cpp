@@ -99,6 +99,7 @@ void decode_rdata(ResourceRecord& rr, BytesView message, std::size_t at,
       std::string text;
       while (consumed < len) {
         const std::uint8_t chunk = r.u8();
+        if (consumed + 1 + chunk > len) break;  // chunk lies past RDLENGTH
         text += r.take_string(chunk);
         consumed += 1 + chunk;
         if (r.truncated()) break;
@@ -198,7 +199,16 @@ std::optional<std::string> decode_name(ByteReader& reader) {
       if (!jumped) resume_at = cursor + 2;
       jumped = true;
       if (++hops > kMaxPointerHops) return std::nullopt;
-      cursor = static_cast<std::size_t>(((len & 0x3f) << 8) | ptr_view[1]);
+      const auto target =
+          static_cast<std::size_t>(((len & 0x3f) << 8) | ptr_view[1]);
+      // Compression pointers always reference an earlier occurrence
+      // (RFC 1035 §4.1.4). Requiring strictly-backward jumps makes the
+      // cursor a decreasing sequence, so a crafted self-referential or
+      // cyclic pointer chain terminates immediately instead of burning
+      // through the hop budget. The hop cap stays as a belt to the
+      // suspenders; kMaxNameLength bounds the expanded output.
+      if (target >= cursor) return std::nullopt;
+      cursor = target;
       continue;
     }
     if ((len & 0xc0) != 0) return std::nullopt;  // 10/01 prefixes reserved

@@ -15,6 +15,10 @@ struct Framed {
   BytesView body;
 };
 
+// Mirrors common proxy limits; a message head with more lines than this is
+// hostile, not HTTP, and rejecting it bounds per-line string overhead.
+constexpr std::size_t kMaxHeaderLines = 1024;
+
 std::optional<Framed> frame(BytesView wire) {
   const std::string_view text(reinterpret_cast<const char*>(wire.data()),
                               wire.size());
@@ -23,6 +27,7 @@ std::optional<Framed> frame(BytesView wire) {
   Framed out;
   std::string_view head = text.substr(0, head_end);
   while (!head.empty()) {
+    if (out.lines.size() >= kMaxHeaderLines) return std::nullopt;
     const std::size_t eol = head.find(kCrlf);
     if (eol == std::string_view::npos) {
       out.lines.emplace_back(head);

@@ -1,9 +1,8 @@
 #include "net/pcap.h"
 
 #include <cmath>
-#include <cstdio>
-#include <memory>
 
+#include "common/fileio.h"
 #include "common/metrics.h"
 
 namespace netfm {
@@ -12,7 +11,6 @@ namespace {
 constexpr std::uint32_t kMagicBigEndian = 0xa1b2c3d4;   // as we write (BE)
 constexpr std::uint32_t kMagicLittleEndian = 0xd4c3b2a1;
 constexpr std::uint32_t kLinkTypeEthernet = 1;
-constexpr std::uint32_t kSnapLen = 262144;
 
 /// Little-endian reader shim over ByteReader (pcap is host-endian; we must
 /// handle both byte orders based on the magic).
@@ -42,7 +40,7 @@ Bytes pcap_encode(const std::vector<Packet>& packets) {
   w.u16(4);  // minor
   w.u32(0);  // thiszone
   w.u32(0);  // sigfigs
-  w.u32(kSnapLen);
+  w.u32(kPcapSnapLen);
   w.u32(kLinkTypeEthernet);
   for (const Packet& pkt : packets) {
     const double whole = std::floor(pkt.timestamp);
@@ -76,17 +74,31 @@ std::optional<std::vector<Packet>> pcap_decode(BytesView data) {
   er.u16();  // minor
   er.u32();  // thiszone
   er.u32();  // sigfigs
-  er.u32();  // snaplen
+  er.u32();  // snaplen (advisory; we clamp against kPcapSnapLen regardless)
   const std::uint32_t link = er.u32();
   if (r.truncated() || link != kLinkTypeEthernet) return std::nullopt;
 
+  static const auto c_skipped = metrics::counter("net.pcap.records_skipped");
   std::vector<Packet> packets;
   while (r.remaining() >= 16) {
     const std::uint32_t secs = er.u32();
     const std::uint32_t usecs = er.u32();
     const std::uint32_t incl = er.u32();
-    er.u32();  // orig_len
-    if (incl > r.remaining()) break;  // truncated final record: drop
+    const std::uint32_t orig = er.u32();
+    // A corrupt 4-byte length field must never drive a multi-GB
+    // allocation or an over-read: clamp incl_len against the snap length
+    // and the bytes actually present before touching the record.
+    if (incl > kPcapSnapLen || incl > r.remaining()) {
+      c_skipped.add();
+      break;  // cannot resync past a lying length: drop the tail
+    }
+    if (incl > orig) {
+      // incl_len/orig_len disagree (captured more than existed): the
+      // record framing is still usable, so skip it rather than abort.
+      r.skip(incl);
+      c_skipped.add();
+      continue;
+    }
     const BytesView frame = r.take(incl);
     Packet pkt;
     pkt.timestamp = static_cast<double>(secs) + usecs * 1e-6;
@@ -101,22 +113,13 @@ std::optional<std::vector<Packet>> pcap_decode(BytesView data) {
 bool pcap_write_file(const std::string& path,
                      const std::vector<Packet>& packets) {
   const Bytes data = pcap_encode(packets);
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (!file) return false;
-  return std::fwrite(data.data(), 1, data.size(), file.get()) == data.size();
+  return io::write_file_atomic(path, BytesView{data});
 }
 
 std::optional<std::vector<Packet>> pcap_read_file(const std::string& path) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!file) return std::nullopt;
-  Bytes data;
-  std::uint8_t buf[65536];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0)
-    data.insert(data.end(), buf, buf + n);
-  return pcap_decode(BytesView{data});
+  const auto data = io::read_file(path);
+  if (!data) return std::nullopt;
+  return pcap_decode(BytesView{*data});
 }
 
 }  // namespace netfm

@@ -13,14 +13,22 @@
 
 namespace netfm {
 
+/// Snap length written into file headers and enforced on decode: no record
+/// may claim (or allocate) more than this many bytes per frame.
+inline constexpr std::uint32_t kPcapSnapLen = 262144;
+
 /// Serializes packets to an in-memory pcap byte stream.
 Bytes pcap_encode(const std::vector<Packet>& packets);
 
 /// Parses a pcap byte stream. Returns nullopt on bad magic or truncated
-/// record headers; a truncated final packet body is dropped, not fatal.
+/// record headers. Per-record corruption is contained: a record whose
+/// incl_len exceeds the snap length or the remaining bytes ends the parse,
+/// and a record whose incl_len exceeds its orig_len is skipped — neither
+/// aborts the packets already decoded.
 std::optional<std::vector<Packet>> pcap_decode(BytesView data);
 
-/// Writes packets to a pcap file. Returns false on I/O failure.
+/// Writes packets to a pcap file atomically (temp + rename). Returns false
+/// on I/O failure, leaving any previous file intact.
 bool pcap_write_file(const std::string& path,
                      const std::vector<Packet>& packets);
 

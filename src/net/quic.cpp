@@ -79,6 +79,9 @@ std::optional<Header> decode(BytesView datagram) {
   if (h.type == PacketType::kInitial) {
     const auto token_length = read_varint(r);
     if (!token_length) return std::nullopt;
+    // A varint can claim up to 2^62 bytes; reject a token the datagram
+    // cannot contain instead of latching the truncation flag late.
+    if (*token_length > r.remaining()) return std::nullopt;
     r.skip(static_cast<std::size_t>(*token_length));
   }
   if (h.type != PacketType::kRetry) {

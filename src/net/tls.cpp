@@ -121,6 +121,10 @@ std::optional<ClientHello> ClientHello::decode_handshake(BytesView wire) {
   hello.session_id.assign(sid.begin(), sid.end());
   const std::uint16_t suites_len = r.u16();
   if (suites_len % 2 != 0) return std::nullopt;
+  // Clamp against the bytes present before reserving: a lying length field
+  // must not allocate a 32k-entry vector of zeros off a 10-byte message.
+  if (suites_len > r.remaining()) return std::nullopt;
+  hello.cipher_suites.reserve(suites_len / 2);
   for (std::uint16_t i = 0; i < suites_len / 2; ++i)
     hello.cipher_suites.push_back(r.u16());
   const std::uint8_t comp_len = r.u8();

@@ -1,15 +1,19 @@
 #include "nn/serialize.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
 #include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/fileio.h"
 
 namespace netfm::nn {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'F', 'M', 'C'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;  // no trailing CRC
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::string_view kStepName = "__ckpt.step";
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i)
@@ -55,20 +59,19 @@ struct Cursor {
     at += n;
     return s;
   }
-  bool floats(float* out, std::size_t n) {
-    if (at + n * 4 > data.size()) {
+  bool floats(std::vector<float>& out, std::size_t n) {
+    if (n > (data.size() - at) / 4) {
       ok = false;
       return false;
     }
-    std::memcpy(out, data.data() + at, n * 4);
+    out.resize(n);
+    std::memcpy(out.data(), data.data() + at, n * 4);
     at += n * 4;
     return true;
   }
 };
 
-}  // namespace
-
-std::vector<std::uint8_t> save_parameters(const ParameterList& params) {
+std::vector<std::uint8_t> encode(const ParameterList& params) {
   std::vector<std::uint8_t> out;
   out.insert(out.end(), kMagic, kMagic + 4);
   put_u32(out, kVersion);
@@ -85,60 +88,118 @@ std::vector<std::uint8_t> save_parameters(const ParameterList& params) {
     out.resize(start + bytes);
     std::memcpy(out.data() + start, data.data(), bytes);
   }
+  put_u32(out, crc32(BytesView{out}));
   return out;
 }
 
-bool load_parameters(std::span<const std::uint8_t> blob,
-                     ParameterList& params) {
+/// Parses and validates the whole blob against `params` without mutating
+/// anything; staged values land in `staged` (parallel to `params`).
+bool decode_staged(std::span<const std::uint8_t> blob, ParameterList& params,
+                   std::vector<std::vector<float>>& staged) {
   if (blob.size() < 12 || std::memcmp(blob.data(), kMagic, 4) != 0)
     return false;
   Cursor cur{blob, 4};
-  if (cur.u32() != kVersion) return false;
+  const std::uint32_t version = cur.u32();
+  if (version != kVersionLegacy && version != kVersion) return false;
+  if (version >= 2) {
+    // The trailing CRC covers everything before it; verify before trusting
+    // a single length field.
+    if (blob.size() < 16) return false;
+    Cursor tail{blob, blob.size() - 4};
+    const std::uint32_t stored = tail.u32();
+    if (crc32(blob.subspan(0, blob.size() - 4)) != stored) return false;
+    cur.data = blob.subspan(0, blob.size() - 4);
+  }
   const std::uint32_t count = cur.u32();
 
-  std::unordered_map<std::string, Parameter*> by_name;
-  for (Parameter& p : params) by_name[p.name] = &p;
+  std::unordered_map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < params.size(); ++i)
+    index_of[params[i].name] = i;
 
+  staged.assign(params.size(), {});
+  std::vector<bool> seen(params.size(), false);
   std::size_t restored = 0;
   for (std::uint32_t i = 0; i < count && cur.ok; ++i) {
     const std::uint32_t name_len = cur.u32();
     const std::string name = cur.str(name_len);
     const std::uint32_t rank = cur.u32();
+    if (rank > kMaxRank) return false;
     Shape shape;
     std::size_t n = 1;
     for (std::uint32_t d = 0; d < rank; ++d) {
       shape.push_back(static_cast<std::size_t>(cur.u64()));
+      // A lying dimension must fail fast, not overflow n or drive a
+      // giant staging allocation; floats() bounds the final product too.
+      if (shape.back() > cur.data.size() ||
+          n > cur.data.size() / std::max<std::size_t>(shape.back(), 1))
+        return false;
       n *= shape.back();
     }
     if (!cur.ok) return false;
-    const auto it = by_name.find(name);
-    if (it == by_name.end() || it->second->tensor.shape() != shape)
+    const auto it = index_of.find(name);
+    if (it == index_of.end() || seen[it->second] ||
+        params[it->second].tensor.shape() != shape)
       return false;
-    if (!cur.floats(it->second->tensor.data().data(), n)) return false;
+    if (!cur.floats(staged[it->second], n)) return false;
+    seen[it->second] = true;
     ++restored;
   }
   return cur.ok && restored == params.size();
 }
 
+}  // namespace
+
+std::vector<std::uint8_t> save_parameters(const ParameterList& params) {
+  return encode(params);
+}
+
+bool load_parameters(std::span<const std::uint8_t> blob,
+                     ParameterList& params) {
+  std::vector<std::vector<float>> staged;
+  if (!decode_staged(blob, params, staged)) return false;
+  // Everything validated: apply in one pass so failure above never leaves
+  // a partially-populated parameter set.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto dst = params[i].tensor.data();
+    std::memcpy(dst.data(), staged[i].data(), staged[i].size() * 4);
+  }
+  return true;
+}
+
 bool save_parameters_file(const std::string& path,
                           const ParameterList& params) {
   const auto blob = save_parameters(params);
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (!file) return false;
-  return std::fwrite(blob.data(), 1, blob.size(), file.get()) == blob.size();
+  return io::write_file_atomic(path, BytesView{blob});
 }
 
 bool load_parameters_file(const std::string& path, ParameterList& params) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!file) return false;
-  std::vector<std::uint8_t> blob;
-  std::uint8_t buf[65536];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0)
-    blob.insert(blob.end(), buf, buf + n);
-  return load_parameters(blob, params);
+  const auto blob = io::read_file(path);
+  if (!blob) return false;
+  return load_parameters(std::span<const std::uint8_t>(*blob), params);
+}
+
+bool save_checkpoint_file(const std::string& path, const ParameterList& params,
+                          std::uint64_t step) {
+  ParameterList with_meta = params;  // Tensor handles are cheap shared refs
+  // Two f32 lanes hold steps exactly up to 2^48 (lo 24 bits, hi 24 bits).
+  with_meta.push_back(
+      {std::string(kStepName),
+       Tensor(Shape{2},
+              std::vector<float>{
+                  static_cast<float>(step & 0xffffffULL),
+                  static_cast<float>(step >> 24)})});
+  return save_parameters_file(path, with_meta);
+}
+
+std::optional<std::uint64_t> load_checkpoint_file(const std::string& path,
+                                                  ParameterList& params) {
+  ParameterList with_meta = params;
+  Tensor step_tensor(Shape{2}, std::vector<float>{0.0f, 0.0f});
+  with_meta.push_back({std::string(kStepName), step_tensor});
+  if (!load_parameters_file(path, with_meta)) return std::nullopt;
+  const auto lanes = step_tensor.data();
+  return (static_cast<std::uint64_t>(lanes[1]) << 24) |
+         static_cast<std::uint64_t>(lanes[0]);
 }
 
 }  // namespace netfm::nn

@@ -1,9 +1,16 @@
-// Checkpoint format: named float tensors in a simple tagged binary layout.
+// Checkpoint format: named float tensors in a tagged binary layout,
+// integrity-checked end to end.
 //
 //   magic "NFMC" | u32 version | u32 count |
-//   count x { u32 name_len | name | u32 rank | u64 dims... | f32 data... }
+//   count x { u32 name_len | name | u32 rank | u64 dims... | f32 data... } |
+//   u32 crc32            (version >= 2: CRC over every preceding byte)
 //
-// Integers little-endian, floats IEEE-754 bit-copied.
+// Integers little-endian, floats IEEE-754 bit-copied. Version 1 blobs
+// (no trailing CRC) still load. Loads are all-or-nothing: values are
+// staged and applied only after the whole blob validates, so a corrupt or
+// truncated file can never leave `params` partially populated. File saves
+// are atomic (temp + rename via common/fileio), so a crash mid-save never
+// destroys the previous checkpoint.
 #pragma once
 
 #include <optional>
@@ -13,17 +20,30 @@
 
 namespace netfm::nn {
 
-/// Serializes parameters to a byte blob.
+/// Serializes parameters to a byte blob (current version, CRC-tagged).
 std::vector<std::uint8_t> save_parameters(const ParameterList& params);
 
-/// Restores values into matching names/shapes of `params`. Returns false
-/// if the blob is malformed or any tensor is missing/mismatched.
+/// Restores values into matching names/shapes of `params`. Returns false —
+/// with `params` untouched — if the blob is malformed, fails its CRC, or
+/// any tensor is missing/mismatched.
 bool load_parameters(std::span<const std::uint8_t> blob,
                      ParameterList& params);
 
-/// File convenience wrappers.
+/// File convenience wrappers. Saving replaces `path` atomically; loading
+/// rejects short/garbage files with a clean false and no partial state.
 bool save_parameters_file(const std::string& path,
                           const ParameterList& params);
 bool load_parameters_file(const std::string& path, ParameterList& params);
+
+/// Training checkpoint = parameters + progress marker. The step rides in
+/// the same format as a reserved "__ckpt.step" tensor, so the whole
+/// checkpoint shares one CRC and one atomic rename.
+bool save_checkpoint_file(const std::string& path, const ParameterList& params,
+                          std::uint64_t step);
+
+/// Restores a checkpoint and returns the step it was taken at; nullopt —
+/// with `params` untouched — when the file is absent or corrupt.
+std::optional<std::uint64_t> load_checkpoint_file(const std::string& path,
+                                                  ParameterList& params);
 
 }  // namespace netfm::nn

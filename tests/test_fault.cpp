@@ -1,0 +1,664 @@
+// Fault-injection framework + hardening sweep tests (ctest label `fault`).
+//
+// This binary owns a custom main(): it pins NETFM_THREADS=1 so the shared
+// thread pool never spawns workers, which keeps the fork()-based kill/resume
+// test below safe (fork() with live worker threads would deadlock in the
+// child). It also force-manipulates the global fault registry, so it must
+// not share a process with suites that assume injection is off.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/fault.h"
+#include "common/fileio.h"
+#include "core/netfm.h"
+#include "core/traffic_lm.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/ntp.h"
+#include "net/packet.h"
+#include "net/pcap.h"
+#include "net/quic.h"
+#include "net/tls.h"
+#include "nn/serialize.h"
+
+namespace netfm {
+namespace {
+
+// --------------------------------------------------------------------------
+// Spec parsing, determinism, scopes
+
+TEST(FaultSpec, DisabledByDefaultAndProbabilityOneAlwaysFires) {
+  static const auto p = fault::point("test.always");
+  EXPECT_FALSE(p.fire());  // no spec active
+  {
+    fault::Scope scope("test.always=1");
+    EXPECT_TRUE(fault::enabled());
+    for (int i = 0; i < 50; ++i) EXPECT_TRUE(p.fire());
+  }
+  EXPECT_FALSE(p.fire());  // scope restored
+}
+
+TEST(FaultSpec, ProbabilityZeroNeverFires) {
+  static const auto p = fault::point("test.never");
+  fault::Scope scope("test.never=0");
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(p.fire());
+}
+
+TEST(FaultSpec, ProbabilityDecisionsAreSeedDeterministic) {
+  static const auto p = fault::point("test.prob");
+  auto pattern = [&](std::uint64_t seed) {
+    fault::reset();
+    fault::Scope scope("seed=" + std::to_string(seed) + ",test.prob=0.3");
+    std::vector<bool> fires;
+    for (int i = 0; i < 300; ++i) fires.push_back(p.fire());
+    return fires;
+  };
+  const auto a = pattern(7);
+  const auto b = pattern(7);
+  const auto c = pattern(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const auto hits = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(hits, 40u);   // ~90 expected; loose bounds, zero flake
+  EXPECT_LT(hits, 160u);
+}
+
+TEST(FaultSpec, NthEvaluationRuleFiresExactlyOnce) {
+  static const auto p = fault::point("test.nth");
+  fault::reset();
+  fault::Scope scope("test.nth=@5");
+  for (int i = 1; i <= 20; ++i) EXPECT_EQ(p.fire(), i == 5) << "eval " << i;
+}
+
+TEST(FaultSpec, PrefixPatternAndScopeLayering) {
+  static const auto p = fault::point("test.prefix.inner");
+  fault::Scope outer("test.prefix.*=1");
+  EXPECT_TRUE(p.fire());
+  {
+    // Topmost matching rule wins: the inner layer silences the point.
+    fault::Scope inner("test.prefix.inner=0");
+    EXPECT_FALSE(p.fire());
+  }
+  EXPECT_TRUE(p.fire());
+}
+
+TEST(FaultSpec, MalformedItemsAreIgnored) {
+  static const auto p = fault::point("test.malformed");
+  fault::Scope scope("=0.5,,garbage,test.malformed=notanumber;seedless");
+  EXPECT_FALSE(p.fire());  // nothing parsed into a usable rule
+}
+
+TEST(FaultSpec, StatsCountEvaluationsAndFires) {
+  static const auto p = fault::point("test.stats");
+  fault::reset();
+  fault::Scope scope("test.stats=1");
+  for (int i = 0; i < 7; ++i) (void)p.fire();
+  for (const auto& s : fault::stats())
+    if (s.name == "test.stats") {
+      EXPECT_EQ(s.evaluations, 7u);
+      EXPECT_EQ(s.fires, 7u);
+      return;
+    }
+  FAIL() << "point not in stats()";
+}
+
+TEST(FaultSpec, CorruptFloatYieldsNonFiniteFlavors) {
+  static const auto p = fault::point("test.corrupt");
+  EXPECT_FALSE(fault::corrupt_float(p).has_value());
+  fault::Scope scope("test.corrupt=1");
+  bool saw_nan = false, saw_inf = false;
+  for (int i = 0; i < 6; ++i) {
+    const auto v = fault::corrupt_float(p);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(std::isfinite(*v));
+    saw_nan |= std::isnan(*v);
+    saw_inf |= std::isinf(*v);
+  }
+  EXPECT_TRUE(saw_nan);
+  EXPECT_TRUE(saw_inf);
+}
+
+// --------------------------------------------------------------------------
+// Mutation engine
+
+TEST(FaultMutate, DeterministicInSeedIndexAndInput) {
+  const Bytes original = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    Bytes a = original, b = original;
+    const auto ma = fault::mutate(a, 42, index);
+    const auto mb = fault::mutate(b, 42, index);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(ma.kind, mb.kind);
+    EXPECT_EQ(ma.offset, mb.offset);
+    EXPECT_EQ(ma.length, mb.length);
+    EXPECT_LE(a.size(), original.size() + 64u);
+  }
+}
+
+TEST(FaultMutate, StreamCoversEveryKindAndEmptyInputGrows) {
+  Bytes empty;
+  const auto m = fault::mutate(empty, 1, 0);
+  EXPECT_EQ(m.kind, fault::MutationKind::kExtend);
+  EXPECT_FALSE(empty.empty());
+
+  std::set<fault::MutationKind> seen;
+  for (std::uint64_t index = 0; index < 256; ++index) {
+    Bytes data(64, 0xab);
+    seen.insert(fault::mutate(data, 3, index).kind);
+  }
+  EXPECT_EQ(seen.size(), 8u) << "mutation stream missed a kind";
+  EXPECT_FALSE(fault::mutation_kind_name(*seen.begin()).empty());
+}
+
+// --------------------------------------------------------------------------
+// Hardened decoders: decode(mutate(encode(x))) is total for every codec
+// (satellite: property test under the `fault` label; the large-scale sweep
+// lives in bench/fuzz_decoders).
+
+dns::Message sample_dns() {
+  dns::Message m;
+  m.id = 0x1234;
+  m.is_response = true;
+  m.questions.push_back({"www.example.com", 1, 1});
+  m.answers.push_back(dns::ResourceRecord::a("www.example.com",
+                                             Ipv4Addr{0x0a000001}, 300));
+  return m;
+}
+
+std::vector<Bytes> sample_encodings() {
+  std::vector<Bytes> out;
+  out.push_back(sample_dns().encode());
+
+  http::Request req;
+  req.method = "GET";
+  req.target = "/index.html";
+  req.version = "HTTP/1.1";
+  req.headers = {{"Host", "example.com"}, {"Accept", "*/*"}};
+  out.push_back(req.encode());
+
+  http::Response resp;
+  resp.status = 200;
+  resp.reason = "OK";
+  resp.headers = {{"Content-Type", "text/plain"}};
+  resp.body = {'h', 'i'};
+  out.push_back(resp.encode());
+
+  ntp::Packet ntp_pkt;
+  ntp_pkt.stratum = 2;
+  ntp_pkt.transmit_ts = ntp::to_ntp_timestamp(1e9 + 0.25);
+  out.push_back(ntp_pkt.encode());
+
+  quic::Header qh;
+  qh.dcid = {1, 2, 3, 4, 5, 6, 7, 8};
+  qh.scid = {9, 10, 11, 12};
+  const Bytes qpayload(32, 0x5a);
+  out.push_back(quic::encode_long_header(qh, BytesView{qpayload}));
+  out.push_back(quic::encode_short_header(BytesView{qh.dcid},
+                                          BytesView{qpayload}));
+
+  tls::ClientHello ch;
+  ch.cipher_suites = {0xc02f, 0xc030, 0x1301};
+  ch.server_name = "example.com";
+  ch.alpn = {"h2", "http/1.1"};
+  out.push_back(ch.encode_record());
+  tls::ServerHello sh;
+  sh.cipher_suite = 0xc030;
+  out.push_back(sh.encode_record());
+
+  Ipv4Header ip;
+  ip.src = Ipv4Addr{0x0a000001};
+  ip.dst = Ipv4Addr{0x0a000002};
+  TcpHeader tcp;
+  tcp.src_port = 443;
+  tcp.dst_port = 51000;
+  const Bytes payload(40, 0x77);
+  const Bytes frame =
+      build_tcp_frame(MacAddr::from_id(1), MacAddr::from_id(2), ip, tcp,
+                      BytesView{payload});
+  out.push_back(frame);
+
+  std::vector<Packet> packets = {{0.25, frame}, {0.5, frame}};
+  out.push_back(pcap_encode(packets));
+  return out;
+}
+
+void decode_everything(BytesView view) {
+  (void)parse_packet(view);
+  (void)dns::Message::decode(view);
+  (void)http::Request::decode(view);
+  (void)http::Response::decode(view);
+  (void)ntp::Packet::decode(view);
+  (void)quic::decode(view);
+  std::size_t consumed = 0;
+  (void)tls::Record::decode(view, consumed);
+  (void)tls::ClientHello::decode_handshake(view);
+  (void)tls::ServerHello::decode_handshake(view);
+  if (const auto packets = pcap_decode(view))
+    for (const Packet& p : *packets)
+      ASSERT_LE(p.frame.size(), kPcapSnapLen);
+  ByteReader r1(view);
+  (void)dns::decode_name(r1);
+  ByteReader r2(view);
+  (void)quic::read_varint(r2);
+}
+
+class FaultSweepSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSweepSeed, DecodeMutateEncodeNeverCrashes) {
+  const auto encodings = sample_encodings();
+  for (const Bytes& wire : encodings) {
+    for (std::uint64_t index = 0; index < 200; ++index) {
+      Bytes mutated = wire;
+      (void)fault::mutate(mutated, GetParam(), index);
+      decode_everything(BytesView{mutated});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSweepSeed,
+                         ::testing::Values(11ull, 1729ull, 0xfeedfaceull));
+
+// --------------------------------------------------------------------------
+// pcap record clamping (satellite 1)
+
+// Offset of record k's header in a pcap_encode() stream where every frame
+// has the same size: 24-byte global header, 16-byte record headers.
+std::size_t record_at(std::size_t k, std::size_t frame_size) {
+  return 24 + k * (16 + frame_size);
+}
+
+void patch_u32_be(Bytes& data, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    data[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * (3 - i)));
+}
+
+TEST(PcapHardening, OversizedInclLenEndsParseWithoutAllocating) {
+  const Bytes frame(10, 0xee);
+  const std::vector<Packet> packets = {{0.0, frame}, {1.0, frame},
+                                       {2.0, frame}};
+  Bytes wire = pcap_encode(packets);
+  // Record 1 claims 4 GB; decode must keep record 0 and stop, not allocate.
+  patch_u32_be(wire, record_at(1, frame.size()) + 8, 0xffffffffu);
+  const auto decoded = pcap_decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), 1u);
+
+  // Same with a lie just past the snap length.
+  wire = pcap_encode(packets);
+  patch_u32_be(wire, record_at(1, frame.size()) + 8, kPcapSnapLen + 1);
+  const auto decoded2 = pcap_decode(BytesView{wire});
+  ASSERT_TRUE(decoded2.has_value());
+  EXPECT_EQ(decoded2->size(), 1u);
+}
+
+TEST(PcapHardening, InclOrigDisagreementSkipsRecordNotFile) {
+  const Bytes frame(10, 0xee);
+  const std::vector<Packet> packets = {{0.0, frame}, {1.0, frame},
+                                       {2.0, frame}};
+  Bytes wire = pcap_encode(packets);
+  // Record 1: orig_len < incl_len ("captured more than existed") — record
+  // framing is intact, so records 0 and 2 must survive.
+  patch_u32_be(wire, record_at(1, frame.size()) + 12,
+               static_cast<std::uint32_t>(frame.size() - 1));
+  const auto decoded = pcap_decode(BytesView{wire});
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_DOUBLE_EQ((*decoded)[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ((*decoded)[1].timestamp, 2.0);
+}
+
+// --------------------------------------------------------------------------
+// DNS compression-pointer bounding (satellite 2)
+
+TEST(DnsHardening, SelfReferentialPointerRejected) {
+  // A name that is a pointer to itself: 0xc000 at offset 0.
+  const Bytes self = {0xc0, 0x00};
+  ByteReader r(BytesView{self});
+  EXPECT_FALSE(dns::decode_name(r).has_value());
+}
+
+TEST(DnsHardening, PointerCycleInMessageRejected) {
+  // Craft a query whose QNAME at offset 12 points at offset 12 — the
+  // classic decompression loop. Must return nullopt, not hang.
+  Bytes wire = {
+      0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00,              // header: 1 question
+      0xc0, 0x0c,              // QNAME: pointer to offset 12 (itself)
+      0x00, 0x01, 0x00, 0x01,  // QTYPE=A QCLASS=IN
+  };
+  EXPECT_FALSE(dns::Message::decode(BytesView{wire}).has_value());
+
+  // Two pointers pointing at each other (12 -> 14 -> 12).
+  wire[12] = 0xc0;
+  wire[13] = 0x0e;
+  const Bytes pair = {
+      0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00,
+      0xc0, 0x0e,              // at 12: pointer to 14
+      0xc0, 0x0c,              // at 14: pointer back to 12
+      0x00, 0x01, 0x00, 0x01,
+  };
+  EXPECT_FALSE(dns::Message::decode(BytesView{pair}).has_value());
+}
+
+TEST(DnsHardening, BackwardPointersStillDecode) {
+  // Legitimate compression (answer name pointing back at the question)
+  // must keep round-tripping.
+  const auto m = sample_dns();
+  const auto decoded = dns::Message::decode(BytesView{m.encode()});
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "www.example.com");
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint format (satellite 3)
+
+nn::ParameterList make_params(float fill_a, float fill_b) {
+  nn::ParameterList params;
+  params.push_back({"w", nn::Tensor(nn::Shape{3, 4},
+                                    std::vector<float>(12, fill_a))});
+  params.push_back({"b", nn::Tensor(nn::Shape{4},
+                                    std::vector<float>(4, fill_b))});
+  return params;
+}
+
+bool params_equal(const nn::ParameterList& a, const nn::ParameterList& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto da = a[i].tensor.data();
+    const auto db = b[i].tensor.data();
+    if (!std::equal(da.begin(), da.end(), db.begin())) return false;
+  }
+  return true;
+}
+
+TEST(SerializeHardening, EveryByteCorruptionIsRejectedWithoutPartialState) {
+  const auto src = make_params(1.5f, -2.5f);
+  const Bytes blob = nn::save_parameters(src);
+  for (std::size_t at = 0; at < blob.size(); ++at) {
+    Bytes bad = blob;
+    bad[at] ^= 0x01;
+    auto dst = make_params(0.0f, 0.0f);
+    const auto before = make_params(0.0f, 0.0f);
+    EXPECT_FALSE(nn::load_parameters(BytesView{bad}, dst))
+        << "flip at byte " << at << " was accepted";
+    EXPECT_TRUE(params_equal(dst, before)) << "partial state at byte " << at;
+  }
+  // The pristine blob still loads.
+  auto dst = make_params(0.0f, 0.0f);
+  ASSERT_TRUE(nn::load_parameters(BytesView{blob}, dst));
+  EXPECT_TRUE(params_equal(dst, src));
+}
+
+TEST(SerializeHardening, ShortAndGarbageBlobsRejected) {
+  auto dst = make_params(0.0f, 0.0f);
+  const Bytes blob = nn::save_parameters(dst);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    const BytesView prefix(blob.data(), cut);
+    EXPECT_FALSE(nn::load_parameters(prefix, dst)) << "prefix " << cut;
+  }
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Bytes junk(rng.uniform(300));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_FALSE(nn::load_parameters(BytesView{junk}, dst));
+  }
+}
+
+TEST(SerializeHardening, LegacyVersion1BlobStillLoads) {
+  const auto src = make_params(3.0f, 4.0f);
+  Bytes blob = nn::save_parameters(src);
+  blob.resize(blob.size() - 4);  // drop the CRC
+  blob[4] = 1;                   // version field (little-endian u32)
+  auto dst = make_params(0.0f, 0.0f);
+  ASSERT_TRUE(nn::load_parameters(BytesView{blob}, dst));
+  EXPECT_TRUE(params_equal(dst, src));
+}
+
+TEST(SerializeHardening, CheckpointRoundTripsStep) {
+  const std::string path = testing::TempDir() + "netfm_fault_ckpt.bin";
+  const auto src = make_params(0.25f, 0.75f);
+  ASSERT_TRUE(nn::save_checkpoint_file(path, src, 123456789ull));
+  auto dst = make_params(0.0f, 0.0f);
+  const auto step = nn::load_checkpoint_file(path, dst);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(*step, 123456789ull);
+  EXPECT_TRUE(params_equal(dst, src));
+  std::remove(path.c_str());
+  EXPECT_FALSE(nn::load_checkpoint_file(path, dst).has_value());
+}
+
+// --------------------------------------------------------------------------
+// File I/O fault points: atomicity under injected failures
+
+TEST(FileIoFaults, FailedAndShortWritesLeaveOriginalIntact) {
+  const std::string path = testing::TempDir() + "netfm_fault_io.bin";
+  const Bytes v1 = {1, 2, 3, 4};
+  const Bytes v2(1000, 0x42);
+  ASSERT_TRUE(io::write_file_atomic(path, BytesView{v1}));
+  {
+    fault::Scope scope("io.open.write=1");
+    EXPECT_FALSE(io::write_file_atomic(path, BytesView{v2}));
+  }
+  {
+    fault::Scope scope("io.short_write=1");
+    EXPECT_FALSE(io::write_file_atomic(path, BytesView{v2}));
+  }
+  auto back = io::read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v1);
+  {
+    fault::Scope scope("io.open.read=1");
+    EXPECT_FALSE(io::read_file(path).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileIoFaults, CrashBeforeRenameLeavesOriginalAndTemp) {
+  const std::string path = testing::TempDir() + "netfm_fault_crash.bin";
+  const Bytes v1 = {9, 9, 9};
+  const Bytes v2 = {7, 7, 7, 7};
+  ASSERT_TRUE(io::write_file_atomic(path, BytesView{v1}));
+  {
+    fault::Scope scope("io.crash_rename=1");
+    EXPECT_FALSE(io::write_file_atomic(path, BytesView{v2}));
+  }
+  // The crash window: target untouched, temp fully written next to it.
+  auto target = io::read_file(path);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(*target, v1);
+  auto temp = io::read_file(path + ".tmp");
+  ASSERT_TRUE(temp.has_value());
+  EXPECT_EQ(*temp, v2);
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+TEST(FileIoFaults, CorruptedCheckpointFileRejectedCleanly) {
+  const std::string path = testing::TempDir() + "netfm_fault_corrupt.bin";
+  const auto src = make_params(5.0f, 6.0f);
+  ASSERT_TRUE(nn::save_checkpoint_file(path, src, 17));
+  auto blob = io::read_file(path);
+  ASSERT_TRUE(blob.has_value());
+  (*blob)[blob->size() / 2] ^= 0xff;
+  ASSERT_TRUE(io::write_file_atomic(path, BytesView{*blob}));
+  auto dst = make_params(0.0f, 0.0f);
+  const auto before = make_params(0.0f, 0.0f);
+  EXPECT_FALSE(nn::load_checkpoint_file(path, dst).has_value());
+  EXPECT_TRUE(params_equal(dst, before));
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Training-loop hardening: non-finite detection, crash/resume
+
+tok::Vocabulary tiny_vocab() {
+  tok::Vocabulary v;
+  for (const char* t : {"tcp", "udp", "p80", "p443", "p53", "dns_query",
+                        "dns_resp", "d_www", "d_video", "fl_S", "fl_SA"})
+    v.add(t);
+  return v;
+}
+
+model::TransformerConfig tiny_config(std::size_t vocab) {
+  auto config = model::TransformerConfig::tiny(vocab);
+  config.max_seq_len = 16;
+  config.dropout = 0.0f;
+  return config;
+}
+
+std::vector<std::vector<std::string>> tiny_corpus() {
+  return {
+      {"tcp", "p80", "d_www"},   {"tcp", "p443", "d_video"},
+      {"udp", "p53", "dns_query"}, {"udp", "p53", "dns_resp"},
+      {"tcp", "p80", "fl_S"},    {"tcp", "p443", "fl_SA"},
+  };
+}
+
+core::PretrainOptions quick_pretrain(std::size_t steps) {
+  core::PretrainOptions options;
+  options.steps = steps;
+  options.batch_size = 4;
+  options.max_seq_len = 12;
+  options.warmup_steps = 2;
+  options.seed = 5;
+  return options;
+}
+
+TEST(TrainingHardening, InjectedNonFiniteLossSkipsEveryStep) {
+  core::NetFM fm(tiny_vocab(), tiny_config(tiny_vocab().size()));
+  fault::Scope scope("core.pretrain.loss=1");
+  const auto log = fm.pretrain(tiny_corpus(), {}, quick_pretrain(5));
+  EXPECT_EQ(log.nonfinite_skipped, 5u);
+  EXPECT_TRUE(log.losses.empty());
+}
+
+TEST(TrainingHardening, TrafficLmInjectedNonFiniteLossSkipsEveryStep) {
+  core::TrafficLM lm(tiny_vocab(), tiny_config(tiny_vocab().size()));
+  core::LmTrainOptions options;
+  options.steps = 4;
+  options.batch_size = 2;
+  options.max_seq_len = 12;
+  fault::Scope scope("core.lm.loss=1");
+  const auto log = lm.train(tiny_corpus(), options);
+  EXPECT_EQ(log.nonfinite_skipped, 4u);
+  EXPECT_TRUE(log.losses.empty());
+}
+
+TEST(TrainingHardening, PretrainCrashResumesFromCheckpoint) {
+  const std::string path = testing::TempDir() + "netfm_fault_pretrain.ckpt";
+  std::remove(path.c_str());
+  auto options = quick_pretrain(12);
+  options.checkpoint_path = path;
+  options.checkpoint_every = 4;
+
+  // Reference: the uninterrupted run.
+  core::NetFM reference(tiny_vocab(), tiny_config(tiny_vocab().size()));
+  auto plain = options;
+  plain.checkpoint_path.clear();
+  reference.pretrain(tiny_corpus(), {}, plain);
+  const double reference_loss =
+      reference.mlm_loss(tiny_corpus(), options.max_seq_len);
+
+  // Crashed run: the crash point's 9th evaluation is step index 8, so
+  // steps 0..7 complete and the step-8 checkpoint is on disk.
+  core::NetFM fm(tiny_vocab(), tiny_config(tiny_vocab().size()));
+  fault::reset();
+  {
+    fault::Scope scope("core.pretrain.crash=@9");
+    EXPECT_THROW(fm.pretrain(tiny_corpus(), {}, options),
+                 fault::CrashInjected);
+  }
+  // Resume: picks up at step 8 and replays the same batches the reference
+  // run saw for steps 8..11.
+  const auto log = fm.pretrain(tiny_corpus(), {}, options);
+  EXPECT_EQ(log.resumed_from, 8u);
+  EXPECT_EQ(log.steps, 4u);
+  const double resumed_loss = fm.mlm_loss(tiny_corpus(), options.max_seq_len);
+  // Adam moments restart at the resume point, so allow a loose tolerance.
+  EXPECT_NEAR(resumed_loss, reference_loss, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(TrainingHardening, FineTuneCrashResumesAtEpochBoundary) {
+  const std::string path = testing::TempDir() + "netfm_fault_finetune.ckpt";
+  std::remove(path.c_str());
+  const auto contexts = tiny_corpus();
+  const std::vector<int> labels = {0, 0, 1, 1, 0, 0};
+
+  core::NetFM fm(tiny_vocab(), tiny_config(tiny_vocab().size()));
+  core::FineTuneOptions options;
+  options.epochs = 4;
+  options.batch_size = 3;
+  options.max_seq_len = 12;
+  options.checkpoint_path = path;
+  fault::reset();
+  {
+    fault::Scope scope("core.finetune.crash=@3");
+    EXPECT_THROW(fm.fine_tune(contexts, labels, 2, options),
+                 fault::CrashInjected);
+  }
+  const auto log = fm.fine_tune(contexts, labels, 2, options);
+  EXPECT_EQ(log.resumed_from, 2u);
+  EXPECT_EQ(log.losses.size(), 2u);  // epochs 2 and 3 only
+  // The model must be functional after resume.
+  (void)fm.predict(contexts[0], options.max_seq_len);
+  std::remove(path.c_str());
+}
+
+TEST(TrainingHardening, HardKillMidPretrainResumesInFreshProcess) {
+  const std::string path = testing::TempDir() + "netfm_fault_kill.ckpt";
+  std::remove(path.c_str());
+  auto options = quick_pretrain(8);
+  options.checkpoint_path = path;
+  options.checkpoint_every = 2;
+
+  // Child: inject a hard kill (std::_Exit) on the 5th step evaluation.
+  // Steps 0..3 complete, so the step-4 checkpoint must be on disk.
+  // NETFM_THREADS=1 (set in main) keeps the pool inline, so fork is safe.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    fault::reset();
+    fault::Scope scope("core.pretrain.crash=@5!");
+    core::NetFM fm(tiny_vocab(), tiny_config(tiny_vocab().size()));
+    try {
+      fm.pretrain(tiny_corpus(), {}, options);
+    } catch (...) {
+    }
+    _exit(1);  // the kill should have fired before we get here
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), fault::kKillExitCode);
+
+  // A brand-new process (simulated: fresh model in the parent) resumes
+  // from the killed run's checkpoint and finishes training.
+  core::NetFM fm(tiny_vocab(), tiny_config(tiny_vocab().size()));
+  const auto log = fm.pretrain(tiny_corpus(), {}, options);
+  EXPECT_EQ(log.resumed_from, 4u);
+  EXPECT_EQ(log.steps, 4u);
+  for (const float loss : log.losses) EXPECT_TRUE(std::isfinite(loss));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netfm
+
+int main(int argc, char** argv) {
+  // Inline thread pool: no worker threads, so the fork()-based kill test
+  // cannot deadlock in the child.
+  setenv("NETFM_THREADS", "1", /*overwrite=*/0);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
