@@ -16,6 +16,16 @@ Stdlib only. Three checks, composable on one command line:
   --baseline BASE CUR      sanity-check a current emission against a
                            committed baseline: same bench name and no
                            metric names lost (values may drift).
+  --infer-gate FILE        FILE is a BENCH_micro_infer.json emission; fail
+                           unless KV-cached decode beats the uncached
+                           reference by --min-kv-speedup (default 2x) at
+                           T=128 and the no-grad forward beats the
+                           recording forward by --min-nograd-speedup
+                           (default 1.2x) at the largest batch. CI applies
+                           the strict defaults to the committed baseline
+                           (a full-length run) and relaxed floors to the
+                           smoke emission, which measures single
+                           iterations.
 
 Exit 0 if every requested check passes, 1 otherwise.
 """
@@ -119,22 +129,93 @@ def check_baseline(base_path: str, cur_path: str) -> None:
     print(f"check_bench_json: OK baseline {base_path} vs {cur_path}")
 
 
+def real_time(records: list[dict], path: str, bench: str) -> float:
+    for rec in records:
+        if rec["bench"] == bench and rec["metric"] == "real_time":
+            value = float(rec["value"])
+            if value <= 0.0:
+                fail(f"{path}: non-positive real_time for {bench}")
+            return value
+    fail(f"{path}: no real_time record for {bench}")
+    raise AssertionError("unreachable")
+
+
+def check_infer_gate(path: str, min_kv: float, min_nograd: float) -> None:
+    records = load(path)
+    cached = real_time(records, path, "BM_DecodeCached/128")
+    uncached = real_time(records, path, "BM_DecodeUncached/128")
+    kv_speedup = uncached / cached
+    print(
+        f"check_bench_json: KV decode T=128 {uncached:.0f} ns uncached / "
+        f"{cached:.0f} ns cached -> {kv_speedup:.2f}x "
+        f"(floor {min_kv:.2f}x)"
+    )
+    if kv_speedup < min_kv:
+        fail(
+            f"KV-cached decode speedup {kv_speedup:.2f}x is below the "
+            f"{min_kv:.2f}x floor at T=128"
+        )
+
+    # Largest batch shared by both forward sweeps: per-op graph/allocation
+    # overhead is amortized identically at every batch, so the biggest one
+    # is the most deterministic measurement of the fused fast path.
+    grad_args = {
+        rec["bench"].rsplit("/", 1)[1]
+        for rec in records
+        if rec["bench"].startswith("BM_ForwardGrad/")
+    }
+    nograd_args = {
+        rec["bench"].rsplit("/", 1)[1]
+        for rec in records
+        if rec["bench"].startswith("BM_ForwardNoGrad/")
+    }
+    shared = sorted(grad_args & nograd_args, key=int)
+    if not shared:
+        fail(f"{path}: no shared BM_ForwardGrad/BM_ForwardNoGrad batch args")
+    arg = shared[-1]
+    grad = real_time(records, path, f"BM_ForwardGrad/{arg}")
+    nograd = real_time(records, path, f"BM_ForwardNoGrad/{arg}")
+    speedup = grad / nograd
+    print(
+        f"check_bench_json: forward batch={arg} {grad:.0f} ns grad / "
+        f"{nograd:.0f} ns no-grad -> {speedup:.2f}x "
+        f"(floor {min_nograd:.2f}x)"
+    )
+    if speedup < min_nograd:
+        fail(
+            f"no-grad forward speedup {speedup:.2f}x is below the "
+            f"{min_nograd:.2f}x floor at batch {arg}"
+        )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--schema", action="append", default=[], metavar="FILE")
     parser.add_argument("--overhead", nargs=2, metavar=("OFF", "ON"))
     parser.add_argument("--overhead-pct", type=float, default=10.0)
     parser.add_argument("--baseline", nargs=2, metavar=("BASE", "CUR"))
+    parser.add_argument("--infer-gate", metavar="FILE")
+    parser.add_argument("--min-kv-speedup", type=float, default=2.0)
+    parser.add_argument("--min-nograd-speedup", type=float, default=1.2)
     args = parser.parse_args()
 
-    if not args.schema and not args.overhead and not args.baseline:
-        fail("nothing to check (pass --schema/--overhead/--baseline)")
+    if (
+        not args.schema
+        and not args.overhead
+        and not args.baseline
+        and not args.infer_gate
+    ):
+        fail("nothing to check (pass --schema/--overhead/--baseline/--infer-gate)")
     for path in args.schema:
         check_schema(path)
     if args.overhead:
         check_overhead(args.overhead[0], args.overhead[1], args.overhead_pct)
     if args.baseline:
         check_baseline(args.baseline[0], args.baseline[1])
+    if args.infer_gate:
+        check_infer_gate(
+            args.infer_gate, args.min_kv_speedup, args.min_nograd_speedup
+        )
     print("check_bench_json: all checks passed")
 
 

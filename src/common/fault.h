@@ -27,6 +27,8 @@
 //   core.pretrain.crash            crash (throw/exit) inside the step loop
 //   core.finetune.loss / .crash    same for fine-tuning
 //   core.lm.loss / .crash          same for TrafficLM training
+//   core.decode.crash              crash inside LmDecoder::advance
+//   nn.workspace.oom               Workspace::acquire throws bad_alloc
 #pragma once
 
 #include <cstdint>

@@ -214,6 +214,7 @@ double NetFM::mlm_loss(const std::vector<std::vector<std::string>>& corpus,
   const std::size_t seq_len =
       std::min(max_seq_len, encoder_->config().max_seq_len);
   Rng rng(seed);
+  const nn::InferenceGuard guard;  // evaluation never needs the graph
   double total = 0.0;
   std::size_t batches = 0;
   constexpr std::size_t kBatch = 8;
@@ -364,6 +365,7 @@ std::vector<float> NetFM::predict_logits(
       std::min(max_seq_len, encoder_->config().max_seq_len);
   const Encoded item = encode_context(context, vocab_, seq_len);
   const Batch batch = make_batch(std::span<const Encoded>(&item, 1));
+  const nn::InferenceGuard guard;
   const Tensor logits =
       classifier_->forward(forward_pooled(batch, /*train=*/false));
   return {logits.data().begin(), logits.data().end()};
@@ -390,6 +392,7 @@ std::vector<float> NetFM::embed(const std::vector<std::string>& context,
       std::min(max_seq_len, encoder_->config().max_seq_len);
   const Encoded item = encode_context(context, vocab_, seq_len);
   const Batch batch = make_batch(std::span<const Encoded>(&item, 1));
+  const nn::InferenceGuard guard;
   const Tensor hidden = encoder_->forward(batch, /*train=*/false);
 
   // Mean over real (non-padding) positions.
@@ -404,6 +407,42 @@ std::vector<float> NetFM::embed(const std::vector<std::string>& context,
   }
   if (count > 0.0f)
     for (float& v : out) v /= count;
+  return out;
+}
+
+std::vector<std::vector<float>> NetFM::embed_flows(
+    std::span<const std::vector<std::string>> contexts,
+    std::size_t max_seq_len) const {
+  if (contexts.empty()) return {};
+  const std::size_t seq_len =
+      std::min(max_seq_len, encoder_->config().max_seq_len);
+  std::vector<Encoded> items;
+  items.reserve(contexts.size());
+  for (const auto& context : contexts)
+    items.push_back(encode_context(context, vocab_, seq_len));
+  // encode_context pads every item to seq_len, and the forward computes
+  // each sequence's rows independently of its batch neighbours (padding is
+  // masked to an exact zero attention weight) — so one batched pass
+  // produces the same floats as a per-flow loop.
+  const Batch batch = make_batch(items);
+  const nn::InferenceGuard guard;
+  const Tensor hidden = encoder_->forward(batch, /*train=*/false);
+
+  const std::size_t d_model = encoder_->config().d_model;
+  std::vector<std::vector<float>> out(contexts.size());
+  for (std::size_t b = 0; b < contexts.size(); ++b) {
+    std::vector<float>& row = out[b];
+    row.assign(d_model, 0.0f);
+    float count = 0.0f;
+    const float* base = hidden.data().data() + b * batch.seq_len * d_model;
+    for (std::size_t t = 0; t < batch.seq_len; ++t) {
+      if (batch.attention_mask[b * batch.seq_len + t] == 0.0f) continue;
+      for (std::size_t d = 0; d < d_model; ++d) row[d] += base[t * d_model + d];
+      count += 1.0f;
+    }
+    if (count > 0.0f)
+      for (float& v : row) v /= count;
+  }
   return out;
 }
 

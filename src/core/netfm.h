@@ -131,6 +131,15 @@ class NetFM {
   std::vector<float> embed(const std::vector<std::string>& context,
                            std::size_t max_seq_len) const;
 
+  /// embed() for many flows at once: pads every context to the same length
+  /// (as encode_context already does) and runs them through one batched
+  /// no-grad forward instead of one forward per flow. Element-for-element
+  /// identical to calling embed() in a loop, just amortizing the per-pass
+  /// overhead across the batch.
+  std::vector<std::vector<float>> embed_flows(
+      std::span<const std::vector<std::string>> contexts,
+      std::size_t max_seq_len) const;
+
   /// Static (context-independent) embedding of one vocabulary token: its
   /// row of the input embedding table.
   std::vector<float> token_vector(std::string_view token) const;

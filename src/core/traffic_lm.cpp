@@ -142,6 +142,7 @@ double TrafficLM::loss(const std::vector<std::vector<std::string>>& corpus,
   if (corpus.empty()) return 0.0;
   const std::size_t seq_len =
       std::min(max_seq_len, encoder_->config().max_seq_len);
+  const nn::InferenceGuard guard;  // evaluation never needs the graph
   double total = 0.0;
   std::size_t batches = 0;
   constexpr std::size_t kBatch = 8;
@@ -177,14 +178,59 @@ std::vector<float> TrafficLM::next_logits(std::span<const int> ids) const {
           logits.data().begin() + last + vocab};
 }
 
+LmDecoder::LmDecoder(const TrafficLM& lm)
+    : lm_(&lm), cache_(lm.encoder_->make_cache()) {}
+
+std::vector<float> LmDecoder::advance(int token_id) {
+  static const auto f_crash = fault::point("core.decode.crash");
+  if (f_crash.fire()) throw fault::CrashInjected{"core.decode.crash"};
+  const nn::InferenceGuard guard;
+  const Tensor hidden = lm_->encoder_->forward_incremental(token_id, cache_);
+  const Tensor logits = lm_->head_->forward(hidden);  // [1, V]
+  return {logits.data().begin(), logits.data().end()};
+}
+
+double TrafficLM::score(const std::vector<std::string>& tokens) const {
+  // Frame exactly like training data: [CLS] tokens... [SEP], truncated.
+  std::vector<int> ids;
+  ids.reserve(tokens.size() + 2);
+  ids.push_back(tok::Vocabulary::kCls);
+  for (const std::string& t : tokens) ids.push_back(vocab_.id(t));
+  ids.push_back(tok::Vocabulary::kSep);
+  if (ids.size() > encoder_->config().max_seq_len)
+    ids.resize(encoder_->config().max_seq_len);
+  if (ids.size() < 2) return 0.0;
+
+  LmDecoder decoder(*this);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 0; t + 1 < ids.size(); ++t) {
+    const std::vector<float> logits = decoder.advance(ids[t]);
+    // Stable log-softmax at the realized next token, in double.
+    float maxv = logits[0];
+    for (float v : logits) maxv = std::max(maxv, v);
+    double denom = 0.0;
+    for (float v : logits) denom += std::exp(static_cast<double>(v - maxv));
+    total -= static_cast<double>(logits[static_cast<std::size_t>(ids[t + 1])] -
+                                 maxv) -
+             std::log(denom);
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
 std::vector<std::string> TrafficLM::sample(const SampleOptions& options,
                                            Rng& rng) const {
   std::vector<int> ids = {tok::Vocabulary::kCls};
   std::vector<std::string> out;
   const std::size_t limit =
       std::min(options.max_tokens + 1, encoder_->config().max_seq_len);
+  // KV-cached decode: each step appends one token's K/V per layer instead
+  // of re-running the whole prefix — logits are bit-identical to
+  // next_logits(ids), so sampling draws the exact same tokens.
+  LmDecoder decoder(*this);
   while (ids.size() < limit) {
-    std::vector<float> logits = next_logits(ids);
+    std::vector<float> logits = decoder.advance(ids.back());
     // Never emit padding/[CLS]/[MASK]; [SEP] ends the sequence.
     logits[tok::Vocabulary::kPad] = -1e9f;
     logits[tok::Vocabulary::kCls] = -1e9f;

@@ -35,6 +35,8 @@ struct SampleOptions {
   std::size_t top_k = 0;         // 0 = full distribution
 };
 
+class LmDecoder;
+
 class TrafficLM {
  public:
   /// Builds an untrained causal LM over the vocabulary.
@@ -59,15 +61,50 @@ class TrafficLM {
   std::vector<std::vector<std::string>> sample_corpus(
       std::size_t count, const SampleOptions& options, Rng& rng) const;
 
+  /// Mean next-token negative log-likelihood of one token sequence
+  /// (framed [CLS] ... [SEP], truncated to max_seq_len). Runs through the
+  /// KV-cached decoder, so a sequence of length T costs O(T^2) total work
+  /// instead of the O(T^3) of scoring each prefix from scratch.
+  double score(const std::vector<std::string>& tokens) const;
+
   nn::ParameterList parameters() const;
 
- private:
   /// Logits for the next token after `ids` (ids start with [CLS]).
+  /// Re-runs the full forward every call — the uncached reference path that
+  /// LmDecoder is tested and benchmarked against.
   std::vector<float> next_logits(std::span<const int> ids) const;
+
+ private:
+  friend class LmDecoder;
 
   tok::Vocabulary vocab_;
   std::unique_ptr<model::TransformerEncoder> encoder_;
   std::unique_ptr<model::MlmHead> head_;  // tied decoder reused as LM head
+};
+
+/// Incremental decoder: feeds tokens one at a time through the KV-cached
+/// fast path (model::KvCache), so appending a token to a T-token prefix
+/// costs O(T) instead of the O(T^2) full re-forward of
+/// TrafficLM::next_logits — with bit-identical logits. One decoder per
+/// generation stream; reset() (or a fresh decoder) starts a new stream and
+/// is also required after any weight mutation. Not thread-safe.
+class LmDecoder {
+ public:
+  explicit LmDecoder(const TrafficLM& lm);
+
+  /// Feeds `token_id` at position cached_tokens() and returns the logits
+  /// for the *next* token. Observes the `core.decode.crash` fault point;
+  /// after an injected crash, reset() restores a clean (cold-cache) state.
+  std::vector<float> advance(int token_id);
+
+  /// Forgets the cached prefix; the next advance() starts a new sequence.
+  void reset() noexcept { cache_.reset(); }
+
+  std::size_t cached_tokens() const noexcept { return cache_.length; }
+
+ private:
+  const TrafficLM* lm_;
+  model::KvCache cache_;
 };
 
 }  // namespace netfm::core

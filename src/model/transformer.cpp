@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/metrics.h"
+#include "nn/workspace.h"
+
 namespace netfm::model {
 
 using nn::Tensor;
@@ -131,16 +134,26 @@ Tensor EncoderBlock::forward(const Tensor& x, const AttentionContext& ctx,
   const Tensor k = nn::remap(key_.forward(x), ctx.headed, ctx.split);
   const Tensor v = nn::remap(value_.forward(x), ctx.headed, ctx.split);
 
-  Tensor scores = nn::matmul(q, nn::transpose(k));
-  scores =
-      nn::scale(scores, 1.0f / std::sqrt(static_cast<float>(ctx.head_dim)));
-  scores = nn::masked_fill(scores, ctx.score_mask, -1e9f);
-
-  Tensor attn = nn::softmax(scores);
+  const float inv_sqrt_dk =
+      1.0f / std::sqrt(static_cast<float>(ctx.head_dim));
+  Tensor attn;
+  if (nn::inference_mode()) {
+    // Fused scores+scale+mask+softmax: one pass, one buffer, no packed
+    // GEMM or transposed copy of k — bit-identical to the composed route
+    // below. The probabilities are still materialized so interpretability
+    // (last_attentions / attention rollout) sees the same maps.
+    attn = nn::attention_scores(q, k, ctx.score_mask, inv_sqrt_dk, -1e9f);
+  } else {
+    Tensor scores = nn::matmul(q, nn::transpose(k));
+    scores = nn::scale(scores, inv_sqrt_dk);
+    scores = nn::masked_fill(scores, ctx.score_mask, -1e9f);
+    attn = nn::softmax(scores);
+  }
   last_attention_ = attn;
   attn = nn::dropout(attn, cfg.dropout, train, rng);
 
-  const Tensor context = nn::matmul(attn, v);
+  const Tensor context = nn::inference_mode() ? nn::attention_apply(attn, v)
+                                              : nn::matmul(attn, v);
   const Tensor merged = nn::remap(
       context, {ctx.batch_size * ctx.seq_len, cfg.d_model}, ctx.merge);
   Tensor attended = output_.forward(merged);
@@ -149,6 +162,81 @@ Tensor EncoderBlock::forward(const Tensor& x, const AttentionContext& ctx,
 
   Tensor ffn = ffn_out_.forward(nn::gelu(ffn_in_.forward(x1)));
   ffn = nn::dropout(ffn, cfg.dropout, train, rng);
+  return norm_ffn_.forward(nn::add(x1, ffn));
+}
+
+Tensor EncoderBlock::forward_incremental(const Tensor& x, KvCache& cache,
+                                         std::size_t layer) const {
+  // Bitwise equivalence with the batched forward rests on three facts:
+  //  - Linear/LayerNorm/GELU rows are computed independently of how many
+  //    rows share the tensor, and the GEMM reduces K in a fixed serial
+  //    order per output element regardless of blocking — so projecting
+  //    just this token's row reproduces the full forward's row exactly.
+  //  - The manual dot/accumulate loops below reduce over the same index
+  //    ranges in the same order as the batched matmuls.
+  //  - In the full forward, causally masked score entries are set to
+  //    -1e9f, underflow to exactly 0.0f in exp(), and contribute +0.0f to
+  //    every sum — so attending over only the [0, t] prefix is
+  //    bit-identical to the masked full-row softmax.
+  const TransformerConfig& cfg = *config_;
+  const std::size_t heads = cfg.num_heads;
+  const std::size_t dk = cfg.head_dim();
+  const std::size_t cap = cache.capacity;
+  const std::size_t t = cache.length;  // position of this token
+
+  const Tensor q = query_.forward(x);  // [1, D]
+  const Tensor k = key_.forward(x);
+  const Tensor v = value_.forward(x);
+
+  // Append this token's K/V rows (head h lives at columns [h*dk, h*dk+dk)).
+  float* kc = cache.keys[layer].data();
+  float* vc = cache.values[layer].data();
+  const float* kp = k.data().data();
+  const float* vp = v.data().data();
+  for (std::size_t h = 0; h < heads; ++h) {
+    std::copy_n(kp + h * dk, dk, kc + (h * cap + t) * dk);
+    std::copy_n(vp + h * dk, dk, vc + (h * cap + t) * dk);
+  }
+
+  Tensor context = Tensor::empty({1, heads * dk});
+  float* op = context.data().data();
+  const float* qp = q.data().data();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  std::span<float> s = nn::Workspace::current().scratch(t + 1);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const float* qh = qp + h * dk;
+    const float* kh = kc + h * cap * dk;
+    const float* vh = vc + h * cap * dk;
+    // Scaled scores over the cached prefix (same reduction order and the
+    // same multiply-after-dot as matmul + nn::scale).
+    for (std::size_t j = 0; j <= t; ++j) {
+      float dot = 0.0f;
+      const float* krow = kh + j * dk;
+      for (std::size_t c = 0; c < dk; ++c) dot += qh[c] * krow[c];
+      s[j] = dot * scale;
+    }
+    // Softmax over [0, t] — the identical row loop from nn::softmax.
+    float maxv = s[0];
+    for (std::size_t j = 1; j <= t; ++j) maxv = std::max(maxv, s[j]);
+    float total = 0.0f;
+    for (std::size_t j = 0; j <= t; ++j) {
+      s[j] = std::exp(s[j] - maxv);
+      total += s[j];
+    }
+    for (std::size_t j = 0; j <= t; ++j) s[j] /= total;
+    // context = attn · V, accumulated in cache order (matmul's K order).
+    float* out = op + h * dk;
+    std::fill_n(out, dk, 0.0f);
+    for (std::size_t j = 0; j <= t; ++j) {
+      const float w = s[j];
+      const float* vrow = vh + j * dk;
+      for (std::size_t c = 0; c < dk; ++c) out[c] += w * vrow[c];
+    }
+  }
+
+  const Tensor attended = output_.forward(context);
+  const Tensor x1 = norm_attn_.forward(nn::add(x, attended));
+  const Tensor ffn = ffn_out_.forward(nn::gelu(ffn_in_.forward(x1)));
   return norm_ffn_.forward(nn::add(x1, ffn));
 }
 
@@ -183,6 +271,9 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
 }
 
 Tensor TransformerEncoder::forward(const Batch& batch, bool train) const {
+  static const auto h_forward = metrics::histogram("infer.forward_ns");
+  metrics::ScopedTimer forward_timer(h_forward);
+  nn::Workspace::current().reset_scratch();
   if (batch.seq_len > config_.max_seq_len)
     throw std::invalid_argument("TransformerEncoder: sequence of length " +
                                 std::to_string(batch.seq_len) +
@@ -204,6 +295,57 @@ Tensor TransformerEncoder::forward(const Batch& batch, bool train) const {
   attn_ctx_ = AttentionContext::build(batch, config_, &attn_ctx_);
   for (const auto& block : blocks_)
     x = block->forward(x, attn_ctx_, train, rng_);
+  return x;
+}
+
+KvCache TransformerEncoder::make_cache() const {
+  KvCache cache;
+  cache.layers = config_.num_layers;
+  cache.heads = config_.num_heads;
+  cache.head_dim = config_.head_dim();
+  cache.capacity = config_.max_seq_len;
+  const std::size_t per_layer = cache.heads * cache.capacity * cache.head_dim;
+  cache.keys.resize(cache.layers);
+  cache.values.resize(cache.layers);
+  for (std::size_t i = 0; i < cache.layers; ++i) {
+    cache.keys[i].resize(per_layer);
+    cache.values[i].resize(per_layer);
+  }
+  return cache;
+}
+
+Tensor TransformerEncoder::forward_incremental(int token_id,
+                                               KvCache& cache) const {
+  static const auto h_forward = metrics::histogram("infer.forward_ns");
+  static const auto c_kv_hits =
+      metrics::counter("infer.kv_hit_tokens", "token");
+  metrics::ScopedTimer forward_timer(h_forward);
+  nn::Workspace::current().reset_scratch();
+  if (!config_.causal)
+    throw std::invalid_argument(
+        "forward_incremental: requires a causal config (later tokens must "
+        "not change earlier rows)");
+  if (cache.layers != config_.num_layers || cache.heads != config_.num_heads ||
+      cache.head_dim != config_.head_dim() ||
+      cache.capacity != config_.max_seq_len)
+    throw std::invalid_argument(
+        "forward_incremental: cache geometry mismatch (use make_cache())");
+  if (cache.length >= cache.capacity)
+    throw std::invalid_argument("forward_incremental: cache full");
+
+  const int position = static_cast<int>(cache.length);
+  c_kv_hits.add(cache.length);  // prefix tokens served from cache, not recomputed
+  const int ids[1] = {token_id};
+  const int positions[1] = {position};
+  const int segments[1] = {0};
+  Tensor x = nn::embedding(token_embed_.tensor, ids);
+  x = nn::add(x, nn::embedding(position_embed_.tensor, positions));
+  x = nn::add(x, nn::embedding(segment_embed_.tensor, segments));
+  x = embed_norm_.forward(x);
+  // No dropout: incremental decode is inference-only (train=false).
+  for (std::size_t layer = 0; layer < blocks_.size(); ++layer)
+    x = blocks_[layer]->forward_incremental(x, cache, layer);
+  ++cache.length;
   return x;
 }
 

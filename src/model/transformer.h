@@ -50,6 +50,25 @@ struct AttentionContext {
                                 const AttentionContext* previous = nullptr);
 };
 
+/// Per-layer attention key/value history for incremental decoding: feeding
+/// token t through TransformerEncoder::forward_incremental appends one
+/// [H, dk] row per layer and attends over the cached prefix, so a step
+/// costs O(T) in the sequence length instead of the O(T^2) of re-running
+/// the full forward. Rows [0, length) of each layer buffer are valid.
+///
+/// The cache holds projections of the *current* weights: reset() it after
+/// any weight mutation (training step, checkpoint load) — stale rows would
+/// silently mix old and new parameters (see DESIGN.md).
+struct KvCache {
+  std::size_t layers = 0, heads = 0, head_dim = 0, capacity = 0;
+  std::size_t length = 0;  // tokens cached so far
+  // One [H, capacity, dk] row-major buffer per layer.
+  std::vector<nn::FloatBuffer> keys, values;
+
+  /// Forgets all cached tokens (keeps the allocation).
+  void reset() noexcept { length = 0; }
+};
+
 /// Dense affine layer (weight [in, out], bias [out]).
 class Linear {
  public:
@@ -87,6 +106,15 @@ class EncoderBlock {
   /// (AttentionContext::build) and shared across layers.
   nn::Tensor forward(const nn::Tensor& x, const AttentionContext& ctx,
                      bool train, Rng& rng) const;
+
+  /// One-token decode step: x is [1, D] for the token at position
+  /// `cache.length`; appends this layer's K/V rows to the cache and attends
+  /// over the cached prefix. Bit-identical to the corresponding row of the
+  /// full forward (see the implementation notes). Does not update
+  /// last_attention().
+  nn::Tensor forward_incremental(const nn::Tensor& x, KvCache& cache,
+                                 std::size_t layer) const;
+
   void collect(nn::ParameterList& out) const;
 
   /// Attention probabilities from the most recent forward: one tensor of
@@ -108,6 +136,17 @@ class TransformerEncoder {
 
   /// Returns contextual embeddings [B*T, D].
   nn::Tensor forward(const Batch& batch, bool train = false) const;
+
+  /// An empty cache sized for this encoder (capacity = max_seq_len).
+  KvCache make_cache() const;
+
+  /// Feeds one token at position `cache.length` and returns its contextual
+  /// embedding [1, D]. Requires a causal config and a cache from
+  /// make_cache(). The result is bit-identical to the last row of
+  /// forward() over the same prefix, at O(T) cost per step instead of
+  /// O(T^2). Typically run under nn::InferenceGuard; no dropout is applied
+  /// (equivalent to train=false).
+  nn::Tensor forward_incremental(int token_id, KvCache& cache) const;
 
   const TransformerConfig& config() const noexcept { return config_; }
   nn::ParameterList parameters() const;

@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/threadpool.h"
+#include "nn/workspace.h"
 
 namespace netfm::nn {
 namespace {
@@ -21,6 +22,9 @@ void check(bool ok, const std::string& what) {
   if (!ok) fail(what);
 }
 
+/// Thread-local no-grad flag behind inference_mode()/InferenceGuard.
+thread_local bool t_inference_mode = false;
+
 /// Whether make_node zero-fills the output buffer. Ops that write every
 /// element (matmul, unary, copies) skip the fill; ops that accumulate into
 /// the output (mean_rows) keep it.
@@ -32,6 +36,16 @@ std::shared_ptr<TensorNode> make_node(
   auto node = std::make_shared<TensorNode>();
   node->shape = std::move(shape);
   const std::size_t n = numel(node->shape);
+  if (t_inference_mode) {
+    // Fast path: recycled buffer, no parent links, no grad propagation —
+    // the graph is never built, and intermediates recycle as soon as the
+    // last Tensor handle drops.
+    node->value = Workspace::current().acquire(n);
+    node->pooled = true;
+    if (init == Init::kZero)
+      std::fill(node->value.begin(), node->value.end(), 0.0f);
+    return node;
+  }
   if (init == Init::kZero)
     node->value.assign(n, 0.0f);
   else
@@ -40,6 +54,15 @@ std::shared_ptr<TensorNode> make_node(
   for (const auto& p : node->parents)
     if (p && p->requires_grad) node->requires_grad = true;
   return node;
+}
+
+/// Installs a backward closure only when the node actually participates in
+/// a graph (some parent requires grad). Inference-mode and frozen-input
+/// nodes skip the std::function allocation entirely; backward() never
+/// visits them (it gates on requires_grad).
+template <typename Fn>
+void set_backward(const std::shared_ptr<TensorNode>& node, Fn&& fn) {
+  if (node->requires_grad) node->backward = std::forward<Fn>(fn);
 }
 
 // ---- parallel loop helpers ----------------------------------------------
@@ -205,9 +228,23 @@ std::string shape_str(const Shape& shape) {
   return out + "]";
 }
 
+TensorNode::~TensorNode() {
+  // Pooled buffers recycle through the workspace of the destroying thread
+  // (the driver thread under the supported usage pattern; see workspace.h).
+  if (pooled) Workspace::current().release(std::move(value));
+}
+
 void TensorNode::ensure_grad() {
   if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
 }
+
+bool inference_mode() noexcept { return t_inference_mode; }
+
+InferenceGuard::InferenceGuard() noexcept : previous_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+InferenceGuard::~InferenceGuard() { t_inference_mode = previous_; }
 
 Tensor::Tensor(Shape shape, bool requires_grad) {
   node_ = std::make_shared<TensorNode>();
@@ -226,6 +263,10 @@ Tensor::Tensor(Shape shape, std::vector<float> values, bool requires_grad) {
 
 Tensor Tensor::scalar(float v) {
   return Tensor(Shape{1}, std::vector<float>{v});
+}
+
+Tensor Tensor::empty(Shape shape) {
+  return Tensor(make_node(std::move(shape), {}, Init::kUninit));
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -393,7 +434,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         });
   }
 
-  node->backward = [m, k, n, batch, batch_grain, shared_rhs](
+  set_backward(node, [m, k, n, batch, batch_grain, shared_rhs](
                        TensorNode& self) {
     static const auto c_bwd = metrics::counter("nn.matmul.backward.calls");
     static const auto h_bwd = metrics::histogram("nn.matmul.backward.ns");
@@ -433,7 +474,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
             });
       }
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -486,7 +527,7 @@ Tensor add_like(const Tensor& a, const Tensor& b, float sign) {
     });
   }
 
-  node->backward = [an, last, broadcast, sign](TensorNode& self) {
+  set_backward(node, [an, last, broadcast, sign](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& B = *self.parents[1];
     const float* g = self.grad.data();
@@ -508,7 +549,7 @@ Tensor add_like(const Tensor& a, const Tensor& b, float sign) {
         });
       }
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -522,7 +563,7 @@ Tensor unary(const Tensor& a, F f, DF df) {
   parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) op[i] = f(ap[i]);
   });
-  node->backward = [n, df](TensorNode& self) {
+  set_backward(node, [n, df](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     float* ga = A.grad.data();
@@ -532,7 +573,7 @@ Tensor unary(const Tensor& a, F f, DF df) {
     parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i] * df(av[i], y[i]);
     });
-  };
+  });
   return Tensor(node);
 }
 
@@ -551,7 +592,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) op[i] = ap[i] * bp[i];
   });
-  node->backward = [n](TensorNode& self) {
+  set_backward(node, [n](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& B = *self.parents[1];
     const bool need_a = A.requires_grad, need_b = B.requires_grad;
@@ -566,7 +607,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
         if (need_b) gb[i] += g[i] * av[i];
       }
     });
-  };
+  });
   return Tensor(node);
 }
 
@@ -644,7 +685,7 @@ Tensor softmax(const Tensor& a) {
       for (std::size_t c = 0; c < cols; ++c) out[c] /= total;
     }
   });
-  node->backward = [rows = rows, cols = cols](TensorNode& self) {
+  set_backward(node, [rows = rows, cols = cols](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     const float* yp = self.value.data();
@@ -660,7 +701,136 @@ Tensor softmax(const Tensor& a) {
         for (std::size_t c = 0; c < cols; ++c) ga[c] += y[c] * (g[c] - dot);
       }
     });
-  };
+  });
+  return Tensor(node);
+}
+
+Tensor attention_softmax(const Tensor& a,
+                         std::shared_ptr<const std::vector<float>> mask,
+                         float scale, float mask_value) {
+  check(mask != nullptr, "attention_softmax: null mask");
+  check(!a.requires_grad(),
+        "attention_softmax: inference-only; use scale/masked_fill/softmax "
+        "when gradients are needed");
+  const std::size_t n = a.size();
+  const std::size_t mn = mask->size();
+  check(mn == n || (mn > 0 && n % mn == 0),
+        "attention_softmax: mask length must divide tensor size");
+  const auto [rows, cols] = last_dim(a.shape());
+  auto node = make_node(a.shape(), {}, Init::kUninit);
+  const float* ap = a.data().data();
+  const float* mp = mask->data();
+  float* op = node->value.data();
+  // Single sweep per row: materialize the scaled+masked scores into the
+  // output, then the exact softmax row loop. Element-for-element this is
+  // the composed scale -> masked_fill -> softmax pipeline (same float ops
+  // in the same order), so results are bit-identical to that route — it
+  // just skips two intermediate buffers and two extra passes.
+  parallel_rows(rows, cols, [=, cols = cols](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const float* in = ap + r * cols;
+      float* out = op + r * cols;
+      const std::size_t base = r * cols;
+      for (std::size_t c = 0; c < cols; ++c)
+        out[c] = mp[(base + c) % mn] != 0.0f ? in[c] * scale : mask_value;
+      float maxv = out[0];
+      for (std::size_t c = 1; c < cols; ++c) maxv = std::max(maxv, out[c]);
+      float total = 0.0f;
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c] = std::exp(out[c] - maxv);
+        total += out[c];
+      }
+      for (std::size_t c = 0; c < cols; ++c) out[c] /= total;
+    }
+  });
+  return Tensor(node);
+}
+
+Tensor attention_scores(const Tensor& q, const Tensor& k,
+                        std::shared_ptr<const std::vector<float>> mask,
+                        float scale, float mask_value) {
+  check(mask != nullptr, "attention_scores: null mask");
+  check(!q.requires_grad() && !k.requires_grad(),
+        "attention_scores: inference-only; use matmul/transpose/scale/"
+        "masked_fill/softmax when gradients are needed");
+  check(q.shape().size() == 3 && q.shape() == k.shape(),
+        "attention_scores: q and k must share a [BH, T, dk] shape");
+  const std::size_t bh = q.dim(0), t = q.dim(1), dk = q.dim(2);
+  const std::size_t n = bh * t * t;
+  const std::size_t mn = mask->size();
+  check(mn == n || (mn > 0 && n % mn == 0),
+        "attention_scores: mask length must divide score count");
+  auto node = make_node({bh, t, t}, {}, Init::kUninit);
+  const float* qp = q.data().data();
+  const float* kp = k.data().data();
+  const float* mp = mask->data();
+  float* op = node->value.data();
+  // One pass per query row: dot products over dk in ascending order (the
+  // batched GEMM's serial reduction per output element), scale/mask applied
+  // to each score as it lands, then the exact softmax row loop from
+  // attention_softmax. Masked scores skip the dot entirely — the composed
+  // route computes and then overwrites them, so the value is identical.
+  parallel_rows(bh * t, t, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t lane = r / t;
+      const float* qrow = qp + r * dk;
+      const float* krows = kp + lane * t * dk;
+      float* out = op + r * t;
+      const std::size_t base = r * t;
+      for (std::size_t j = 0; j < t; ++j) {
+        if (mp[(base + j) % mn] != 0.0f) {
+          const float* krow = krows + j * dk;
+          float dot = 0.0f;
+          for (std::size_t c = 0; c < dk; ++c) dot += qrow[c] * krow[c];
+          out[j] = dot * scale;
+        } else {
+          out[j] = mask_value;
+        }
+      }
+      float maxv = out[0];
+      for (std::size_t j = 1; j < t; ++j) maxv = std::max(maxv, out[j]);
+      float total = 0.0f;
+      for (std::size_t j = 0; j < t; ++j) {
+        out[j] = std::exp(out[j] - maxv);
+        total += out[j];
+      }
+      for (std::size_t j = 0; j < t; ++j) out[j] /= total;
+    }
+  });
+  return Tensor(node);
+}
+
+Tensor attention_apply(const Tensor& attn, const Tensor& v) {
+  check(!attn.requires_grad() && !v.requires_grad(),
+        "attention_apply: inference-only; use matmul when gradients are "
+        "needed");
+  check(attn.shape().size() == 3 && v.shape().size() == 3 &&
+            attn.dim(0) == v.dim(0) && attn.dim(1) == v.dim(1) &&
+            attn.dim(2) == v.dim(1),
+        "attention_apply: attn [BH, T, T] and v [BH, T, dk] required");
+  const std::size_t bh = attn.dim(0), t = attn.dim(1), dk = v.dim(2);
+  auto node = make_node({bh, t, dk}, {}, Init::kUninit);
+  const float* ap = attn.data().data();
+  const float* vp = v.data().data();
+  float* op = node->value.data();
+  // Per output element this accumulates attn[i, j] * v[j, c] over j in
+  // ascending order — the batched GEMM's fixed serial K-reduction — so the
+  // result matches matmul(attn, v) element for element. The j-outer loop
+  // just makes the dk-wide inner accumulation vector-friendly.
+  parallel_rows(bh * t, dk, [=](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const std::size_t lane = r / t;
+      const float* arow = ap + r * t;
+      const float* vrows = vp + lane * t * dk;
+      float* out = op + r * dk;
+      std::fill_n(out, dk, 0.0f);
+      for (std::size_t j = 0; j < t; ++j) {
+        const float w = arow[j];
+        const float* vrow = vrows + j * dk;
+        for (std::size_t c = 0; c < dk; ++c) out[c] += w * vrow[c];
+      }
+    }
+  });
   return Tensor(node);
 }
 
@@ -681,7 +851,7 @@ Tensor log_softmax(const Tensor& a) {
       for (std::size_t c = 0; c < cols; ++c) out[c] = in[c] - log_total;
     }
   });
-  node->backward = [rows = rows, cols = cols](TensorNode& self) {
+  set_backward(node, [rows = rows, cols = cols](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     const float* yp = self.value.data();
@@ -698,7 +868,7 @@ Tensor log_softmax(const Tensor& a) {
           ga[c] += g[c] - std::exp(y[c]) * gsum;
       }
     });
-  };
+  });
   return Tensor(node);
 }
 
@@ -710,14 +880,18 @@ Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   auto node =
       make_node(a.shape(), {a.node(), gain.node(), bias.node()},
                 Init::kUninit);
-  // Cache per-row mean and inverse stddev for the backward pass.
-  auto stats = std::make_shared<std::vector<float>>(rows * 2);
+  // Cache per-row mean and inverse stddev for the backward pass — skipped
+  // entirely on the no-grad route (same arithmetic either way, so results
+  // stay bit-identical).
+  auto stats = node->requires_grad
+                   ? std::make_shared<std::vector<float>>(rows * 2)
+                   : nullptr;
   {
     const float* ap = a.data().data();
     const float* g = gain.data().data();
     const float* b = bias.data().data();
     float* op = node->value.data();
-    float* st = stats->data();
+    float* st = stats ? stats->data() : nullptr;
     parallel_rows(rows, cols,
                   [=, cols = cols](std::size_t lo, std::size_t hi) {
       for (std::size_t r = lo; r < hi; ++r) {
@@ -732,15 +906,17 @@ Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
         }
         var /= static_cast<float>(cols);
         const float inv_std = 1.0f / std::sqrt(var + eps);
-        st[r * 2] = mean;
-        st[r * 2 + 1] = inv_std;
+        if (st) {
+          st[r * 2] = mean;
+          st[r * 2 + 1] = inv_std;
+        }
         float* out = op + r * cols;
         for (std::size_t c = 0; c < cols; ++c)
           out[c] = (in[c] - mean) * inv_std * g[c] + b[c];
       }
     });
   }
-  node->backward = [rows = rows, cols = cols, stats](TensorNode& self) {
+  set_backward(node, [rows = rows, cols = cols, stats](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     TensorNode& G = *self.parents[1];
     TensorNode& B = *self.parents[2];
@@ -790,7 +966,7 @@ Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
         }
       });
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -798,17 +974,22 @@ Tensor embedding(const Tensor& weight, std::span<const int> ids) {
   check(weight.rank() == 2, "embedding: weight must be [V, D]");
   const std::size_t vocab = weight.dim(0);
   const std::size_t dim = weight.dim(1);
-  auto ids_copy = std::make_shared<std::vector<int>>(ids.begin(), ids.end());
   auto node = make_node(Shape{ids.size(), dim}, {weight.node()},
                         Init::kUninit);
-  for (std::size_t i = 0; i < ids_copy->size(); ++i) {
-    const int id = (*ids_copy)[i];
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
     check(id >= 0 && static_cast<std::size_t>(id) < vocab,
           "embedding: id out of range");
     std::copy_n(weight.data().data() + static_cast<std::size_t>(id) * dim,
                 dim, node->value.data() + i * dim);
   }
-  node->backward = [ids_copy, dim](TensorNode& self) {
+  // The id copy exists only for the backward closure; the no-grad route
+  // (frozen weights or inference mode) skips the allocation.
+  auto ids_copy = node->requires_grad
+                      ? std::make_shared<std::vector<int>>(ids.begin(),
+                                                           ids.end())
+                      : nullptr;
+  set_backward(node, [ids_copy, dim](TensorNode& self) {
     TensorNode& W = *self.parents[0];
     if (!W.requires_grad) return;
     for (std::size_t i = 0; i < ids_copy->size(); ++i) {
@@ -817,7 +998,7 @@ Tensor embedding(const Tensor& weight, std::span<const int> ids) {
       float* gw = W.grad.data() + id * dim;
       for (std::size_t d = 0; d < dim; ++d) gw[d] += g[d];
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -836,7 +1017,7 @@ Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
   parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) op[i] = ap[i] * mp[i];
   });
-  node->backward = [mask, n](TensorNode& self) {
+  set_backward(node, [mask, n](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     const float* g = self.grad.data();
@@ -845,7 +1026,7 @@ Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
     parallel_elems(n, [=](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) ga[i] += g[i] * mp[i];
     });
-  };
+  });
   return Tensor(node);
 }
 
@@ -861,7 +1042,7 @@ Tensor transpose(const Tensor& a) {
       for (std::size_t j = 0; j < v.cols; ++j)
         out[j * v.rows + i] = in[i * v.cols + j];
   }
-  node->backward = [v](TensorNode& self) {
+  set_backward(node, [v](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     for (std::size_t batch_i = 0; batch_i < v.batch; ++batch_i) {
@@ -871,7 +1052,7 @@ Tensor transpose(const Tensor& a) {
         for (std::size_t j = 0; j < v.cols; ++j)
           ga[i * v.cols + j] += g[j * v.rows + i];
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -881,12 +1062,12 @@ Tensor reshape(const Tensor& a, Shape shape) {
                                       shape_str(shape));
   auto node = make_node(std::move(shape), {a.node()}, Init::kUninit);
   node->value.assign(a.data().begin(), a.data().end());
-  node->backward = [](TensorNode& self) {
+  set_backward(node, [](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     for (std::size_t i = 0; i < self.grad.size(); ++i)
       A.grad[i] += self.grad[i];
-  };
+  });
   return Tensor(node);
 }
 
@@ -898,12 +1079,12 @@ Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t end) {
       make_node(Shape{end - begin, cols}, {a.node()}, Init::kUninit);
   std::copy_n(a.data().data() + begin * cols, (end - begin) * cols,
               node->value.data());
-  node->backward = [begin, cols](TensorNode& self) {
+  set_backward(node, [begin, cols](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     for (std::size_t i = 0; i < self.grad.size(); ++i)
       A.grad[begin * cols + i] += self.grad[i];
-  };
+  });
   return Tensor(node);
 }
 
@@ -923,7 +1104,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     std::copy_n(t.data().data(), t.size(), node->value.data() + at);
     at += t.size();
   }
-  node->backward = [](TensorNode& self) {
+  set_backward(node, [](TensorNode& self) {
     std::size_t at = 0;
     for (const auto& p : self.parents) {
       if (p->requires_grad)
@@ -931,7 +1112,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
           p->grad[i] += self.grad[at + i];
       at += p->value.size();
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -941,12 +1122,12 @@ Tensor mean(const Tensor& a) {
   float total = 0.0f;
   for (float v : a.data()) total += v;
   node->value[0] = total / static_cast<float>(n);
-  node->backward = [n](TensorNode& self) {
+  set_backward(node, [n](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     const float g = self.grad[0] / static_cast<float>(n);
     for (std::size_t i = 0; i < n; ++i) A.grad[i] += g;
-  };
+  });
   return Tensor(node);
 }
 
@@ -955,11 +1136,11 @@ Tensor sum(const Tensor& a) {
   float total = 0.0f;
   for (float v : a.data()) total += v;
   node->value[0] = total;
-  node->backward = [n = a.size()](TensorNode& self) {
+  set_backward(node, [n = a.size()](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     for (std::size_t i = 0; i < n; ++i) A.grad[i] += self.grad[0];
-  };
+  });
   return Tensor(node);
 }
 
@@ -974,13 +1155,13 @@ Tensor mean_rows(const Tensor& a) {
       node->value[c] += a.data()[r * cols + c];
   for (std::size_t c = 0; c < cols; ++c)
     node->value[c] /= static_cast<float>(rows);
-  node->backward = [rows, cols](TensorNode& self) {
+  set_backward(node, [rows, cols](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     for (std::size_t r = 0; r < rows; ++r)
       for (std::size_t c = 0; c < cols; ++c)
         A.grad[r * cols + c] += self.grad[c] / static_cast<float>(rows);
-  };
+  });
   return Tensor(node);
 }
 
@@ -995,12 +1176,12 @@ Tensor remap(const Tensor& a, Shape out_shape,
     check((*map)[i] < in_size, "remap: index out of range");
     node->value[i] = in[(*map)[i]];
   }
-  node->backward = [map](TensorNode& self) {
+  set_backward(node, [map](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     for (std::size_t i = 0; i < map->size(); ++i)
       A.grad[(*map)[i]] += self.grad[i];
-  };
+  });
   return Tensor(node);
 }
 
@@ -1027,7 +1208,7 @@ Tensor masked_fill(const Tensor& a,
     for (std::size_t i = lo; i < hi; ++i)
       op[i] = mp[i % mn] != 0.0f ? ap[i] : mask_value;
   });
-  node->backward = [mask, n, mn](TensorNode& self) {
+  set_backward(node, [mask, n, mn](TensorNode& self) {
     TensorNode& A = *self.parents[0];
     if (!A.requires_grad) return;
     const float* g = self.grad.data();
@@ -1037,7 +1218,7 @@ Tensor masked_fill(const Tensor& a,
       for (std::size_t i = lo; i < hi; ++i)
         if (mp[i % mn] != 0.0f) ga[i] += g[i];
     });
-  };
+  });
   return Tensor(node);
 }
 
@@ -1074,7 +1255,7 @@ Tensor cross_entropy(const Tensor& logits, std::span<const int> targets) {
   }
   const std::size_t denom_count = active == 0 ? 1 : active;
   node->value[0] = static_cast<float>(total / denom_count);
-  node->backward = [tgt, probs, n, classes, denom_count](TensorNode& self) {
+  set_backward(node, [tgt, probs, n, classes, denom_count](TensorNode& self) {
     TensorNode& L = *self.parents[0];
     if (!L.requires_grad) return;
     const float g = self.grad[0] / static_cast<float>(denom_count);
@@ -1086,7 +1267,7 @@ Tensor cross_entropy(const Tensor& logits, std::span<const int> targets) {
       for (std::size_t c = 0; c < classes; ++c)
         gl[c] += g * (p[c] - (static_cast<int>(c) == t ? 1.0f : 0.0f));
     }
-  };
+  });
   return Tensor(node);
 }
 
@@ -1102,13 +1283,13 @@ Tensor mse_loss(const Tensor& pred, std::span<const float> targets) {
     total += d * d;
   }
   node->value[0] = static_cast<float>(total / n);
-  node->backward = [tgt, n](TensorNode& self) {
+  set_backward(node, [tgt, n](TensorNode& self) {
     TensorNode& P = *self.parents[0];
     if (!P.requires_grad) return;
     const float g = self.grad[0] * 2.0f / static_cast<float>(n);
     for (std::size_t i = 0; i < n; ++i)
       P.grad[i] += g * (P.value[i] - (*tgt)[i]);
-  };
+  });
   return Tensor(node);
 }
 

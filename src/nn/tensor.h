@@ -67,10 +67,38 @@ struct TensorNode {
   FloatBuffer grad;  // allocated lazily; same length as value
   Shape shape;
   bool requires_grad = false;
+  /// Value buffer came from the thread Workspace (inference fast path);
+  /// the destructor returns it for reuse instead of freeing it.
+  bool pooled = false;
   std::vector<std::shared_ptr<TensorNode>> parents;
   std::function<void(TensorNode&)> backward;  // reads this->grad, fills parents
 
+  ~TensorNode();
   void ensure_grad();
+};
+
+// ---- Inference (no-grad) execution mode ----
+//
+// While a guard is active on a thread, every op on that thread skips the
+// autograd machinery entirely: no parent links, no backward closures, and
+// `requires_grad` is forced false on results — a forward pass builds no
+// graph and holds no history. Output buffers are drawn from the thread's
+// Workspace (see workspace.h) instead of the heap. Forward arithmetic is
+// unchanged, so results are bit-identical to the recording route.
+
+/// True when the calling thread is inside an InferenceGuard.
+bool inference_mode() noexcept;
+
+/// RAII no-grad gate. Nestable; restores the previous state on exit.
+class InferenceGuard {
+ public:
+  InferenceGuard() noexcept;
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+ private:
+  bool previous_;
 };
 
 /// Value-semantic handle to a tensor node.
@@ -80,6 +108,11 @@ class Tensor {
 
   /// Uninitialized (zero) tensor of the given shape.
   explicit Tensor(Shape shape, bool requires_grad = false);
+
+  /// Tensor with uninitialized contents; the buffer comes from the thread
+  /// Workspace while inference mode is active. For kernels that overwrite
+  /// every element (the incremental-attention path).
+  static Tensor empty(Shape shape);
 
   /// Tensor with explicit contents (row-major).
   Tensor(Shape shape, std::vector<float> values, bool requires_grad = false);
@@ -155,6 +188,38 @@ Tensor sigmoid(const Tensor& a);
 
 /// Softmax over the last dimension.
 Tensor softmax(const Tensor& a);
+
+/// Fused scale -> masked_fill -> softmax over the last dimension: the
+/// attention-score pipeline collapsed into one pass (one output buffer
+/// instead of three, one sweep instead of three). Element-for-element it
+/// computes exactly what the composed ops compute, so results are
+/// bit-identical to that route. Inference-only: no backward is defined, so
+/// `a` must not require grad (use the composed ops when training).
+Tensor attention_softmax(const Tensor& a,
+                         std::shared_ptr<const std::vector<float>> mask,
+                         float scale, float mask_value);
+
+/// Fused attention-probability kernel: q [BH, T, dk] x k [BH, T, dk] ->
+/// softmax(mask(scale(q k^T))) [BH, T, T] in a single pass, with no packed
+/// GEMM, no transposed copy of k, and no intermediate score tensors. Each
+/// score is a dot product over dk in ascending order — the same serial
+/// reduction the batched matmul performs per output element — followed by
+/// the exact attention_softmax row loop, so the result is bit-identical to
+/// matmul(q, transpose(k)) -> scale -> masked_fill -> softmax. The mask has
+/// one float per score (BH*T*T) or per broadcastable suffix of it.
+/// Inference-only: no backward is defined, so inputs must not require grad.
+Tensor attention_scores(const Tensor& q, const Tensor& k,
+                        std::shared_ptr<const std::vector<float>> mask,
+                        float scale, float mask_value);
+
+/// Fused attention-context kernel: attn [BH, T, T] x v [BH, T, dk] ->
+/// [BH, T, dk] with direct accumulation loops instead of a packed batched
+/// GEMM. Per output element it reduces over the T keys in ascending order
+/// with a float accumulator — the batched matmul's serial order — so the
+/// result is bit-identical to matmul(attn, v). Inference-only: no backward
+/// is defined, so inputs must not require grad.
+Tensor attention_apply(const Tensor& attn, const Tensor& v);
+
 /// Log-softmax over the last dimension (numerically stable).
 Tensor log_softmax(const Tensor& a);
 

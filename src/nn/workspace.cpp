@@ -1,0 +1,77 @@
+#include "nn/workspace.h"
+
+#include <new>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+
+namespace netfm::nn {
+
+Workspace& Workspace::current() noexcept {
+  thread_local Workspace ws;
+  return ws;
+}
+
+FloatBuffer Workspace::acquire(std::size_t n) {
+  static const auto f_oom = fault::point("nn.workspace.oom");
+  if (f_oom.fire()) throw std::bad_alloc();
+
+  FloatBuffer buf;
+  // Exact-size match first (steady-state inference repeats the same
+  // shapes); otherwise take the largest free buffer so its capacity is
+  // reused rather than a smaller one growing.
+  std::size_t best = free_.size();
+  for (std::size_t i = free_.size(); i-- > 0;) {
+    if (free_[i].size() == n) {
+      best = i;
+      break;
+    }
+    if (best == free_.size() || free_[i].capacity() > free_[best].capacity())
+      best = i;
+  }
+  if (best < free_.size()) {
+    buf = std::move(free_[best]);
+    free_[best] = std::move(free_.back());
+    free_.pop_back();
+    free_floats_ -= buf.size();
+  }
+  buf.resize(n);  // no zero-fill (UninitAllocator)
+
+  static const auto g_bytes = metrics::gauge("infer.workspace_bytes", "byte");
+  g_bytes.set(static_cast<double>(bytes_held()));
+  return buf;
+}
+
+void Workspace::release(FloatBuffer&& buf) noexcept {
+  if (buf.capacity() == 0) return;
+  if (free_.size() >= kMaxFreeBuffers) return;  // drop: frees the heap block
+  free_floats_ += buf.size();
+  free_.push_back(std::move(buf));
+}
+
+std::span<float> Workspace::scratch(std::size_t n) {
+  if (scratch_used_ == scratch_.size()) scratch_.emplace_back();
+  FloatBuffer& slab = scratch_[scratch_used_++];
+  if (slab.size() < n) {
+    scratch_floats_ += n - slab.size();
+    slab.resize(n);
+  }
+  return {slab.data(), n};
+}
+
+void Workspace::reset_scratch() noexcept { scratch_used_ = 0; }
+
+std::size_t Workspace::bytes_held() const noexcept {
+  return (free_floats_ + scratch_floats_) * sizeof(float);
+}
+
+void Workspace::clear() noexcept {
+  free_.clear();
+  free_floats_ = 0;
+  scratch_.clear();
+  scratch_used_ = 0;
+  scratch_floats_ = 0;
+}
+
+}  // namespace netfm::nn

@@ -1,0 +1,68 @@
+// Per-thread tensor workspace for the inference fast path.
+//
+// While an InferenceGuard (see tensor.h) is active, every tensor op draws
+// its output buffer from the calling thread's Workspace instead of the
+// heap, and returns it when the tensor handle dies. Intermediate
+// activations in a forward pass are born and die in LIFO-ish order, so
+// after one warm-up pass the free list holds a buffer of every size the
+// network needs and steady-state inference performs no allocation at all.
+//
+// Lifetime rules (see DESIGN.md "Inference architecture"):
+//  - Buffers are recycled through the workspace of the thread that
+//    *destroys* the tensor, which for the supported pattern (driver thread
+//    builds ops, pool workers only fill buffers) is the thread that
+//    acquired them. A tensor may safely outlive the InferenceGuard that
+//    created it; its buffer is simply returned later.
+//  - scratch() spans are bump-allocated and valid until reset_scratch(),
+//    which every top-level forward calls on entry. Never hold a scratch
+//    span across a forward boundary.
+//  - The free list is capped (kMaxFreeBuffers); beyond that, released
+//    buffers are freed to bound resident memory under shape churn.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "nn/tensor.h"
+
+namespace netfm::nn {
+
+class Workspace {
+ public:
+  /// Free-list cap: releases beyond this many pooled buffers just free.
+  static constexpr std::size_t kMaxFreeBuffers = 64;
+
+  /// The calling thread's workspace (created on first use).
+  static Workspace& current() noexcept;
+
+  /// A buffer of exactly `n` floats, recycled when possible, contents
+  /// uninitialized. Observes the `nn.workspace.oom` fault point (throws
+  /// std::bad_alloc when it fires).
+  FloatBuffer acquire(std::size_t n);
+
+  /// Returns a buffer to the free list (or frees it past the cap).
+  void release(FloatBuffer&& buf) noexcept;
+
+  /// Bump-allocated scratch, valid until reset_scratch(). Contents
+  /// uninitialized.
+  std::span<float> scratch(std::size_t n);
+
+  /// Invalidates all scratch() spans; keeps the backing capacity.
+  void reset_scratch() noexcept;
+
+  /// Floats currently parked in the free list + scratch capacity, in bytes
+  /// (the `infer.workspace_bytes` gauge).
+  std::size_t bytes_held() const noexcept;
+
+  /// Frees everything (test hook).
+  void clear() noexcept;
+
+ private:
+  std::vector<FloatBuffer> free_;
+  std::size_t free_floats_ = 0;
+  std::vector<FloatBuffer> scratch_;  // one slab per live scratch() call
+  std::size_t scratch_used_ = 0;      // live slabs since reset_scratch()
+  std::size_t scratch_floats_ = 0;
+};
+
+}  // namespace netfm::nn

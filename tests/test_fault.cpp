@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <set>
 
 #include "common/fault.h"
@@ -650,6 +651,54 @@ TEST(TrainingHardening, HardKillMidPretrainResumesInFreshProcess) {
   EXPECT_EQ(log.steps, 4u);
   for (const float loss : log.losses) EXPECT_TRUE(std::isfinite(loss));
   std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Inference fast-path fault points: workspace exhaustion, decode crashes
+
+TEST(InferenceFaults, WorkspaceOomSurfacesAsBadAlloc) {
+  Rng rng(31);
+  const nn::Tensor a = nn::Tensor::randn({4, 4}, rng, 1.0f, false);
+  const nn::Tensor b = nn::Tensor::randn({4, 4}, rng, 1.0f, false);
+  {
+    nn::InferenceGuard guard;
+    fault::Scope scope("nn.workspace.oom=1");
+    EXPECT_THROW(nn::matmul(a, b), std::bad_alloc);
+  }
+  // The point fires before the workspace mutates any state, so the next
+  // acquisition (injection off) succeeds on an intact free list.
+  nn::InferenceGuard guard;
+  const nn::Tensor ok = nn::matmul(a, b);
+  EXPECT_EQ(ok.size(), 16u);
+}
+
+TEST(InferenceFaults, DecodeCrashMidGenerationResumesWithColdCache) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const std::vector<int> ids = {tok::Vocabulary::kCls, vocab.id("tcp"),
+                                vocab.id("p80"), vocab.id("d_www")};
+
+  core::LmDecoder decoder(lm);
+  fault::reset();
+  {
+    fault::Scope scope("core.decode.crash=@3");
+    (void)decoder.advance(ids[0]);
+    (void)decoder.advance(ids[1]);
+    EXPECT_THROW(decoder.advance(ids[2]), fault::CrashInjected);
+  }
+  // Mid-generation crash left a partial prefix in the cache. A cold-cache
+  // restart must replay the whole sequence and match the uncached
+  // reference bit-for-bit — proof that no stale state survives reset().
+  decoder.reset();
+  EXPECT_EQ(decoder.cached_tokens(), 0u);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const std::vector<float> fast = decoder.advance(ids[t]);
+    const std::vector<float> reference =
+        lm.next_logits(std::span<const int>(ids.data(), t + 1));
+    ASSERT_EQ(fast.size(), reference.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      ASSERT_EQ(fast[i], reference[i]) << "step " << t << " logit " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+// Inference fast path: no-grad execution, the per-thread workspace, the
+// fused attention softmax, KV-cached decoding, and batched embedding.
+//
+// The fast path's contract is *bitwise* equivalence with the recording
+// route: every test here compares floats with exact equality, and the
+// routes are exercised both single-threaded (NETFM_THREADS=1 equivalent,
+// via ThreadPool::reset_global(1)) and on the default pool. Part of the
+// `infer` ctest label, which the CI concurrency lane also runs under TSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/netfm.h"
+#include "core/traffic_lm.h"
+#include "nn/tensor.h"
+#include "nn/workspace.h"
+
+namespace netfm {
+namespace {
+
+using nn::Tensor;
+
+tok::Vocabulary tiny_vocab() {
+  tok::Vocabulary v;
+  for (const char* t : {"tcp", "udp", "p80", "p443", "p53", "dns_query",
+                        "dns_resp", "d_www", "d_video", "fl_S", "fl_SA",
+                        "dir_up", "dir_dn", "pkt"})
+    v.add(t);
+  return v;
+}
+
+model::TransformerConfig tiny_config(std::size_t vocab) {
+  auto config = model::TransformerConfig::tiny(vocab);
+  config.max_seq_len = 24;
+  config.dropout = 0.0f;
+  return config;
+}
+
+/// Runs `body` once on a single-thread pool and once on the default pool.
+template <typename Fn>
+void with_thread_counts(Fn&& body) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    ThreadPool::reset_global(threads);
+    body();
+  }
+  ThreadPool::reset_global(0);
+}
+
+TEST(InferenceGuard, NestsAndRestores) {
+  EXPECT_FALSE(nn::inference_mode());
+  {
+    nn::InferenceGuard outer;
+    EXPECT_TRUE(nn::inference_mode());
+    {
+      nn::InferenceGuard inner;
+      EXPECT_TRUE(nn::inference_mode());
+    }
+    EXPECT_TRUE(nn::inference_mode());
+  }
+  EXPECT_FALSE(nn::inference_mode());
+}
+
+TEST(InferenceGuard, OpsBuildNoGraph) {
+  Rng rng(11);
+  const Tensor w = Tensor::randn({8, 8}, rng, 0.5f, /*requires_grad=*/true);
+  const Tensor x = Tensor::randn({4, 8}, rng, 0.5f, /*requires_grad=*/false);
+  nn::InferenceGuard guard;
+  const Tensor y = nn::gelu(nn::matmul(x, w));
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.node()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(y.node()->backward));
+}
+
+TEST(InferenceGuard, ForwardBitwiseEqualsGradRoute) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const model::TransformerEncoder encoder(tiny_config(vocab.size()));
+  std::vector<core::Encoded> items = {
+      core::encode_context({"tcp", "p80", "d_www"}, vocab, 12),
+      core::encode_context({"udp", "p53", "dns_query", "dns_resp", "pkt"},
+                           vocab, 12)};
+  const model::Batch batch = core::make_batch(items);
+
+  const Tensor reference = encoder.forward(batch, /*train=*/false);
+  ASSERT_TRUE(reference.requires_grad());  // recording route built a graph
+
+  with_thread_counts([&] {
+    nn::InferenceGuard guard;
+    const Tensor fast = encoder.forward(batch, /*train=*/false);
+    EXPECT_FALSE(fast.requires_grad());
+    ASSERT_EQ(fast.size(), reference.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      ASSERT_EQ(fast.data()[i], reference.data()[i]) << "element " << i;
+  });
+}
+
+TEST(AttentionSoftmax, BitwiseEqualsComposedOps) {
+  Rng rng(23);
+  const std::size_t rows = 6, cols = 10;
+  const Tensor scores = Tensor::randn({rows, cols}, rng, 2.0f, false);
+  auto mask = std::make_shared<std::vector<float>>(rows * cols, 1.0f);
+  // Mask a causal-ish ragged tail in each row.
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = cols - 1 - r % 3; c < cols; ++c)
+      (*mask)[r * cols + c] = 0.0f;
+  const float kScale = 0.3535f;
+
+  const Tensor composed = nn::softmax(
+      nn::masked_fill(nn::scale(scores, kScale), mask, -1e9f));
+  with_thread_counts([&] {
+    const Tensor fused = nn::attention_softmax(scores, mask, kScale, -1e9f);
+    for (std::size_t i = 0; i < fused.size(); ++i)
+      ASSERT_EQ(fused.data()[i], composed.data()[i]) << "element " << i;
+  });
+}
+
+TEST(AttentionSoftmax, RejectsGradInput) {
+  Rng rng(5);
+  const Tensor scores = Tensor::randn({2, 4}, rng, 1.0f, true);
+  auto mask = std::make_shared<std::vector<float>>(8, 1.0f);
+  EXPECT_THROW(nn::attention_softmax(scores, mask, 1.0f, -1e9f),
+               std::invalid_argument);
+}
+
+TEST(AttentionScores, BitwiseEqualsComposedOps) {
+  Rng rng(31);
+  const std::size_t bh = 6, t = 9, dk = 8;
+  const Tensor q = Tensor::randn({bh, t, dk}, rng, 1.0f, false);
+  const Tensor k = Tensor::randn({bh, t, dk}, rng, 1.0f, false);
+  // Ragged key-padding mask plus a causal-style upper triangle.
+  auto mask = std::make_shared<std::vector<float>>(bh * t * t, 1.0f);
+  for (std::size_t lane = 0; lane < bh; ++lane)
+    for (std::size_t i = 0; i < t; ++i)
+      for (std::size_t j = 0; j < t; ++j)
+        if (j > i || j >= t - lane % 3)
+          (*mask)[(lane * t + i) * t + j] = 0.0f;
+  const float kScale = 0.3535f;
+
+  const Tensor composed = nn::softmax(nn::masked_fill(
+      nn::scale(nn::matmul(q, nn::transpose(k)), kScale), mask, -1e9f));
+  with_thread_counts([&] {
+    const Tensor fused = nn::attention_scores(q, k, mask, kScale, -1e9f);
+    ASSERT_EQ(fused.shape(), composed.shape());
+    for (std::size_t i = 0; i < fused.size(); ++i)
+      ASSERT_EQ(fused.data()[i], composed.data()[i]) << "element " << i;
+  });
+}
+
+TEST(AttentionScores, RejectsGradInput) {
+  Rng rng(7);
+  const Tensor q = Tensor::randn({2, 3, 4}, rng, 1.0f, true);
+  const Tensor k = Tensor::randn({2, 3, 4}, rng, 1.0f, false);
+  auto mask = std::make_shared<std::vector<float>>(2 * 3 * 3, 1.0f);
+  EXPECT_THROW(nn::attention_scores(q, k, mask, 1.0f, -1e9f),
+               std::invalid_argument);
+}
+
+TEST(AttentionApply, BitwiseEqualsBatchedMatmul) {
+  Rng rng(37);
+  const std::size_t bh = 5, t = 11, dk = 8;
+  const Tensor attn = Tensor::randn({bh, t, t}, rng, 1.0f, false);
+  const Tensor v = Tensor::randn({bh, t, dk}, rng, 1.0f, false);
+
+  const Tensor reference = nn::matmul(attn, v);
+  with_thread_counts([&] {
+    const Tensor fused = nn::attention_apply(attn, v);
+    ASSERT_EQ(fused.shape(), reference.shape());
+    for (std::size_t i = 0; i < fused.size(); ++i)
+      ASSERT_EQ(fused.data()[i], reference.data()[i]) << "element " << i;
+  });
+}
+
+TEST(AttentionApply, RejectsGradInput) {
+  Rng rng(7);
+  const Tensor attn = Tensor::randn({2, 3, 3}, rng, 1.0f, true);
+  const Tensor v = Tensor::randn({2, 3, 4}, rng, 1.0f, false);
+  EXPECT_THROW(nn::attention_apply(attn, v), std::invalid_argument);
+}
+
+TEST(KvCache, DecodeBitwiseEqualsFullRecompute) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  std::vector<int> ids = {tok::Vocabulary::kCls};
+  for (const char* t : {"tcp", "p80", "fl_S", "dir_up", "pkt", "d_www",
+                        "udp", "p53", "dns_query", "dns_resp"})
+    ids.push_back(vocab.id(t));
+
+  with_thread_counts([&] {
+    core::LmDecoder decoder(lm);
+    for (std::size_t t = 0; t < ids.size(); ++t) {
+      const std::vector<float> fast = decoder.advance(ids[t]);
+      const std::vector<float> reference =
+          lm.next_logits(std::span<const int>(ids.data(), t + 1));
+      ASSERT_EQ(fast.size(), reference.size());
+      for (std::size_t i = 0; i < fast.size(); ++i)
+        ASSERT_EQ(fast[i], reference[i]) << "step " << t << " logit " << i;
+    }
+    EXPECT_EQ(decoder.cached_tokens(), ids.size());
+  });
+}
+
+TEST(KvCache, ResetReplaysFromColdCache) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const std::vector<int> ids = {tok::Vocabulary::kCls, vocab.id("tcp"),
+                                vocab.id("p443"), vocab.id("fl_SA")};
+  core::LmDecoder decoder(lm);
+  std::vector<std::vector<float>> first;
+  for (int id : ids) first.push_back(decoder.advance(id));
+  decoder.reset();
+  EXPECT_EQ(decoder.cached_tokens(), 0u);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const std::vector<float> replay = decoder.advance(ids[t]);
+    for (std::size_t i = 0; i < replay.size(); ++i)
+      ASSERT_EQ(replay[i], first[t][i]);
+  }
+}
+
+TEST(KvCache, CacheFullAndGeometryChecks) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  auto config = tiny_config(vocab.size());
+  config.max_seq_len = 4;
+  const core::TrafficLM lm(vocab, config);
+  core::LmDecoder decoder(lm);
+  for (int t = 0; t < 4; ++t) decoder.advance(tok::Vocabulary::kCls);
+  EXPECT_THROW(decoder.advance(tok::Vocabulary::kCls), std::invalid_argument);
+}
+
+TEST(KvCache, ScoreMatchesUncachedReference) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const std::vector<std::string> tokens = {"tcp", "p80", "fl_S", "pkt"};
+  const double cached = lm.score(tokens);
+
+  // Same framing and the same log-softmax arithmetic over the uncached
+  // reference logits; cached logits are bitwise-equal, so the scores are.
+  std::vector<int> ids = {tok::Vocabulary::kCls};
+  for (const auto& t : tokens) ids.push_back(vocab.id(t));
+  ids.push_back(tok::Vocabulary::kSep);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 0; t + 1 < ids.size(); ++t) {
+    const std::vector<float> logits =
+        lm.next_logits(std::span<const int>(ids.data(), t + 1));
+    float maxv = logits[0];
+    for (float v : logits) maxv = std::max(maxv, v);
+    double denom = 0.0;
+    for (float v : logits) denom += std::exp(static_cast<double>(v - maxv));
+    total -= static_cast<double>(
+                 logits[static_cast<std::size_t>(ids[t + 1])] - maxv) -
+             std::log(denom);
+    ++count;
+  }
+  EXPECT_DOUBLE_EQ(cached, total / static_cast<double>(count));
+}
+
+TEST(EmbedFlows, BitwiseEqualsPerFlowLoop) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  core::NetFM fm(vocab, tiny_config(vocab.size()));
+  const std::vector<std::vector<std::string>> flows = {
+      {"tcp", "p80", "d_www"},
+      {"udp", "p53", "dns_query", "dns_resp"},
+      {"tcp", "p443", "fl_S", "fl_SA", "dir_up", "dir_dn"},
+  };
+  with_thread_counts([&] {
+    const auto batched = fm.embed_flows(flows, 16);
+    ASSERT_EQ(batched.size(), flows.size());
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      const std::vector<float> single = fm.embed(flows[f], 16);
+      ASSERT_EQ(batched[f].size(), single.size());
+      for (std::size_t d = 0; d < single.size(); ++d)
+        ASSERT_EQ(batched[f][d], single[d]) << "flow " << f << " dim " << d;
+    }
+  });
+  EXPECT_TRUE(fm.embed_flows({}, 16).empty());
+}
+
+TEST(Workspace, RecyclesBuffersAcrossForwards) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const model::TransformerEncoder encoder(tiny_config(vocab.size()));
+  const model::Batch batch = model::Batch::single(std::vector<int>{
+      tok::Vocabulary::kCls, vocab.id("tcp"), vocab.id("p80"),
+      tok::Vocabulary::kSep});
+
+  nn::Workspace::current().clear();
+  {
+    nn::InferenceGuard guard;
+    encoder.forward(batch, /*train=*/false);  // warm-up: sizes the pool
+  }
+  const std::size_t warm_bytes = nn::Workspace::current().bytes_held();
+  EXPECT_GT(warm_bytes, 0u);
+  {
+    nn::InferenceGuard guard;
+    encoder.forward(batch, /*train=*/false);
+  }
+  // Steady state: the second pass drew every buffer from the free list and
+  // returned it — no growth.
+  EXPECT_EQ(nn::Workspace::current().bytes_held(), warm_bytes);
+  nn::Workspace::current().clear();
+}
+
+TEST(Workspace, AcquireReusesReleasedCapacity) {
+  nn::Workspace& ws = nn::Workspace::current();
+  ws.clear();
+  nn::FloatBuffer a = ws.acquire(256);
+  const float* block = a.data();
+  ws.release(std::move(a));
+  nn::FloatBuffer b = ws.acquire(256);
+  EXPECT_EQ(b.data(), block);  // same heap block came back
+  ws.release(std::move(b));
+  ws.clear();
+}
+
+TEST(Workspace, ScratchInvalidatesOnReset) {
+  nn::Workspace& ws = nn::Workspace::current();
+  ws.clear();
+  std::span<float> a = ws.scratch(64);
+  std::span<float> b = ws.scratch(64);
+  EXPECT_NE(a.data(), b.data());  // live spans never alias
+  ws.reset_scratch();
+  std::span<float> c = ws.scratch(64);
+  EXPECT_EQ(c.data(), a.data());  // slabs recycle after reset
+  ws.clear();
+}
+
+TEST(Workspace, PooledTensorMayOutliveGuard) {
+  Tensor kept;
+  {
+    nn::InferenceGuard guard;
+    Rng rng(3);
+    const Tensor x = Tensor::randn({4, 4}, rng, 1.0f, false);
+    kept = nn::gelu(x);
+  }
+  // Guard is gone; the pooled tensor is still valid and returns its buffer
+  // whenever it dies.
+  EXPECT_EQ(kept.size(), 16u);
+  const float first = kept.data()[0];
+  EXPECT_EQ(first, first);  // finite read, no poison
+}
+
+}  // namespace
+}  // namespace netfm
