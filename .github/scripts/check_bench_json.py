@@ -26,6 +26,16 @@ Stdlib only. Three checks, composable on one command line:
                            (a full-length run) and relaxed floors to the
                            smoke emission, which measures single
                            iterations.
+  --serve-gate FILE        FILE is a BENCH_load_serve.json emission; fail
+                           unless every bitwise spot check passed
+                           (bitwise_mismatches == 0), no HTTP request
+                           failed, at least --min-sessions sessions were
+                           driven (default 1000), scheduler throughput
+                           reached --min-rps (default 500), and
+                           latency.p99_ms stayed under --max-p99-ms
+                           (default 2000). CI applies the strict defaults
+                           to the committed baseline (a full 1000-session
+                           run) and relaxed floors to the smoke emission.
 
 Exit 0 if every requested check passes, 1 otherwise.
 """
@@ -188,6 +198,40 @@ def check_infer_gate(path: str, min_kv: float, min_nograd: float) -> None:
         )
 
 
+def metric_value(records: list[dict], path: str, metric: str) -> float:
+    for rec in records:
+        if rec["metric"] == metric:
+            return float(rec["value"])
+    fail(f"{path}: no '{metric}' record")
+    raise AssertionError("unreachable")
+
+
+def check_serve_gate(
+    path: str, min_sessions: float, min_rps: float, max_p99_ms: float
+) -> None:
+    records = load(path)
+    mismatches = metric_value(records, path, "bitwise_mismatches")
+    if mismatches != 0:
+        fail(f"{path}: {mismatches:.0f} served replies diverged bitwise")
+    http_failures = metric_value(records, path, "http.failures")
+    if http_failures != 0:
+        fail(f"{path}: {http_failures:.0f} HTTP requests failed")
+    sessions = metric_value(records, path, "sessions")
+    rps = metric_value(records, path, "throughput_rps")
+    p99 = metric_value(records, path, "latency.p99_ms")
+    print(
+        f"check_bench_json: serve {sessions:.0f} sessions, {rps:.0f} req/s, "
+        f"p99 {p99:.2f} ms (floors: >={min_sessions:.0f} sessions, "
+        f">={min_rps:.0f} req/s, <={max_p99_ms:.0f} ms)"
+    )
+    if sessions < min_sessions:
+        fail(f"only {sessions:.0f} sessions driven (floor {min_sessions:.0f})")
+    if rps < min_rps:
+        fail(f"throughput {rps:.0f} req/s is below the {min_rps:.0f} floor")
+    if p99 > max_p99_ms:
+        fail(f"p99 latency {p99:.2f} ms exceeds the {max_p99_ms:.0f} ms cap")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--schema", action="append", default=[], metavar="FILE")
@@ -197,6 +241,10 @@ def main() -> None:
     parser.add_argument("--infer-gate", metavar="FILE")
     parser.add_argument("--min-kv-speedup", type=float, default=2.0)
     parser.add_argument("--min-nograd-speedup", type=float, default=1.2)
+    parser.add_argument("--serve-gate", metavar="FILE")
+    parser.add_argument("--min-sessions", type=float, default=1000.0)
+    parser.add_argument("--min-rps", type=float, default=500.0)
+    parser.add_argument("--max-p99-ms", type=float, default=2000.0)
     args = parser.parse_args()
 
     if (
@@ -204,8 +252,12 @@ def main() -> None:
         and not args.overhead
         and not args.baseline
         and not args.infer_gate
+        and not args.serve_gate
     ):
-        fail("nothing to check (pass --schema/--overhead/--baseline/--infer-gate)")
+        fail(
+            "nothing to check (pass --schema/--overhead/--baseline/"
+            "--infer-gate/--serve-gate)"
+        )
     for path in args.schema:
         check_schema(path)
     if args.overhead:
@@ -215,6 +267,10 @@ def main() -> None:
     if args.infer_gate:
         check_infer_gate(
             args.infer_gate, args.min_kv_speedup, args.min_nograd_speedup
+        )
+    if args.serve_gate:
+        check_serve_gate(
+            args.serve_gate, args.min_sessions, args.min_rps, args.max_p99_ms
         )
     print("check_bench_json: all checks passed")
 

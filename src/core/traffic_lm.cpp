@@ -143,8 +143,11 @@ double TrafficLM::loss(const std::vector<std::vector<std::string>>& corpus,
   const std::size_t seq_len =
       std::min(max_seq_len, encoder_->config().max_seq_len);
   const nn::InferenceGuard guard;  // evaluation never needs the graph
+  // Token-weighted aggregation: cross_entropy returns a per-batch *mean*
+  // over active targets, so averaging batch means would over-weight a
+  // ragged final batch. Re-weight each batch by its active-target count.
   double total = 0.0;
-  std::size_t batches = 0;
+  std::size_t total_targets = 0;
   constexpr std::size_t kBatch = 8;
   for (std::size_t at = 0; at < corpus.size(); at += kBatch) {
     std::vector<Encoded> items;
@@ -155,15 +158,24 @@ double TrafficLM::loss(const std::vector<std::vector<std::string>>& corpus,
       targets.insert(targets.end(), t.begin(), t.end());
       items.push_back(std::move(item));
     }
+    const std::size_t active = static_cast<std::size_t>(
+        std::count_if(targets.begin(), targets.end(),
+                      [](int t) { return t >= 0; }));
+    if (active == 0) continue;
     const Batch batch = make_batch(items);
     const Tensor hidden = encoder_->forward(batch, /*train=*/false);
-    total += nn::cross_entropy(head_->forward(hidden), targets).item();
-    ++batches;
+    total += nn::cross_entropy(head_->forward(hidden), targets).item() *
+             static_cast<double>(active);
+    total_targets += active;
   }
-  return total / static_cast<double>(batches);
+  return total_targets == 0 ? 0.0
+                            : total / static_cast<double>(total_targets);
 }
 
 std::vector<float> TrafficLM::next_logits(std::span<const int> ids) const {
+  if (ids.empty())
+    throw std::invalid_argument("TrafficLM::next_logits: empty input");
+  const nn::InferenceGuard guard;  // logits only — never build the graph
   Batch batch;
   batch.batch_size = 1;
   batch.seq_len = ids.size();
@@ -176,6 +188,57 @@ std::vector<float> TrafficLM::next_logits(std::span<const int> ids) const {
   const std::size_t last = (ids.size() - 1) * vocab;
   return {logits.data().begin() + last,
           logits.data().begin() + last + vocab};
+}
+
+std::vector<std::vector<float>> TrafficLM::next_logits_batch(
+    std::span<const std::vector<int>> sequences) const {
+  if (sequences.empty()) return {};
+  std::size_t max_len = 0;
+  for (const auto& ids : sequences) {
+    if (ids.empty())
+      throw std::invalid_argument("TrafficLM::next_logits_batch: empty input");
+    max_len = std::max(max_len, ids.size());
+  }
+  if (max_len > encoder_->config().max_seq_len)
+    throw std::invalid_argument(
+        "TrafficLM::next_logits_batch: sequence exceeds max_seq_len");
+
+  const nn::InferenceGuard guard;
+  Batch batch;
+  batch.batch_size = sequences.size();
+  batch.seq_len = max_len;
+  batch.token_ids.assign(sequences.size() * max_len, tok::Vocabulary::kPad);
+  batch.segment_ids.assign(sequences.size() * max_len, 0);
+  batch.attention_mask.assign(sequences.size() * max_len, 0.0f);
+  for (std::size_t b = 0; b < sequences.size(); ++b) {
+    const auto& ids = sequences[b];
+    std::copy(ids.begin(), ids.end(),
+              batch.token_ids.begin() +
+                  static_cast<std::ptrdiff_t>(b * max_len));
+    std::fill_n(batch.attention_mask.begin() +
+                    static_cast<std::ptrdiff_t>(b * max_len),
+                ids.size(), 1.0f);
+  }
+  const Tensor hidden = encoder_->forward(batch, /*train=*/false);
+
+  // Head fast path: the LM head is row-independent, so apply it only to
+  // each sequence's last real position ([B, D] rows gathered from the
+  // padded [B*T, D] hidden states) instead of all B*T rows. Row-for-row
+  // bitwise identical to head_->forward(hidden) at those positions.
+  const std::size_t d_model = encoder_->config().d_model;
+  Tensor last_hidden = Tensor::empty({sequences.size(), d_model});
+  for (std::size_t b = 0; b < sequences.size(); ++b) {
+    const std::size_t row = b * max_len + (sequences[b].size() - 1);
+    std::copy_n(hidden.data().data() + row * d_model, d_model,
+                last_hidden.data().data() + b * d_model);
+  }
+  const Tensor logits = head_->forward(last_hidden);  // [B, V]
+  const std::size_t vocab = vocab_.size();
+  std::vector<std::vector<float>> out(sequences.size());
+  for (std::size_t b = 0; b < sequences.size(); ++b)
+    out[b].assign(logits.data().begin() + b * vocab,
+                  logits.data().begin() + (b + 1) * vocab);
+  return out;
 }
 
 LmDecoder::LmDecoder(const TrafficLM& lm)
@@ -191,6 +254,12 @@ std::vector<float> LmDecoder::advance(int token_id) {
 }
 
 double TrafficLM::score(const std::vector<std::string>& tokens) const {
+  LmDecoder decoder(*this);
+  return score(tokens, decoder);
+}
+
+double TrafficLM::score(const std::vector<std::string>& tokens,
+                        LmDecoder& decoder) const {
   // Frame exactly like training data: [CLS] tokens... [SEP], truncated.
   std::vector<int> ids;
   ids.reserve(tokens.size() + 2);
@@ -201,7 +270,7 @@ double TrafficLM::score(const std::vector<std::string>& tokens) const {
     ids.resize(encoder_->config().max_seq_len);
   if (ids.size() < 2) return 0.0;
 
-  LmDecoder decoder(*this);
+  decoder.reset();
   double total = 0.0;
   std::size_t count = 0;
   for (std::size_t t = 0; t + 1 < ids.size(); ++t) {
@@ -221,14 +290,24 @@ double TrafficLM::score(const std::vector<std::string>& tokens) const {
 
 std::vector<std::string> TrafficLM::sample(const SampleOptions& options,
                                            Rng& rng) const {
+  LmDecoder decoder(*this);
+  return sample(options, rng, decoder);
+}
+
+std::vector<std::string> TrafficLM::sample(const SampleOptions& options,
+                                           Rng& rng,
+                                           LmDecoder& decoder) const {
   std::vector<int> ids = {tok::Vocabulary::kCls};
   std::vector<std::string> out;
+  // max_tokens + 1 accounts for [CLS]; compare before adding so a huge
+  // max_tokens (e.g. SIZE_MAX) can't wrap to 0 and emit nothing.
+  const std::size_t cap = encoder_->config().max_seq_len;
   const std::size_t limit =
-      std::min(options.max_tokens + 1, encoder_->config().max_seq_len);
+      options.max_tokens >= cap ? cap : options.max_tokens + 1;
   // KV-cached decode: each step appends one token's K/V per layer instead
   // of re-running the whole prefix — logits are bit-identical to
   // next_logits(ids), so sampling draws the exact same tokens.
-  LmDecoder decoder(*this);
+  decoder.reset();
   while (ids.size() < limit) {
     std::vector<float> logits = decoder.advance(ids.back());
     // Never emit padding/[CLS]/[MASK]; [SEP] ends the sequence.

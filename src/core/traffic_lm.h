@@ -57,6 +57,12 @@ class TrafficLM {
   std::vector<std::string> sample(const SampleOptions& options,
                                   Rng& rng) const;
 
+  /// Same draw through a caller-owned decoder (reset on entry): a pooled
+  /// per-session decoder produces the exact tokens a fresh one would, so
+  /// the serving layer can reuse KvCache allocations across requests.
+  std::vector<std::string> sample(const SampleOptions& options, Rng& rng,
+                                  LmDecoder& decoder) const;
+
   /// Samples a whole synthetic corpus.
   std::vector<std::vector<std::string>> sample_corpus(
       std::size_t count, const SampleOptions& options, Rng& rng) const;
@@ -67,12 +73,27 @@ class TrafficLM {
   /// instead of the O(T^3) of scoring each prefix from scratch.
   double score(const std::vector<std::string>& tokens) const;
 
+  /// score() through a caller-owned decoder (reset on entry). The cached
+  /// logits are bitwise-equal after a reset, so a pooled per-session
+  /// decoder returns the exact score a fresh one would.
+  double score(const std::vector<std::string>& tokens,
+               LmDecoder& decoder) const;
+
   nn::ParameterList parameters() const;
 
   /// Logits for the next token after `ids` (ids start with [CLS]).
   /// Re-runs the full forward every call — the uncached reference path that
-  /// LmDecoder is tested and benchmarked against.
+  /// LmDecoder is tested and benchmarked against. Throws invalid_argument
+  /// on empty input.
   std::vector<float> next_logits(std::span<const int> ids) const;
+
+  /// next_logits() for many sequences at once: pads to the longest
+  /// sequence, runs one batched no-grad forward, and applies the LM head
+  /// only to each sequence's last real position. Element-for-element
+  /// bitwise identical to calling next_logits() per sequence — the padded
+  /// forward the serving scheduler batches compatible requests into.
+  std::vector<std::vector<float>> next_logits_batch(
+      std::span<const std::vector<int>> sequences) const;
 
  private:
   friend class LmDecoder;

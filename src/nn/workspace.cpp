@@ -8,6 +8,18 @@
 
 namespace netfm::nn {
 
+namespace {
+
+/// The one gauge tracking resident workspace memory; every path that
+/// changes what the workspace holds must re-set it (acquire, release,
+/// clear) or the reading goes stale.
+void update_gauge(std::size_t bytes) noexcept {
+  static const auto g_bytes = metrics::gauge("infer.workspace_bytes", "byte");
+  g_bytes.set(static_cast<double>(bytes));
+}
+
+}  // namespace
+
 Workspace& Workspace::current() noexcept {
   thread_local Workspace ws;
   return ws;
@@ -19,35 +31,48 @@ FloatBuffer Workspace::acquire(std::size_t n) {
 
   FloatBuffer buf;
   // Exact-size match first (steady-state inference repeats the same
-  // shapes); otherwise take the largest free buffer so its capacity is
-  // reused rather than a smaller one growing.
+  // shapes); otherwise best-fit: the smallest free buffer whose capacity
+  // already covers the request, so big blocks stay available for big
+  // requests. Only if every free buffer is too small do we take the
+  // largest and grow it — the minimal realloc delta.
   std::size_t best = free_.size();
   for (std::size_t i = free_.size(); i-- > 0;) {
     if (free_[i].size() == n) {
       best = i;
       break;
     }
-    if (best == free_.size() || free_[i].capacity() > free_[best].capacity())
+    if (best == free_.size()) {
+      best = i;
+      continue;
+    }
+    const std::size_t cap = free_[i].capacity();
+    const std::size_t best_cap = free_[best].capacity();
+    const bool fits = cap >= n;
+    const bool best_fits = best_cap >= n;
+    if (fits != best_fits ? fits : (fits ? cap < best_cap : cap > best_cap))
       best = i;
   }
   if (best < free_.size()) {
     buf = std::move(free_[best]);
     free_[best] = std::move(free_.back());
     free_.pop_back();
-    free_floats_ -= buf.size();
+    free_floats_ -= buf.capacity();
   }
   buf.resize(n);  // no zero-fill (UninitAllocator)
 
-  static const auto g_bytes = metrics::gauge("infer.workspace_bytes", "byte");
-  g_bytes.set(static_cast<double>(bytes_held()));
+  update_gauge(bytes_held());
   return buf;
 }
 
 void Workspace::release(FloatBuffer&& buf) noexcept {
   if (buf.capacity() == 0) return;
   if (free_.size() >= kMaxFreeBuffers) return;  // drop: frees the heap block
-  free_floats_ += buf.size();
+  // The heap block held is capacity()-sized: acquire() may have resized the
+  // buffer below the capacity it came back with, so counting size() would
+  // leak the difference from the gauge.
+  free_floats_ += buf.capacity();
   free_.push_back(std::move(buf));
+  update_gauge(bytes_held());
 }
 
 std::span<float> Workspace::scratch(std::size_t n) {
@@ -72,6 +97,7 @@ void Workspace::clear() noexcept {
   scratch_.clear();
   scratch_used_ = 0;
   scratch_floats_ = 0;
+  update_gauge(0);
 }
 
 }  // namespace netfm::nn

@@ -1,0 +1,224 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace netfm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point since) noexcept {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           since)
+          .count());
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const core::TrafficLM& lm, const core::NetFM* fm,
+                     SchedulerOptions options)
+    : lm_(&lm),
+      fm_(fm),
+      options_(options),
+      pool_(lm, options.session_capacity) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+std::future<Reply> Scheduler::submit(Request request) {
+  static const auto c_admitted = metrics::counter("serve.admitted");
+  static const auto c_queue_full =
+      metrics::counter("serve.rejected.queue_full");
+  static const auto c_session_busy =
+      metrics::counter("serve.rejected.session_busy");
+  static const auto c_shutdown =
+      metrics::counter("serve.rejected.shutting_down");
+
+  std::promise<Reply> promise;
+  std::future<Reply> future = promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    lock.unlock();
+    c_shutdown.add();
+    promise.set_value(Reply::rejected(RejectReason::kShuttingDown));
+    return future;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    lock.unlock();
+    c_queue_full.add();
+    promise.set_value(Reply::rejected(RejectReason::kQueueFull));
+    return future;
+  }
+  std::size_t& session_pending = pending_per_session_[request.session];
+  if (session_pending >= options_.per_session_pending) {
+    lock.unlock();
+    c_session_busy.add();
+    promise.set_value(Reply::rejected(RejectReason::kSessionBusy));
+    return future;
+  }
+  ++session_pending;
+  queue_.push_back(Pending{std::move(request), std::move(promise),
+                           Clock::now()});
+  lock.unlock();
+  c_admitted.add();
+  work_.notify_one();
+  return future;
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  work_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t Scheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Scheduler::worker_loop() {
+  static const auto h_queue = metrics::histogram("serve.queue_ns");
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;  // drained
+      const std::size_t take = std::min(queue_.size(), options_.max_batch);
+      for (std::size_t i = 0; i < take; ++i) {
+        Pending& p = queue_.front();
+        auto it = pending_per_session_.find(p.request.session);
+        if (it != pending_per_session_.end() && --it->second == 0)
+          pending_per_session_.erase(it);
+        batch.push_back(std::move(p));
+        queue_.pop_front();
+      }
+    }
+    for (const Pending& p : batch) h_queue.record(elapsed_ns(p.admitted));
+    run_tick(batch);
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Scheduler::run_tick(std::vector<Pending>& batch) {
+  static const auto h_batch = metrics::histogram("serve.batch_ns");
+  static const auto h_reply = metrics::histogram("serve.reply_ns");
+  static const auto h_size =
+      metrics::histogram("serve.batch.requests", "request");
+  static const auto c_sessions_full =
+      metrics::counter("serve.rejected.sessions_full");
+  h_size.record(static_cast<double>(batch.size()));
+
+  std::vector<Reply> replies(batch.size());
+  const auto batch_start = Clock::now();
+
+  // One padded forward for all next_logits requests in this tick.
+  std::vector<std::size_t> logits_index;
+  std::vector<std::vector<int>> logits_ids;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].request.op != Op::kNextLogits) continue;
+    logits_index.push_back(i);
+    logits_ids.push_back(batch[i].request.ids);
+  }
+  if (!logits_index.empty()) {
+    try {
+      auto results = lm_->next_logits_batch(logits_ids);
+      for (std::size_t g = 0; g < logits_index.size(); ++g)
+        replies[logits_index[g]].logits = std::move(results[g]);
+    } catch (const std::exception& e) {
+      // A bad sequence (empty, over max_seq_len) fails the padded batch;
+      // retry each member alone so one poisoned request can't take down
+      // its tick-mates.
+      for (const std::size_t i : logits_index) {
+        try {
+          replies[i].logits = lm_->next_logits(batch[i].request.ids);
+        } catch (const std::exception& inner) {
+          replies[i] = Reply::errored(inner.what());
+        }
+      }
+      (void)e;
+    }
+  }
+
+  // One padded forward for all embed requests (grouped per pooling window).
+  std::vector<std::size_t> embed_index;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (batch[i].request.op == Op::kEmbed) embed_index.push_back(i);
+  if (!embed_index.empty()) {
+    if (fm_ == nullptr) {
+      for (const std::size_t i : embed_index)
+        replies[i] = Reply::errored("embed is not served (no NetFM)");
+    } else {
+      std::stable_sort(embed_index.begin(), embed_index.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return batch[a].request.max_seq_len <
+                                batch[b].request.max_seq_len;
+                       });
+      std::size_t at = 0;
+      while (at < embed_index.size()) {
+        const std::size_t window =
+            batch[embed_index[at]].request.max_seq_len;
+        std::size_t end = at;
+        std::vector<std::vector<std::string>> contexts;
+        while (end < embed_index.size() &&
+               batch[embed_index[end]].request.max_seq_len == window) {
+          contexts.push_back(batch[embed_index[end]].request.tokens);
+          ++end;
+        }
+        try {
+          auto embedded = fm_->embed_flows(contexts, window);
+          for (std::size_t g = at; g < end; ++g)
+            replies[embed_index[g]].embedding =
+                std::move(embedded[g - at]);
+        } catch (const std::exception& e) {
+          for (std::size_t g = at; g < end; ++g)
+            replies[embed_index[g]] = Reply::errored(e.what());
+        }
+        at = end;
+      }
+    }
+  }
+
+  // Decoder-backed ops: per-session KV caches from the pool.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i].request;
+    if (request.op != Op::kScore && request.op != Op::kGenerate) continue;
+    RejectReason why = RejectReason::kSessionsFull;
+    auto lease = pool_.checkout(request.session, &why);
+    if (!lease) {
+      if (why == RejectReason::kSessionsFull) c_sessions_full.add();
+      replies[i] = Reply::rejected(why);
+      continue;
+    }
+    try {
+      if (request.op == Op::kScore) {
+        replies[i].score = lm_->score(request.tokens, lease->decoder());
+      } else {
+        Rng rng(request.seed);
+        replies[i].tokens =
+            lm_->sample(request.sampling, rng, lease->decoder());
+      }
+    } catch (const std::exception& e) {
+      replies[i] = Reply::errored(e.what());
+    }
+  }
+  h_batch.record(elapsed_ns(batch_start));
+
+  const auto reply_start = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch[i].promise.set_value(std::move(replies[i]));
+  h_reply.record(elapsed_ns(reply_start));
+}
+
+}  // namespace netfm::serve

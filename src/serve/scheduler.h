@@ -1,0 +1,106 @@
+// Continuous-batching request scheduler: the bridge between many
+// concurrent client sessions and one model.
+//
+// Admission is bounded (max_queue) with a per-session pending cap; both
+// shed with an immediate *typed* reject reply rather than blocking, so
+// overload degrades into fast, observable backpressure. Admitted requests
+// wait in one FIFO; a worker thread drains up to max_batch of them per
+// tick and batches compatible work:
+//
+//   next_logits  -> one padded no-grad forward for the whole group
+//                   (TrafficLM::next_logits_batch — bitwise identical to
+//                   per-request calls)
+//   embed        -> one padded forward via NetFM::embed_flows
+//   score        -> per-session KV-cached decoder from the SessionPool
+//   generate     -> seeded sample through the session's decoder
+//
+// Per-stage latency lands in serve.queue_ns (admission -> dequeue),
+// serve.batch_ns (model work per tick), and serve.reply_ns (payload
+// construction + promise fulfilment); admission-control counters are
+// serve.admitted and serve.rejected.<reason>.
+//
+// Thread confinement: ALL model forwards run on the scheduler's single
+// worker thread. TransformerEncoder::forward is not reentrant on one
+// instance (it reuses a per-instance attention context across calls), so
+// while a scheduler is live, direct batched calls on the same
+// TrafficLM/NetFM from other threads must not overlap in-flight requests.
+// One scheduler per model instance; per-session KV decoding stays safe on
+// other threads because forward_incremental touches only the caller's
+// KvCache.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/netfm.h"
+#include "serve/protocol.h"
+#include "serve/session_pool.h"
+
+namespace netfm::serve {
+
+struct SchedulerOptions {
+  std::size_t max_queue = 1024;          // bounded admission queue
+  std::size_t max_batch = 32;            // requests drained per tick
+  std::size_t per_session_pending = 4;   // queued requests per session
+  std::size_t session_capacity = 256;    // SessionPool size
+};
+
+class Scheduler {
+ public:
+  /// `fm` may be null when embed is not served (embed requests error).
+  /// The worker thread starts immediately.
+  Scheduler(const core::TrafficLM& lm, const core::NetFM* fm,
+            SchedulerOptions options = {});
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits the request (future resolves after a later tick) or sheds it
+  /// (future already holds a typed reject). Never blocks on model work.
+  std::future<Reply> submit(Request request);
+
+  /// Stops admitting, drains everything already queued, joins the worker.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Queued (admitted, not yet drained) requests.
+  std::size_t queued() const;
+
+  /// Ticks the worker has executed (each is <= max_batch requests).
+  std::uint64_t ticks() const noexcept { return ticks_.load(); }
+
+  SessionPool& sessions() noexcept { return pool_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Reply> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void worker_loop();
+  void run_tick(std::vector<Pending>& batch);
+
+  const core::TrafficLM* lm_;
+  const core::NetFM* fm_;
+  SchedulerOptions options_;
+  SessionPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_;
+  std::deque<Pending> queue_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_per_session_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::thread worker_;
+};
+
+}  // namespace netfm::serve

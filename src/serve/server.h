@@ -1,0 +1,74 @@
+// Embedded HTTP server fronting the Scheduler — the shasta
+// AssemblerHttpServer idiom: the model process *is* the server, no
+// sidecar, no external dependency, just a loopback TCP listener whose
+// worker threads parse one-line HTTP/1.1 framing and hand JSON bodies to
+// the scheduler.
+//
+// Lifecycle: construct -> start() binds 127.0.0.1:<port> (port 0 picks an
+// ephemeral port, reported by port()) and spawns one acceptor plus
+// io_threads connection handlers -> stop() closes the listener, wakes the
+// handlers, and joins everything. Connections are keep-alive by default;
+// read timeouts bound how long a stalled client can hold a handler.
+//
+// Fault point `serve.conn.drop` severs a connection right before its reply
+// is written — the mid-request connection loss a resilient client must
+// tolerate. Counter serve.conn.dropped records fires.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.h"
+
+namespace netfm::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;             // 0 = ephemeral
+  std::size_t io_threads = 4;         // connection handlers
+  int backlog = 128;                  // listen(2) backlog
+  std::size_t max_request_bytes = 1 << 20;  // head + body bound
+  int read_timeout_ms = 250;          // poll granularity for stop()
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(Scheduler& scheduler, ServerOptions options = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts accepting. Throws std::runtime_error on bind/listen
+  /// failure.
+  void start();
+
+  /// Stops accepting, closes the listener, joins all threads. Idempotent.
+  void stop();
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void io_loop();
+  void handle_connection(int fd);
+
+  Scheduler* scheduler_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::condition_variable conn_ready_;
+  std::deque<int> conn_queue_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> io_workers_;
+};
+
+}  // namespace netfm::serve

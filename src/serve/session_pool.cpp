@@ -1,0 +1,103 @@
+#include "serve/session_pool.h"
+
+#include <stdexcept>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+
+namespace netfm::serve {
+
+namespace {
+
+void set_sessions_gauge(std::size_t live) noexcept {
+  static const auto g_sessions = metrics::gauge("serve.sessions", "session");
+  g_sessions.set(static_cast<double>(live));
+}
+
+}  // namespace
+
+SessionPool::SessionPool(const core::TrafficLM& lm, std::size_t capacity)
+    : lm_(&lm), capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("SessionPool: capacity must be positive");
+}
+
+void SessionPool::Lease::give_back() noexcept {
+  if (pool_ && decoder_) pool_->give_back(session_, std::move(decoder_));
+  pool_ = nullptr;
+}
+
+std::optional<SessionPool::Lease> SessionPool::checkout(
+    std::uint64_t session, RejectReason* why) {
+  static const auto f_evict = fault::point("serve.session.evict");
+  static const auto c_evicted = metrics::counter("serve.session.evicted");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++clock_;
+
+  if (const auto it = entries_.find(session); it != entries_.end()) {
+    if (!it->second.decoder) {
+      if (why) *why = RejectReason::kSessionBusy;
+      return std::nullopt;
+    }
+    it->second.last_used = clock_;
+    return Lease(this, session, std::move(it->second.decoder));
+  }
+
+  // New session. Under injected memory pressure, or at capacity, recycle
+  // the LRU idle decoder instead of allocating a fresh KvCache.
+  std::unique_ptr<core::LmDecoder> decoder;
+  if (entries_.size() >= capacity_ || (f_evict.fire() && !entries_.empty())) {
+    decoder = evict_lru_locked();
+    if (!decoder && entries_.size() >= capacity_) {
+      if (why) *why = RejectReason::kSessionsFull;
+      return std::nullopt;
+    }
+    if (decoder) {
+      c_evicted.add();
+      decoder->reset();
+    }
+  }
+  if (!decoder) decoder = std::make_unique<core::LmDecoder>(*lm_);
+
+  entries_[session] = Entry{nullptr, clock_};
+  set_sessions_gauge(entries_.size());
+  return Lease(this, session, std::move(decoder));
+}
+
+std::unique_ptr<core::LmDecoder> SessionPool::evict_lru_locked() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->second.decoder) continue;  // checked out: not evictable
+    if (victim == entries_.end() ||
+        it->second.last_used < victim->second.last_used)
+      victim = it;
+  }
+  if (victim == entries_.end()) return nullptr;
+  std::unique_ptr<core::LmDecoder> decoder = std::move(victim->second.decoder);
+  entries_.erase(victim);
+  ++evictions_;
+  return decoder;
+}
+
+void SessionPool::give_back(std::uint64_t session,
+                            std::unique_ptr<core::LmDecoder> decoder) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(session);
+  // The entry survives while its decoder is out (checked-out entries are
+  // never evicted), so this lookup only misses if the session was force-
+  // dropped — then the decoder just dies here.
+  if (it != entries_.end()) it->second.decoder = std::move(decoder);
+}
+
+std::size_t SessionPool::live() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t SessionPool::evictions() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace netfm::serve

@@ -1,0 +1,102 @@
+// Pool of per-session KV-cached decoders for the serving layer.
+//
+// Each live client session owns one core::LmDecoder (and through it one
+// model::KvCache). A decoder is *checked out* for the duration of one
+// request and returned afterwards; while checked out, the session is busy
+// and a second checkout is refused (decoders are not thread-safe, and the
+// scheduler serializes per-session work through this). When a new session
+// arrives at capacity, the least-recently-used idle session is evicted and
+// its decoder — allocation and all — is reset and handed to the newcomer;
+// if every decoder is checked out, the checkout fails with kSessionsFull
+// (the typed cache-full rejection the scheduler sheds with).
+//
+// Observability: serve.sessions gauge (live entries), serve.session.evicted
+// counter. Fault point `serve.session.evict` force-evicts an idle session
+// on checkout even below capacity — simulated memory pressure for the
+// fault-injection suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/traffic_lm.h"
+#include "serve/protocol.h"
+
+namespace netfm::serve {
+
+class SessionPool {
+ public:
+  /// `capacity` bounds live sessions (and so resident KvCache memory).
+  SessionPool(const core::TrafficLM& lm, std::size_t capacity);
+
+  /// RAII checkout: returns the decoder to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          session_(other.session_),
+          decoder_(std::move(other.decoder_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        give_back();
+        pool_ = std::exchange(other.pool_, nullptr);
+        session_ = other.session_;
+        decoder_ = std::move(other.decoder_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { give_back(); }
+
+    core::LmDecoder& decoder() noexcept { return *decoder_; }
+
+   private:
+    friend class SessionPool;
+    Lease(SessionPool* pool, std::uint64_t session,
+          std::unique_ptr<core::LmDecoder> decoder) noexcept
+        : pool_(pool), session_(session), decoder_(std::move(decoder)) {}
+    void give_back() noexcept;
+
+    SessionPool* pool_ = nullptr;
+    std::uint64_t session_ = 0;
+    std::unique_ptr<core::LmDecoder> decoder_;
+  };
+
+  /// Checks the session's decoder out (creating or evicting-and-recycling
+  /// as needed). On failure returns nullopt and sets `why` to
+  /// kSessionBusy (already checked out) or kSessionsFull (pool exhausted,
+  /// nothing idle to evict).
+  std::optional<Lease> checkout(std::uint64_t session, RejectReason* why);
+
+  /// Live sessions (idle + checked out).
+  std::size_t live() const;
+
+  /// Total evictions since construction.
+  std::uint64_t evictions() const noexcept;
+
+ private:
+  struct Entry {
+    std::unique_ptr<core::LmDecoder> decoder;  // null while checked out
+    std::uint64_t last_used = 0;
+  };
+
+  void give_back(std::uint64_t session,
+                 std::unique_ptr<core::LmDecoder> decoder) noexcept;
+  /// Evicts the LRU idle entry; returns its decoder (or null if none idle).
+  std::unique_ptr<core::LmDecoder> evict_lru_locked();
+
+  const core::TrafficLM* lm_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t clock_ = 0;       // LRU ordering: bumped per checkout
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace netfm::serve

@@ -1,6 +1,8 @@
 // Word2Vec skip-gram, trace anonymizer, and the causal TrafficLM.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "core/traffic_lm.h"
@@ -227,6 +229,74 @@ TEST(TrafficLM, TopKRestrictsSampling) {
   for (int i = 0; i < 10; ++i)
     for (const std::string& t : lm.sample(sampling, rng))
       EXPECT_EQ(t, "x");
+}
+
+TEST(TrafficLM, LossIsTokenWeightedAcrossRaggedBatches) {
+  // 9 sequences against the internal batch size of 8: the final batch
+  // holds one short sequence. Correct aggregation weights each internal
+  // batch by its active-target count; the old code averaged per-batch
+  // means, over-weighting the ragged tail.
+  tok::Vocabulary vocab;
+  for (const char* t : {"tcp", "udp", "p80", "p53", "fl_S", "dns_query"})
+    vocab.add(t);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.max_seq_len = 16;
+  config.dropout = 0.0f;
+  const core::TrafficLM lm(vocab, config);
+
+  std::vector<std::vector<std::string>> head;  // first internal batch (8)
+  Rng rng(7);
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<std::string> seq;
+    for (std::size_t j = 0; j < 4 + i; ++j)
+      seq.push_back(vocab.token(static_cast<int>(
+          tok::Vocabulary::kNumSpecial +
+          rng.uniform(vocab.size() - tok::Vocabulary::kNumSpecial))));
+    head.push_back(std::move(seq));
+  }
+  const std::vector<std::vector<std::string>> tail = {{"udp", "p53"}};
+  std::vector<std::vector<std::string>> corpus = head;
+  corpus.push_back(tail[0]);
+
+  // Active next-token targets per sequence: [CLS] t1..tN [SEP] (possibly
+  // truncated to max_seq_len) predicts at every position but the last.
+  const auto active_targets = [&](const std::vector<std::string>& seq) {
+    return std::min<std::size_t>(seq.size() + 2, config.max_seq_len) - 1;
+  };
+  std::size_t n_head = 0, n_tail = 0;
+  for (const auto& seq : head) n_head += active_targets(seq);
+  for (const auto& seq : tail) n_tail += active_targets(seq);
+
+  // Sub-corpora of <= 8 sequences run as single internal batches whose
+  // forwards are bitwise-identical to the full corpus's two batches, so
+  // the token-weighted identity must hold to double rounding.
+  const double full = lm.loss(corpus, config.max_seq_len);
+  const double head_mean = lm.loss(head, config.max_seq_len);
+  const double tail_mean = lm.loss(tail, config.max_seq_len);
+  ASSERT_NE(head_mean, tail_mean);  // else weighting would be untestable
+  const double expected =
+      (head_mean * static_cast<double>(n_head) +
+       tail_mean * static_cast<double>(n_tail)) /
+      static_cast<double>(n_head + n_tail);
+  EXPECT_NEAR(full, expected, 1e-12);
+  // The buggy mean-of-means disagrees: make sure the test can tell.
+  EXPECT_GT(std::abs((head_mean + tail_mean) / 2.0 - expected), 1e-6);
+}
+
+TEST(TrafficLM, SampleClampsHugeMaxTokens) {
+  tok::Vocabulary vocab;
+  for (const char* t : {"tcp", "udp", "p80"}) vocab.add(t);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.max_seq_len = 12;
+  config.dropout = 0.0f;
+  const core::TrafficLM lm(vocab, config);
+  core::SampleOptions options;
+  // max_tokens + 1 used to wrap to 0 and emit nothing.
+  options.max_tokens = std::numeric_limits<std::size_t>::max();
+  Rng rng(3);
+  const auto sampled = lm.sample(options, rng);
+  EXPECT_FALSE(sampled.empty());
+  EXPECT_LE(sampled.size() + 1, config.max_seq_len);
 }
 
 TEST(TrafficLM, RejectsEmptyCorpus) {

@@ -14,6 +14,7 @@
 
 #include "common/json.h"
 #include "common/threadpool.h"
+#include "nn/workspace.h"
 
 namespace netfm {
 namespace {
@@ -43,6 +44,13 @@ std::uint64_t counter_value(const metrics::Snapshot& snap,
     if (n == name) return v;
   ADD_FAILURE() << "counter not in snapshot: " << name;
   return 0;
+}
+
+double gauge_value(const metrics::Snapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges)
+    if (n == name) return v;
+  ADD_FAILURE() << "gauge not in snapshot: " << name;
+  return -1.0;
 }
 
 const metrics::HistogramData* histogram_data(const metrics::Snapshot& snap,
@@ -232,6 +240,40 @@ TEST(JsonTest, ParseHandlesEscapes) {
 TEST(JsonTest, NonFiniteNumbersEmitNull) {
   EXPECT_EQ(json::Value(std::nan("")).dump(), "null");
   EXPECT_EQ(json::Value(1e308 * 10).dump(), "null");
+}
+
+TEST_F(MetricsTest, WorkspaceGaugeTracksCapacityNotSize) {
+  auto& ws = nn::Workspace::current();
+  ws.clear();
+  EXPECT_DOUBLE_EQ(gauge_value(metrics::snapshot(), "infer.workspace_bytes"),
+                   0.0);
+
+  auto big = ws.acquire(256);
+  const std::size_t big_bytes = big.capacity() * sizeof(float);
+  // Checked out: nothing parked in the workspace.
+  EXPECT_DOUBLE_EQ(gauge_value(metrics::snapshot(), "infer.workspace_bytes"),
+                   0.0);
+  ws.release(std::move(big));
+  EXPECT_EQ(ws.bytes_held(), big_bytes);
+  EXPECT_DOUBLE_EQ(gauge_value(metrics::snapshot(), "infer.workspace_bytes"),
+                   static_cast<double>(big_bytes));
+
+  // Shrinking reuse hands back the big-capacity block resized to 100
+  // floats; release must credit capacity, not size, or the accounting
+  // leaks the difference forever.
+  auto small = ws.acquire(100);
+  EXPECT_EQ(small.capacity() * sizeof(float), big_bytes);
+  EXPECT_DOUBLE_EQ(gauge_value(metrics::snapshot(), "infer.workspace_bytes"),
+                   0.0);
+  ws.release(std::move(small));
+  EXPECT_EQ(ws.bytes_held(), big_bytes);
+  EXPECT_DOUBLE_EQ(gauge_value(metrics::snapshot(), "infer.workspace_bytes"),
+                   static_cast<double>(big_bytes));
+
+  ws.clear();
+  EXPECT_EQ(ws.bytes_held(), 0u);
+  EXPECT_DOUBLE_EQ(gauge_value(metrics::snapshot(), "infer.workspace_bytes"),
+                   0.0);
 }
 
 }  // namespace
