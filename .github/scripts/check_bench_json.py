@@ -4,9 +4,10 @@
 Stdlib only. Three checks, composable on one command line:
 
   --schema FILE            FILE is a JSON array of records, each matching
-                           {bench, metric, value, unit, threads, git_sha}
-                           with the right types (value finite number,
-                           threads positive int).
+                           {bench, metric, value, unit, threads, backend,
+                           git_sha} with the right types (value finite
+                           number, threads positive int, backend a
+                           non-empty kernel-backend name).
   --overhead OFF ON        compare GEMM throughput between a metrics-off
                            run (OFF) and a metrics-on run (ON); fail if
                            the instrumented run is more than --overhead-pct
@@ -21,11 +22,26 @@ Stdlib only. Three checks, composable on one command line:
                            reference by --min-kv-speedup (default 2x) at
                            T=128 and the no-grad forward beats the
                            recording forward by --min-nograd-speedup
-                           (default 1.2x) at the largest batch. CI applies
+                           (default 1.05x — the SIMD kernels shrank the
+                           GEMM share of both routes, compressing the
+                           grad/no-grad gap from the 1.3x of the scalar
+                           era) at the largest batch. CI applies
                            the strict defaults to the committed baseline
                            (a full-length run) and relaxed floors to the
                            smoke emission, which measures single
                            iterations.
+  --kernel-gate NN INFER   NN is a BENCH_micro_nn.json emission, INFER a
+                           BENCH_micro_infer.json emission; fail unless the
+                           SIMD GEMM beats the scalar oracle by
+                           --min-simd-speedup (default 3x) at the largest
+                           shared size, the quantized decode beats fp32 by
+                           --min-quant-speedup (default 1.2x), and the
+                           measured max-abs logit deviation of the
+                           quantized route stays under --max-logit-dev
+                           (default 0.25, the DESIGN.md bound). When
+                           BM_MatmulSimd reports backend_id == 0 (scalar --
+                           no SIMD on this machine) the speedup floors are
+                           skipped; the deviation bound always applies.
   --serve-gate FILE        FILE is a BENCH_load_serve.json emission; fail
                            unless every bitwise spot check passed
                            (bitwise_mismatches == 0), no HTTP request
@@ -47,7 +63,15 @@ import json
 import math
 import sys
 
-REQUIRED_FIELDS = ("bench", "metric", "value", "unit", "threads", "git_sha")
+REQUIRED_FIELDS = (
+    "bench",
+    "metric",
+    "value",
+    "unit",
+    "threads",
+    "backend",
+    "git_sha",
+)
 
 
 def fail(msg: str) -> None:
@@ -90,6 +114,8 @@ def check_schema(path: str) -> None:
             rec["threads"], bool
         ) or rec["threads"] < 1:
             fail(f"{where}: 'threads' must be a positive integer")
+        if not isinstance(rec["backend"], str) or not rec["backend"]:
+            fail(f"{where}: 'backend' must be a non-empty string")
         if not isinstance(rec["git_sha"], str) or not rec["git_sha"]:
             fail(f"{where}: 'git_sha' must be a non-empty string")
     print(f"check_bench_json: OK schema {path}")
@@ -198,6 +224,96 @@ def check_infer_gate(path: str, min_kv: float, min_nograd: float) -> None:
         )
 
 
+def bench_counter(
+    records: list[dict], path: str, bench: str, metric: str
+) -> float:
+    for rec in records:
+        if rec["bench"] == bench and rec["metric"] == metric:
+            return float(rec["value"])
+    fail(f"{path}: no '{metric}' record for {bench}")
+    raise AssertionError("unreachable")
+
+
+def shared_args(records: list[dict], path: str, a: str, b: str) -> list[str]:
+    """Args (the '/N' suffixes) present for both bench-name prefixes."""
+    args_a = {
+        rec["bench"].rsplit("/", 1)[1]
+        for rec in records
+        if rec["bench"].startswith(a + "/")
+    }
+    args_b = {
+        rec["bench"].rsplit("/", 1)[1]
+        for rec in records
+        if rec["bench"].startswith(b + "/")
+    }
+    shared = sorted(args_a & args_b, key=int)
+    if not shared:
+        fail(f"{path}: no shared {a}/{b} args")
+    return shared
+
+
+def check_kernel_gate(
+    nn_path: str, infer_path: str, min_simd: float, min_quant: float,
+    max_dev: float
+) -> None:
+    nn = load(nn_path)
+    arg = shared_args(nn, nn_path, "BM_MatmulScalar", "BM_MatmulSimd")[-1]
+    scalar = bench_counter(nn, nn_path, f"BM_MatmulScalar/{arg}", "GFLOPS")
+    simd = bench_counter(nn, nn_path, f"BM_MatmulSimd/{arg}", "GFLOPS")
+    simd_backend = bench_counter(
+        nn, nn_path, f"BM_MatmulSimd/{arg}", "backend_id"
+    )
+    if scalar <= 0.0:
+        fail(f"{nn_path}: non-positive scalar GFLOPS at n={arg}")
+    have_simd = simd_backend != 0
+    if have_simd:
+        speedup = simd / scalar
+        print(
+            f"check_bench_json: GEMM n={arg} {scalar:.2f} GFLOPS scalar / "
+            f"{simd:.2f} GFLOPS simd -> {speedup:.2f}x "
+            f"(floor {min_simd:.2f}x)"
+        )
+        if speedup < min_simd:
+            fail(
+                f"SIMD GEMM speedup {speedup:.2f}x is below the "
+                f"{min_simd:.2f}x floor at n={arg}"
+            )
+    else:
+        print(
+            "check_bench_json: BM_MatmulSimd ran on the scalar backend "
+            "(no SIMD on this machine); skipping speedup floors"
+        )
+
+    infer = load(infer_path)
+    arg = shared_args(infer, infer_path, "BM_DecodeFp32", "BM_DecodeQuant")[-1]
+    fp32 = real_time(infer, infer_path, f"BM_DecodeFp32/{arg}")
+    quant = real_time(infer, infer_path, f"BM_DecodeQuant/{arg}")
+    if have_simd:
+        speedup = fp32 / quant
+        print(
+            f"check_bench_json: decode T={arg} {fp32:.0f} ns fp32 / "
+            f"{quant:.0f} ns int8 -> {speedup:.2f}x "
+            f"(floor {min_quant:.2f}x)"
+        )
+        if speedup < min_quant:
+            fail(
+                f"quantized decode speedup {speedup:.2f}x is below the "
+                f"{min_quant:.2f}x floor at T={arg}"
+            )
+    dev = bench_counter(
+        infer, infer_path, f"BM_DecodeQuant/{arg}", "max_logit_dev"
+    )
+    print(
+        f"check_bench_json: quantized max logit deviation {dev:.4f} "
+        f"(bound {max_dev:.2f})"
+    )
+    if not 0.0 < dev <= max_dev:
+        fail(
+            f"quantized logit deviation {dev!r} outside (0, {max_dev}] -- "
+            "zero means the quantized route never ran"
+        )
+
+
 def metric_value(records: list[dict], path: str, metric: str) -> float:
     for rec in records:
         if rec["metric"] == metric:
@@ -237,10 +353,22 @@ def main() -> None:
     parser.add_argument("--schema", action="append", default=[], metavar="FILE")
     parser.add_argument("--overhead", nargs=2, metavar=("OFF", "ON"))
     parser.add_argument("--overhead-pct", type=float, default=10.0)
-    parser.add_argument("--baseline", nargs=2, metavar=("BASE", "CUR"))
+    # action="append": the bench-smoke lane passes --baseline once per
+    # emission; without append only the last pair was checked.
+    parser.add_argument(
+        "--baseline",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("BASE", "CUR"),
+    )
     parser.add_argument("--infer-gate", metavar="FILE")
     parser.add_argument("--min-kv-speedup", type=float, default=2.0)
-    parser.add_argument("--min-nograd-speedup", type=float, default=1.2)
+    parser.add_argument("--min-nograd-speedup", type=float, default=1.05)
+    parser.add_argument("--kernel-gate", nargs=2, metavar=("NN", "INFER"))
+    parser.add_argument("--min-simd-speedup", type=float, default=3.0)
+    parser.add_argument("--min-quant-speedup", type=float, default=1.2)
+    parser.add_argument("--max-logit-dev", type=float, default=0.25)
     parser.add_argument("--serve-gate", metavar="FILE")
     parser.add_argument("--min-sessions", type=float, default=1000.0)
     parser.add_argument("--min-rps", type=float, default=500.0)
@@ -252,21 +380,30 @@ def main() -> None:
         and not args.overhead
         and not args.baseline
         and not args.infer_gate
+        and not args.kernel_gate
         and not args.serve_gate
     ):
         fail(
             "nothing to check (pass --schema/--overhead/--baseline/"
-            "--infer-gate/--serve-gate)"
+            "--infer-gate/--kernel-gate/--serve-gate)"
         )
     for path in args.schema:
         check_schema(path)
     if args.overhead:
         check_overhead(args.overhead[0], args.overhead[1], args.overhead_pct)
-    if args.baseline:
-        check_baseline(args.baseline[0], args.baseline[1])
+    for base, cur in args.baseline:
+        check_baseline(base, cur)
     if args.infer_gate:
         check_infer_gate(
             args.infer_gate, args.min_kv_speedup, args.min_nograd_speedup
+        )
+    if args.kernel_gate:
+        check_kernel_gate(
+            args.kernel_gate[0],
+            args.kernel_gate[1],
+            args.min_simd_speedup,
+            args.min_quant_speedup,
+            args.max_logit_dev,
         )
     if args.serve_gate:
         check_serve_gate(

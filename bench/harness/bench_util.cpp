@@ -12,6 +12,7 @@
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/threadpool.h"
+#include "nn/kernels/kernels.h"
 
 #ifndef NETFM_GIT_SHA
 #define NETFM_GIT_SHA "unknown"
@@ -139,6 +140,7 @@ void write_bench_json(const std::string& name,
     row.emplace_back("value", json::Value(r.value));
     row.emplace_back("unit", json::Value(r.unit));
     row.emplace_back("threads", json::Value(threads));
+    row.emplace_back("backend", json::Value(nn::kernels::active_name()));
     row.emplace_back("git_sha", json::Value(NETFM_GIT_SHA));
     rows.push_back(json::Value(std::move(row)));
   }
@@ -159,6 +161,7 @@ int benchmark_main(int argc, char** argv, const std::string& name) {
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
     return 1;
+  std::printf("kernel backend: %s\n", nn::kernels::active_name());
   RecordingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
@@ -239,7 +242,8 @@ void banner(const std::string& experiment, const std::string& claim) {
     std::atexit(write_registry_report);
   }
   std::printf("\n===== %s =====\n", experiment.c_str());
-  std::printf("paper claim: %s\n\n", claim.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("kernel backend: %s\n\n", nn::kernels::active_name());
   std::fflush(stdout);
 }
 

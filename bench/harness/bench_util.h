@@ -10,7 +10,9 @@
 // which additionally captures every google-benchmark result. Both paths
 // emit the same flat schema:
 //   [{"bench": ..., "metric": ..., "value": ..., "unit": ...,
-//     "threads": ..., "git_sha": ...}, ...]
+//     "threads": ..., "backend": ..., "git_sha": ...}, ...]
+// where "backend" is the active kernel backend ("scalar", "avx2", ...)
+// at emission time, so baselines from different machines are comparable.
 #pragma once
 
 #include <string>

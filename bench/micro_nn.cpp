@@ -8,6 +8,8 @@
 #include "model/gru.h"
 #include "model/heads.h"
 #include "model/transformer.h"
+#include "nn/kernels/kernels.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 
 namespace netfm {
@@ -46,6 +48,76 @@ void BM_MatmulNaive(benchmark::State& state) {
       benchmark::Counter(matmul_gflops(state, n), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Best SIMD backend this build/CPU carries; scalar when there is none.
+nn::kernels::Backend best_simd_backend() {
+  for (nn::kernels::Backend b :
+       {nn::kernels::Backend::kAvx512, nn::kernels::Backend::kAvx2,
+        nn::kernels::Backend::kNeon}) {
+    if (nn::kernels::supported(b)) return b;
+  }
+  return nn::kernels::Backend::kScalar;
+}
+
+// Runs the blocked matmul pinned to one backend. The `backend_id` counter
+// lets the CI kernel gate detect when BM_MatmulSimd silently ran on scalar
+// (no SIMD available) and skip the speedup assertion instead of failing it.
+void matmul_on_backend(benchmark::State& state, nn::kernels::Backend b) {
+  const nn::kernels::Backend prev = nn::kernels::active();
+  nn::kernels::set_backend(b);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  nn::Tensor w = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  for (auto _ : state) {
+    nn::Tensor c = nn::matmul(a, w);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(matmul_gflops(state, n), benchmark::Counter::kIsRate);
+  state.counters["backend_id"] =
+      static_cast<double>(static_cast<int>(nn::kernels::active()));
+  nn::kernels::set_backend(prev);
+}
+
+// Per-backend GEMM entries: the same kernel shapes as BM_Matmul, but pinned
+// to the scalar oracle vs the best SIMD backend so the speedup the CI
+// kernel gate asserts is a same-binary, same-machine comparison instead of
+// a cross-baseline diff.
+void BM_MatmulScalar(benchmark::State& state) {
+  matmul_on_backend(state, nn::kernels::Backend::kScalar);
+}
+BENCHMARK(BM_MatmulScalar)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatmulSimd(benchmark::State& state) {
+  matmul_on_backend(state, best_simd_backend());
+}
+BENCHMARK(BM_MatmulSimd)->Arg(128)->Arg(256)->Arg(512);
+
+// Int8 weight-quantized inference GEMM through the real nn::quant::linear
+// route (activation quantization + i8 panels + i32 accumulate + per-channel
+// dequant), on the dispatched backend. GFLOPS counts the fp32-equivalent
+// 2*M*K*N work so the rate is directly comparable to BM_Matmul.
+void BM_MatmulInt8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nn::quant::set_enabled(true);
+  Rng rng(1);
+  nn::Tensor x = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  nn::Tensor w = nn::Tensor::randn({n, n}, rng, 1.0f, false);
+  nn::quant::PackedWeights cache;
+  nn::quant::prepack(w.data().data(), n, n, n, 1, cache);
+  for (auto _ : state) {
+    nn::InferenceGuard guard;
+    nn::Tensor y = nn::quant::linear(x, w.data().data(), n, n, n, 1, cache);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(matmul_gflops(state, n), benchmark::Counter::kIsRate);
+  state.counters["backend_id"] =
+      static_cast<double>(static_cast<int>(nn::kernels::active()));
+  nn::quant::set_enabled(false);
+}
+BENCHMARK(BM_MatmulInt8)->Arg(128)->Arg(256)->Arg(512);
 
 // Thread-count scaling at a fixed size: Arg is the pool size (0 = the
 // NETFM_THREADS / hardware default). Compare threads=1 vs threads=N rows.

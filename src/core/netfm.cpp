@@ -511,7 +511,17 @@ bool NetFM::save(const std::string& path) const {
 
 bool NetFM::load(const std::string& path) {
   nn::ParameterList params = parameters();
-  return nn::load_parameters_file(path, params);
+  if (!nn::load_parameters_file(path, params)) return false;
+  prequantize();  // re-pack int8 caches against the loaded weights
+  return true;
+}
+
+void NetFM::prequantize() const {
+  encoder_->prequantize();
+  mlm_head_->prequantize();
+  pooler_->prequantize();
+  next_segment_head_->prequantize();
+  if (classifier_) classifier_->prequantize();
 }
 
 }  // namespace netfm::core

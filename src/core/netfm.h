@@ -159,7 +159,12 @@ class NetFM {
   nn::ParameterList parameters() const;
 
   bool save(const std::string& path) const;
+  /// Loads parameters and (when NETFM_QUANT is on) eagerly re-packs the
+  /// int8 weight caches for the freshly loaded weights.
   bool load(const std::string& path);
+
+  /// Eagerly packs all int8 weight caches (no-op when quant is off).
+  void prequantize() const;
 
  private:
   nn::Tensor forward_pooled(const model::Batch& batch, bool train) const;

@@ -362,4 +362,9 @@ nn::ParameterList TrafficLM::parameters() const {
   return params;
 }
 
+void TrafficLM::prequantize() const {
+  encoder_->prequantize();
+  head_->prequantize();
+}
+
 }  // namespace netfm::core

@@ -81,6 +81,10 @@ class TrafficLM {
 
   nn::ParameterList parameters() const;
 
+  /// Eagerly packs all int8 weight caches so the first quantized inference
+  /// pays no pack cost (no-op when NETFM_QUANT is off).
+  void prequantize() const;
+
   /// Logits for the next token after `ids` (ids start with [CLS]).
   /// Re-runs the full forward every call — the uncached reference path that
   /// LmDecoder is tested and benchmarked against. Throws invalid_argument

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/metrics.h"
+#include "nn/kernels/kernels.h"
 #include "nn/workspace.h"
 
 namespace netfm::model {
@@ -29,12 +30,27 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng,
 }
 
 Tensor Linear::forward(const Tensor& x) const {
+  if (nn::quant::enabled() && nn::inference_mode()) {
+    // Weight [in, out] row-major: element (k, j) at w[k * out + j].
+    const Tensor& w = weight_.tensor;
+    Tensor y = nn::quant::linear(x, w.data().data(), w.dim(0), w.dim(1),
+                                 /*rs=*/w.dim(1), /*cs=*/1, quant_cache_);
+    if (y.defined()) return nn::add(y, bias_.tensor);
+    // Undefined = the layer declined to quantize; take the fp32 route.
+  }
   return nn::add(nn::matmul(x, weight_.tensor), bias_.tensor);
 }
 
 void Linear::collect(nn::ParameterList& out) const {
   out.push_back(weight_);
   out.push_back(bias_);
+}
+
+void Linear::prequantize() const {
+  const Tensor& w = weight_.tensor;
+  if (!w.defined()) return;
+  nn::quant::prepack(w.data().data(), w.dim(0), w.dim(1), /*rs=*/w.dim(1),
+                     /*cs=*/1, quant_cache_);
 }
 
 LayerNorm::LayerNorm(std::size_t dim, const std::string& name) {
@@ -224,14 +240,10 @@ Tensor EncoderBlock::forward_incremental(const Tensor& x, KvCache& cache,
       total += s[j];
     }
     for (std::size_t j = 0; j <= t; ++j) s[j] /= total;
-    // context = attn · V, accumulated in cache order (matmul's K order).
-    float* out = op + h * dk;
-    std::fill_n(out, dk, 0.0f);
-    for (std::size_t j = 0; j <= t; ++j) {
-      const float w = s[j];
-      const float* vrow = vh + j * dk;
-      for (std::size_t c = 0; c < dk; ++c) out[c] += w * vrow[c];
-    }
+    // context = attn · V, accumulated in cache order (matmul's K order) on
+    // the dispatched kernel backend — same per-element reduction order on
+    // every backend, so this stays bit-identical to the batched forward.
+    nn::kernels::table().weighted_sum(s.data(), vh, t + 1, dk, op + h * dk);
   }
 
   const Tensor attended = output_.forward(context);
@@ -249,6 +261,15 @@ void EncoderBlock::collect(nn::ParameterList& out) const {
   ffn_out_.collect(out);
   norm_attn_.collect(out);
   norm_ffn_.collect(out);
+}
+
+void EncoderBlock::prequantize() const {
+  query_.prequantize();
+  key_.prequantize();
+  value_.prequantize();
+  output_.prequantize();
+  ffn_in_.prequantize();
+  ffn_out_.prequantize();
 }
 
 TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
@@ -357,6 +378,10 @@ nn::ParameterList TransformerEncoder::parameters() const {
   embed_norm_.collect(out);
   for (const auto& block : blocks_) block->collect(out);
   return out;
+}
+
+void TransformerEncoder::prequantize() const {
+  for (const auto& block : blocks_) block->prequantize();
 }
 
 std::vector<Tensor> TransformerEncoder::last_attentions() const {

@@ -11,6 +11,7 @@
 
 #include "model/config.h"
 #include "nn/optim.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 
 namespace netfm::model {
@@ -75,11 +76,18 @@ class Linear {
   Linear() = default;
   Linear(std::size_t in, std::size_t out, Rng& rng, const std::string& name);
 
+  /// In inference mode with NETFM_QUANT on, routes through the int8
+  /// weight-quantized GEMM (falling back to fp32 when the layer cannot
+  /// quantize — see nn/quant.h); otherwise the fp32 autograd matmul.
   nn::Tensor forward(const nn::Tensor& x) const;
   void collect(nn::ParameterList& out) const;
 
+  /// Eagerly packs the int8 weight cache (no-op when quant is off).
+  void prequantize() const;
+
  private:
   nn::Parameter weight_, bias_;
+  mutable nn::quant::PackedWeights quant_cache_;
 };
 
 /// LayerNorm with learned gain/bias.
@@ -117,6 +125,10 @@ class EncoderBlock {
 
   void collect(nn::ParameterList& out) const;
 
+  /// Eagerly packs every projection's int8 weight cache (no-op when quant
+  /// is off).
+  void prequantize() const;
+
   /// Attention probabilities from the most recent forward: one tensor of
   /// shape [B*H, T, T]. Kept for interpretability (attention rollout).
   const nn::Tensor& last_attention() const noexcept { return last_attention_; }
@@ -150,6 +162,10 @@ class TransformerEncoder {
 
   const TransformerConfig& config() const noexcept { return config_; }
   nn::ParameterList parameters() const;
+
+  /// Eagerly packs all layers' int8 weight caches so the first quantized
+  /// inference pays no pack cost (no-op when quant is off).
+  void prequantize() const;
 
   /// Token embedding table [V, D] (tied into the MLM decoder).
   const nn::Tensor& token_embeddings() const noexcept {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/quant.h"
+
 namespace netfm::nn {
 
 float clip_grad_norm(ParameterList& params, float max_norm) {
@@ -36,6 +38,7 @@ void Sgd::step(ParameterList& params) {
       data[j] -= lr_ * vel[j];
     }
   }
+  quant::bump_weight_epoch();  // int8 weight caches are now stale
 }
 
 void Adam::step(ParameterList& params) {
@@ -64,6 +67,7 @@ void Adam::step(ParameterList& params) {
                         weight_decay_ * data[j]);
     }
   }
+  quant::bump_weight_epoch();  // int8 weight caches are now stale
 }
 
 float WarmupLinearSchedule::lr_at(std::int64_t step) const noexcept {

@@ -1,0 +1,75 @@
+// Int8 weight-quantized inference GEMM (opt-in via NETFM_QUANT=1).
+//
+// Inference-route only: the autograd/training path stays fp32. A layer's
+// weight matrix is quantized symmetrically per *output channel* into int8
+// panels (column j scaled by max|w[:, j]| / 127, zero-padded to a
+// kQuantKAlign multiple of K so the int8 kernels never need a remainder
+// loop) and cached per layer. At call time activations are quantized
+// symmetrically per *row*, the dispatched backend's gemm_i8 accumulates in
+// exact int32, and the result dequantizes as acc * scale_row * scale_col.
+// Integer accumulation is exact, so quantized logits are deterministic
+// across backends, thread counts, and batch-vs-incremental routes; the
+// only error vs fp32 is the two rounding steps, bounded in DESIGN.md.
+//
+// Layers that cannot quantize (K < kMinK, or the nn.quant.fallback fault
+// point fires) return an undefined Tensor and bump the nn.quant.fallback
+// counter — the caller runs its fp32 path, visibly, never silently wrong.
+//
+// Cached panels belong to the *current* weights: optimizer steps and
+// checkpoint loads bump a global weight epoch, and a stale cache re-packs
+// lazily on next use (or eagerly via the model's prequantize pass).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace netfm::nn::quant {
+
+/// Below this reduction depth the int8 route cannot win (quantize +
+/// dequantize overhead dominates) and the rounding error budget is not
+/// worth it — such layers fall back to fp32.
+inline constexpr std::size_t kMinK = 16;
+
+/// True when the int8 inference route is on: NETFM_QUANT env var (read
+/// once, "0"/empty = off) unless overridden by set_enabled.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Global weight-mutation epoch. Optimizer steps and parameter loads bump
+/// it; PackedWeights caches stamped with an older epoch re-pack on use.
+std::uint64_t weight_epoch() noexcept;
+void bump_weight_epoch() noexcept;
+
+/// One layer's quantized weight cache. Default-constructed = empty; filled
+/// lazily by linear() or eagerly by a model's prequantize pass.
+struct PackedWeights {
+  std::vector<std::int8_t> panels;  // N x kp row-major; row j = column j of W
+  std::vector<float> scales;        // per output channel, length N
+  std::size_t K = 0, N = 0, kp = 0;
+  std::uint64_t epoch = 0;  // weight_epoch() at pack time; 0 = never packed
+  // Guards lazy (re)packing; held only while validating/building, not
+  // during the GEMM. unique_ptr keeps the struct movable.
+  std::unique_ptr<std::mutex> mu = std::make_unique<std::mutex>();
+};
+
+/// Quantized inference linear: returns x @ W for W's element (k, j) at
+/// w[k * rs + j * cs] (so both [K, N] row-major weights and tied [N, K]
+/// embedding tables quantize without a transpose copy). x's last dim must
+/// equal K; the result replaces it with N. No bias — callers add theirs.
+///
+/// Returns an undefined Tensor when the quantized route declines (quant
+/// disabled, not in inference mode, K < kMinK, or the nn.quant.fallback
+/// fault fires); the caller must then take its fp32 path.
+Tensor linear(const Tensor& x, const float* w, std::size_t K, std::size_t N,
+              std::size_t rs, std::size_t cs, PackedWeights& cache);
+
+/// Eagerly packs `cache` for the current weights so the first quantized
+/// forward pays no pack cost. No-op when quant is disabled or K < kMinK.
+void prepack(const float* w, std::size_t K, std::size_t N, std::size_t rs,
+             std::size_t cs, PackedWeights& cache);
+
+}  // namespace netfm::nn::quant

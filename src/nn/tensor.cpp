@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/threadpool.h"
+#include "nn/kernels/kernels.h"
 #include "nn/workspace.h"
 
 namespace netfm::nn {
@@ -98,15 +99,14 @@ void parallel_rows(std::size_t rows, std::size_t cols, Fn&& fn) {
 // The reduction over K is not split, so each output element accumulates in
 // the same order as the naive triple loop — blocked and reference kernels
 // agree bit-for-bit.
+//
+// The micro-kernel itself lives in nn/kernels/ behind a runtime-dispatched
+// backend table (scalar oracle, AVX2, AVX-512, NEON); every backend keeps
+// the same per-element reduction order, so dispatch never changes results.
 
-/// Strided matrix view: element(r, c) = p[r * rs + c * cs].
-struct MatRef {
-  const float* p;
-  std::size_t rs, cs;
-};
-
-constexpr std::size_t kMR = 4;   // micro-tile rows (register-blocked)
-constexpr std::size_t kNR = 16;  // micro-tile cols (two 8-float vectors)
+using kernels::MatRef;
+using kernels::kMR;
+using kernels::kNR;
 
 /// Multiply-adds below which a GEMM is not worth fanning out.
 constexpr std::size_t kGemmParallelCutoff = std::size_t{1} << 15;
@@ -123,47 +123,6 @@ void pack_b(MatRef b, std::size_t K, std::size_t N, float* packed) {
       for (; c < nr; ++c) dst[c] = src[c * b.cs];
       for (; c < kNR; ++c) dst[c] = 0.0f;
       dst += kNR;
-    }
-  }
-}
-
-/// Computes rows [row_lo, row_hi) of C from op(A) and packed op(B).
-template <bool Accumulate>
-void gemm_rows(MatRef a, const float* packed_b, std::size_t K, std::size_t N,
-               float* c, std::size_t row_lo, std::size_t row_hi) {
-  for (std::size_t i = row_lo; i < row_hi; i += kMR) {
-    const std::size_t mr = std::min(kMR, row_hi - i);
-    for (std::size_t jp = 0; jp < N; jp += kNR) {
-      const std::size_t nr = std::min(kNR, N - jp);
-      const float* bp = packed_b + jp * K;
-      float acc[kMR][kNR] = {};
-      if (mr == kMR) {
-        for (std::size_t kk = 0; kk < K; ++kk) {
-          const float* brow = bp + kk * kNR;
-          for (std::size_t r = 0; r < kMR; ++r) {
-            const float av = a.p[(i + r) * a.rs + kk * a.cs];
-            for (std::size_t cc = 0; cc < kNR; ++cc)
-              acc[r][cc] += av * brow[cc];
-          }
-        }
-      } else {
-        for (std::size_t kk = 0; kk < K; ++kk) {
-          const float* brow = bp + kk * kNR;
-          for (std::size_t r = 0; r < mr; ++r) {
-            const float av = a.p[(i + r) * a.rs + kk * a.cs];
-            for (std::size_t cc = 0; cc < kNR; ++cc)
-              acc[r][cc] += av * brow[cc];
-          }
-        }
-      }
-      for (std::size_t r = 0; r < mr; ++r) {
-        float* crow = c + (i + r) * N + jp;
-        if constexpr (Accumulate) {
-          for (std::size_t cc = 0; cc < nr; ++cc) crow[cc] += acc[r][cc];
-        } else {
-          for (std::size_t cc = 0; cc < nr; ++cc) crow[cc] = acc[r][cc];
-        }
-      }
     }
   }
 }
@@ -186,8 +145,9 @@ void gemm(std::size_t M, std::size_t N, std::size_t K, MatRef a, MatRef b,
   if (scratch.size() < packed_size) scratch.resize(packed_size);
   float* packed = scratch.data();
   pack_b(b, K, N, packed);
+  const auto gemm_rows = kernels::table().gemm_rows;
   const auto run = [=](std::size_t lo, std::size_t hi) {
-    gemm_rows<Accumulate>(a, packed, K, N, c, lo, hi);
+    gemm_rows(a, packed, K, N, c, lo, hi, Accumulate);
   };
   if (!allow_parallel || M * N * K < kGemmParallelCutoff) {
     run(0, M);
@@ -765,28 +725,25 @@ Tensor attention_scores(const Tensor& q, const Tensor& k,
   const float* kp = k.data().data();
   const float* mp = mask->data();
   float* op = node->value.data();
-  // One pass per query row: dot products over dk in ascending order (the
-  // batched GEMM's serial reduction per output element), scale/mask applied
-  // to each score as it lands, then the exact softmax row loop from
-  // attention_softmax. Masked scores skip the dot entirely — the composed
-  // route computes and then overwrites them, so the value is identical.
+  // Lane by lane, scores = q_lane * k_lane^T through the dispatched packed
+  // GEMM — dk reduces serially in ascending order, the exact dot the old
+  // fused loop computed — then one parallel pass applies scale/mask and the
+  // exact softmax row loop from attention_softmax. Masked scores are
+  // computed and then overwritten; the skip-the-dot route produced the same
+  // values, so this stays bit-identical to the composed matmul/transpose/
+  // scale/masked_fill/softmax pipeline while the dots run on the SIMD
+  // backend.
+  for (std::size_t lane = 0; lane < bh; ++lane) {
+    gemm<false>(t, t, dk, MatRef{qp + lane * t * dk, dk, 1},
+                MatRef{kp + lane * t * dk, 1, dk}, op + lane * t * t,
+                /*allow_parallel=*/true);
+  }
   parallel_rows(bh * t, t, [=](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) {
-      const std::size_t lane = r / t;
-      const float* qrow = qp + r * dk;
-      const float* krows = kp + lane * t * dk;
       float* out = op + r * t;
       const std::size_t base = r * t;
-      for (std::size_t j = 0; j < t; ++j) {
-        if (mp[(base + j) % mn] != 0.0f) {
-          const float* krow = krows + j * dk;
-          float dot = 0.0f;
-          for (std::size_t c = 0; c < dk; ++c) dot += qrow[c] * krow[c];
-          out[j] = dot * scale;
-        } else {
-          out[j] = mask_value;
-        }
-      }
+      for (std::size_t j = 0; j < t; ++j)
+        out[j] = mp[(base + j) % mn] != 0.0f ? out[j] * scale : mask_value;
       float maxv = out[0];
       for (std::size_t j = 1; j < t; ++j) maxv = std::max(maxv, out[j]);
       float total = 0.0f;
@@ -813,24 +770,16 @@ Tensor attention_apply(const Tensor& attn, const Tensor& v) {
   const float* ap = attn.data().data();
   const float* vp = v.data().data();
   float* op = node->value.data();
-  // Per output element this accumulates attn[i, j] * v[j, c] over j in
-  // ascending order — the batched GEMM's fixed serial K-reduction — so the
-  // result matches matmul(attn, v) element for element. The j-outer loop
-  // just makes the dk-wide inner accumulation vector-friendly.
-  parallel_rows(bh * t, dk, [=](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      const std::size_t lane = r / t;
-      const float* arow = ap + r * t;
-      const float* vrows = vp + lane * t * dk;
-      float* out = op + r * dk;
-      std::fill_n(out, dk, 0.0f);
-      for (std::size_t j = 0; j < t; ++j) {
-        const float w = arow[j];
-        const float* vrow = vrows + j * dk;
-        for (std::size_t c = 0; c < dk; ++c) out[c] += w * vrow[c];
-      }
-    }
-  });
+  // Lane by lane, context = attn_lane * v_lane through the dispatched
+  // packed GEMM. Per output element it accumulates attn[i, j] * v[j, c]
+  // over j in ascending order — the batched GEMM's fixed serial
+  // K-reduction — so the result matches matmul(attn, v) element for
+  // element on every backend.
+  for (std::size_t lane = 0; lane < bh; ++lane) {
+    gemm<false>(t, dk, t, MatRef{ap + lane * t * t, t, 1},
+                MatRef{vp + lane * t * dk, dk, 1}, op + lane * t * dk,
+                /*allow_parallel=*/true);
+  }
   return Tensor(node);
 }
 

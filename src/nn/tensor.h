@@ -200,24 +200,26 @@ Tensor attention_softmax(const Tensor& a,
                          float scale, float mask_value);
 
 /// Fused attention-probability kernel: q [BH, T, dk] x k [BH, T, dk] ->
-/// softmax(mask(scale(q k^T))) [BH, T, T] in a single pass, with no packed
-/// GEMM, no transposed copy of k, and no intermediate score tensors. Each
-/// score is a dot product over dk in ascending order — the same serial
-/// reduction the batched matmul performs per output element — followed by
-/// the exact attention_softmax row loop, so the result is bit-identical to
-/// matmul(q, transpose(k)) -> scale -> masked_fill -> softmax. The mask has
-/// one float per score (BH*T*T) or per broadcastable suffix of it.
-/// Inference-only: no backward is defined, so inputs must not require grad.
+/// softmax(mask(scale(q k^T))) [BH, T, T] with no intermediate score
+/// tensors. Each lane's scores run through the dispatched backend GEMM
+/// against a strided (non-copied) view of k^T, reducing over dk in the
+/// same serial order the batched matmul uses per output element, followed
+/// by the exact attention_softmax row loop — so the result is
+/// bit-identical to matmul(q, transpose(k)) -> scale -> masked_fill ->
+/// softmax on every backend. The mask has one float per score (BH*T*T) or
+/// per broadcastable suffix of it. Inference-only: no backward is defined,
+/// so inputs must not require grad.
 Tensor attention_scores(const Tensor& q, const Tensor& k,
                         std::shared_ptr<const std::vector<float>> mask,
                         float scale, float mask_value);
 
 /// Fused attention-context kernel: attn [BH, T, T] x v [BH, T, dk] ->
-/// [BH, T, dk] with direct accumulation loops instead of a packed batched
-/// GEMM. Per output element it reduces over the T keys in ascending order
-/// with a float accumulator — the batched matmul's serial order — so the
-/// result is bit-identical to matmul(attn, v). Inference-only: no backward
-/// is defined, so inputs must not require grad.
+/// [BH, T, dk], one dispatched backend GEMM per lane writing straight into
+/// the output (no per-lane tensor views or graph nodes). Per output
+/// element it reduces over the T keys in ascending order — the batched
+/// matmul's serial order — so the result is bit-identical to
+/// matmul(attn, v) on every backend. Inference-only: no backward is
+/// defined, so inputs must not require grad.
 Tensor attention_apply(const Tensor& attn, const Tensor& v);
 
 /// Log-softmax over the last dimension (numerically stable).
