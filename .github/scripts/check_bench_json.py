@@ -42,6 +42,17 @@ Stdlib only. Three checks, composable on one command line:
                            BM_MatmulSimd reports backend_id == 0 (scalar --
                            no SIMD on this machine) the speedup floors are
                            skipped; the deviation bound always applies.
+  --data-gate FILE         FILE is a BENCH_micro_data.json emission; fail
+                           unless the streaming loader at its largest
+                           swept prefetch depth delivers at least
+                           --min-tokens-per-sec (default 2e6) and keeps
+                           the consumer-visible stall share of wall time
+                           under --max-stall-fraction (default 0.25), and
+                           the mmap shard scan reports positive
+                           throughput. CI applies the strict defaults to
+                           the committed full-length baseline and relaxed
+                           floors to the smoke emission (tiny corpus,
+                           single iterations).
   --serve-gate FILE        FILE is a BENCH_load_serve.json emission; fail
                            unless every bitwise spot check passed
                            (bitwise_mismatches == 0), no HTTP request
@@ -314,6 +325,51 @@ def check_kernel_gate(
         )
 
 
+def check_data_gate(
+    path: str, min_tokens_per_sec: float, max_stall: float
+) -> None:
+    records = load(path)
+    depths = {
+        rec["bench"].rsplit("/", 1)[1]
+        for rec in records
+        if rec["bench"].startswith("BM_LoaderStream/")
+    }
+    if not depths:
+        fail(f"{path}: no BM_LoaderStream records")
+    # Gate at the largest swept depth: that is the configuration the
+    # trainer runs with (NETFM_DATA_PREFETCH), and the one where a broken
+    # producer shows up as stalls instead of hiding behind sync reads.
+    arg = sorted(depths, key=int)[-1]
+    bench = f"BM_LoaderStream/{arg}"
+    depth = bench_counter(records, path, bench, "prefetch_depth")
+    tokens = bench_counter(records, path, bench, "tokens_per_second")
+    stall = bench_counter(records, path, bench, "stall_fraction")
+    mmap_bps = bench_counter(
+        records, path, "BM_ShardReadMmap", "bytes_per_second"
+    )
+    print(
+        f"check_bench_json: loader depth={depth:.0f} "
+        f"{tokens / 1e6:.2f} Mtok/s, stall {stall:.3f} of wall time; "
+        f"mmap scan {mmap_bps / 1e6:.0f} MB/s "
+        f"(floors: >={min_tokens_per_sec / 1e6:.2f} Mtok/s, "
+        f"stall <={max_stall:.2f})"
+    )
+    if depth < 1:
+        fail(f"{path}: largest swept prefetch depth is {depth:.0f} (< 1)")
+    if tokens < min_tokens_per_sec:
+        fail(
+            f"prefetch throughput {tokens / 1e6:.2f} Mtok/s is below the "
+            f"{min_tokens_per_sec / 1e6:.2f} Mtok/s floor at depth {arg}"
+        )
+    if stall > max_stall:
+        fail(
+            f"stall fraction {stall:.3f} exceeds the {max_stall:.2f} cap "
+            f"at depth {arg}"
+        )
+    if mmap_bps <= 0.0:
+        fail(f"{path}: BM_ShardReadMmap reports non-positive throughput")
+
+
 def metric_value(records: list[dict], path: str, metric: str) -> float:
     for rec in records:
         if rec["metric"] == metric:
@@ -373,6 +429,9 @@ def main() -> None:
     parser.add_argument("--min-sessions", type=float, default=1000.0)
     parser.add_argument("--min-rps", type=float, default=500.0)
     parser.add_argument("--max-p99-ms", type=float, default=2000.0)
+    parser.add_argument("--data-gate", metavar="FILE")
+    parser.add_argument("--min-tokens-per-sec", type=float, default=2.0e6)
+    parser.add_argument("--max-stall-fraction", type=float, default=0.25)
     args = parser.parse_args()
 
     if (
@@ -382,10 +441,11 @@ def main() -> None:
         and not args.infer_gate
         and not args.kernel_gate
         and not args.serve_gate
+        and not args.data_gate
     ):
         fail(
             "nothing to check (pass --schema/--overhead/--baseline/"
-            "--infer-gate/--kernel-gate/--serve-gate)"
+            "--infer-gate/--kernel-gate/--serve-gate/--data-gate)"
         )
     for path in args.schema:
         check_schema(path)
@@ -408,6 +468,10 @@ def main() -> None:
     if args.serve_gate:
         check_serve_gate(
             args.serve_gate, args.min_sessions, args.min_rps, args.max_p99_ms
+        )
+    if args.data_gate:
+        check_data_gate(
+            args.data_gate, args.min_tokens_per_sec, args.max_stall_fraction
         )
     print("check_bench_json: all checks passed")
 

@@ -1,0 +1,135 @@
+// Corpus-format smoke: proves the streaming data path end to end. Builds
+// (or reuses, via NETFM_DATA_DIR) a sharded on-disk corpus, then trains
+// NetFM and TrafficLM twice — once through the in-RAM path, once through
+// the memory-mapped streaming loader — and demands bitwise-equal loss
+// trajectories. Any drift means the loader broke the per-(seed,step)
+// determinism contract, and the process exits non-zero so CI fails loudly.
+// Emits BENCH_corpus_smoke.json (registry dump incl. data.* metrics).
+//
+// Full run trains paper-scale steps; NETFM_BENCH_SMOKE=1 shrinks to a
+// seconds-long CI pass.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/netfm.h"
+#include "core/traffic_lm.h"
+#include "data/corpus.h"
+#include "data/corpus_build.h"
+#include "harness/bench_util.h"
+
+using namespace netfm;
+
+namespace {
+
+std::string corpus_dir() {
+  if (const char* env = std::getenv("NETFM_DATA_DIR"); env && *env)
+    return env;
+  return "smoke_corpus";
+}
+
+data::CorpusReader open_or_build(const bench::Scale& scale) {
+  const std::string dir = corpus_dir();
+  if (auto existing = data::CorpusReader::open(dir)) {
+    std::printf("corpus: reusing %s\n", dir.c_str());
+    return std::move(*existing);
+  }
+  data::CorpusBuildOptions options;
+  options.chunks = bench::smoke_mode() ? 2 : 4;
+  options.trace.duration_seconds = scale.trace_seconds;
+  options.trace.max_sessions = scale.max_sessions;
+  options.trace.attack_fraction = 0.1;
+  const auto result = data::build_corpus(dir, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "corpus_smoke: corpus build failed under %s\n",
+                 dir.c_str());
+    std::exit(1);
+  }
+  auto reader = data::CorpusReader::open(dir);
+  if (!reader) {
+    std::fprintf(stderr, "corpus_smoke: corpus fails validation\n");
+    std::exit(1);
+  }
+  std::printf("corpus: built %s (%zu sequences, %zu shards)\n", dir.c_str(),
+              reader->size(), reader->shard_count());
+  return std::move(*reader);
+}
+
+std::size_t compare(const char* what, const std::vector<float>& ram,
+                    const std::vector<float>& stream) {
+  std::size_t mismatches = 0;
+  if (ram.size() != stream.size()) {
+    std::fprintf(stderr, "%s: trajectory length %zu (ram) vs %zu (stream)\n",
+                 what, ram.size(), stream.size());
+    return ram.size() + stream.size();
+  }
+  for (std::size_t i = 0; i < ram.size(); ++i) {
+    if (ram[i] != stream[i]) {
+      if (++mismatches <= 4)
+        std::fprintf(stderr, "%s: step %zu loss %.9g (ram) vs %.9g (stream)\n",
+                     what, i, static_cast<double>(ram[i]),
+                     static_cast<double>(stream[i]));
+    }
+  }
+  std::printf("%s: %zu steps, %zu mismatches\n", what, ram.size(), mismatches);
+  return mismatches;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Corpus smoke: streaming pretrain == in-RAM, bitwise",
+                "pretraining must scale past RAM without changing results "
+                "(the mmap/streaming analogue of the paper's abundant "
+                "unlabeled data premise)");
+  const bench::Scale scale = bench::Scale::from_env();
+  const data::CorpusReader reader = open_or_build(scale);
+
+  // In-RAM twin of the on-disk corpus (and the vocabulary both share).
+  std::vector<std::vector<std::string>> ram;
+  ram.reserve(reader.size());
+  for (std::size_t i = 0; i < reader.size(); ++i)
+    ram.push_back(reader.sequence(i));
+  const tok::Vocabulary vocab = tok::Vocabulary::build(ram);
+
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.dropout = 0.0f;
+
+  std::size_t mismatches = 0;
+  {
+    core::PretrainOptions options;
+    options.steps = scale.pretrain_steps;
+    options.batch_size = 8;
+    options.max_seq_len = 32;
+    options.seed = 99;
+    core::NetFM ram_model(vocab, config);
+    const auto ram_log = ram_model.pretrain(ram, {}, options);
+    core::NetFM stream_model(vocab, config);
+    const auto stream_log = stream_model.pretrain(reader, {}, options);
+    mismatches += compare("netfm.pretrain", ram_log.losses, stream_log.losses);
+  }
+  {
+    core::LmTrainOptions options;
+    options.steps = scale.pretrain_steps;
+    options.batch_size = 8;
+    options.max_seq_len = 32;
+    options.seed = 77;
+    core::TrafficLM ram_model(vocab, config);
+    const auto ram_log = ram_model.train(ram, options);
+    core::TrafficLM stream_model(vocab, config);
+    const auto stream_log = stream_model.train(reader, options);
+    mismatches += compare("trafficlm.train", ram_log.losses, stream_log.losses);
+  }
+
+  metrics::counter("smoke.corpus.sequences").add(reader.size());
+  metrics::counter("smoke.corpus.shards").add(reader.shard_count());
+  if (mismatches > 0) {
+    metrics::counter("smoke.bitwise_mismatches").add(mismatches);
+    std::fprintf(stderr, "corpus_smoke: %zu bitwise mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf("corpus_smoke: streaming == in-RAM, bitwise\n");
+  return 0;
+}

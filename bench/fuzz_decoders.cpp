@@ -1,6 +1,7 @@
-// Deterministic mutation sweep over every src/net decoder — the hardening
-// proof for the fault-injection PR. For each protocol we encode a valid
-// sample, then replay fault::mutate(seed, index) streams against it and
+// Deterministic mutation sweep over every src/net decoder plus the corpus
+// shard parser (data/shard.h) — the hardening proof for the
+// fault-injection PR. For each format we encode a valid sample, then
+// replay fault::mutate(seed, index) streams against it and
 // feed every mutant to every decoder. The run must finish with zero
 // crashes, hangs, sanitizer reports, or over-snaplen allocations; CI runs
 // this binary under ASan+UBSan (the `fault-smoke` job).
@@ -20,6 +21,7 @@
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "data/shard.h"
 #include "harness/bench_util.h"
 #include "net/dns.h"
 #include "net/http.h"
@@ -108,6 +110,17 @@ std::vector<Target> make_targets() {
   std::vector<Packet> packets;
   for (int i = 0; i < 4; ++i) packets.push_back({0.1 * i, frame});
   targets.push_back({"pcap", pcap_encode(packets)});
+
+  // Corpus shard (data/shard.h): header + offset index + string table +
+  // CRC tail. ShardView::parse must stay total over mutants — the CRC
+  // rejects any payload flip, and the header/index bounds checks reject
+  // truncations and length lies without over-reading the mapping.
+  const std::vector<std::vector<std::string>> corpus = {
+      {"proto=tls", "sni=www.example.com", "alpn=h2"},
+      {"proto=dns", "qname=cdn.video.example.com", "rcode=0"},
+      {"proto=tls", "sni=www.example.com", "cipher=c02f"},
+  };
+  targets.push_back({"corpus_shard", data::encode_shard(corpus)});
   return targets;
 }
 
@@ -139,6 +152,7 @@ void decode_all(BytesView view) {
   (void)dns::decode_name(r1);
   ByteReader r2(view);
   (void)quic::read_varint(r2);
+  (void)data::ShardView::parse(view);
 }
 
 /// Writes the mutant about to be decoded, so a crash leaves the failing

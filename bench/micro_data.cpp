@@ -1,0 +1,153 @@
+// Data-layer microbenchmarks: memory-mapped shard reads vs an in-RAM copy,
+// and the streaming loader's prefetch-depth sweep under a simulated
+// training step. Emits BENCH_micro_data.json; CI's corpus-smoke lane gates
+// on it via check_bench_json.py --data-gate (min prefetch throughput, max
+// stall fraction).
+//
+// The corpus comes from NETFM_DATA_DIR when set (CI's cached corpus);
+// otherwise a local one is built under the working directory.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/corpus_build.h"
+#include "data/loader.h"
+#include "harness/bench_util.h"
+
+namespace netfm {
+namespace {
+
+std::string corpus_dir() {
+  if (const char* env = std::getenv("NETFM_DATA_DIR"); env && *env)
+    return env;
+  return "bench_corpus";
+}
+
+/// The benchmark corpus, built on first use if the directory is absent.
+const data::CorpusReader& corpus() {
+  static const data::CorpusReader reader = [] {
+    const std::string dir = corpus_dir();
+    if (auto existing = data::CorpusReader::open(dir)) return std::move(*existing);
+    data::CorpusBuildOptions options;
+    options.chunks = bench::smoke_mode() ? 2 : 4;
+    options.trace.duration_seconds = bench::smoke_mode() ? 5.0 : 30.0;
+    options.trace.max_sessions = bench::smoke_mode() ? 60 : 400;
+    options.trace.attack_fraction = 0.1;
+    const auto result = data::build_corpus(dir, options);
+    if (!result.ok) {
+      std::fprintf(stderr, "micro_data: corpus build failed under %s\n",
+                   dir.c_str());
+      std::exit(1);
+    }
+    auto reader = data::CorpusReader::open(dir);
+    if (!reader) {
+      std::fprintf(stderr, "micro_data: corpus fails validation\n");
+      std::exit(1);
+    }
+    return std::move(*reader);
+  }();
+  return reader;
+}
+
+std::size_t sequence_bytes(const std::vector<std::string>& seq) {
+  std::size_t bytes = 0;
+  for (const auto& token : seq) bytes += token.size();
+  return bytes;
+}
+
+// Full sequential scan through the memory-mapped shards: every sequence
+// materialized from the string table. The page cache is warm after the
+// first iteration, so this measures decode cost off the mapping, not disk.
+void BM_ShardReadMmap(benchmark::State& state) {
+  const auto& reader = corpus();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = 0;
+    for (std::size_t i = 0; i < reader.size(); ++i) {
+      const auto seq = reader.sequence(i);
+      bytes += sequence_bytes(seq);
+      benchmark::DoNotOptimize(seq.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(reader.size()));
+}
+BENCHMARK(BM_ShardReadMmap);
+
+// The same scan over a fully materialized in-RAM copy — the ceiling the
+// mmap route is compared against.
+void BM_ShardReadRam(benchmark::State& state) {
+  const auto& reader = corpus();
+  std::vector<std::vector<std::string>> ram;
+  ram.reserve(reader.size());
+  for (std::size_t i = 0; i < reader.size(); ++i)
+    ram.push_back(reader.sequence(i));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = 0;
+    for (const auto& seq : ram) {
+      bytes += sequence_bytes(seq);
+      benchmark::DoNotOptimize(seq.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ram.size()));
+}
+BENCHMARK(BM_ShardReadRam);
+
+// Streaming loader under a simulated training step: per iteration one
+// batch() call followed by a fixed busy-wait standing in for the model's
+// forward/backward. Counters:
+//   tokens_per_second  tokens delivered / wall time of the batch() calls
+//   stall_fraction     batch() wall time / total wall time
+//   prefetch_depth     the swept depth
+// Depth 0 is the synchronous floor; any working prefetcher must beat it
+// on stall_fraction (the --data-gate asserts both counters at the largest
+// depth).
+void BM_LoaderStream(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto& reader = corpus();
+  data::StreamingLoader loader(
+      reader, {.seed = 7, .batch_size = 16, .prefetch_depth = depth});
+  using Clock = std::chrono::steady_clock;
+  std::size_t step = 0;
+  std::size_t tokens = 0;
+  double batch_seconds = 0.0;
+  const auto run_start = Clock::now();
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    const auto rows = loader.batch(step++);
+    batch_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+    for (const auto& row : rows) tokens += row.size();
+    benchmark::DoNotOptimize(rows.data());
+    // Simulated step work (~200us): long enough for the producer to refill
+    // the window, so a working prefetcher shows a near-zero stall share.
+    const auto work_until = Clock::now() + std::chrono::microseconds(200);
+    while (Clock::now() < work_until) benchmark::DoNotOptimize(step);
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+  state.counters["tokens_per_second"] = benchmark::Counter(
+      batch_seconds > 0.0 ? static_cast<double>(tokens) / batch_seconds : 0.0);
+  state.counters["stall_fraction"] = benchmark::Counter(
+      total_seconds > 0.0 ? batch_seconds / total_seconds : 0.0);
+  state.counters["prefetch_depth"] =
+      benchmark::Counter(static_cast<double>(depth));
+  state.SetItemsProcessed(static_cast<std::int64_t>(tokens));
+}
+BENCHMARK(BM_LoaderStream)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace netfm
+
+int main(int argc, char** argv) {
+  return netfm::bench::benchmark_main(argc, argv, "micro_data");
+}

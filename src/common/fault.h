@@ -29,6 +29,8 @@
 //   core.lm.loss / .crash          same for TrafficLM training
 //   core.decode.crash              crash inside LmDecoder::advance
 //   nn.workspace.oom               Workspace::acquire throws bad_alloc
+//   data.shard.corrupt             a corpus shard fails validation at open
+//   data.mmap.fail                 MappedFile::open reports failure
 #pragma once
 
 #include <cstdint>

@@ -9,6 +9,8 @@
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "data/corpus.h"
+#include "data/loader.h"
 
 namespace netfm::core {
 
@@ -24,15 +26,17 @@ double seconds_since(
       .count();
 }
 
-/// Per-step batch RNG: deterministic in (seed, step) alone, so a run
-/// resumed from a step-k checkpoint draws exactly the batches the
-/// uninterrupted run would have drawn from step k on.
-Rng step_rng(std::uint64_t seed, std::size_t step) noexcept {
-  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(step) + 1) *
-                               0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return Rng(x ^ (x >> 31));
+// Per-step batch RNG, shared with the data layer so the streaming loader
+// can compose the same batches ahead of time (see data/loader.h).
+using data::step_rng;
+
+/// Pairs per batch for a given configuration (0 when the task or the pair
+/// set disables them). Hoisted out of the step loop because the streaming
+/// loader needs the per-step context count up front.
+std::size_t pairs_per_batch(const PretrainOptions& options, bool use_pairs) {
+  if (!use_pairs) return 0;
+  return static_cast<std::size_t>(
+      options.pair_fraction * static_cast<double>(options.batch_size) + 0.5);
 }
 
 double cosine(std::span<const float> a, std::span<const float> b) {
@@ -65,16 +69,66 @@ TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
                          const PretrainOptions& options) {
   if (corpus.empty())
     throw std::invalid_argument("NetFM::pretrain: empty corpus");
-  const bool use_pairs =
-      options.task == PretrainTask::kMlmAndNextPacket && !pairs.empty();
   const std::size_t seq_len =
       std::min(options.max_seq_len, encoder_->config().max_seq_len);
-
   // Encode the corpus once; masking corrupts copies per step.
   std::vector<Encoded> encoded;
   encoded.reserve(corpus.size());
   for (const auto& tokens : corpus)
     encoded.push_back(encode_context(tokens, vocab_, seq_len));
+  return pretrain_impl(
+      corpus.size(),
+      [&](std::size_t, std::span<const std::size_t> indices) {
+        std::vector<Encoded> items;
+        items.reserve(indices.size());
+        for (const std::size_t i : indices) items.push_back(encoded[i]);
+        return items;
+      },
+      pairs, options);
+}
+
+TrainLog NetFM::pretrain(const data::CorpusReader& corpus,
+                         const std::vector<ctx::SegmentPair>& pairs,
+                         const PretrainOptions& options) {
+  if (corpus.size() == 0)
+    throw std::invalid_argument("NetFM::pretrain: empty corpus");
+  const bool use_pairs =
+      options.task == PretrainTask::kMlmAndNextPacket && !pairs.empty();
+  const std::size_t seq_len =
+      std::min(options.max_seq_len, encoder_->config().max_seq_len);
+  // The loader draws batch_indices(seed, step, num_contexts, size) — the
+  // identical composition pretrain_impl expects — and prefetches upcoming
+  // steps in the background; this thread only encodes what it consumes.
+  data::StreamingLoader::Options loader_options;
+  loader_options.seed = options.seed;
+  loader_options.batch_size =
+      options.batch_size - pairs_per_batch(options, use_pairs);
+  data::StreamingLoader loader(corpus, loader_options);
+  return pretrain_impl(
+      corpus.size(),
+      [&](std::size_t step, std::span<const std::size_t> indices) {
+        auto rows = loader.batch(step);
+        std::vector<Encoded> items;
+        items.reserve(rows.size());
+        for (const auto& row : rows)
+          items.push_back(encode_context(row, vocab_, seq_len));
+        (void)indices;  // composed identically inside the loader
+        return items;
+      },
+      pairs, options);
+}
+
+TrainLog NetFM::pretrain_impl(
+    std::size_t corpus_size,
+    const std::function<std::vector<Encoded>(
+        std::size_t, std::span<const std::size_t>)>& fetch,
+    const std::vector<ctx::SegmentPair>& pairs,
+    const PretrainOptions& options) {
+  const bool use_pairs =
+      options.task == PretrainTask::kMlmAndNextPacket && !pairs.empty();
+  const std::size_t seq_len =
+      std::min(options.max_seq_len, encoder_->config().max_seq_len);
+
   std::vector<Encoded> encoded_pairs;
   std::vector<int> pair_labels;
   if (use_pairs) {
@@ -116,29 +170,29 @@ TrainLog NetFM::pretrain(const std::vector<std::vector<std::string>>& corpus,
     }
   }
 
+  const std::size_t num_pairs = pairs_per_batch(options, use_pairs);
+  const std::size_t num_contexts = options.batch_size - num_pairs;
+
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t step = start_step; step < options.steps; ++step) {
     metrics::ScopedTimer step_timer(h_step);
     if (f_crash.fire()) throw fault::CrashInjected{"core.pretrain.crash"};
     // Batches are a pure function of (seed, step): a resumed run draws the
-    // same data the uninterrupted run would have from this step on.
+    // same data the uninterrupted run would have from this step on. The
+    // context indices come from a separate salted stream (batch_indices)
+    // so the loader can compose batches ahead of the step loop; step_rng
+    // then covers masking and pair draws only.
+    const auto indices =
+        data::batch_indices(options.seed, step, num_contexts, corpus_size);
     Rng rng = step_rng(options.seed, step);
     // Assemble the batch in two runs — contexts first, then segment pairs —
     // so pair rows are contiguous for the next-packet head.
-    std::vector<Encoded> batch_items;
+    std::vector<Encoded> batch_items = fetch(step, indices);
     std::vector<std::vector<int>> batch_targets;
     std::vector<int> batch_next_labels;
-    std::size_t num_pairs = 0;
-    if (use_pairs)
-      num_pairs = static_cast<std::size_t>(
-          options.pair_fraction * static_cast<double>(options.batch_size) +
-          0.5);
-    const std::size_t num_contexts = options.batch_size - num_pairs;
-    for (std::size_t b = 0; b < num_contexts; ++b) {
-      Encoded item = encoded[rng.uniform(encoded.size())];
+    for (Encoded& item : batch_items) {
       batch_targets.push_back(apply_mlm_mask(item.ids, vocab_, rng,
                                              options.mask_prob, per_id_prob));
-      batch_items.push_back(std::move(item));
     }
     for (std::size_t b = 0; b < num_pairs; ++b) {
       const std::size_t at = rng.uniform(encoded_pairs.size());

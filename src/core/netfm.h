@@ -9,6 +9,7 @@
 //      analogy() (the NetBERT/NorBERT probes of §3.4).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -16,6 +17,10 @@
 #include "model/gru.h"
 #include "model/heads.h"
 #include "nn/serialize.h"
+
+namespace netfm::data {
+class CorpusReader;
+}
 
 namespace netfm::core {
 
@@ -106,6 +111,17 @@ class NetFM {
                     const std::vector<ctx::SegmentPair>& pairs,
                     const PretrainOptions& options);
 
+  /// Streaming pretraining over a memory-mapped sharded corpus. Batches
+  /// come through a prefetching data::StreamingLoader (NETFM_DATA_PREFETCH
+  /// controls the window), so the corpus never has to fit in RAM. Batch
+  /// composition and every RNG draw match the in-RAM overload exactly —
+  /// the two produce bitwise-identical loss trajectories for the same
+  /// (corpus contents, options). Segment pairs stay in-RAM (they are a
+  /// small sampled set, not the bulk corpus).
+  TrainLog pretrain(const data::CorpusReader& corpus,
+                    const std::vector<ctx::SegmentPair>& pairs,
+                    const PretrainOptions& options);
+
   /// Average masked-token cross-entropy (lower = better) on a held-out
   /// corpus; exp() of it is the MLM perplexity.
   double mlm_loss(const std::vector<std::vector<std::string>>& corpus,
@@ -167,6 +183,16 @@ class NetFM {
   void prequantize() const;
 
  private:
+  /// Shared step loop behind both pretrain overloads. `fetch(step,
+  /// indices)` returns the encoded context rows for that step, in the
+  /// order data::batch_indices names them; pairs ride along in RAM.
+  TrainLog pretrain_impl(
+      std::size_t corpus_size,
+      const std::function<std::vector<Encoded>(
+          std::size_t, std::span<const std::size_t>)>& fetch,
+      const std::vector<ctx::SegmentPair>& pairs,
+      const PretrainOptions& options);
+
   nn::Tensor forward_pooled(const model::Batch& batch, bool train) const;
 
   tok::Vocabulary vocab_;

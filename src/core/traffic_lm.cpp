@@ -7,6 +7,8 @@
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "data/corpus.h"
+#include "data/loader.h"
 
 namespace netfm::core {
 
@@ -36,16 +38,6 @@ std::vector<int> next_token_targets(const Encoded& item) {
   return targets;
 }
 
-/// Same per-step batch RNG as NetFM::pretrain: deterministic in
-/// (seed, step) alone so checkpoint resume replays identical batches.
-Rng step_rng(std::uint64_t seed, std::size_t step) noexcept {
-  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(step) + 1) *
-                               0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return Rng(x ^ (x >> 31));
-}
-
 }  // namespace
 
 TrainLog TrafficLM::train(
@@ -56,11 +48,51 @@ TrainLog TrafficLM::train(
   const std::size_t seq_len =
       std::min(options.max_seq_len, encoder_->config().max_seq_len);
 
+  // Encode the corpus once; batches reference these by index.
   std::vector<Encoded> encoded;
   encoded.reserve(corpus.size());
   for (const auto& tokens : corpus)
     encoded.push_back(encode_context(tokens, vocab_, seq_len));
+  return train_impl(
+      corpus.size(),
+      [&](std::size_t, std::span<const std::size_t> indices) {
+        std::vector<Encoded> items;
+        items.reserve(indices.size());
+        for (const std::size_t i : indices) items.push_back(encoded[i]);
+        return items;
+      },
+      options);
+}
 
+TrainLog TrafficLM::train(const data::CorpusReader& corpus,
+                          const LmTrainOptions& options) {
+  if (corpus.size() == 0)
+    throw std::invalid_argument("TrafficLM::train: empty corpus");
+  const std::size_t seq_len =
+      std::min(options.max_seq_len, encoder_->config().max_seq_len);
+  data::StreamingLoader::Options loader_options;
+  loader_options.seed = options.seed;
+  loader_options.batch_size = options.batch_size;
+  data::StreamingLoader loader(corpus, loader_options);
+  return train_impl(
+      corpus.size(),
+      [&](std::size_t step, std::span<const std::size_t> indices) {
+        auto rows = loader.batch(step);
+        std::vector<Encoded> items;
+        items.reserve(rows.size());
+        for (const auto& row : rows)
+          items.push_back(encode_context(row, vocab_, seq_len));
+        (void)indices;  // composed identically inside the loader
+        return items;
+      },
+      options);
+}
+
+TrainLog TrafficLM::train_impl(
+    std::size_t corpus_size,
+    const std::function<std::vector<Encoded>(
+        std::size_t, std::span<const std::size_t>)>& fetch,
+    const LmTrainOptions& options) {
   nn::ParameterList params = parameters();
   nn::Adam adam(options.peak_lr, 0.9f, 0.999f, 1e-8f, 0.01f);
   nn::WarmupLinearSchedule schedule(
@@ -88,14 +120,16 @@ TrainLog TrafficLM::train(
   for (std::size_t step = start_step; step < options.steps; ++step) {
     metrics::ScopedTimer step_timer(h_step);
     if (f_crash.fire()) throw fault::CrashInjected{"core.lm.crash"};
-    Rng rng = step_rng(options.seed, step);
-    std::vector<Encoded> items;
+    // Batch composition is a pure function of (seed, step) via the salted
+    // data::batch_indices stream — the property checkpoint resume and the
+    // streaming loader both rely on.
+    const auto indices = data::batch_indices(options.seed, step,
+                                             options.batch_size, corpus_size);
+    std::vector<Encoded> items = fetch(step, indices);
     std::vector<int> targets;
-    for (std::size_t b = 0; b < options.batch_size; ++b) {
-      const Encoded& item = encoded[rng.uniform(encoded.size())];
+    for (const Encoded& item : items) {
       const auto t = next_token_targets(item);
       targets.insert(targets.end(), t.begin(), t.end());
-      items.push_back(item);
     }
     const Batch batch = make_batch(items);
     const Tensor hidden = encoder_->forward(batch, /*train=*/true);

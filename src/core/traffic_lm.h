@@ -49,6 +49,12 @@ class TrafficLM {
   TrainLog train(const std::vector<std::vector<std::string>>& corpus,
                  const LmTrainOptions& options);
 
+  /// Streaming training over a memory-mapped sharded corpus through a
+  /// prefetching data::StreamingLoader. Loss trajectory is bitwise equal
+  /// to the in-RAM overload on the same corpus contents and options.
+  TrainLog train(const data::CorpusReader& corpus,
+                 const LmTrainOptions& options);
+
   /// Average next-token cross-entropy on a corpus (exp() = perplexity).
   double loss(const std::vector<std::vector<std::string>>& corpus,
               std::size_t max_seq_len) const;
@@ -101,6 +107,13 @@ class TrafficLM {
 
  private:
   friend class LmDecoder;
+
+  /// Shared step loop behind both train overloads; `fetch(step, indices)`
+  /// returns the encoded batch rows in data::batch_indices order.
+  TrainLog train_impl(std::size_t corpus_size,
+                      const std::function<std::vector<Encoded>(
+                          std::size_t, std::span<const std::size_t>)>& fetch,
+                      const LmTrainOptions& options);
 
   tok::Vocabulary vocab_;
   std::unique_ptr<model::TransformerEncoder> encoder_;

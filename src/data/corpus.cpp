@@ -1,0 +1,175 @@
+#include "data/corpus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/fault.h"
+#include "common/fileio.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/threadpool.h"
+
+namespace netfm::data {
+namespace {
+
+std::string shard_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%05zu%s", index,
+                std::string(kShardExtension).c_str());
+  return buf;
+}
+
+std::string join(const std::string& dir, std::string_view name) {
+  return (std::filesystem::path(dir) / name).string();
+}
+
+}  // namespace
+
+CorpusWriter::CorpusWriter(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) failed_ = true;
+}
+
+CorpusWriter::CorpusWriter(std::string dir)
+    : CorpusWriter(std::move(dir), Options{}) {}
+
+bool CorpusWriter::add(std::vector<std::string> sequence) {
+  if (failed_ || finished_) return false;
+  // Estimate the encoded footprint as if nothing deduplicates: 8 bytes of
+  // sequence offset, then per token 4 bytes of id + 4 of string offset +
+  // the string bytes. An overestimate only rotates shards early.
+  std::size_t estimate = 8;
+  for (const auto& token : sequence) estimate += 8 + token.size();
+  total_tokens_ += sequence.size();
+  ++total_sequences_;
+  pending_bytes_ += estimate;
+  pending_.push_back(std::move(sequence));
+  if (pending_bytes_ >= options_.target_shard_bytes && !flush_shard()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool CorpusWriter::flush_shard() {
+  if (pending_.empty()) return true;
+  const Bytes encoded = encode_shard(pending_);
+  const std::string name = shard_name(shard_names_.size());
+  if (!io::write_file_atomic(join(dir_, name), encoded)) return false;
+  shard_names_.push_back(name);
+  pending_.clear();
+  pending_bytes_ = 0;
+  return true;
+}
+
+bool CorpusWriter::finish() {
+  if (failed_ || finished_) return false;
+  finished_ = true;
+  if (!flush_shard()) return false;
+  json::Object manifest;
+  manifest.emplace_back("format_version",
+                        json::Value(std::uint64_t{kShardFormatVersion}));
+  manifest.emplace_back("sequences", json::Value(std::uint64_t{total_sequences_}));
+  manifest.emplace_back("tokens", json::Value(std::uint64_t{total_tokens_}));
+  json::Array names;
+  for (const auto& name : shard_names_) names.emplace_back(name);
+  manifest.emplace_back("shards", json::Value(std::move(names)));
+  const std::string text = json::Value(std::move(manifest)).dump(2) + "\n";
+  return io::write_file_atomic(
+      join(dir_, kManifestName),
+      BytesView{reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+}
+
+std::optional<CorpusReader> CorpusReader::open(const std::string& dir,
+                                               Options options) {
+  (void)options;  // verify is currently always on; see header
+  const auto manifest_bytes = io::read_file(join(dir, kManifestName));
+  if (!manifest_bytes) return std::nullopt;
+  const auto manifest = json::Value::parse(std::string_view(
+      reinterpret_cast<const char*>(manifest_bytes->data()), manifest_bytes->size()));
+  if (!manifest || !manifest->is_object()) return std::nullopt;
+  const auto* version = manifest->find("format_version");
+  if (!version || !version->is_number() ||
+      static_cast<std::uint32_t>(version->as_number()) != kShardFormatVersion) {
+    return std::nullopt;
+  }
+  const auto* shards = manifest->find("shards");
+  if (!shards || !shards->is_array()) return std::nullopt;
+
+  std::vector<std::string> names;
+  names.reserve(shards->as_array().size());
+  for (const auto& name : shards->as_array()) {
+    if (!name.is_string()) return std::nullopt;
+    names.push_back(name.as_string());
+  }
+
+  // Map + validate every shard in parallel (CRC over each shard touches all
+  // its pages, so this is the corpus's one sequential-scan cost and the
+  // pool hides it across cores). Slots are disjoint, so the usual
+  // deterministic-chunking rules apply trivially.
+  struct Opened {
+    std::optional<MappedFile> file;
+    std::optional<ShardView> view;
+  };
+  std::vector<Opened> opened(names.size());
+  std::atomic<bool> ok{true};
+  static const auto corrupt = fault::point("data.shard.corrupt");
+  static const auto open_ns = metrics::histogram("data.shard.open.ns", "ns");
+  static const auto shard_count = metrics::counter("data.corpus.shards");
+  ThreadPool::global().parallel_for(0, names.size(), 1, [&](std::size_t lo,
+                                                            std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      metrics::ScopedTimer timer(open_ns);
+      auto file = MappedFile::open(join(dir, names[i]));
+      if (!file) {
+        ok.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      auto view = ShardView::parse(file->view());
+      if (!view || corrupt.fire()) {
+        ok.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      opened[i].file = std::move(file);
+      opened[i].view = view;
+    }
+  });
+  if (!ok.load()) return std::nullopt;
+
+  CorpusReader reader;
+  reader.dir_ = dir;
+  reader.shards_.reserve(opened.size());
+  for (auto& o : opened) {
+    Shard shard{std::move(*o.file), *o.view, reader.total_sequences_};
+    reader.total_sequences_ += shard.view.size();
+    reader.total_tokens_ += shard.view.tokens();
+    reader.shards_.push_back(std::move(shard));
+  }
+  if (metrics::enabled()) shard_count.add(reader.shards_.size());
+
+  const auto* sequences = manifest->find("sequences");
+  if (sequences && sequences->is_number() &&
+      static_cast<std::size_t>(sequences->as_number()) != reader.total_sequences_) {
+    return std::nullopt;
+  }
+  return reader;
+}
+
+std::optional<CorpusReader> CorpusReader::open(const std::string& dir) {
+  return open(dir, Options{});
+}
+
+std::vector<std::string> CorpusReader::sequence(std::size_t i) const {
+  // Find the shard whose [first_sequence, first_sequence + size) contains i.
+  auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), i,
+      [](std::size_t value, const Shard& s) { return value < s.first_sequence; });
+  --it;
+  return it->view.sequence(i - it->first_sequence);
+}
+
+}  // namespace netfm::data

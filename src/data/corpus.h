@@ -1,0 +1,110 @@
+// Sharded on-disk corpus: a directory of shard files (shard.h format) plus
+// a `corpus.json` manifest naming them in order. The writer rotates shards
+// at a byte budget and lands every file through io::write_file_atomic, so a
+// crash mid-build leaves either a complete corpus or no manifest — readers
+// key off the manifest and never observe a torn corpus. The reader
+// memory-maps every shard and validates CRCs in parallel on the shared
+// thread pool (the shasta ReadLoader idiom), then serves sequences by
+// global index across shard boundaries.
+//
+// Observability/fault surface:
+//   data.shard.open.ns   histogram: per-shard map+validate latency
+//   data.corpus.shards   counter: shards opened
+//   data.shard.corrupt   fault point: a shard fails validation at open
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/mapped_file.h"
+#include "data/shard.h"
+
+namespace netfm::data {
+
+/// Name of the manifest file inside a corpus directory.
+inline constexpr std::string_view kManifestName = "corpus.json";
+
+/// Streams sequences into rotating shard files under `dir`. Not
+/// thread-safe; one writer per corpus build.
+class CorpusWriter {
+ public:
+  struct Options {
+    /// Rotate to a new shard once the buffered encode would exceed this.
+    std::size_t target_shard_bytes = 4u << 20;
+  };
+
+  /// Creates `dir` (and parents) if needed.
+  CorpusWriter(std::string dir, Options options);
+  explicit CorpusWriter(std::string dir);
+
+  /// Buffers one sequence; flushes a shard when the running size estimate
+  /// crosses the target. Returns false once a shard write has failed.
+  bool add(std::vector<std::string> sequence);
+
+  /// Flushes the final shard and writes the manifest atomically. Returns
+  /// false on any I/O failure (no manifest is written in that case).
+  bool finish();
+
+  std::size_t sequences() const noexcept { return total_sequences_; }
+  std::size_t tokens() const noexcept { return total_tokens_; }
+
+ private:
+  bool flush_shard();
+
+  std::string dir_;
+  Options options_;
+  std::vector<std::vector<std::string>> pending_;
+  std::size_t pending_bytes_ = 0;
+  std::vector<std::string> shard_names_;
+  std::size_t total_sequences_ = 0;
+  std::size_t total_tokens_ = 0;
+  bool failed_ = false;
+  bool finished_ = false;
+};
+
+/// Memory-mapped random-access view over a finished corpus directory.
+class CorpusReader {
+ public:
+  struct Options {
+    /// Re-verify every shard's CRC at open (always done; reserved to let a
+    /// future hot-restart path skip it once the format grows a fast path).
+    bool verify = true;
+  };
+
+  /// Maps and validates every shard listed in the manifest; nullopt when
+  /// the manifest is missing/invalid or any shard fails validation.
+  static std::optional<CorpusReader> open(const std::string& dir,
+                                          Options options);
+  static std::optional<CorpusReader> open(const std::string& dir);
+
+  /// Total sequences across all shards.
+  std::size_t size() const noexcept { return total_sequences_; }
+
+  /// Total tokens across all shards.
+  std::size_t tokens() const noexcept { return total_tokens_; }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Materializes the sequence with global index `i` (i < size()).
+  std::vector<std::string> sequence(std::size_t i) const;
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  struct Shard {
+    MappedFile file;
+    ShardView view;
+    std::size_t first_sequence = 0;  // global index of this shard's sequence 0
+  };
+
+  CorpusReader() = default;
+
+  std::string dir_;
+  std::vector<Shard> shards_;
+  std::size_t total_sequences_ = 0;
+  std::size_t total_tokens_ = 0;
+};
+
+}  // namespace netfm::data

@@ -1,0 +1,31 @@
+#include "data/corpus_build.h"
+
+#include "net/flow.h"
+#include "tokenize/tokenizer.h"
+
+namespace netfm::data {
+
+CorpusBuildResult build_corpus(const std::string& dir,
+                               const CorpusBuildOptions& options) {
+  CorpusWriter writer(dir, {.target_shard_bytes = options.target_shard_bytes});
+  tok::FieldTokenizer tokenizer;
+  for (std::size_t chunk = 0; chunk < options.chunks; ++chunk) {
+    gen::TraceConfig config = options.trace;
+    config.seed = options.trace.seed + chunk;
+    // The chunk's trace and flow table die at the end of this iteration —
+    // only the writer's unflushed shard persists between chunks.
+    const gen::LabeledTrace trace = gen::generate_trace(config);
+    FlowTable table;
+    for (const Packet& p : trace.interleaved) table.add(p);
+    table.flush();
+    for (const Flow& flow : table.finished()) {
+      auto context = ctx::flow_context(flow, tokenizer, options.context);
+      if (context.empty()) continue;
+      if (!writer.add(std::move(context))) return {};
+    }
+  }
+  if (!writer.finish()) return {};
+  return {true, writer.sequences(), writer.tokens()};
+}
+
+}  // namespace netfm::data

@@ -1,0 +1,39 @@
+// trafficgen → corpus bridge: synthesizes traffic in bounded chunks and
+// streams each chunk's flow contexts straight into a CorpusWriter, so the
+// on-disk corpus can grow far past what one in-RAM trace could hold — peak
+// memory is one chunk's trace plus one unflushed shard, regardless of how
+// many chunks are requested.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "context/context.h"
+#include "data/corpus.h"
+#include "trafficgen/generator.h"
+
+namespace netfm::data {
+
+struct CorpusBuildOptions {
+  /// Per-chunk trace shape. `trace.seed` seeds chunk 0; later chunks
+  /// advance it by 1 each so every chunk draws distinct traffic.
+  gen::TraceConfig trace;
+  /// Chunks to generate; total corpus size scales linearly with this.
+  std::size_t chunks = 4;
+  /// Flow-context tokenization options (must match what training uses).
+  ctx::Options context;
+  /// Shard rotation budget (CorpusWriter::Options::target_shard_bytes).
+  std::size_t target_shard_bytes = 4u << 20;
+};
+
+struct CorpusBuildResult {
+  bool ok = false;
+  std::size_t sequences = 0;
+  std::size_t tokens = 0;
+};
+
+/// Builds a sharded corpus under `dir`. Deterministic in `options`.
+CorpusBuildResult build_corpus(const std::string& dir,
+                               const CorpusBuildOptions& options);
+
+}  // namespace netfm::data

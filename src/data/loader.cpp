@@ -1,0 +1,152 @@
+#include "data/loader.h"
+
+#include <cstdlib>
+
+#include "common/metrics.h"
+#include "common/threadpool.h"
+
+namespace netfm::data {
+namespace {
+
+// Salt for the index stream (see batch_indices). Arbitrary odd constant;
+// part of the format-stable determinism contract, never change it.
+constexpr std::uint64_t kIndexSalt = 0xd6e8feb86659fd93ull;
+
+}  // namespace
+
+Rng step_rng(std::uint64_t seed, std::size_t step) noexcept {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(step) + 1) *
+                               0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(x ^ (x >> 31));
+}
+
+std::vector<std::size_t> batch_indices(std::uint64_t seed, std::size_t step,
+                                       std::size_t batch_size,
+                                       std::size_t corpus_size) {
+  Rng rng = step_rng(seed ^ kIndexSalt, step);
+  std::vector<std::size_t> indices(batch_size);
+  for (auto& idx : indices) {
+    idx = static_cast<std::size_t>(rng.uniform(corpus_size));
+  }
+  return indices;
+}
+
+std::size_t prefetch_depth_from_env(std::size_t fallback) {
+  const char* env = std::getenv("NETFM_DATA_PREFETCH");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return fallback;
+  return std::min<std::size_t>(static_cast<std::size_t>(v), 64);
+}
+
+StreamingLoader::StreamingLoader(const CorpusReader& corpus, Options options)
+    : corpus_(corpus),
+      seed_(options.seed),
+      batch_size_(options.batch_size),
+      depth_(options.prefetch_depth == static_cast<std::size_t>(-1)
+                 ? prefetch_depth_from_env()
+                 : std::min<std::size_t>(options.prefetch_depth, 64)) {
+  if (depth_ > 0) {
+    producer_ = std::thread([this] { producer_loop(); });
+  }
+}
+
+StreamingLoader::~StreamingLoader() {
+  if (producer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    produce_.notify_all();
+    producer_.join();
+  }
+}
+
+std::vector<std::vector<std::string>> StreamingLoader::materialize(
+    std::size_t step) const {
+  const auto indices = batch_indices(seed_, step, batch_size_, corpus_.size());
+  std::vector<std::vector<std::string>> rows(indices.size());
+  // Rows are disjoint, so pool chunking can't affect the result. Typical
+  // training batches (<= grain) run inline; oversized analytical batches
+  // fan out.
+  ThreadPool::global().parallel_for(
+      0, indices.size(), 8, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          rows[i] = corpus_.sequence(indices[i]);
+        }
+      });
+  return rows;
+}
+
+std::vector<std::vector<std::string>> StreamingLoader::batch(std::size_t step) {
+  static const auto c_batches = metrics::counter("data.loader.batches");
+  static const auto c_tokens = metrics::counter("data.loader.tokens");
+  static const auto c_hit = metrics::counter("data.prefetch.hit");
+  static const auto c_miss = metrics::counter("data.prefetch.miss");
+  static const auto h_stall = metrics::histogram("data.prefetch.stall.ns", "ns");
+
+  std::vector<std::vector<std::string>> rows;
+  if (depth_ == 0) {
+    rows = materialize(step);
+  } else {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!window_.empty() && window_.front().step == step) {
+      if (metrics::enabled()) c_hit.add();
+    } else {
+      // First call, or a jump (resume/eval replay): reposition the
+      // producer and invalidate anything it has in flight.
+      if (metrics::enabled() && started_) c_miss.add();
+      ++generation_;
+      window_.clear();
+      next_step_ = step;
+      started_ = true;
+      produce_.notify_all();
+    }
+    if (window_.empty()) {
+      metrics::ScopedTimer stall(h_stall);
+      ready_.wait(lock, [&] { return !window_.empty(); });
+    }
+    rows = std::move(window_.front().rows);
+    window_.pop_front();
+    produce_.notify_all();
+  }
+
+  if (metrics::enabled()) {
+    c_batches.add();
+    std::size_t tokens = 0;
+    for (const auto& row : rows) tokens += row.size();
+    c_tokens.add(tokens);
+  }
+  return rows;
+}
+
+void StreamingLoader::producer_loop() {
+  for (;;) {
+    std::size_t step = 0;
+    std::uint64_t generation = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      produce_.wait(lock, [&] {
+        return stop_ || (started_ && window_.size() < depth_);
+      });
+      if (stop_) return;
+      step = next_step_++;
+      generation = generation_;
+    }
+    auto rows = materialize(step);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+      // A reposition happened while this batch was in flight — drop it;
+      // next_step_ was already rewound by the consumer.
+      if (generation != generation_) continue;
+      window_.push_back({step, std::move(rows)});
+    }
+    ready_.notify_all();
+  }
+}
+
+}  // namespace netfm::data

@@ -1,0 +1,109 @@
+// Prefetching streaming dataloader over a CorpusReader, plus the canonical
+// per-(seed,step) batch-composition functions shared by every training
+// loop.
+//
+// Determinism contract: `batch(step)` returns sequences in exactly the
+// order `batch_indices(seed, step, ...)` names them — a pure function of
+// (seed, step, batch_size, corpus size). Shard count, NETFM_THREADS,
+// prefetch depth, and the order batch() is called in never change the
+// result; the in-RAM training path composes batches from the same
+// functions, which is what makes streaming-vs-RAM loss trajectories
+// bitwise comparable (tests/test_data.cpp and the corpus-smoke CI lane
+// assert this).
+//
+// Prefetch model: one background producer thread materializes upcoming
+// batches into a bounded window (depth from NETFM_DATA_PREFETCH, default
+// 4; 0 = fully synchronous). The producer is lazy — it waits for the
+// first batch() call to learn the starting step, so checkpoint resume
+// never prefetches batches the run will skip. A non-sequential step
+// request repositions the producer (stale in-flight batches are
+// discarded by generation check).
+//
+// Observability:
+//   data.prefetch.stall.ns  histogram: consumer wait on an empty window
+//   data.prefetch.hit/.miss counters: window hits vs repositions/stalls
+//   data.loader.batches     counter: batches served
+//   data.loader.tokens      counter: tokens served
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/corpus.h"
+
+namespace netfm::data {
+
+/// Per-step batch RNG: deterministic in (seed, step) alone, so a run
+/// resumed from a step-k checkpoint draws exactly the batches the
+/// uninterrupted run would have drawn from step k on. (Hoisted here from
+/// the formerly duplicated copies in core/netfm.cpp and traffic_lm.cpp.)
+Rng step_rng(std::uint64_t seed, std::size_t step) noexcept;
+
+/// The indices a training step draws from a corpus of `corpus_size`
+/// sequences. Uses a salted stream independent of step_rng(seed, step), so
+/// data composition (what the loader needs ahead of time) and in-step
+/// randomness (masking, pair draws) don't interleave. corpus_size must
+/// be > 0.
+std::vector<std::size_t> batch_indices(std::uint64_t seed, std::size_t step,
+                                       std::size_t batch_size,
+                                       std::size_t corpus_size);
+
+/// Prefetch depth from NETFM_DATA_PREFETCH (clamped to [0, 64]); `fallback`
+/// when unset or unparseable.
+std::size_t prefetch_depth_from_env(std::size_t fallback = 4);
+
+class StreamingLoader {
+ public:
+  struct Options {
+    std::uint64_t seed = 0;
+    std::size_t batch_size = 8;
+    /// Batches materialized ahead of the consumer. SIZE_MAX (default)
+    /// reads NETFM_DATA_PREFETCH; 0 disables the background thread.
+    std::size_t prefetch_depth = static_cast<std::size_t>(-1);
+  };
+
+  /// `corpus` must outlive the loader and be non-empty.
+  StreamingLoader(const CorpusReader& corpus, Options options);
+  ~StreamingLoader();
+  StreamingLoader(const StreamingLoader&) = delete;
+  StreamingLoader& operator=(const StreamingLoader&) = delete;
+
+  /// The step's batch, row b holding the sequence at
+  /// batch_indices(seed, step, ...)[b]. Sequential steps are window hits;
+  /// any jump repositions the prefetcher.
+  std::vector<std::vector<std::string>> batch(std::size_t step);
+
+  std::size_t prefetch_depth() const noexcept { return depth_; }
+
+ private:
+  struct Prefetched {
+    std::size_t step = 0;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::vector<std::vector<std::string>> materialize(std::size_t step) const;
+  void producer_loop();
+
+  const CorpusReader& corpus_;
+  const std::uint64_t seed_;
+  const std::size_t batch_size_;
+  const std::size_t depth_;
+
+  std::mutex mutex_;
+  std::condition_variable produce_;  // producer: window has room / reposition
+  std::condition_variable ready_;    // consumer: a batch landed
+  std::deque<Prefetched> window_;
+  std::size_t next_step_ = 0;   // next step the producer materializes
+  std::uint64_t generation_ = 0;
+  bool started_ = false;        // first batch() seen; producer may run
+  bool stop_ = false;
+  std::thread producer_;
+};
+
+}  // namespace netfm::data

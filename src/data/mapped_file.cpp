@@ -1,0 +1,61 @@
+#include "data/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+
+namespace netfm::data {
+
+std::optional<MappedFile> MappedFile::open(const std::string& path) {
+  static const auto fail = fault::point("data.mmap.fail");
+  if (fail.fire()) return std::nullopt;
+
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (base == MAP_FAILED) return std::nullopt;
+
+  if (metrics::enabled()) {
+    static const auto bytes = metrics::counter("data.mmap.bytes", "bytes");
+    bytes.add(size);
+  }
+  return MappedFile(base, size);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+}  // namespace netfm::data

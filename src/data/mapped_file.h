@@ -1,0 +1,48 @@
+// Read-only memory-mapped file (the shasta MemoryAsContainer idiom): a
+// shard on disk becomes a BytesView without ever copying it into the heap,
+// so a corpus far larger than RAM is addressable while the kernel pages
+// shard data in and out on demand.
+//
+// Observability/fault surface:
+//   data.mmap.bytes    counter: bytes mapped over the process lifetime
+//   data.mmap.fail     fault point: open() reports failure (exercises the
+//                      corrupt-corpus recovery path without a bad disk)
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace netfm::data {
+
+/// Owning read-only mapping of one file. Move-only; unmaps on destruction.
+/// A zero-length file maps to an empty view (mmap of 0 bytes is invalid, so
+/// no mapping is created).
+class MappedFile {
+ public:
+  /// Maps `path` read-only; nullopt when the file cannot be opened, stat'd,
+  /// or mapped (or the data.mmap.fail point fires).
+  static std::optional<MappedFile> open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  BytesView view() const noexcept {
+    return {static_cast<const std::uint8_t*>(base_), size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(void* base, std::size_t size) noexcept
+      : base_(base), size_(size) {}
+
+  void* base_ = nullptr;   // nullptr when size_ == 0
+  std::size_t size_ = 0;
+};
+
+}  // namespace netfm::data

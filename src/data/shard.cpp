@@ -1,0 +1,146 @@
+#include "data/shard.h"
+
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+namespace netfm::data {
+namespace {
+
+std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(load_u32(p)) << 32) | load_u32(p + 4);
+}
+
+}  // namespace
+
+Bytes encode_shard(std::span<const std::vector<std::string>> sequences) {
+  // Dedup strings into a per-shard table, first-occurrence order.
+  std::unordered_map<std::string_view, std::uint32_t> table;
+  std::vector<std::string_view> strings;
+  std::vector<std::uint64_t> seq_offsets;
+  std::vector<std::uint32_t> tokens;
+  seq_offsets.reserve(sequences.size() + 1);
+  seq_offsets.push_back(0);
+  for (const auto& seq : sequences) {
+    for (const auto& token : seq) {
+      auto [it, inserted] =
+          table.emplace(token, static_cast<std::uint32_t>(strings.size()));
+      if (inserted) strings.push_back(token);
+      tokens.push_back(it->second);
+    }
+    seq_offsets.push_back(tokens.size());
+  }
+
+  std::uint64_t blob_bytes = 0;
+  for (auto s : strings) blob_bytes += s.size();
+
+  ByteWriter w;
+  w.u64(kShardMagic);
+  w.u32(kShardFormatVersion);
+  w.u32(0);  // flags
+  w.u64(sequences.size());
+  w.u64(tokens.size());
+  w.u64(strings.size());
+  w.u64(blob_bytes);
+  for (auto off : seq_offsets) w.u64(off);
+  for (auto id : tokens) w.u32(id);
+  std::uint32_t str_off = 0;
+  w.u32(0);
+  for (auto s : strings) {
+    str_off += static_cast<std::uint32_t>(s.size());
+    w.u32(str_off);
+  }
+  for (auto s : strings) w.raw(s);
+  const std::uint32_t crc = crc32(w.bytes());
+  w.u32(crc);
+  return w.take();
+}
+
+std::optional<ShardView> ShardView::parse(BytesView bytes) {
+  if (bytes.size() < kShardHeaderBytes + sizeof(std::uint32_t)) return std::nullopt;
+  const std::uint8_t* p = bytes.data();
+  if (load_u64(p) != kShardMagic) return std::nullopt;
+  if (load_u32(p + 8) != kShardFormatVersion) return std::nullopt;
+  if (load_u32(p + 12) != 0) return std::nullopt;
+  const std::uint64_t n_sequences = load_u64(p + 16);
+  const std::uint64_t n_tokens = load_u64(p + 24);
+  const std::uint64_t n_strings = load_u64(p + 32);
+  const std::uint64_t blob_bytes = load_u64(p + 40);
+
+  // Body = everything between the header and the CRC tail. Each section
+  // count is bounds-checked before the multiply so hostile headers can't
+  // overflow the size arithmetic.
+  const std::uint64_t body = bytes.size() - kShardHeaderBytes - sizeof(std::uint32_t);
+  if (n_sequences >= body / 8) return std::nullopt;        // needs (n+1)*8
+  if (n_tokens > body / 4) return std::nullopt;            // needs n*4
+  if (n_strings >= body / 4) return std::nullopt;          // needs (n+1)*4
+  if (blob_bytes > body) return std::nullopt;
+  const std::uint64_t need = (n_sequences + 1) * 8 + n_tokens * 4 +
+                             (n_strings + 1) * 4 + blob_bytes;
+  if (need != body) return std::nullopt;
+  if (n_tokens > 0 && n_strings == 0) return std::nullopt;
+
+  const std::uint32_t stored_crc = load_u32(bytes.data() + bytes.size() - 4);
+  if (crc32(bytes.subspan(0, bytes.size() - 4)) != stored_crc) return std::nullopt;
+
+  ShardView view;
+  view.n_sequences_ = static_cast<std::size_t>(n_sequences);
+  view.n_tokens_ = static_cast<std::size_t>(n_tokens);
+  view.n_strings_ = static_cast<std::size_t>(n_strings);
+  view.seq_offsets_ = p + kShardHeaderBytes;
+  view.tokens_ = view.seq_offsets_ + (n_sequences + 1) * 8;
+  view.str_offsets_ = view.tokens_ + n_tokens * 4;
+  view.blob_ = view.str_offsets_ + (n_strings + 1) * 4;
+
+  // Offsets must be monotone non-decreasing and end exactly at the section
+  // sizes; token ids must address the string table.
+  if (view.seq_offset(0) != 0) return std::nullopt;
+  for (std::size_t i = 0; i < view.n_sequences_; ++i) {
+    if (view.seq_offset(i) > view.seq_offset(i + 1)) return std::nullopt;
+  }
+  if (view.seq_offset(view.n_sequences_) != n_tokens) return std::nullopt;
+  if (load_u32(view.str_offsets_) != 0) return std::nullopt;
+  for (std::size_t j = 0; j < view.n_strings_; ++j) {
+    if (load_u32(view.str_offsets_ + j * 4) > load_u32(view.str_offsets_ + (j + 1) * 4))
+      return std::nullopt;
+  }
+  if (load_u32(view.str_offsets_ + view.n_strings_ * 4) != blob_bytes) return std::nullopt;
+  for (std::size_t t = 0; t < view.n_tokens_; ++t) {
+    if (view.token_id(t) >= view.n_strings_) return std::nullopt;
+  }
+  return view;
+}
+
+std::uint64_t ShardView::seq_offset(std::size_t i) const noexcept {
+  return load_u64(seq_offsets_ + i * 8);
+}
+
+std::uint32_t ShardView::token_id(std::size_t t) const noexcept {
+  return load_u32(tokens_ + t * 4);
+}
+
+std::string_view ShardView::string_at(std::size_t j) const noexcept {
+  const std::uint32_t begin = load_u32(str_offsets_ + j * 4);
+  const std::uint32_t end = load_u32(str_offsets_ + (j + 1) * 4);
+  return {reinterpret_cast<const char*>(blob_) + begin, end - begin};
+}
+
+std::vector<std::string> ShardView::sequence(std::size_t i) const {
+  const std::uint64_t begin = seq_offset(i);
+  const std::uint64_t end = seq_offset(i + 1);
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t t = begin; t < end; ++t) {
+    out.emplace_back(string_at(token_id(static_cast<std::size_t>(t))));
+  }
+  return out;
+}
+
+}  // namespace netfm::data

@@ -1,0 +1,96 @@
+// On-disk shard format v1 for tokenized traffic corpora. One shard holds a
+// run of sequences (each a list of string tokens); strings are deduplicated
+// into a per-shard string table so the hot sections are fixed-width integer
+// arrays that a memory-mapped reader can index without parsing.
+//
+// Layout (all integers big-endian, matching ByteReader/ByteWriter):
+//
+//   offset  size                     field
+//   ------  -----------------------  ---------------------------------------
+//        0  u64                      magic "NFSHRD01" (0x4e46534852443031)
+//        8  u32                      format version (kShardFormatVersion)
+//       12  u32                      flags (reserved, must be 0)
+//       16  u64                      n_sequences
+//       24  u64                      n_tokens
+//       32  u64                      n_strings
+//       40  u64                      string_blob_bytes
+//       48  u64[n_sequences + 1]     seq_offsets: sequence i spans tokens
+//                                    [seq_offsets[i], seq_offsets[i+1])
+//        .  u32[n_tokens]            tokens: indices into the string table
+//        .  u32[n_strings + 1]       str_offsets: string j spans blob bytes
+//                                    [str_offsets[j], str_offsets[j+1])
+//        .  u8[string_blob_bytes]    string blob
+//     tail  u32                      CRC-32 over everything above
+//
+// ShardView::parse is total over arbitrary bytes (it is a fuzz_decoders
+// target): every section size is overflow-checked before use, offsets are
+// validated monotone and in-bounds, token ids are validated against the
+// string-table size, and the CRC must match. A view borrows the underlying
+// bytes (typically a MappedFile mapping) — the mapping must outlive it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace netfm::data {
+
+inline constexpr std::uint64_t kShardMagic = 0x4e46534852443031ull;  // NFSHRD01
+
+/// Bumped on any layout change. CI keys its cached test corpus on this
+/// constant (grep "kShardFormatVersion = " in .github/workflows/ci.yml), so
+/// a format bump invalidates cached corpora across lanes automatically.
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+inline constexpr std::size_t kShardHeaderBytes = 48;
+
+/// Extension used by CorpusWriter/CorpusReader for shard files.
+inline constexpr std::string_view kShardExtension = ".nfshard";
+
+/// Serializes `sequences` into shard format v1 (with CRC tail).
+Bytes encode_shard(std::span<const std::vector<std::string>> sequences);
+
+/// Zero-copy validated view over one encoded shard.
+class ShardView {
+ public:
+  /// Full validation pass (header, section bounds, offset monotonicity,
+  /// token-id range, CRC). nullopt on any defect; never reads out of
+  /// bounds regardless of input.
+  static std::optional<ShardView> parse(BytesView bytes);
+
+  /// Number of sequences in the shard.
+  std::size_t size() const noexcept { return n_sequences_; }
+
+  /// Total tokens across all sequences.
+  std::size_t tokens() const noexcept { return n_tokens_; }
+
+  /// Token count of sequence `i` (i < size()).
+  std::size_t sequence_tokens(std::size_t i) const noexcept {
+    return static_cast<std::size_t>(seq_offset(i + 1) - seq_offset(i));
+  }
+
+  /// Materializes sequence `i` (i < size()) as owned strings.
+  std::vector<std::string> sequence(std::size_t i) const;
+
+ private:
+  ShardView() = default;
+
+  std::uint64_t seq_offset(std::size_t i) const noexcept;
+  std::uint32_t token_id(std::size_t t) const noexcept;
+  std::string_view string_at(std::size_t j) const noexcept;
+
+  std::size_t n_sequences_ = 0;
+  std::size_t n_tokens_ = 0;
+  std::size_t n_strings_ = 0;
+  const std::uint8_t* seq_offsets_ = nullptr;  // u64[n_sequences_ + 1]
+  const std::uint8_t* tokens_ = nullptr;       // u32[n_tokens_]
+  const std::uint8_t* str_offsets_ = nullptr;  // u32[n_strings_ + 1]
+  const std::uint8_t* blob_ = nullptr;         // u8[string_blob_bytes]
+};
+
+}  // namespace netfm::data

@@ -193,7 +193,9 @@ TEST(NetFM, PretrainWithNextPacketTask) {
 TEST(NetFM, PretrainRejectsEmptyCorpus) {
   const tok::Vocabulary v = tiny_vocab();
   NetFM fm(v, tiny_config(v.size()));
-  EXPECT_THROW(fm.pretrain({}, {}, PretrainOptions{}), std::invalid_argument);
+  EXPECT_THROW(fm.pretrain(std::vector<std::vector<std::string>>{}, {},
+                           PretrainOptions{}),
+               std::invalid_argument);
 }
 
 TEST(NetFM, FineTuneLearnsSeparableTask) {

@@ -1,0 +1,432 @@
+// Data layer: shard format round-trip and rejection, the atomic corpus
+// writer, the memory-mapped reader, and the streaming loader's determinism
+// contract — batch(step) must be a pure function of (seed, step, batch
+// size, corpus size), bitwise independent of shard count, thread count,
+// and prefetch depth. The headline test proves a streaming pretrain's loss
+// trajectory equals the in-RAM path float-for-float.
+//
+// Part of the `data` ctest label; the CI TSan lane runs it (loader
+// producer thread + pool-parallel shard validation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fileio.h"
+#include "common/threadpool.h"
+#include "core/netfm.h"
+#include "core/traffic_lm.h"
+#include "data/corpus.h"
+#include "data/corpus_build.h"
+#include "data/loader.h"
+#include "data/mapped_file.h"
+#include "data/shard.h"
+
+namespace netfm {
+namespace {
+
+/// Fresh per-test directory under the gtest temp root.
+std::string test_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Small deterministic corpus with repeated tokens (exercises the string
+/// table) and varied sequence lengths.
+std::vector<std::vector<std::string>> make_corpus(std::size_t n) {
+  std::vector<std::vector<std::string>> corpus;
+  const char* protos[] = {"tcp", "udp", "icmp"};
+  const char* ports[] = {"p80", "p443", "p53", "p22"};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> seq = {protos[i % 3], ports[i % 4], "dir_up"};
+    for (std::size_t k = 0; k < i % 5; ++k) {
+      seq.push_back("pkt");
+      seq.push_back(k % 2 ? "dir_dn" : "dir_up");
+    }
+    seq.push_back("len_" + std::to_string(i % 7));
+    corpus.push_back(std::move(seq));
+  }
+  return corpus;
+}
+
+/// Writes `corpus` as a sharded on-disk corpus and returns the reader.
+data::CorpusReader write_and_open(const std::string& dir,
+                                  const std::vector<std::vector<std::string>>& corpus,
+                                  std::size_t target_shard_bytes = 1u << 20) {
+  data::CorpusWriter writer(dir, {.target_shard_bytes = target_shard_bytes});
+  for (const auto& seq : corpus) EXPECT_TRUE(writer.add(seq));
+  EXPECT_TRUE(writer.finish());
+  auto reader = data::CorpusReader::open(dir);
+  EXPECT_TRUE(reader.has_value());
+  return std::move(*reader);
+}
+
+/// Runs `body` once on a single-thread pool and once on the default pool.
+template <typename Fn>
+void with_thread_counts(Fn&& body) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    ThreadPool::reset_global(threads);
+    body();
+  }
+  ThreadPool::reset_global(0);
+}
+
+TEST(Shard, EncodeParseRoundTrip) {
+  const auto corpus = make_corpus(17);
+  const Bytes encoded = data::encode_shard(corpus);
+  const auto view = data::ShardView::parse(encoded);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->size(), corpus.size());
+  std::size_t tokens = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(view->sequence(i), corpus[i]);
+    EXPECT_EQ(view->sequence_tokens(i), corpus[i].size());
+    tokens += corpus[i].size();
+  }
+  EXPECT_EQ(view->tokens(), tokens);
+}
+
+TEST(Shard, EmptyShardRoundTrips) {
+  const std::vector<std::vector<std::string>> empty;
+  const auto view = data::ShardView::parse(data::encode_shard(empty));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->size(), 0u);
+  EXPECT_EQ(view->tokens(), 0u);
+}
+
+TEST(Shard, ParseRejectsEveryTruncation) {
+  const Bytes encoded = data::encode_shard(make_corpus(5));
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    EXPECT_FALSE(
+        data::ShardView::parse(BytesView(encoded.data(), len)).has_value())
+        << "accepted truncation to " << len << " bytes";
+  }
+}
+
+TEST(Shard, ParseRejectsCorruptHeaderAndCrc) {
+  const Bytes good = data::encode_shard(make_corpus(5));
+  ASSERT_TRUE(data::ShardView::parse(good).has_value());
+
+  Bytes bad = good;
+  bad[0] ^= 0xff;  // magic
+  EXPECT_FALSE(data::ShardView::parse(bad).has_value());
+
+  bad = good;
+  bad[11] ^= 0x01;  // version
+  EXPECT_FALSE(data::ShardView::parse(bad).has_value());
+
+  bad = good;
+  bad[15] ^= 0x01;  // reserved flags
+  EXPECT_FALSE(data::ShardView::parse(bad).has_value());
+
+  bad = good;
+  bad[bad.size() - 1] ^= 0x01;  // CRC tail
+  EXPECT_FALSE(data::ShardView::parse(bad).has_value());
+
+  bad = good;
+  bad[data::kShardHeaderBytes + 3] ^= 0x40;  // first seq offset -> CRC catch
+  EXPECT_FALSE(data::ShardView::parse(bad).has_value());
+}
+
+TEST(Shard, ParseSurvivesMutationSweep) {
+  // Deterministic mutation engine sweep: parse must reject or accept
+  // without crashing or reading out of bounds (ASan lane enforces that).
+  const Bytes good = data::encode_shard(make_corpus(9));
+  for (std::uint64_t seed : {1ull, 42ull, 31337ull}) {
+    for (std::uint64_t index = 0; index < 300; ++index) {
+      Bytes mutated = good;
+      fault::mutate(mutated, seed, index);
+      const auto view = data::ShardView::parse(mutated);
+      if (view.has_value()) {
+        // Accepted mutants (e.g. mutations inside slack the CRC still
+        // covers can't exist — CRC catches them; identity mutations can).
+        for (std::size_t i = 0; i < view->size(); ++i) view->sequence(i);
+      }
+    }
+  }
+}
+
+TEST(MappedFile, MapsAndReadsBack) {
+  const std::string dir = test_dir("mapped_file");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/blob.bin";
+  const Bytes payload = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  ASSERT_TRUE(io::write_file_atomic(path, payload));
+  const auto mapped = data::MappedFile::open(path);
+  ASSERT_TRUE(mapped.has_value());
+  ASSERT_EQ(mapped->size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         mapped->view().begin()));
+  EXPECT_FALSE(data::MappedFile::open(dir + "/missing.bin").has_value());
+}
+
+TEST(MappedFile, FaultPointFailsOpen) {
+  const std::string dir = test_dir("mapped_file_fault");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/blob.bin";
+  ASSERT_TRUE(io::write_file_atomic(path, Bytes{1, 2, 3}));
+  fault::Scope scope("data.mmap.fail=1");
+  EXPECT_FALSE(data::MappedFile::open(path).has_value());
+}
+
+TEST(Corpus, WriterReaderRoundTripAcrossShards) {
+  const auto corpus = make_corpus(64);
+  const std::string dir = test_dir("corpus_roundtrip");
+  // Tiny shard budget forces rotation: global order must still hold.
+  const auto reader = write_and_open(dir, corpus, /*target_shard_bytes=*/512);
+  EXPECT_GT(reader.shard_count(), 1u);
+  ASSERT_EQ(reader.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(reader.sequence(i), corpus[i]) << "sequence " << i;
+}
+
+TEST(Corpus, OpenFailsWithoutManifest) {
+  const std::string dir = test_dir("corpus_nomanifest");
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(data::CorpusReader::open(dir).has_value());
+}
+
+TEST(Corpus, CrashDuringWriteLeavesNoTornCorpus) {
+  const auto corpus = make_corpus(16);
+  const std::string dir = test_dir("corpus_crash");
+  // First rename (a shard or the manifest) silently never lands: finish()
+  // must report failure and the directory must not open as a corpus.
+  fault::Scope scope("io.crash_rename=@1");
+  data::CorpusWriter writer(dir, {.target_shard_bytes = 256});
+  bool ok = true;
+  for (const auto& seq : corpus) ok = writer.add(seq) && ok;
+  ok = writer.finish() && ok;
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(data::CorpusReader::open(dir).has_value());
+}
+
+TEST(Corpus, CorruptShardOnDiskRejectedAtOpen) {
+  const auto corpus = make_corpus(24);
+  const std::string dir = test_dir("corpus_corrupt");
+  { write_and_open(dir, corpus); }
+  // Flip one byte in the middle of the first shard file.
+  const std::string shard = dir + "/shard-00000.nfshard";
+  auto bytes = io::read_file(shard);
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() / 2] ^= 0x10;
+  ASSERT_TRUE(io::write_file_atomic(shard, *bytes));
+  EXPECT_FALSE(data::CorpusReader::open(dir).has_value());
+}
+
+TEST(Corpus, ShardCorruptFaultFailsOpen) {
+  const auto corpus = make_corpus(8);
+  const std::string dir = test_dir("corpus_fault");
+  { write_and_open(dir, corpus); }
+  fault::Scope scope("data.shard.corrupt=1");
+  EXPECT_FALSE(data::CorpusReader::open(dir).has_value());
+}
+
+TEST(Loader, BatchIndicesDeterministicAndSalted) {
+  const auto a = data::batch_indices(99, 7, 8, 1000);
+  const auto b = data::batch_indices(99, 7, 8, 1000);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, data::batch_indices(99, 8, 8, 1000));
+  EXPECT_NE(a, data::batch_indices(100, 7, 8, 1000));
+  for (const std::size_t idx : a) EXPECT_LT(idx, 1000u);
+  // The index stream must not be the masking stream: drawing the same
+  // count from step_rng directly gives different values.
+  Rng rng = data::step_rng(99, 7);
+  std::vector<std::size_t> unsalted(8);
+  for (auto& v : unsalted) v = static_cast<std::size_t>(rng.uniform(1000));
+  EXPECT_NE(a, unsalted);
+}
+
+TEST(Loader, MatchesDirectCompositionAcrossDepthsAndThreads) {
+  const auto corpus = make_corpus(48);
+  const std::string dir = test_dir("loader_det");
+  const auto reader = write_and_open(dir, corpus, /*target_shard_bytes=*/512);
+  const std::uint64_t seed = 1234;
+  const std::size_t batch_size = 6;
+
+  // Reference composition straight from the contract.
+  auto expected = [&](std::size_t step) {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::size_t idx :
+         data::batch_indices(seed, step, batch_size, reader.size()))
+      rows.push_back(reader.sequence(idx));
+    return rows;
+  };
+
+  with_thread_counts([&] {
+    for (const std::size_t depth : {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+      data::StreamingLoader loader(
+          reader, {.seed = seed, .batch_size = batch_size, .prefetch_depth = depth});
+      for (std::size_t step = 0; step < 12; ++step)
+        EXPECT_EQ(loader.batch(step), expected(step))
+            << "depth " << depth << " step " << step;
+      // Out-of-order access (checkpoint resume, eval replay) repositions
+      // the prefetcher without changing results.
+      EXPECT_EQ(loader.batch(30), expected(30));
+      EXPECT_EQ(loader.batch(5), expected(5));
+      EXPECT_EQ(loader.batch(6), expected(6));
+    }
+  });
+}
+
+TEST(Loader, PrefetchDepthEnvParsing) {
+  EXPECT_EQ(data::prefetch_depth_from_env(4), 4u);  // unset -> fallback
+  setenv("NETFM_DATA_PREFETCH", "9", 1);
+  EXPECT_EQ(data::prefetch_depth_from_env(4), 9u);
+  setenv("NETFM_DATA_PREFETCH", "0", 1);
+  EXPECT_EQ(data::prefetch_depth_from_env(4), 0u);
+  setenv("NETFM_DATA_PREFETCH", "1000", 1);
+  EXPECT_EQ(data::prefetch_depth_from_env(4), 64u);  // clamp
+  setenv("NETFM_DATA_PREFETCH", "junk", 1);
+  EXPECT_EQ(data::prefetch_depth_from_env(4), 4u);
+  unsetenv("NETFM_DATA_PREFETCH");
+}
+
+TEST(Corpus, BuildFromTrafficgenChunksDeterministically) {
+  const std::string dir = test_dir("corpus_build");
+  data::CorpusBuildOptions options;
+  options.trace.duration_seconds = 2.0;
+  options.trace.max_sessions = 24;
+  options.trace.seed = 7;
+  options.chunks = 2;
+  options.target_shard_bytes = 2048;
+  const auto result = data::build_corpus(dir, options);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.sequences, 0u);
+  const auto reader = data::CorpusReader::open(dir);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->size(), result.sequences);
+  EXPECT_EQ(reader->tokens(), result.tokens);
+
+  // Same options into a second directory: identical corpus byte-for-byte.
+  const std::string dir2 = test_dir("corpus_build2");
+  const auto result2 = data::build_corpus(dir2, options);
+  ASSERT_TRUE(result2.ok);
+  EXPECT_EQ(result2.sequences, result.sequences);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto name = entry.path().filename().string();
+    const auto a = io::read_file(entry.path().string());
+    const auto b = io::read_file((std::filesystem::path(dir2) / name).string());
+    ASSERT_TRUE(a.has_value() && b.has_value()) << name;
+    EXPECT_EQ(*a, *b) << name;
+  }
+}
+
+TEST(Streaming, PretrainLossBitwiseEqualsInRam) {
+  const auto corpus = make_corpus(40);
+  const std::string dir = test_dir("stream_pretrain");
+  const auto reader = write_and_open(dir, corpus, /*target_shard_bytes=*/512);
+
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.dropout = 0.0f;
+  core::PretrainOptions options;
+  options.steps = 8;
+  options.batch_size = 4;
+  options.max_seq_len = 16;
+  options.seed = 99;
+
+  core::NetFM ram_model(vocab, config);
+  const auto ram_log = ram_model.pretrain(corpus, {}, options);
+
+  with_thread_counts([&] {
+    core::NetFM stream_model(vocab, config);
+    const auto stream_log = stream_model.pretrain(reader, {}, options);
+    ASSERT_EQ(stream_log.losses.size(), ram_log.losses.size());
+    for (std::size_t i = 0; i < ram_log.losses.size(); ++i)
+      EXPECT_EQ(stream_log.losses[i], ram_log.losses[i]) << "step " << i;
+  });
+}
+
+TEST(Streaming, TrafficLmLossBitwiseEqualsInRam) {
+  const auto corpus = make_corpus(32);
+  const std::string dir = test_dir("stream_lm");
+  const auto reader = write_and_open(dir, corpus, /*target_shard_bytes=*/512);
+
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.dropout = 0.0f;
+  core::LmTrainOptions options;
+  options.steps = 6;
+  options.batch_size = 4;
+  options.max_seq_len = 16;
+  options.seed = 77;
+
+  core::TrafficLM ram_model(vocab, config);
+  const auto ram_log = ram_model.train(corpus, options);
+
+  core::TrafficLM stream_model(vocab, config);
+  const auto stream_log = stream_model.train(reader, options);
+  ASSERT_EQ(stream_log.losses.size(), ram_log.losses.size());
+  for (std::size_t i = 0; i < ram_log.losses.size(); ++i)
+    EXPECT_EQ(stream_log.losses[i], ram_log.losses[i]) << "step " << i;
+}
+
+TEST(Streaming, ResumeMidCorpusMatchesUninterruptedRun) {
+  const auto corpus = make_corpus(40);
+  const std::string dir = test_dir("stream_resume");
+  const auto reader = write_and_open(dir, corpus, /*target_shard_bytes=*/512);
+
+  const tok::Vocabulary vocab = tok::Vocabulary::build(corpus);
+  auto config = model::TransformerConfig::tiny(vocab.size());
+  config.dropout = 0.0f;
+  core::PretrainOptions options;
+  options.steps = 10;
+  options.batch_size = 4;
+  options.max_seq_len = 16;
+  options.seed = 31;
+
+  // Interrupt-and-resume twins on both routes: first half with
+  // checkpointing, then a fresh model resumes mid-corpus and finishes.
+  // Checkpoints carry parameters but not Adam moments, so the resumed
+  // tail can't match an uninterrupted run bitwise — but the streaming
+  // and in-RAM twins traverse identical training states, so THEY must
+  // match float-for-float. That is the resume-mid-corpus determinism
+  // contract: resuming over shards replays exactly the batches the
+  // in-RAM path would.
+  auto interrupted = [&](const std::string& ckpt, auto&& pretrain_with) {
+    std::filesystem::remove(ckpt);
+    auto first_half = options;
+    first_half.steps = 5;
+    first_half.checkpoint_path = ckpt;
+    first_half.checkpoint_every = 5;
+    core::NetFM half_model(vocab, config);
+    pretrain_with(half_model, first_half);
+    auto resumed = options;
+    resumed.checkpoint_path = ckpt;
+    core::NetFM resumed_model(vocab, config);
+    const auto log = pretrain_with(resumed_model, resumed);
+    std::filesystem::remove(ckpt);
+    return log;
+  };
+  const std::string tmp = testing::TempDir();
+  const auto stream_log = interrupted(
+      tmp + "/stream_resume_s.ckpt",
+      [&](core::NetFM& m, const core::PretrainOptions& o) {
+        return m.pretrain(reader, {}, o);
+      });
+  const auto ram_log = interrupted(
+      tmp + "/stream_resume_r.ckpt",
+      [&](core::NetFM& m, const core::PretrainOptions& o) {
+        return m.pretrain(corpus, {}, o);
+      });
+  EXPECT_EQ(stream_log.resumed_from, 5u);
+  EXPECT_EQ(ram_log.resumed_from, 5u);
+  ASSERT_EQ(stream_log.losses.size(), 5u);
+  ASSERT_EQ(ram_log.losses.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(stream_log.losses[i], ram_log.losses[i]) << "tail " << i;
+
+  // Sanity against an uninterrupted streaming run: same data order, so
+  // the end state lands close even with fresh optimizer moments.
+  core::NetFM full_model(vocab, config);
+  const auto full_log = full_model.pretrain(reader, {}, options);
+  ASSERT_EQ(full_log.losses.size(), 10u);
+  EXPECT_NEAR(stream_log.losses.back(), full_log.losses.back(), 0.5);
+}
+
+}  // namespace
+}  // namespace netfm

@@ -303,7 +303,8 @@ TEST(TrafficLM, RejectsEmptyCorpus) {
   tok::Vocabulary vocab;
   vocab.add("a");
   core::TrafficLM lm(vocab, model::TransformerConfig::tiny(vocab.size()));
-  EXPECT_THROW(lm.train({}, {}), std::invalid_argument);
+  EXPECT_THROW(lm.train(std::vector<std::vector<std::string>>{}, {}),
+               std::invalid_argument);
 }
 
 TEST(CausalEncoder, FuturePositionsGetNoAttention) {
