@@ -60,9 +60,26 @@ Stdlib only. Three checks, composable on one command line:
                            driven (default 1000), scheduler throughput
                            reached --min-rps (default 500), and
                            latency.p99_ms stayed under --max-p99-ms
-                           (default 2000). CI applies the strict defaults
+                           (default 2000), and (when the emission carries
+                           the counter) the degradation controller stayed
+                           idle (serve.degrade.transitions == 0 -- the
+                           baseline load shape must not trip the overload
+                           ladder). CI applies the strict defaults
                            to the committed baseline (a full 1000-session
                            run) and relaxed floors to the smoke emission.
+  --chaos-gate FILE        FILE is a BENCH_chaos_serve.json emission from
+                           bench/chaos_serve (load shape under layered
+                           fault injection); fail unless every failure was
+                           typed (untyped_failures == 0), every configured
+                           fault point actually fired
+                           (silent_fault_points == 0), fault-free replies
+                           stayed bitwise-correct (bitwise_mismatches ==
+                           0), liveness held (healthz_failures == 0), the
+                           end-to-end error rate stayed under
+                           --max-error-rate (default 0.5 -- rejects are
+                           the resilience design working, so the ceiling
+                           only catches collapse), and the final drain
+                           finished within --max-drain-ms (default 10000).
 
 Exit 0 if every requested check passes, 1 otherwise.
 """
@@ -378,6 +395,13 @@ def metric_value(records: list[dict], path: str, metric: str) -> float:
     raise AssertionError("unreachable")
 
 
+def optional_metric(records: list[dict], metric: str) -> float | None:
+    for rec in records:
+        if rec["metric"] == metric:
+            return float(rec["value"])
+    return None
+
+
 def check_serve_gate(
     path: str, min_sessions: float, min_rps: float, max_p99_ms: float
 ) -> None:
@@ -402,6 +426,57 @@ def check_serve_gate(
         fail(f"throughput {rps:.0f} req/s is below the {min_rps:.0f} floor")
     if p99 > max_p99_ms:
         fail(f"p99 latency {p99:.2f} ms exceeds the {max_p99_ms:.0f} ms cap")
+    # The baseline load shape must not trip the overload ladder: a run
+    # where the controller moved is measuring degraded service, not the
+    # serving fast path. Older emissions predate the counter; skip then.
+    transitions = optional_metric(records, "serve.degrade.transitions")
+    if transitions is not None and transitions != 0:
+        fail(
+            f"{path}: degradation ladder moved {transitions:.0f} times "
+            "during the baseline load shape (expected an idle controller)"
+        )
+
+
+def check_chaos_gate(path: str, max_error_rate: float, max_drain_ms: float) -> None:
+    records = load(path)
+    untyped = metric_value(records, path, "untyped_failures")
+    silent = metric_value(records, path, "silent_fault_points")
+    mismatches = metric_value(records, path, "bitwise_mismatches")
+    healthz = metric_value(records, path, "healthz_failures")
+    error_rate = metric_value(records, path, "error_rate")
+    drain_ms = metric_value(records, path, "drain_ms")
+    requests = metric_value(records, path, "requests")
+    completed = metric_value(records, path, "completed")
+    print(
+        f"check_bench_json: chaos {requests:.0f} requests, "
+        f"{completed:.0f} ok, error rate {error_rate:.3f} "
+        f"(cap {max_error_rate:.2f}), drain {drain_ms:.0f} ms "
+        f"(cap {max_drain_ms:.0f} ms)"
+    )
+    if untyped != 0:
+        fail(
+            f"{path}: {untyped:.0f} untyped failures -- every injected "
+            "fault must surface as a typed reject or typed error"
+        )
+    if silent != 0:
+        fail(
+            f"{path}: {silent:.0f} configured fault points never fired; "
+            "the soak did not exercise the failure modes it claims to"
+        )
+    if mismatches != 0:
+        fail(f"{path}: {mismatches:.0f} fault-free replies diverged bitwise")
+    if healthz != 0:
+        fail(f"{path}: /healthz went down {healthz:.0f} times mid-soak")
+    if error_rate > max_error_rate:
+        fail(
+            f"{path}: error rate {error_rate:.3f} exceeds the "
+            f"{max_error_rate:.2f} collapse ceiling"
+        )
+    if drain_ms > max_drain_ms:
+        fail(
+            f"{path}: drain took {drain_ms:.0f} ms "
+            f"(cap {max_drain_ms:.0f} ms)"
+        )
 
 
 def main() -> None:
@@ -429,6 +504,9 @@ def main() -> None:
     parser.add_argument("--min-sessions", type=float, default=1000.0)
     parser.add_argument("--min-rps", type=float, default=500.0)
     parser.add_argument("--max-p99-ms", type=float, default=2000.0)
+    parser.add_argument("--chaos-gate", metavar="FILE")
+    parser.add_argument("--max-error-rate", type=float, default=0.5)
+    parser.add_argument("--max-drain-ms", type=float, default=10000.0)
     parser.add_argument("--data-gate", metavar="FILE")
     parser.add_argument("--min-tokens-per-sec", type=float, default=2.0e6)
     parser.add_argument("--max-stall-fraction", type=float, default=0.25)
@@ -441,11 +519,13 @@ def main() -> None:
         and not args.infer_gate
         and not args.kernel_gate
         and not args.serve_gate
+        and not args.chaos_gate
         and not args.data_gate
     ):
         fail(
             "nothing to check (pass --schema/--overhead/--baseline/"
-            "--infer-gate/--kernel-gate/--serve-gate/--data-gate)"
+            "--infer-gate/--kernel-gate/--serve-gate/--chaos-gate/"
+            "--data-gate)"
         )
     for path in args.schema:
         check_schema(path)
@@ -468,6 +548,10 @@ def main() -> None:
     if args.serve_gate:
         check_serve_gate(
             args.serve_gate, args.min_sessions, args.min_rps, args.max_p99_ms
+        )
+    if args.chaos_gate:
+        check_chaos_gate(
+            args.chaos_gate, args.max_error_rate, args.max_drain_ms
         )
     if args.data_gate:
         check_data_gate(

@@ -30,6 +30,7 @@
 #include "net/pcap.h"
 #include "net/quic.h"
 #include "net/tls.h"
+#include "serve/protocol.h"
 
 namespace netfm {
 namespace {
@@ -121,6 +122,23 @@ std::vector<Target> make_targets() {
       {"proto=tls", "sni=www.example.com", "cipher=c02f"},
   };
   targets.push_back({"corpus_shard", data::encode_shard(corpus)});
+
+  // Serving-layer codecs (serve/protocol.h): the HTTP/1.1 request head the
+  // server's io_threads parse off the socket, and the JSON protocol body.
+  // Both are client-controlled bytes, so they get the same mutation sweep
+  // as the src/net decoders.
+  serve::Request serve_req;
+  serve_req.op = serve::Op::kScore;
+  serve_req.session = 7;
+  serve_req.tokens = {"proto=tls", "sni=www.example.com", "alpn=h2"};
+  serve_req.deadline_ms = 250;
+  const std::string serve_json = serve::request_to_json(serve_req);
+  targets.push_back({"serve_json", Bytes(serve_json.begin(), serve_json.end())});
+  const std::string serve_head =
+      "POST /v1/score HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+      std::to_string(serve_json.size()) +
+      "\r\nX-Netfm-Deadline-Ms: 250\r\nConnection: keep-alive";
+  targets.push_back({"serve_http", Bytes(serve_head.begin(), serve_head.end())});
   return targets;
 }
 
@@ -153,6 +171,16 @@ void decode_all(BytesView view) {
   ByteReader r2(view);
   (void)quic::read_varint(r2);
   (void)data::ShardView::parse(view);
+  const std::string_view text(reinterpret_cast<const char*>(view.data()),
+                              view.size());
+  (void)serve::parse_http_head(text);
+  std::string serve_error;
+  (void)serve::parse_request("/v1/score", text, &serve_error);
+  (void)serve::parse_request("/v1/next_logits", text, &serve_error);
+  (void)serve::parse_request("/v1/generate", text, &serve_error);
+  (void)serve::parse_request("/v1/embed", text, &serve_error);
+  (void)serve::parse_reply(text, serve::Op::kScore);
+  (void)serve::parse_reply(text, serve::Op::kNextLogits);
 }
 
 /// Writes the mutant about to be decoded, so a crash leaves the failing

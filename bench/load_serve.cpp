@@ -366,6 +366,17 @@ int main() {
       {"load_serve", "serve.session.evicted",
        static_cast<double>(counter_or_zero(snap, "serve.session.evicted")),
        "count"},
+      // Resilience machinery must stay idle at baseline load: the
+      // serve-gate rejects a run where the degradation ladder moved or
+      // default deadlines expired work.
+      {"load_serve", "serve.degrade.transitions",
+       static_cast<double>(
+           counter_or_zero(snap, "serve.degrade.transitions")),
+       "count"},
+      {"load_serve", "serve.rejected.deadline_exceeded",
+       static_cast<double>(
+           counter_or_zero(snap, "serve.rejected.deadline_exceeded")),
+       "count"},
   };
   for (const auto& [name, h] : snap.histograms) {
     if (h.count == 0 || name.rfind("serve.", 0) != 0) continue;

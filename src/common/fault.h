@@ -31,6 +31,9 @@
 //   nn.workspace.oom               Workspace::acquire throws bad_alloc
 //   data.shard.corrupt             a corpus shard fails validation at open
 //   data.mmap.fail                 MappedFile::open reports failure
+//   serve.conn.drop                server severs a connection pre-reply
+//   serve.session.evict            SessionPool force-evicts an idle session
+//   serve.tick.stall               scheduler tick stalls (wedged-worker sim)
 #pragma once
 
 #include <cstdint>

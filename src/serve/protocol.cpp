@@ -65,6 +65,8 @@ std::string_view reject_reason_name(RejectReason reason) noexcept {
     case RejectReason::kSessionBusy: return "session_busy";
     case RejectReason::kSessionsFull: return "sessions_full";
     case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kDeadlineExceeded: return "deadline_exceeded";
+    case RejectReason::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -91,6 +93,12 @@ std::optional<Request> parse_request(std::string_view target,
     return std::nullopt;
   }
   request.session = *session;
+  const auto deadline = uint_member(*doc, "deadline_ms", 0);
+  if (!deadline) {
+    if (error) *error = "'deadline_ms' must be a non-negative number";
+    return std::nullopt;
+  }
+  request.deadline_ms = *deadline;
 
   switch (*op) {
     case Op::kScore:
@@ -157,6 +165,8 @@ std::optional<Request> parse_request(std::string_view target,
 std::string request_to_json(const Request& request) {
   json::Object body;
   body.emplace_back("session", json::Value(request.session));
+  if (request.deadline_ms != 0)
+    body.emplace_back("deadline_ms", json::Value(request.deadline_ms));
   switch (request.op) {
     case Op::kScore:
     case Op::kEmbed: {
@@ -197,6 +207,8 @@ std::string reply_to_json(const Reply& reply, Op op) {
     body.emplace_back("reject",
                       json::Value(std::string(
                           reject_reason_name(reply.reject))));
+    if (reply.retry_after_ms != 0)
+      body.emplace_back("retry_after_ms", json::Value(reply.retry_after_ms));
     return json::Value(std::move(body)).dump();
   }
   if (reply.status == Reply::Status::kError) {
@@ -238,11 +250,13 @@ std::optional<Reply> parse_reply(std::string_view body, Op op) {
     if (const json::Value* reject = doc->find("reject");
         reject && reject->is_string()) {
       reply.status = Reply::Status::kRejected;
-      for (const RejectReason reason :
-           {RejectReason::kQueueFull, RejectReason::kSessionBusy,
-            RejectReason::kSessionsFull, RejectReason::kShuttingDown})
+      for (const RejectReason reason : kAllRejectReasons)
         if (reject->as_string() == reject_reason_name(reason))
           reply.reject = reason;
+      if (const json::Value* retry = doc->find("retry_after_ms");
+          retry && retry->is_number() && retry->as_number() >= 0)
+        reply.retry_after_ms =
+            static_cast<std::uint64_t>(retry->as_number());
       return reply;
     }
     reply.status = Reply::Status::kError;
@@ -284,7 +298,26 @@ std::optional<Reply> parse_reply(std::string_view body, Op op) {
   return reply;
 }
 
+namespace {
+
+/// Strictly-decimal header value, bounded; nullopt on anything else.
+std::optional<std::uint64_t> decimal_header(std::string_view value,
+                                            std::uint64_t cap) {
+  if (value.empty()) return std::nullopt;
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    if (out > cap) return std::nullopt;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (out > cap) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
 std::optional<HttpRequest> parse_http_head(std::string_view head) {
+  if (head.size() > kMaxHttpHeadBytes) return std::nullopt;
   std::size_t line_end = head.find("\r\n");
   if (line_end == std::string_view::npos) line_end = head.size();
   const std::string_view start_line = head.substr(0, line_end);
@@ -301,9 +334,11 @@ std::optional<HttpRequest> parse_http_head(std::string_view head) {
   request.target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
   request.keep_alive = version != "HTTP/1.0";
 
+  std::size_t header_count = 0;
   std::string_view rest =
       line_end < head.size() ? head.substr(line_end + 2) : std::string_view{};
   while (!rest.empty()) {
+    if (++header_count > kMaxHttpHeaders) return std::nullopt;
     std::size_t eol = rest.find("\r\n");
     if (eol == std::string_view::npos) eol = rest.size();
     const std::string_view line = rest.substr(0, eol);
@@ -313,18 +348,19 @@ std::optional<HttpRequest> parse_http_head(std::string_view head) {
     const std::string name = to_lower(trim(line.substr(0, colon)));
     const std::string_view value = trim(line.substr(colon + 1));
     if (name == "content-length") {
-      std::size_t length = 0;
-      for (const char c : value) {
-        if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
-        if (length > (std::size_t{1} << 40)) return std::nullopt;
-        length = length * 10 + static_cast<std::size_t>(c - '0');
-      }
-      if (value.empty()) return std::nullopt;
-      request.content_length = length;
+      const auto length = decimal_header(value, std::uint64_t{1} << 40);
+      if (!length) return std::nullopt;
+      request.content_length = static_cast<std::size_t>(*length);
     } else if (name == "connection") {
       const std::string v = to_lower(value);
       if (v == "close") request.keep_alive = false;
       else if (v == "keep-alive") request.keep_alive = true;
+    } else if (name == "x-netfm-deadline-ms") {
+      // Per-request latency budget; bounded to a day so a hostile header
+      // cannot encode a deadline that never expires.
+      const auto deadline = decimal_header(value, 86'400'000);
+      if (!deadline) return std::nullopt;
+      request.deadline_ms = *deadline;
     }
   }
   return request;

@@ -29,10 +29,19 @@ enum class Op : std::uint8_t {
 
 /// Why an admission was shed. Every reject reply names one of these.
 enum class RejectReason : std::uint8_t {
-  kQueueFull,     // bounded admission queue at capacity
-  kSessionBusy,   // per-session pending cap reached
-  kSessionsFull,  // decoder pool exhausted and nothing evictable
-  kShuttingDown,  // scheduler is stopping
+  kQueueFull,         // bounded admission queue at capacity
+  kSessionBusy,       // per-session pending cap reached
+  kSessionsFull,      // decoder pool exhausted and nothing evictable
+  kShuttingDown,      // scheduler is stopping/draining
+  kDeadlineExceeded,  // request expired before the model ran it
+  kOverloaded,        // degradation ladder is shedding this op class
+};
+
+/// Every RejectReason value, for exhaustive client-side decoding.
+inline constexpr RejectReason kAllRejectReasons[] = {
+    RejectReason::kQueueFull,    RejectReason::kSessionBusy,
+    RejectReason::kSessionsFull, RejectReason::kShuttingDown,
+    RejectReason::kDeadlineExceeded, RejectReason::kOverloaded,
 };
 
 std::string_view op_name(Op op) noexcept;
@@ -48,6 +57,12 @@ struct Request {
   std::size_t max_seq_len = 48;       // kEmbed pooling window
   core::SampleOptions sampling;       // kGenerate
   std::uint64_t seed = 0;             // kGenerate draw seed
+  /// Client budget in milliseconds from admission; 0 = use the scheduler's
+  /// default (SchedulerOptions::default_deadline_ms). Set from the JSON
+  /// body ("deadline_ms") or the X-Netfm-Deadline-Ms request header (the
+  /// header wins). Expired requests shed with kDeadlineExceeded instead of
+  /// burning a batch slot.
+  std::uint64_t deadline_ms = 0;
 };
 
 struct Reply {
@@ -59,11 +74,17 @@ struct Reply {
   std::vector<float> logits;          // kNextLogits
   std::vector<float> embedding;       // kEmbed
   std::vector<std::string> tokens;    // kGenerate
+  /// Backoff hint on rejects: estimated milliseconds until the scheduler
+  /// has capacity again, derived from current queue depth and the recent
+  /// tick duration. 0 = no hint (e.g. shutting down — don't retry here).
+  std::uint64_t retry_after_ms = 0;
 
-  static Reply rejected(RejectReason reason) {
+  static Reply rejected(RejectReason reason,
+                        std::uint64_t retry_after_ms = 0) {
     Reply r;
     r.status = Status::kRejected;
     r.reject = reason;
+    r.retry_after_ms = retry_after_ms;
     return r;
   }
   static Reply errored(std::string message) {
@@ -95,18 +116,28 @@ std::optional<Reply> parse_reply(std::string_view body, Op op);
 
 // ---------------------------------------------------------------------------
 // HTTP/1.1 framing, kept pure (bytes in, struct out) so it unit-tests
-// without sockets. The server reads the head (through "\r\n\r\n"), calls
-// parse_http_head, then reads content_length more bytes of body.
+// without sockets and fuzzes without a server. The server reads the head
+// (through "\r\n\r\n"), calls parse_http_head, then reads content_length
+// more bytes of body.
+
+/// Bounds enforced by parse_http_head itself (mirroring the hardened
+/// src/net decoders): a head over kMaxHttpHeadBytes or with more than
+/// kMaxHttpHeaders header lines is rejected as malformed, so no caller can
+/// be driven into unbounded header accumulation.
+inline constexpr std::size_t kMaxHttpHeaders = 64;
+inline constexpr std::size_t kMaxHttpHeadBytes = 16 * 1024;
 
 struct HttpRequest {
   std::string method;          // "POST"
   std::string target;          // "/v1/score"
   std::size_t content_length = 0;
   bool keep_alive = true;      // HTTP/1.1 default; "Connection: close" clears
+  std::uint64_t deadline_ms = 0;  // X-Netfm-Deadline-Ms header; 0 = unset
 };
 
 /// Parses a request head (start line + headers, excluding the terminating
-/// blank line). Returns nullopt on malformed input.
+/// blank line). Returns nullopt on malformed input, too many headers, or
+/// an oversized head.
 std::optional<HttpRequest> parse_http_head(std::string_view head);
 
 /// Serializes a response with Content-Length framing.

@@ -1,8 +1,12 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "nn/quant.h"
 
 namespace netfm::serve {
 
@@ -17,7 +21,39 @@ double elapsed_ns(Clock::time_point since) noexcept {
           .count());
 }
 
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Highest degradation-ladder level; see SchedulerOptions.
+constexpr int kMaxDegradeLevel = 3;
+
 }  // namespace
+
+std::uint64_t default_serve_deadline_ms() noexcept {
+  static const std::uint64_t value = [] {
+    const char* env = std::getenv("NETFM_SERVE_DEADLINE_MS");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0};
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == nullptr || *end != '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(parsed);
+  }();
+  return value;
+}
+
+bool default_serve_degrade() noexcept {
+  static const bool value = [] {
+    const char* env = std::getenv("NETFM_SERVE_DEGRADE");
+    if (env == nullptr || *env == '\0') return true;
+    const std::string_view v(env);
+    return !(v == "0" || v == "off" || v == "false");
+  }();
+  return value;
+}
 
 Scheduler::Scheduler(const core::TrafficLM& lm, const core::NetFM* fm,
                      SchedulerOptions options)
@@ -25,6 +61,12 @@ Scheduler::Scheduler(const core::TrafficLM& lm, const core::NetFM* fm,
       fm_(fm),
       options_(options),
       pool_(lm, options.session_capacity) {
+  if (options_.degrade_queue_high == 0)
+    options_.degrade_queue_high =
+        std::max<std::size_t>(1, options_.max_queue * 3 / 4);
+  if (options_.degrade_queue_low == 0)
+    options_.degrade_queue_low = options_.max_queue / 4;
+  touch_heartbeat();
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -38,47 +80,105 @@ std::future<Reply> Scheduler::submit(Request request) {
       metrics::counter("serve.rejected.session_busy");
   static const auto c_shutdown =
       metrics::counter("serve.rejected.shutting_down");
+  static const auto c_overloaded =
+      metrics::counter("serve.rejected.overloaded");
 
   std::promise<Reply> promise;
   std::future<Reply> future = promise.get_future();
+  const auto now = Clock::now();
 
   std::unique_lock<std::mutex> lock(mutex_);
-  if (stopping_) {
+  // draining_ is only ever set while mutex_ is held (begin_drain/stop), so
+  // checking it under the lock closes the stop/submit race: once a drain
+  // began, no request can slip into a queue the worker may already have
+  // abandoned — it is rejected typed instead of hanging on a dead future.
+  if (draining_.load(std::memory_order_relaxed)) {
     lock.unlock();
     c_shutdown.add();
     promise.set_value(Reply::rejected(RejectReason::kShuttingDown));
     return future;
   }
-  if (queue_.size() >= options_.max_queue) {
+  const std::size_t depth = queue_.size();
+  if (depth >= options_.max_queue) {
     lock.unlock();
     c_queue_full.add();
-    promise.set_value(Reply::rejected(RejectReason::kQueueFull));
+    promise.set_value(
+        Reply::rejected(RejectReason::kQueueFull, retry_hint_ms(depth)));
+    return future;
+  }
+  if (request.op == Op::kGenerate &&
+      degrade_level_.load(std::memory_order_relaxed) >= kMaxDegradeLevel) {
+    lock.unlock();
+    c_overloaded.add();
+    promise.set_value(
+        Reply::rejected(RejectReason::kOverloaded, retry_hint_ms(depth)));
     return future;
   }
   std::size_t& session_pending = pending_per_session_[request.session];
   if (session_pending >= options_.per_session_pending) {
     lock.unlock();
     c_session_busy.add();
-    promise.set_value(Reply::rejected(RejectReason::kSessionBusy));
+    promise.set_value(
+        Reply::rejected(RejectReason::kSessionBusy, retry_hint_ms(depth)));
     return future;
   }
   ++session_pending;
-  queue_.push_back(Pending{std::move(request), std::move(promise),
-                           Clock::now()});
+  const std::uint64_t budget_ms =
+      request.deadline_ms != 0 ? request.deadline_ms
+                               : options_.default_deadline_ms;
+  const auto deadline = budget_ms != 0
+                            ? now + std::chrono::milliseconds(budget_ms)
+                            : Clock::time_point::max();
+  queue_.push_back(
+      Pending{std::move(request), std::move(promise), now, deadline});
   lock.unlock();
   c_admitted.add();
   work_.notify_one();
   return future;
 }
 
+void Scheduler::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_.store(true, std::memory_order_relaxed);
+  }
+  work_.notify_all();
+}
+
+bool Scheduler::drained() const {
+  if (!draining_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() && active_batch_.load() == 0;
+}
+
 void Scheduler::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ && !worker_.joinable()) return;
-    stopping_ = true;
+    stop_requested_ = true;
+    draining_.store(true, std::memory_order_relaxed);
   }
   work_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  {
+    // Concurrent stop() calls (e.g. explicit stop racing the destructor)
+    // must not both reach join.
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (worker_.joinable()) worker_.join();
+  }
+  // Belt and braces: anything still queued after the worker exited gets a
+  // typed answer — a client must never hang on a dead future.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftovers.swap(queue_);
+    pending_per_session_.clear();
+  }
+  if (!leftovers.empty()) {
+    static const auto c_shutdown =
+        metrics::counter("serve.rejected.shutting_down");
+    c_shutdown.add(leftovers.size());
+    for (Pending& p : leftovers)
+      p.promise.set_value(Reply::rejected(RejectReason::kShuttingDown));
+  }
 }
 
 std::size_t Scheduler::queued() const {
@@ -86,16 +186,129 @@ std::size_t Scheduler::queued() const {
   return queue_.size();
 }
 
+bool Scheduler::worker_alive() const {
+  const std::uint64_t beat = heartbeat_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t now = now_ns();
+  return now - beat <= options_.heartbeat_stale_ms * 1'000'000;
+}
+
+void Scheduler::touch_heartbeat() noexcept {
+  heartbeat_ns_.store(now_ns(), std::memory_order_relaxed);
+}
+
+std::uint64_t Scheduler::retry_hint_ms(std::size_t depth) const {
+  const std::uint64_t ewma_ns = tick_ewma_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t tick_ms =
+      std::max<std::uint64_t>(1, ewma_ns / 1'000'000);
+  const std::uint64_t ticks_ahead =
+      depth / std::max<std::size_t>(1, options_.max_batch) + 1;
+  return std::min<std::uint64_t>(60'000, ticks_ahead * tick_ms);
+}
+
+void Scheduler::set_degrade_level(int level) {
+  static const auto g_level = metrics::gauge("serve.degrade.level");
+  static const auto c_transitions =
+      metrics::counter("serve.degrade.transitions");
+  const int prev = degrade_level_.load(std::memory_order_relaxed);
+  if (level == prev) return;
+  // Level 2+ routes inference through the int8 quant GEMM; remember and
+  // restore the operator's configured state on the way back down.
+  if (prev < 2 && level >= 2) {
+    quant_before_degrade_ = nn::quant::enabled();
+    nn::quant::set_enabled(true);
+  } else if (prev >= 2 && level < 2) {
+    nn::quant::set_enabled(quant_before_degrade_);
+  }
+  degrade_level_.store(level, std::memory_order_relaxed);
+  g_level.set(static_cast<double>(level));
+  c_transitions.add();
+}
+
+void Scheduler::update_degradation(std::size_t depth_after,
+                                   std::uint64_t oldest_wait_ms) {
+  if (!options_.degrade) return;
+  const bool wait_pressure = options_.degrade_wait_high_ms != 0 &&
+                             oldest_wait_ms >= options_.degrade_wait_high_ms;
+  const bool pressure =
+      depth_after >= options_.degrade_queue_high || wait_pressure;
+  const bool calm = depth_after <= options_.degrade_queue_low &&
+                    (options_.degrade_wait_high_ms == 0 ||
+                     oldest_wait_ms < options_.degrade_wait_high_ms);
+  const int level = degrade_level_.load(std::memory_order_relaxed);
+  if (pressure) {
+    calm_ticks_ = 0;
+    if (level < kMaxDegradeLevel) set_degrade_level(level + 1);
+  } else if (calm && level > 0) {
+    if (++calm_ticks_ >= options_.degrade_hold_ticks) {
+      calm_ticks_ = 0;
+      set_degrade_level(level - 1);
+    }
+  } else {
+    // Hysteresis band between low and high: hold the level, restart the
+    // calm streak.
+    calm_ticks_ = 0;
+  }
+}
+
 void Scheduler::worker_loop() {
   static const auto h_queue = metrics::histogram("serve.queue_ns");
+  static const auto c_shutdown =
+      metrics::counter("serve.rejected.shutting_down");
   std::vector<Pending> batch;
+  bool drain_deadline_set = false;
+  Clock::time_point drain_deadline{};
+  const auto on_exit = [this] {
+    // Leaving with the ladder engaged would pin the process-global quant
+    // override; reset to the configured state.
+    if (degrade_level_.load(std::memory_order_relaxed) != 0)
+      set_degrade_level(0);
+    touch_heartbeat();
+  };
   for (;;) {
     batch.clear();
+    std::size_t depth_after = 0;
+    std::uint64_t oldest_wait_ms = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty() && stopping_) return;  // drained
-      const std::size_t take = std::min(queue_.size(), options_.max_batch);
+      // Poll-wait so the heartbeat keeps beating while idle; only a
+      // wedged *tick* (model code stuck) lets it go stale.
+      for (;;) {
+        touch_heartbeat();
+        if (!queue_.empty() || stop_requested_) break;
+        work_.wait_for(lock, std::chrono::milliseconds(50));
+        // An idle poll counts as a calm tick — the ladder must walk back
+        // home after a burst even when no further traffic arrives.
+        if (queue_.empty() && !stop_requested_) update_degradation(0, 0);
+      }
+      if (stop_requested_) {
+        if (queue_.empty()) {
+          on_exit();
+          return;  // drained
+        }
+        if (!drain_deadline_set) {
+          drain_deadline_set = true;
+          drain_deadline =
+              Clock::now() +
+              std::chrono::milliseconds(options_.drain_timeout_ms);
+        } else if (Clock::now() >= drain_deadline) {
+          // Bounded drain overran: answer everything left, typed.
+          std::deque<Pending> leftovers;
+          leftovers.swap(queue_);
+          pending_per_session_.clear();
+          lock.unlock();
+          c_shutdown.add(leftovers.size());
+          for (Pending& p : leftovers)
+            p.promise.set_value(
+                Reply::rejected(RejectReason::kShuttingDown));
+          on_exit();
+          return;
+        }
+      }
+      std::size_t take_limit = options_.max_batch;
+      if (options_.degrade &&
+          degrade_level_.load(std::memory_order_relaxed) >= 1)
+        take_limit = std::max<std::size_t>(1, options_.max_batch / 2);
+      const std::size_t take = std::min(queue_.size(), take_limit);
       for (std::size_t i = 0; i < take; ++i) {
         Pending& p = queue_.front();
         auto it = pending_per_session_.find(p.request.session);
@@ -104,9 +317,28 @@ void Scheduler::worker_loop() {
         batch.push_back(std::move(p));
         queue_.pop_front();
       }
+      active_batch_.store(batch.size());
+      depth_after = queue_.size();
+      if (!queue_.empty()) {
+        const auto wait =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - queue_.front().admitted)
+                .count();
+        oldest_wait_ms = wait > 0 ? static_cast<std::uint64_t>(wait) : 0;
+      }
     }
     for (const Pending& p : batch) h_queue.record(elapsed_ns(p.admitted));
+    update_degradation(depth_after, oldest_wait_ms);
+    const auto tick_start = Clock::now();
     run_tick(batch);
+    const auto tick_ns = static_cast<std::uint64_t>(elapsed_ns(tick_start));
+    const std::uint64_t prev_ewma =
+        tick_ewma_ns_.load(std::memory_order_relaxed);
+    tick_ewma_ns_.store(
+        prev_ewma == 0 ? tick_ns : (3 * prev_ewma + tick_ns) / 4,
+        std::memory_order_relaxed);
+    active_batch_.store(0);
+    touch_heartbeat();
     ticks_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -118,43 +350,102 @@ void Scheduler::run_tick(std::vector<Pending>& batch) {
       metrics::histogram("serve.batch.requests", "request");
   static const auto c_sessions_full =
       metrics::counter("serve.rejected.sessions_full");
+  static const auto c_deadline =
+      metrics::counter("serve.rejected.deadline_exceeded");
+  static const auto c_deadline_dequeue =
+      metrics::counter("serve.deadline.at_dequeue");
+  static const auto c_deadline_in_batch =
+      metrics::counter("serve.deadline.in_batch");
+  static const auto c_overloaded =
+      metrics::counter("serve.rejected.overloaded");
+  static const auto c_stalled = metrics::counter("serve.tick.stalled");
+  static const auto f_stall = fault::point("serve.tick.stall");
   h_size.record(static_cast<double>(batch.size()));
 
   std::vector<Reply> replies(batch.size());
+  std::vector<char> done(batch.size(), 0);
+
+  const auto sweep_expired = [&](const metrics::Counter& where) {
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (done[i] || batch[i].deadline >= now) continue;
+      replies[i] = Reply::rejected(RejectReason::kDeadlineExceeded);
+      done[i] = 1;
+      c_deadline.add();
+      where.add();
+    }
+  };
+
+  // Shed already-expired work before it burns a batch slot.
+  sweep_expired(c_deadline_dequeue);
+
+  // Chaos point: a wedged tick. The heartbeat goes stale for the stall's
+  // duration, so readiness probes observe it; deadlines crossed during the
+  // stall shed below as in-batch expiries.
+  if (f_stall.fire()) {
+    c_stalled.add();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.tick_stall_ms));
+    sweep_expired(c_deadline_in_batch);
+  }
+  touch_heartbeat();
+
+  // Level 3 sheds generate in-tick too: requests admitted before the
+  // ladder reached 3 still get the typed reject instead of the expensive
+  // decode.
+  if (options_.degrade &&
+      degrade_level_.load(std::memory_order_relaxed) >= kMaxDegradeLevel) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (done[i] || batch[i].request.op != Op::kGenerate) continue;
+      replies[i] = Reply::rejected(RejectReason::kOverloaded,
+                                   retry_hint_ms(queued()));
+      done[i] = 1;
+      c_overloaded.add();
+    }
+  }
+
   const auto batch_start = Clock::now();
 
   // One padded forward for all next_logits requests in this tick.
   std::vector<std::size_t> logits_index;
   std::vector<std::vector<int>> logits_ids;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].request.op != Op::kNextLogits) continue;
+    if (done[i] || batch[i].request.op != Op::kNextLogits) continue;
     logits_index.push_back(i);
     logits_ids.push_back(batch[i].request.ids);
   }
   if (!logits_index.empty()) {
+    bool group_ok = false;
     try {
       auto results = lm_->next_logits_batch(logits_ids);
       for (std::size_t g = 0; g < logits_index.size(); ++g)
         replies[logits_index[g]].logits = std::move(results[g]);
-    } catch (const std::exception& e) {
-      // A bad sequence (empty, over max_seq_len) fails the padded batch;
-      // retry each member alone so one poisoned request can't take down
-      // its tick-mates.
+      group_ok = true;
+    } catch (const fault::CrashInjected&) {
+    } catch (const std::exception&) {
+    }
+    if (!group_ok) {
+      // A bad sequence (empty, over max_seq_len) or an injected crash
+      // fails the padded batch; retry each member alone so one poisoned
+      // request can't take down its tick-mates.
       for (const std::size_t i : logits_index) {
         try {
           replies[i].logits = lm_->next_logits(batch[i].request.ids);
+        } catch (const fault::CrashInjected& crash) {
+          replies[i] = Reply::errored("fault injected: " + crash.point);
         } catch (const std::exception& inner) {
           replies[i] = Reply::errored(inner.what());
         }
       }
-      (void)e;
     }
+    touch_heartbeat();
   }
 
   // One padded forward for all embed requests (grouped per pooling window).
   std::vector<std::size_t> embed_index;
   for (std::size_t i = 0; i < batch.size(); ++i)
-    if (batch[i].request.op == Op::kEmbed) embed_index.push_back(i);
+    if (!done[i] && batch[i].request.op == Op::kEmbed)
+      embed_index.push_back(i);
   if (!embed_index.empty()) {
     if (fm_ == nullptr) {
       for (const std::size_t i : embed_index)
@@ -181,24 +472,33 @@ void Scheduler::run_tick(std::vector<Pending>& batch) {
           for (std::size_t g = at; g < end; ++g)
             replies[embed_index[g]].embedding =
                 std::move(embedded[g - at]);
+        } catch (const fault::CrashInjected& crash) {
+          for (std::size_t g = at; g < end; ++g)
+            replies[embed_index[g]] =
+                Reply::errored("fault injected: " + crash.point);
         } catch (const std::exception& e) {
           for (std::size_t g = at; g < end; ++g)
             replies[embed_index[g]] = Reply::errored(e.what());
         }
         at = end;
+        touch_heartbeat();
       }
     }
   }
 
-  // Decoder-backed ops: per-session KV caches from the pool.
+  // Decoder-backed ops: per-session KV caches from the pool. score/sample
+  // reset their decoder on entry, so a crash-injected request leaves no
+  // residue in the session's cache.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Request& request = batch[i].request;
-    if (request.op != Op::kScore && request.op != Op::kGenerate) continue;
+    if (done[i] ||
+        (request.op != Op::kScore && request.op != Op::kGenerate))
+      continue;
     RejectReason why = RejectReason::kSessionsFull;
     auto lease = pool_.checkout(request.session, &why);
     if (!lease) {
       if (why == RejectReason::kSessionsFull) c_sessions_full.add();
-      replies[i] = Reply::rejected(why);
+      replies[i] = Reply::rejected(why, retry_hint_ms(queued()));
       continue;
     }
     try {
@@ -209,9 +509,12 @@ void Scheduler::run_tick(std::vector<Pending>& batch) {
         replies[i].tokens =
             lm_->sample(request.sampling, rng, lease->decoder());
       }
+    } catch (const fault::CrashInjected& crash) {
+      replies[i] = Reply::errored("fault injected: " + crash.point);
     } catch (const std::exception& e) {
       replies[i] = Reply::errored(e.what());
     }
+    touch_heartbeat();
   }
   h_batch.record(elapsed_ns(batch_start));
 

@@ -17,14 +17,22 @@ namespace netfm::serve {
 
 namespace {
 
-/// Writes the whole buffer, retrying on short writes/EINTR.
-bool write_all(int fd, std::string_view data) noexcept {
+/// Writes the whole buffer, retrying on short writes/EINTR. With
+/// SO_SNDTIMEO set, a slow-reading client surfaces as EAGAIN timeouts;
+/// `stall_limit` of those in a row abandons the write so the connection
+/// cannot pin an io_thread forever.
+bool write_all(int fd, std::string_view data, int stall_limit) noexcept {
+  int stalls = 0;
   while (!data.empty()) {
     const ssize_t wrote = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+          ++stalls < stall_limit)
+        continue;  // send timeout tick: bounded retry
       return false;
     }
+    stalls = 0;  // progress resets the stall budget
     data.remove_prefix(static_cast<std::size_t>(wrote));
   }
   return true;
@@ -102,11 +110,19 @@ void HttpServer::accept_loop() {
       break;  // listener closed by stop(), or fatal
     }
     c_conns.add();
-    // Bound how long a silent client can park a handler thread.
+    // Bound how long a silent client can park a handler thread — in both
+    // directions: reads via SO_RCVTIMEO, writes via SO_SNDTIMEO (a
+    // slow-reading client otherwise blocks send(2) indefinitely once the
+    // socket buffer fills).
     timeval timeout{};
     timeout.tv_sec = options_.read_timeout_ms / 1000;
     timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    timeval write_timeout{};
+    write_timeout.tv_sec = options_.write_timeout_ms / 1000;
+    write_timeout.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &write_timeout,
+                 sizeof write_timeout);
     {
       std::lock_guard<std::mutex> lock(conn_mutex_);
       conn_queue_.push_back(fd);
@@ -145,7 +161,8 @@ void HttpServer::handle_connection(int fd) {
     while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
       if (buffer.size() > options_.max_request_bytes) {
         write_all(fd, http_response(400, R"({"ok":false,"error":"head too large"})",
-                                    false));
+                                    false),
+                  options_.write_stall_limit);
         ::close(fd);
         return;
       }
@@ -169,7 +186,8 @@ void HttpServer::handle_connection(int fd) {
     if (!head || head->content_length > options_.max_request_bytes) {
       c_bad.add();
       write_all(fd, http_response(400, R"({"ok":false,"error":"bad request"})",
-                                  false));
+                                  false),
+                options_.write_stall_limit);
       ::close(fd);
       return;
     }
@@ -197,7 +215,31 @@ void HttpServer::handle_connection(int fd) {
 
     int status = 200;
     std::string reply_body;
-    if (head->method != "POST") {
+    if (head->target == "/healthz" && head->method == "GET") {
+      // Liveness: an io_thread answered, the process is up.
+      reply_body = R"({"ok":true})";
+    } else if (head->target == "/readyz" && head->method == "GET") {
+      // Readiness: the scheduler worker heartbeat is fresh (no wedged
+      // tick) and no drain has begun.
+      const bool alive = scheduler_->worker_alive();
+      const bool draining = scheduler_->draining();
+      const bool ready = alive && !draining;
+      status = ready ? 200 : 503;
+      reply_body = std::string("{\"ok\":") + (ready ? "true" : "false") +
+                   ",\"worker_alive\":" + (alive ? "true" : "false") +
+                   ",\"draining\":" + (draining ? "true" : "false") +
+                   ",\"degrade_level\":" +
+                   std::to_string(scheduler_->degrade_level()) + "}";
+    } else if (head->target == "/drainz" &&
+               (head->method == "GET" || head->method == "POST")) {
+      // Idempotent: first hit stops admission; poll until drained.
+      scheduler_->begin_drain();
+      const bool drained = scheduler_->drained();
+      status = drained ? 200 : 202;
+      reply_body = std::string("{\"ok\":true,\"drained\":") +
+                   (drained ? "true" : "false") + ",\"queued\":" +
+                   std::to_string(scheduler_->queued()) + "}";
+    } else if (head->method != "POST") {
       status = 404;
       reply_body = R"({"ok":false,"error":"POST only"})";
     } else {
@@ -208,8 +250,18 @@ void HttpServer::handle_connection(int fd) {
         status = error == "unknown target" ? 404 : 400;
         reply_body = reply_to_json(Reply::errored(error), Op::kScore);
       } else {
+        if (head->deadline_ms != 0)  // header wins over the JSON body
+          request->deadline_ms = head->deadline_ms;
         const Op op = request->op;
-        const Reply reply = scheduler_->submit(std::move(*request)).get();
+        Reply reply;
+        try {
+          reply = scheduler_->submit(std::move(*request)).get();
+        } catch (const std::exception& e) {
+          // The scheduler answers every admitted future, so this only
+          // covers allocation failure inside submit itself — still a
+          // typed reply, never a dead connection.
+          reply = Reply::errored(std::string("submit failed: ") + e.what());
+        }
         if (reply.status == Reply::Status::kRejected) status = 503;
         if (reply.status == Reply::Status::kError) status = 500;
         reply_body = reply_to_json(reply, op);
@@ -223,7 +275,8 @@ void HttpServer::handle_connection(int fd) {
       ::close(fd);
       return;
     }
-    if (!write_all(fd, http_response(status, reply_body, keep_alive))) {
+    if (!write_all(fd, http_response(status, reply_body, keep_alive),
+                   options_.write_stall_limit)) {
       ::close(fd);
       return;
     }

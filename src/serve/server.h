@@ -13,6 +13,16 @@
 // Fault point `serve.conn.drop` severs a connection right before its reply
 // is written — the mid-request connection loss a resilient client must
 // tolerate. Counter serve.conn.dropped records fires.
+//
+// Operational surface (see DESIGN.md "Serving resilience"):
+//   GET /healthz   liveness — 200 while the process can answer at all
+//   GET /readyz    readiness — 503 when the scheduler worker's heartbeat
+//                  is stale (wedged tick) or a drain began
+//   GET /drainz    idempotently starts a drain (admission stops, in-flight
+//                  finishes); 202 while draining, 200 once drained
+// Model requests honor the X-Netfm-Deadline-Ms header (overrides the JSON
+// body's deadline_ms). Writes are bounded too: SO_SNDTIMEO plus a stall
+// budget in write_all, so a slow-reading client cannot pin an io_thread.
 #pragma once
 
 #include <atomic>
@@ -33,6 +43,8 @@ struct ServerOptions {
   int backlog = 128;                  // listen(2) backlog
   std::size_t max_request_bytes = 1 << 20;  // head + body bound
   int read_timeout_ms = 250;          // poll granularity for stop()
+  int write_timeout_ms = 250;         // SO_SNDTIMEO per send(2)
+  int write_stall_limit = 8;          // consecutive send timeouts tolerated
 };
 
 class HttpServer {

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/threadpool.h"
+#include "nn/quant.h"
 #include "core/netfm.h"
 #include "core/traffic_lm.h"
 #include "serve/protocol.h"
@@ -146,6 +148,68 @@ TEST(Protocol, ReplyFloatsRoundTripBitwise) {
   ASSERT_TRUE(rejected.has_value());
   EXPECT_EQ(rejected->status, serve::Reply::Status::kRejected);
   EXPECT_EQ(rejected->reject, serve::RejectReason::kQueueFull);
+}
+
+TEST(Protocol, HttpHeadParsesDeadlineHeader) {
+  const auto head = serve::parse_http_head(
+      "POST /v1/score HTTP/1.1\r\n"
+      "Content-Length: 7\r\n"
+      "X-Netfm-Deadline-Ms: 1500\r\n");
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->deadline_ms, 1500u);
+
+  const auto unset = serve::parse_http_head("POST /v1/score HTTP/1.1\r\n");
+  ASSERT_TRUE(unset.has_value());
+  EXPECT_EQ(unset->deadline_ms, 0u);
+
+  // Non-decimal, empty, and absurd values are malformed, not clamped.
+  EXPECT_FALSE(serve::parse_http_head(
+                   "POST / HTTP/1.1\r\nX-Netfm-Deadline-Ms: 12x\r\n")
+                   .has_value());
+  EXPECT_FALSE(serve::parse_http_head(
+                   "POST / HTTP/1.1\r\nX-Netfm-Deadline-Ms: \r\n")
+                   .has_value());
+  EXPECT_FALSE(serve::parse_http_head("POST / HTTP/1.1\r\n"
+                                      "X-Netfm-Deadline-Ms: 99999999999\r\n")
+                   .has_value());
+}
+
+TEST(Protocol, HttpHeadCapsHeaderCountAndHeadBytes) {
+  std::string head = "POST /v1/score HTTP/1.1\r\n";
+  for (std::size_t i = 0; i < serve::kMaxHttpHeaders; ++i)
+    head += "X-H" + std::to_string(i) + ": v\r\n";
+  EXPECT_TRUE(serve::parse_http_head(head).has_value());
+  head += "X-One-Too-Many: v\r\n";
+  EXPECT_FALSE(serve::parse_http_head(head).has_value());
+
+  const std::string oversized = "POST / HTTP/1.1\r\nX-Pad: " +
+                                std::string(serve::kMaxHttpHeadBytes, 'a') +
+                                "\r\n";
+  EXPECT_FALSE(serve::parse_http_head(oversized).has_value());
+}
+
+TEST(Protocol, RejectReasonsAndRetryHintRoundTrip) {
+  for (const serve::RejectReason reason : serve::kAllRejectReasons) {
+    const auto parsed = serve::parse_reply(
+        serve::reply_to_json(serve::Reply::rejected(reason, 42),
+                             serve::Op::kScore),
+        serve::Op::kScore);
+    ASSERT_TRUE(parsed.has_value())
+        << serve::reject_reason_name(reason);
+    EXPECT_EQ(parsed->status, serve::Reply::Status::kRejected);
+    EXPECT_EQ(parsed->reject, reason);
+    EXPECT_EQ(parsed->retry_after_ms, 42u);
+  }
+  // deadline_ms survives the request codec.
+  serve::Request request;
+  request.op = serve::Op::kScore;
+  request.tokens = {"tcp"};
+  request.deadline_ms = 250;
+  std::string error;
+  const auto parsed = serve::parse_request(
+      "/v1/score", serve::request_to_json(request), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->deadline_ms, 250u);
 }
 
 // ---------------------------------------------------------------------------
@@ -499,6 +563,228 @@ TEST(Scheduler, ConcurrentSubmittersDrainClean) {
   }
 }
 
+TEST(Scheduler, DeadlineExpiryShedsTypedAtDequeueAndInBatch) {
+  metrics::set_enabled(true);
+  metrics::reset();
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  serve::SchedulerOptions options;
+  options.degrade = false;
+  options.tick_stall_ms = 400;
+  fault::Scope stall("serve.tick.stall=1");  // every tick stalls 400ms
+  serve::Scheduler scheduler(lm, nullptr, options);
+
+  // In-batch: dequeued fresh (150ms budget), expires during the stall.
+  serve::Request fast;
+  fast.op = serve::Op::kNextLogits;
+  fast.session = 1;
+  fast.ids = session_ids(vocab, 1, 4);
+  fast.deadline_ms = 150;
+  const serve::Reply in_batch = scheduler.submit(fast).get();
+  ASSERT_EQ(in_batch.status, serve::Reply::Status::kRejected);
+  EXPECT_EQ(in_batch.reject, serve::RejectReason::kDeadlineExceeded);
+
+  // At-dequeue: parked behind a stalled tick, already dead when popped.
+  serve::Request slow = fast;
+  slow.session = 2;
+  slow.deadline_ms = 0;  // no budget: survives the stall
+  auto slow_future = scheduler.submit(slow);
+  while (scheduler.queued() != 0) std::this_thread::yield();
+  serve::Request doomed = fast;
+  doomed.session = 3;
+  doomed.deadline_ms = 50;  // expires inside slow's 400ms stall
+  auto doomed_future = scheduler.submit(doomed);
+  EXPECT_EQ(slow_future.get().status, serve::Reply::Status::kOk);
+  const serve::Reply at_dequeue = doomed_future.get();
+  ASSERT_EQ(at_dequeue.status, serve::Reply::Status::kRejected);
+  EXPECT_EQ(at_dequeue.reject, serve::RejectReason::kDeadlineExceeded);
+
+  // Both shed paths are observable separately.
+  std::uint64_t n_dequeue = 0, n_batch = 0;
+  for (const auto& [name, v] : metrics::snapshot().counters) {
+    if (name == "serve.deadline.at_dequeue") n_dequeue = v;
+    if (name == "serve.deadline.in_batch") n_batch = v;
+  }
+  EXPECT_GE(n_dequeue, 1u);
+  EXPECT_GE(n_batch, 1u);
+  metrics::set_enabled(false);
+}
+
+TEST(Scheduler, DegradationLadderWalksUpShedsGenerateAndWalksDown) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const bool quant_configured = nn::quant::enabled();
+  serve::SchedulerOptions options;
+  options.degrade = true;
+  options.max_queue = 256;
+  options.max_batch = 4;
+  options.degrade_queue_high = 8;
+  options.degrade_queue_low = 2;
+  options.degrade_hold_ticks = 2;
+  serve::Scheduler scheduler(lm, nullptr, options);
+
+  // Burst far past the pressure threshold: depth stays >= 8 for many
+  // ticks, so the ladder must climb one level per tick to the top.
+  constexpr std::size_t kBurst = 60;
+  std::vector<std::future<serve::Reply>> futures;
+  for (std::size_t s = 0; s < kBurst; ++s) {
+    serve::Request request;
+    request.op = serve::Op::kScore;
+    request.session = s;
+    request.tokens = session_tokens(vocab, s, 4);
+    futures.push_back(scheduler.submit(request));
+  }
+
+  // At level 3 the expensive op sheds typed while score stays served.
+  int max_level = 0;
+  bool generate_shed = false;
+  while (scheduler.queued() != 0) {
+    max_level = std::max(max_level, scheduler.degrade_level());
+    if (!generate_shed && scheduler.degrade_level() == 3) {
+      serve::Request generate;
+      generate.op = serve::Op::kGenerate;
+      generate.session = 9999;
+      generate.sampling.max_tokens = 4;
+      const serve::Reply reply = scheduler.submit(generate).get();
+      if (reply.status == serve::Reply::Status::kRejected &&
+          reply.reject == serve::RejectReason::kOverloaded) {
+        EXPECT_GT(reply.retry_after_ms, 0u);
+        generate_shed = true;
+      }
+    }
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(max_level, 3);
+  EXPECT_TRUE(generate_shed);
+
+  // Every burst request still gets served (score survives every level).
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, serve::Reply::Status::kOk);
+
+  // Calm ticks walk the ladder home and restore the quant configuration.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (scheduler.degrade_level() != 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(scheduler.degrade_level(), 0);
+  EXPECT_EQ(nn::quant::enabled(), quant_configured);
+}
+
+TEST(Scheduler, DrainAnswersInFlightAndShedsNewWork) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  serve::SchedulerOptions options;
+  options.degrade = false;
+  options.tick_stall_ms = 300;
+  fault::Scope stall("serve.tick.stall=1");  // keep work genuinely in flight
+  serve::Scheduler scheduler(lm, nullptr, options);
+
+  std::vector<std::future<serve::Reply>> futures;
+  for (std::size_t s = 0; s < 6; ++s) {
+    serve::Request request;
+    request.op = serve::Op::kScore;
+    request.session = s;
+    request.tokens = session_tokens(vocab, s, 4);
+    futures.push_back(scheduler.submit(request));
+  }
+
+  scheduler.begin_drain();
+  EXPECT_TRUE(scheduler.draining());
+
+  // Admission is closed, typed.
+  serve::Request late;
+  late.op = serve::Op::kScore;
+  late.session = 99;
+  late.tokens = session_tokens(vocab, 99, 4);
+  const serve::Reply shed = scheduler.submit(late).get();
+  ASSERT_EQ(shed.status, serve::Reply::Status::kRejected);
+  EXPECT_EQ(shed.reject, serve::RejectReason::kShuttingDown);
+
+  // Everything admitted before the drain is answered, not dropped.
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, serve::Reply::Status::kOk);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!scheduler.drained() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(scheduler.drained());
+}
+
+TEST(Scheduler, StopRacingSubmitsNeverHangsClients) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const std::vector<std::string> tokens = session_tokens(vocab, 1, 4);
+
+  for (int round = 0; round < 10; ++round) {
+    auto scheduler =
+        std::make_unique<serve::Scheduler>(lm, nullptr);
+    std::vector<std::future<serve::Reply>> futures;
+    std::mutex futures_mutex;
+    std::atomic<bool> go{false};
+    std::thread submitter([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (std::size_t i = 0; i < 32; ++i) {
+        serve::Request request;
+        request.op = serve::Op::kScore;
+        request.session = i;  // distinct sessions: no per-session shed
+        request.tokens = tokens;
+        auto future = scheduler->submit(request);
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(future));
+      }
+    });
+    std::thread stopper1([&] {
+      while (!go.load()) std::this_thread::yield();
+      scheduler->stop();
+    });
+    std::thread stopper2([&] {  // concurrent stop(): join must not race
+      while (!go.load()) std::this_thread::yield();
+      scheduler->stop();
+    });
+    go.store(true);
+    submitter.join();
+    stopper1.join();
+    stopper2.join();
+    // Every future resolves — served or typed shutting_down, never hung.
+    for (auto& f : futures) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+                std::future_status::ready)
+          << "round " << round;
+      const serve::Reply reply = f.get();
+      if (reply.status == serve::Reply::Status::kRejected)
+        EXPECT_EQ(reply.reject, serve::RejectReason::kShuttingDown);
+      else
+        EXPECT_EQ(reply.status, serve::Reply::Status::kOk);
+    }
+  }
+}
+
+TEST(Scheduler, InjectedDecodeCrashYieldsTypedErrorAndWorkerSurvives) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  serve::Scheduler scheduler(lm, nullptr);
+
+  serve::Request request;
+  request.op = serve::Op::kScore;
+  request.session = 1;
+  request.tokens = session_tokens(vocab, 1, 5);
+  {
+    // CrashInjected is NOT a std::exception — the scheduler must catch it
+    // explicitly or the worker thread dies and every future after hangs.
+    fault::Scope scope("core.decode.crash=1");
+    const serve::Reply reply = scheduler.submit(request).get();
+    ASSERT_EQ(reply.status, serve::Reply::Status::kError);
+    EXPECT_NE(reply.error.find("core.decode.crash"), std::string::npos);
+  }
+  // Same session, same decoder: recovery is bitwise-clean.
+  const serve::Reply after = scheduler.submit(request).get();
+  ASSERT_EQ(after.status, serve::Reply::Status::kOk);
+  EXPECT_EQ(after.score, lm.score(request.tokens));
+}
+
 // ---------------------------------------------------------------------------
 // HTTP server (loopback)
 
@@ -521,12 +807,26 @@ class HttpClient {
 
   /// Sends one POST; returns (status, body) or nullopt if the server
   /// closed the connection without a full reply.
-  std::optional<std::pair<int, std::string>> post(const std::string& target,
-                                                  const std::string& body) {
-    std::string request = "POST " + target + " HTTP/1.1\r\n" +
-                          "Host: localhost\r\n" +
-                          "Content-Length: " + std::to_string(body.size()) +
-                          "\r\n\r\n" + body;
+  std::optional<std::pair<int, std::string>> post(
+      const std::string& target, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& headers = {}) {
+    std::string head = "POST " + target + " HTTP/1.1\r\n" +
+                       "Host: localhost\r\n" +
+                       "Content-Length: " + std::to_string(body.size()) +
+                       "\r\n";
+    for (const auto& [name, value] : headers)
+      head += name + ": " + value + "\r\n";
+    return roundtrip(head + "\r\n" + body);
+  }
+
+  /// Sends one GET (the health/drain surface) and reads the reply.
+  std::optional<std::pair<int, std::string>> get(const std::string& target) {
+    return roundtrip("GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  }
+
+ private:
+  std::optional<std::pair<int, std::string>> roundtrip(
+      const std::string& request) {
     if (::send(fd_, request.data(), request.size(), MSG_NOSIGNAL) !=
         static_cast<ssize_t>(request.size()))
       return std::nullopt;
@@ -549,7 +849,6 @@ class HttpClient {
     return std::make_pair(status, std::move(reply_body));
   }
 
- private:
   bool read_more() {
     char chunk[4096];
     const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
@@ -655,7 +954,9 @@ TEST_F(HttpServerTest, ManyConnectionsConcurrently) {
   for (std::size_t c = 0; c < kClients; ++c)
     expected[c] = lm_.score(session_tokens(vocab_, c, 4));
   std::vector<std::thread> threads;
-  std::vector<bool> ok(kClients, false);
+  // vector<char>, not vector<bool>: bit-packing would make concurrent
+  // per-client writes race on the shared word.
+  std::vector<char> ok(kClients, 0);
   for (std::size_t c = 0; c < kClients; ++c)
     threads.emplace_back([&, c] {
       HttpClient client(server_.port());
@@ -674,6 +975,141 @@ TEST_F(HttpServerTest, ManyConnectionsConcurrently) {
   for (auto& t : threads) t.join();
   for (std::size_t c = 0; c < kClients; ++c)
     EXPECT_TRUE(ok[c]) << "client " << c;
+}
+
+TEST_F(HttpServerTest, HealthzAlwaysUpAndReadyzTracksWorker) {
+  HttpClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+  const auto health = client.get("/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->first, 200);
+  const auto ready = client.get("/readyz");
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->first, 200);
+  EXPECT_NE(ready->second.find("\"worker_alive\":true"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, DeadlineHeaderShedsParkedRequestTyped) {
+  // A stalled first tick parks the second request past its header budget.
+  fault::Scope scope("serve.tick.stall=@1");
+  HttpClient slow(server_.port());
+  HttpClient doomed(server_.port());
+  ASSERT_TRUE(slow.connected());
+  ASSERT_TRUE(doomed.connected());
+
+  serve::Request request;
+  request.op = serve::Op::kScore;
+  request.session = 1;
+  request.tokens = session_tokens(vocab_, 1, 4);
+  std::thread slow_thread([&] {
+    (void)slow.post("/v1/score", serve::request_to_json(request));
+  });
+  // Wait until the stalled tick has dequeued it, then submit the doomed
+  // request with a 50ms budget: it expires while parked behind the stall.
+  while (scheduler_.queued() != 0 || scheduler_.active() == 0)
+    std::this_thread::yield();
+  serve::Request late = request;
+  late.session = 2;
+  const auto response = doomed.post(
+      "/v1/score", serve::request_to_json(late),
+      {{"X-Netfm-Deadline-Ms", "50"}});
+  slow_thread.join();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->first, 503);
+  const auto reply = serve::parse_reply(response->second, serve::Op::kScore);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, serve::Reply::Status::kRejected);
+  EXPECT_EQ(reply->reject, serve::RejectReason::kDeadlineExceeded);
+}
+
+TEST_F(HttpServerTest, DrainzStopsAdmissionAndReportsDrained) {
+  HttpClient client(server_.port());
+  ASSERT_TRUE(client.connected());
+
+  // Repeated polls: 202 while in flight, 200 once fully drained.
+  int status = 0;
+  std::string body;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto response = client.get("/drainz");
+    ASSERT_TRUE(response.has_value());
+    status = response->first;
+    body = response->second;
+    if (status == 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"drained\":true"), std::string::npos);
+
+  // Draining server: not ready, sheds new work typed, but still live.
+  const auto ready = client.get("/readyz");
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->first, 503);
+  serve::Request request;
+  request.op = serve::Op::kScore;
+  request.session = 1;
+  request.tokens = session_tokens(vocab_, 1, 4);
+  const auto shed = client.post("/v1/score", serve::request_to_json(request));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->first, 503);
+  const auto reply = serve::parse_reply(shed->second, serve::Op::kScore);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->reject, serve::RejectReason::kShuttingDown);
+  const auto health = client.get("/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->first, 200);
+}
+
+TEST(HttpServerWatchdog, ReadyzFlipsWhenWorkerWedgesAndRecovers) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  serve::SchedulerOptions options;
+  options.degrade = false;
+  options.tick_stall_ms = 1200;       // wedge far past the stale window
+  options.heartbeat_stale_ms = 250;
+  fault::Scope scope("serve.tick.stall=@1");  // exactly one wedged tick
+  serve::Scheduler scheduler(lm, nullptr, options);
+  serve::HttpServer server(scheduler);
+  server.start();
+
+  HttpClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const auto before = client.get("/readyz");
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->first, 200);
+
+  serve::Request request;
+  request.op = serve::Op::kScore;
+  request.session = 1;
+  request.tokens = session_tokens(vocab, 1, 4);
+  auto future = scheduler.submit(request);
+
+  // Mid-wedge the heartbeat goes stale and readiness flips; liveness holds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const auto during = client.get("/readyz");
+  ASSERT_TRUE(during.has_value());
+  EXPECT_EQ(during->first, 503);
+  EXPECT_NE(during->second.find("\"worker_alive\":false"),
+            std::string::npos);
+  const auto health = client.get("/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->first, 200);
+
+  // The wedged tick completes, the request is served, readiness returns.
+  EXPECT_EQ(future.get().status, serve::Reply::Status::kOk);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto after = client.get("/readyz");
+    ASSERT_TRUE(after.has_value());
+    status = after->first;
+    if (status == 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(status, 200);
+  server.stop();
 }
 
 }  // namespace
