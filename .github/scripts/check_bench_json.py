@@ -25,7 +25,11 @@ Stdlib only. Three checks, composable on one command line:
                            (default 1.05x — the SIMD kernels shrank the
                            GEMM share of both routes, compressing the
                            grad/no-grad gap from the 1.3x of the scalar
-                           era) at the largest batch. CI applies
+                           era) at the largest batch, and the cross-
+                           session batched decode delivers at least
+                           --min-batched-decode-speedup (default 2x) more
+                           tokens/sec at the largest swept batch than
+                           batch 1 at the longest stream. CI applies
                            the strict defaults to the committed baseline
                            (a full-length run) and relaxed floors to the
                            smoke emission, which measures single
@@ -64,9 +68,14 @@ Stdlib only. Three checks, composable on one command line:
                            the counter) the degradation controller stayed
                            idle (serve.degrade.transitions == 0 -- the
                            baseline load shape must not trip the overload
-                           ladder). CI applies the strict defaults
-                           to the committed baseline (a full 1000-session
-                           run) and relaxed floors to the smoke emission.
+                           ladder). --max-kv-bytes (default 0 = off)
+                           additionally caps the run's serve.kv.peak_bytes
+                           record: peak paged-KV residency must stay under
+                           the dense sessions x max_seq_len reservation
+                           the block pool replaced. CI applies the strict
+                           defaults to the committed baseline (a full
+                           1000-session run) and relaxed floors to the
+                           smoke emission.
   --chaos-gate FILE        FILE is a BENCH_chaos_serve.json emission from
                            bench/chaos_serve (load shape under layered
                            fault injection); fail unless every failure was
@@ -204,7 +213,9 @@ def real_time(records: list[dict], path: str, bench: str) -> float:
     raise AssertionError("unreachable")
 
 
-def check_infer_gate(path: str, min_kv: float, min_nograd: float) -> None:
+def check_infer_gate(
+    path: str, min_kv: float, min_nograd: float, min_batched: float
+) -> None:
     records = load(path)
     cached = real_time(records, path, "BM_DecodeCached/128")
     uncached = real_time(records, path, "BM_DecodeUncached/128")
@@ -249,6 +260,36 @@ def check_infer_gate(path: str, min_kv: float, min_nograd: float) -> None:
         fail(
             f"no-grad forward speedup {speedup:.2f}x is below the "
             f"{min_nograd:.2f}x floor at batch {arg}"
+        )
+
+    # Cross-session batched decode: per-token throughput at the largest
+    # batch vs batch 1, at the longest shared stream length. real_time is
+    # per iteration (batch x T tokens), so the per-token speedup is
+    # batch * rt(1) / rt(batch).
+    batched = {}
+    for rec in records:
+        if rec["bench"].startswith("BM_DecodeBatched/") and (
+            rec["metric"] == "real_time"
+        ):
+            b, t = rec["bench"].split("/")[1:3]
+            batched[(int(b), int(t))] = float(rec["value"])
+    if not batched:
+        fail(f"{path}: no BM_DecodeBatched records")
+    t_max = max(t for (b, t) in batched if (1, t) in batched)
+    b_max = max(b for (b, t) in batched if t == t_max)
+    if b_max <= 1:
+        fail(f"{path}: BM_DecodeBatched swept no batch above 1 at T={t_max}")
+    batched_speedup = b_max * batched[(1, t_max)] / batched[(b_max, t_max)]
+    print(
+        f"check_bench_json: batched decode B={b_max} T={t_max} "
+        f"{batched[(1, t_max)]:.0f} ns serial / "
+        f"{batched[(b_max, t_max)]:.0f} ns batched -> "
+        f"{batched_speedup:.2f}x per-token (floor {min_batched:.2f}x)"
+    )
+    if batched_speedup < min_batched:
+        fail(
+            f"batched decode per-token speedup {batched_speedup:.2f}x is "
+            f"below the {min_batched:.2f}x floor at B={b_max} T={t_max}"
         )
 
 
@@ -403,7 +444,8 @@ def optional_metric(records: list[dict], metric: str) -> float | None:
 
 
 def check_serve_gate(
-    path: str, min_sessions: float, min_rps: float, max_p99_ms: float
+    path: str, min_sessions: float, min_rps: float, max_p99_ms: float,
+    max_kv_bytes: float
 ) -> None:
     records = load(path)
     mismatches = metric_value(records, path, "bitwise_mismatches")
@@ -435,6 +477,26 @@ def check_serve_gate(
             f"{path}: degradation ladder moved {transitions:.0f} times "
             "during the baseline load shape (expected an idle controller)"
         )
+    # Paged-KV memory ceiling: peak resident KV across the run must stay
+    # under the dense sessions x max_seq_len reservation the block pool
+    # replaced. Only enforced when the caller passes a ceiling; the metric
+    # must then exist — a missing record means the bench regressed.
+    if max_kv_bytes > 0:
+        peak = optional_metric(records, "serve.kv.peak_bytes")
+        if peak is None:
+            fail(
+                f"{path}: --max-kv-bytes given but no serve.kv.peak_bytes "
+                "record in the emission"
+            )
+        print(
+            f"check_bench_json: serve peak KV {peak / 1e6:.2f} MB "
+            f"(ceiling {max_kv_bytes / 1e6:.2f} MB)"
+        )
+        if peak > max_kv_bytes:
+            fail(
+                f"{path}: peak KV bytes {peak:.0f} exceed the "
+                f"{max_kv_bytes:.0f} ceiling"
+            )
 
 
 def check_chaos_gate(path: str, max_error_rate: float, max_drain_ms: float) -> None:
@@ -496,6 +558,9 @@ def main() -> None:
     parser.add_argument("--infer-gate", metavar="FILE")
     parser.add_argument("--min-kv-speedup", type=float, default=2.0)
     parser.add_argument("--min-nograd-speedup", type=float, default=1.05)
+    parser.add_argument(
+        "--min-batched-decode-speedup", type=float, default=2.0
+    )
     parser.add_argument("--kernel-gate", nargs=2, metavar=("NN", "INFER"))
     parser.add_argument("--min-simd-speedup", type=float, default=3.0)
     parser.add_argument("--min-quant-speedup", type=float, default=1.2)
@@ -504,6 +569,7 @@ def main() -> None:
     parser.add_argument("--min-sessions", type=float, default=1000.0)
     parser.add_argument("--min-rps", type=float, default=500.0)
     parser.add_argument("--max-p99-ms", type=float, default=2000.0)
+    parser.add_argument("--max-kv-bytes", type=float, default=0.0)
     parser.add_argument("--chaos-gate", metavar="FILE")
     parser.add_argument("--max-error-rate", type=float, default=0.5)
     parser.add_argument("--max-drain-ms", type=float, default=10000.0)
@@ -535,7 +601,10 @@ def main() -> None:
         check_baseline(base, cur)
     if args.infer_gate:
         check_infer_gate(
-            args.infer_gate, args.min_kv_speedup, args.min_nograd_speedup
+            args.infer_gate,
+            args.min_kv_speedup,
+            args.min_nograd_speedup,
+            args.min_batched_decode_speedup,
         )
     if args.kernel_gate:
         check_kernel_gate(
@@ -547,7 +616,11 @@ def main() -> None:
         )
     if args.serve_gate:
         check_serve_gate(
-            args.serve_gate, args.min_sessions, args.min_rps, args.max_p99_ms
+            args.serve_gate,
+            args.min_sessions,
+            args.min_rps,
+            args.max_p99_ms,
+            args.max_kv_bytes,
         )
     if args.chaos_gate:
         check_chaos_gate(

@@ -366,6 +366,9 @@ int main() {
       {"load_serve", "serve.session.evicted",
        static_cast<double>(counter_or_zero(snap, "serve.session.evicted")),
        "count"},
+      {"load_serve", "serve.kv.evicted_blocks",
+       static_cast<double>(counter_or_zero(snap, "serve.kv.evicted_blocks")),
+       "block"},
       // Resilience machinery must stay idle at baseline load: the
       // serve-gate rejects a run where the degradation ladder moved or
       // default deadlines expired work.
@@ -378,6 +381,20 @@ int main() {
            counter_or_zero(snap, "serve.rejected.deadline_exceeded")),
        "count"},
   };
+  // Peak paged-KV footprint across the whole run: the serve-gate's
+  // --max-kv-bytes ceiling asserts this stays under the dense
+  // sessions x max_seq_len reservation the block pool replaced.
+  if (const auto& kv = scheduler.sessions().kv_pool()) {
+    const double peak_blocks =
+        static_cast<double>(kv->peak_blocks_in_use());
+    records.push_back({"load_serve", "serve.kv.peak_blocks", peak_blocks,
+                       "block"});
+    records.push_back({"load_serve", "serve.kv.peak_bytes",
+                       peak_blocks * static_cast<double>(kv->bytes_per_block()),
+                       "byte"});
+    records.push_back({"load_serve", "serve.kv.capacity_blocks",
+                       static_cast<double>(kv->capacity_blocks()), "block"});
+  }
   for (const auto& [name, h] : snap.histograms) {
     if (h.count == 0 || name.rfind("serve.", 0) != 0) continue;
     records.push_back({"load_serve", name + ".p50", h.quantile(0.50),

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/netfm.h"
 #include "core/traffic_lm.h"
@@ -79,6 +80,42 @@ void BM_DecodeUncached(benchmark::State& state) {
                           static_cast<std::int64_t>(seq));
 }
 BENCHMARK(BM_DecodeUncached)->Arg(16)->Arg(64)->Arg(128);
+
+// Cross-session batched decode: B decoders on one shared KV block pool
+// advance in lockstep, one padded [B, d_model] forward per step instead of
+// B single-row forwards. Arg0 = batch size, Arg1 = tokens per stream.
+// items = batch x tokens, so items/sec against BM_DecodeBatched/1/T is the
+// batching speedup the CI gate (--min-batched-decode-speedup) floors.
+void BM_DecodeBatched(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto seq = static_cast<std::size_t>(state.range(1));
+  const core::TrafficLM lm(bench_vocab(), decode_config(seq));
+  std::vector<std::vector<int>> ids;
+  for (std::size_t b = 0; b < batch; ++b)
+    ids.push_back(token_stream(seq, 11 + b));
+
+  const auto pool = lm.make_kv_pool(batch * lm.kv_blocks_per_sequence());
+  std::vector<std::unique_ptr<core::LmDecoder>> decoders;
+  std::vector<core::LmDecoder*> ptrs;
+  for (std::size_t b = 0; b < batch; ++b) {
+    decoders.push_back(std::make_unique<core::LmDecoder>(lm, pool));
+    ptrs.push_back(decoders.back().get());
+  }
+
+  std::vector<int> step(batch);
+  for (auto _ : state) {
+    for (auto* decoder : ptrs) decoder->reset();
+    for (std::size_t t = 0; t < seq; ++t) {
+      for (std::size_t b = 0; b < batch; ++b) step[b] = ids[b][t];
+      const auto logits = core::LmDecoder::advance_batch(ptrs, step);
+      benchmark::DoNotOptimize(logits.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch) *
+                          static_cast<std::int64_t>(seq));
+}
+BENCHMARK(BM_DecodeBatched)->ArgsProduct({{1, 8, 32}, {16, 64, 128}});
 
 // base() scale (d_model=128) rather than tiny (d_model=32): int8 panel
 // packing only pays for itself once K is wide enough for the SIMD inner

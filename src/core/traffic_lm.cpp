@@ -276,7 +276,11 @@ std::vector<std::vector<float>> TrafficLM::next_logits_batch(
 }
 
 LmDecoder::LmDecoder(const TrafficLM& lm)
-    : lm_(&lm), cache_(lm.encoder_->make_cache()) {}
+    : lm_(&lm), cache_(lm.encoder_->make_paged_cache()) {}
+
+LmDecoder::LmDecoder(const TrafficLM& lm,
+                     std::shared_ptr<model::KvBlockPool> pool)
+    : lm_(&lm), cache_(lm.encoder_->make_paged_cache(std::move(pool))) {}
 
 std::vector<float> LmDecoder::advance(int token_id) {
   static const auto f_crash = fault::point("core.decode.crash");
@@ -287,6 +291,99 @@ std::vector<float> LmDecoder::advance(int token_id) {
   return {logits.data().begin(), logits.data().end()};
 }
 
+std::vector<std::vector<float>> LmDecoder::advance_batch(
+    std::span<LmDecoder* const> decoders, std::span<const int> token_ids) {
+  static const auto f_crash = fault::point("core.decode.crash");
+  if (decoders.empty()) return {};
+  if (decoders.size() != token_ids.size())
+    throw std::invalid_argument(
+        "LmDecoder::advance_batch: one token per decoder");
+  const TrafficLM* lm = decoders[0]->lm_;
+  for (LmDecoder* d : decoders)
+    if (d == nullptr || d->lm_ != lm)
+      throw std::invalid_argument(
+          "LmDecoder::advance_batch: decoders must share one TrafficLM");
+  if (f_crash.fire()) throw fault::CrashInjected{"core.decode.crash"};
+  const nn::InferenceGuard guard;
+  std::vector<model::PagedKvCache*> caches;
+  caches.reserve(decoders.size());
+  for (LmDecoder* d : decoders) caches.push_back(&d->cache_);
+  const Tensor hidden =
+      lm->encoder_->forward_incremental_batch(token_ids, caches);  // [B, D]
+  const Tensor logits = lm->head_->forward(hidden);                // [B, V]
+  const std::size_t vocab = lm->vocab_.size();
+  std::vector<std::vector<float>> out(decoders.size());
+  for (std::size_t b = 0; b < decoders.size(); ++b)
+    out[b].assign(logits.data().begin() + b * vocab,
+                  logits.data().begin() + (b + 1) * vocab);
+  return out;
+}
+
+namespace {
+
+/// Frames a sequence exactly like training data: [CLS] tokens... [SEP],
+/// truncated to max_seq_len.
+std::vector<int> frame_for_score(const std::vector<std::string>& tokens,
+                                 const tok::Vocabulary& vocab,
+                                 std::size_t max_seq_len) {
+  std::vector<int> ids;
+  ids.reserve(tokens.size() + 2);
+  ids.push_back(tok::Vocabulary::kCls);
+  for (const std::string& t : tokens) ids.push_back(vocab.id(t));
+  ids.push_back(tok::Vocabulary::kSep);
+  if (ids.size() > max_seq_len) ids.resize(max_seq_len);
+  return ids;
+}
+
+/// Stable log-softmax at the realized next token, in double: the per-step
+/// term `total -=` accumulates in score(). Shared by the serial and
+/// batched score paths so their arithmetic is identical by construction.
+double log_prob_term(const std::vector<float>& logits, int next_id) {
+  float maxv = logits[0];
+  for (float v : logits) maxv = std::max(maxv, v);
+  double denom = 0.0;
+  for (float v : logits) denom += std::exp(static_cast<double>(v - maxv));
+  return static_cast<double>(logits[static_cast<std::size_t>(next_id)] -
+                             maxv) -
+         std::log(denom);
+}
+
+/// One sampling step: special-token masking, temperature, optional top-k
+/// truncation, softmax draw from `rng`. Shared by the serial and batched
+/// sample paths so their draws are identical by construction.
+int sample_next_token(std::vector<float> logits, const SampleOptions& options,
+                      Rng& rng) {
+  // Never emit padding/[CLS]/[MASK]; [SEP] ends the sequence.
+  logits[tok::Vocabulary::kPad] = -1e9f;
+  logits[tok::Vocabulary::kCls] = -1e9f;
+  logits[tok::Vocabulary::kMask] = -1e9f;
+  logits[tok::Vocabulary::kUnk] = -1e9f;
+
+  // Temperature + optional top-k truncation, then softmax-sample.
+  const float inv_temp =
+      options.temperature > 0.0
+          ? 1.0f / static_cast<float>(options.temperature)
+          : 1.0f;
+  for (float& v : logits) v *= inv_temp;
+  if (options.top_k > 0 && options.top_k < logits.size()) {
+    std::vector<float> sorted = logits;
+    std::nth_element(
+        sorted.begin(),
+        sorted.begin() + static_cast<std::ptrdiff_t>(options.top_k - 1),
+        sorted.end(), std::greater<float>());
+    const float cutoff = sorted[options.top_k - 1];
+    for (float& v : logits)
+      if (v < cutoff) v = -1e9f;
+  }
+  float max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    probs[i] = std::exp(static_cast<double>(logits[i]) - max_logit);
+  return static_cast<int>(rng.weighted(probs));
+}
+
+}  // namespace
+
 double TrafficLM::score(const std::vector<std::string>& tokens) const {
   LmDecoder decoder(*this);
   return score(tokens, decoder);
@@ -294,14 +391,8 @@ double TrafficLM::score(const std::vector<std::string>& tokens) const {
 
 double TrafficLM::score(const std::vector<std::string>& tokens,
                         LmDecoder& decoder) const {
-  // Frame exactly like training data: [CLS] tokens... [SEP], truncated.
-  std::vector<int> ids;
-  ids.reserve(tokens.size() + 2);
-  ids.push_back(tok::Vocabulary::kCls);
-  for (const std::string& t : tokens) ids.push_back(vocab_.id(t));
-  ids.push_back(tok::Vocabulary::kSep);
-  if (ids.size() > encoder_->config().max_seq_len)
-    ids.resize(encoder_->config().max_seq_len);
+  const std::vector<int> ids =
+      frame_for_score(tokens, vocab_, encoder_->config().max_seq_len);
   if (ids.size() < 2) return 0.0;
 
   decoder.reset();
@@ -309,17 +400,56 @@ double TrafficLM::score(const std::vector<std::string>& tokens,
   std::size_t count = 0;
   for (std::size_t t = 0; t + 1 < ids.size(); ++t) {
     const std::vector<float> logits = decoder.advance(ids[t]);
-    // Stable log-softmax at the realized next token, in double.
-    float maxv = logits[0];
-    for (float v : logits) maxv = std::max(maxv, v);
-    double denom = 0.0;
-    for (float v : logits) denom += std::exp(static_cast<double>(v - maxv));
-    total -= static_cast<double>(logits[static_cast<std::size_t>(ids[t + 1])] -
-                                 maxv) -
-             std::log(denom);
+    total -= log_prob_term(logits, ids[t + 1]);
     ++count;
   }
   return total / static_cast<double>(count);
+}
+
+std::vector<double> TrafficLM::score_batch(
+    std::span<const std::vector<std::string>> sequences,
+    std::span<LmDecoder* const> decoders) const {
+  if (sequences.size() != decoders.size())
+    throw std::invalid_argument("TrafficLM::score_batch: one decoder per "
+                                "sequence");
+  const std::size_t n = sequences.size();
+  std::vector<std::vector<int>> ids(n);
+  std::vector<double> total(n, 0.0);
+  std::vector<std::size_t> count(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] =
+        frame_for_score(sequences[i], vocab_, encoder_->config().max_seq_len);
+    decoders[i]->reset();
+  }
+  // Lockstep decode: at step t, every sequence that still has a target
+  // token joins one batched forward. Sequences fall out of the batch as
+  // they end; per-sequence accumulation is untouched, so each element is
+  // bitwise equal to the serial score.
+  std::vector<LmDecoder*> active;
+  std::vector<int> step_tokens;
+  std::vector<std::size_t> who;
+  for (std::size_t t = 0;; ++t) {
+    active.clear();
+    step_tokens.clear();
+    who.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t + 1 >= ids[i].size()) continue;
+      active.push_back(decoders[i]);
+      step_tokens.push_back(ids[i][t]);
+      who.push_back(i);
+    }
+    if (active.empty()) break;
+    const auto logits = LmDecoder::advance_batch(active, step_tokens);
+    for (std::size_t g = 0; g < who.size(); ++g) {
+      const std::size_t i = who[g];
+      total[i] -= log_prob_term(logits[g], ids[i][t + 1]);
+      ++count[i];
+    }
+  }
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (count[i] > 0) out[i] = total[i] / static_cast<double>(count[i]);
+  return out;
 }
 
 std::vector<std::string> TrafficLM::sample(const SampleOptions& options,
@@ -344,37 +474,63 @@ std::vector<std::string> TrafficLM::sample(const SampleOptions& options,
   decoder.reset();
   while (ids.size() < limit) {
     std::vector<float> logits = decoder.advance(ids.back());
-    // Never emit padding/[CLS]/[MASK]; [SEP] ends the sequence.
-    logits[tok::Vocabulary::kPad] = -1e9f;
-    logits[tok::Vocabulary::kCls] = -1e9f;
-    logits[tok::Vocabulary::kMask] = -1e9f;
-    logits[tok::Vocabulary::kUnk] = -1e9f;
-
-    // Temperature + optional top-k truncation, then softmax-sample.
-    const float inv_temp =
-        options.temperature > 0.0 ? 1.0f / static_cast<float>(
-                                               options.temperature)
-                                  : 1.0f;
-    for (float& v : logits) v *= inv_temp;
-    if (options.top_k > 0 && options.top_k < logits.size()) {
-      std::vector<float> sorted = logits;
-      std::nth_element(sorted.begin(),
-                       sorted.begin() + static_cast<std::ptrdiff_t>(
-                                            options.top_k - 1),
-                       sorted.end(), std::greater<float>());
-      const float cutoff = sorted[options.top_k - 1];
-      for (float& v : logits)
-        if (v < cutoff) v = -1e9f;
-    }
-    float max_logit = *std::max_element(logits.begin(), logits.end());
-    std::vector<double> probs(logits.size());
-    for (std::size_t i = 0; i < logits.size(); ++i)
-      probs[i] = std::exp(static_cast<double>(logits[i]) - max_logit);
-    const int token = static_cast<int>(rng.weighted(probs));
-
+    const int token = sample_next_token(std::move(logits), options, rng);
     if (token == tok::Vocabulary::kSep) break;
     ids.push_back(token);
     out.push_back(vocab_.token(token));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> TrafficLM::sample_batch(
+    std::span<const SampleOptions> options, std::span<Rng* const> rngs,
+    std::span<LmDecoder* const> decoders) const {
+  if (options.size() != decoders.size() || rngs.size() != decoders.size())
+    throw std::invalid_argument(
+        "TrafficLM::sample_batch: one options/rng per decoder");
+  const std::size_t n = decoders.size();
+  const std::size_t cap = encoder_->config().max_seq_len;
+  std::vector<std::vector<int>> ids(n, std::vector<int>{tok::Vocabulary::kCls});
+  std::vector<std::vector<std::string>> out(n);
+  std::vector<std::size_t> limit(n);
+  std::vector<char> done(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    limit[i] = options[i].max_tokens >= cap ? cap : options[i].max_tokens + 1;
+    decoders[i]->reset();
+    if (ids[i].size() >= limit[i]) done[i] = 1;
+  }
+  // Lockstep decode: every still-active stream feeds its last token into
+  // one batched forward, then draws from its own Rng through the shared
+  // per-step sampling code — so each stream's tokens are bitwise equal to
+  // a serial sample() with the same options/seed. Streams drop out of the
+  // batch on [SEP] or their token limit.
+  std::vector<LmDecoder*> active;
+  std::vector<int> step_tokens;
+  std::vector<std::size_t> who;
+  for (;;) {
+    active.clear();
+    step_tokens.clear();
+    who.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      active.push_back(decoders[i]);
+      step_tokens.push_back(ids[i].back());
+      who.push_back(i);
+    }
+    if (active.empty()) break;
+    auto logits = LmDecoder::advance_batch(active, step_tokens);
+    for (std::size_t g = 0; g < who.size(); ++g) {
+      const std::size_t i = who[g];
+      const int token =
+          sample_next_token(std::move(logits[g]), options[i], *rngs[i]);
+      if (token == tok::Vocabulary::kSep) {
+        done[i] = 1;
+        continue;
+      }
+      ids[i].push_back(token);
+      out[i].push_back(vocab_.token(token));
+      if (ids[i].size() >= limit[i]) done[i] = 1;
+    }
   }
   return out;
 }
@@ -388,6 +544,15 @@ std::vector<std::vector<std::string>> TrafficLM::sample_corpus(
     if (!sequence.empty()) corpus.push_back(std::move(sequence));
   }
   return corpus;
+}
+
+std::shared_ptr<model::KvBlockPool> TrafficLM::make_kv_pool(
+    std::size_t num_blocks) const {
+  return encoder_->make_block_pool(num_blocks);
+}
+
+std::size_t TrafficLM::kv_blocks_per_sequence() const noexcept {
+  return encoder_->blocks_per_sequence();
 }
 
 nn::ParameterList TrafficLM::parameters() const {

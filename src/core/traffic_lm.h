@@ -85,6 +85,34 @@ class TrafficLM {
   double score(const std::vector<std::string>& tokens,
                LmDecoder& decoder) const;
 
+  /// score() for many sequences at once, one decoder per sequence (all on
+  /// this model), run as lockstep batched decode steps — one padded
+  /// forward per step across every still-active sequence via
+  /// LmDecoder::advance_batch. Per-sequence math is untouched, so
+  /// element i is bitwise equal to score(sequences[i], *decoders[i]).
+  std::vector<double> score_batch(
+      std::span<const std::vector<std::string>> sequences,
+      std::span<LmDecoder* const> decoders) const;
+
+  /// sample() for many streams at once (options[i]/rngs[i]/decoders[i]
+  /// drive stream i), decoded in lockstep batched steps. Each stream draws
+  /// from its own Rng with the per-step sampling math unchanged, so
+  /// element i is bitwise equal to sample(options[i], *rngs[i],
+  /// *decoders[i]). Streams drop out of the batch as they emit [SEP] or
+  /// hit their token limit.
+  std::vector<std::vector<std::string>> sample_batch(
+      std::span<const SampleOptions> options, std::span<Rng* const> rngs,
+      std::span<LmDecoder* const> decoders) const;
+
+  /// A shared paged KV block pool for this model: `num_blocks` 0 defers to
+  /// NETFM_KV_BLOCKS, else one full sequence. Hand it to the pool-taking
+  /// LmDecoder constructor so many sessions share one reservation.
+  std::shared_ptr<model::KvBlockPool> make_kv_pool(
+      std::size_t num_blocks = 0) const;
+
+  /// KV blocks one max_seq_len sequence needs (sizing unit for pools).
+  std::size_t kv_blocks_per_sequence() const noexcept;
+
   nn::ParameterList parameters() const;
 
   /// Eagerly packs all int8 weight caches so the first quantized inference
@@ -120,29 +148,56 @@ class TrafficLM {
   std::unique_ptr<model::MlmHead> head_;  // tied decoder reused as LM head
 };
 
-/// Incremental decoder: feeds tokens one at a time through the KV-cached
-/// fast path (model::KvCache), so appending a token to a T-token prefix
-/// costs O(T) instead of the O(T^2) full re-forward of
+/// Incremental decoder: feeds tokens one at a time through the paged
+/// KV-cached fast path (model::PagedKvCache), so appending a token to a
+/// T-token prefix costs O(T) instead of the O(T^2) full re-forward of
 /// TrafficLM::next_logits — with bit-identical logits. One decoder per
 /// generation stream; reset() (or a fresh decoder) starts a new stream and
-/// is also required after any weight mutation. Not thread-safe.
+/// is also required after any weight mutation. Not thread-safe, but
+/// decoders on *distinct* caches may decode concurrently even when they
+/// share one block pool.
 class LmDecoder {
  public:
+  /// Decoder with a private block pool sized for one full sequence — the
+  /// drop-in equivalent of the old dense-cache decoder (it can always
+  /// reach max_seq_len).
   explicit LmDecoder(const TrafficLM& lm);
+
+  /// Decoder drawing KV blocks from a shared pool (from
+  /// TrafficLM::make_kv_pool). advance() throws
+  /// model::ContextFullError{pool_exhausted()=true} when the pool runs
+  /// dry, leaving the cache untouched so the step can be retried after
+  /// release_kv() elsewhere frees blocks.
+  LmDecoder(const TrafficLM& lm, std::shared_ptr<model::KvBlockPool> pool);
 
   /// Feeds `token_id` at position cached_tokens() and returns the logits
   /// for the *next* token. Observes the `core.decode.crash` fault point;
   /// after an injected crash, reset() restores a clean (cold-cache) state.
   std::vector<float> advance(int token_id);
 
+  /// One lockstep decode step across many decoders (all on one TrafficLM,
+  /// all distinct): feeds token_ids[i] to decoders[i] and returns each
+  /// next-token logits row. Row i is bitwise equal to
+  /// decoders[i]->advance(token_ids[i]) — one padded forward replaces n
+  /// serial ones. Observes `core.decode.crash` once per step; on
+  /// ContextFullError no decoder has advanced.
+  static std::vector<std::vector<float>> advance_batch(
+      std::span<LmDecoder* const> decoders, std::span<const int> token_ids);
+
   /// Forgets the cached prefix; the next advance() starts a new sequence.
+  /// Held KV blocks are kept for reuse (release_kv() returns them).
   void reset() noexcept { cache_.reset(); }
 
+  /// reset() plus returning held KV blocks to the pool — what LRU session
+  /// eviction calls so idle sessions stop pinning pool memory.
+  void release_kv() noexcept { cache_.release(); }
+
   std::size_t cached_tokens() const noexcept { return cache_.length; }
+  std::size_t held_kv_blocks() const noexcept { return cache_.held_blocks(); }
 
  private:
   const TrafficLM* lm_;
-  model::KvCache cache_;
+  model::PagedKvCache cache_;
 };
 
 }  // namespace netfm::core

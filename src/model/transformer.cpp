@@ -252,6 +252,98 @@ Tensor EncoderBlock::forward_incremental(const Tensor& x, KvCache& cache,
   return norm_ffn_.forward(nn::add(x1, ffn));
 }
 
+Tensor EncoderBlock::forward_incremental_batch(
+    const Tensor& x, std::span<PagedKvCache* const> caches,
+    std::size_t layer) const {
+  // Row b of this step is bit-identical to forward_incremental on session
+  // b alone: Linear/LayerNorm/GELU (and the int8 quant GEMM, which
+  // quantizes activations per row) compute each row independently of how
+  // many rows share the tensor, and the per-(b, h) attention loops below
+  // are the dense route's loops with the j-th K/V row looked up through
+  // the block table instead of a dense buffer — same indices, same order,
+  // same arithmetic.
+  const TransformerConfig& cfg = *config_;
+  const std::size_t heads = cfg.num_heads;
+  const std::size_t dk = cfg.head_dim();
+  const std::size_t d_model = cfg.d_model;
+  const std::size_t bsz = caches.size();
+
+  const Tensor q = query_.forward(x);  // [B, D]
+  const Tensor k = key_.forward(x);
+  const Tensor v = value_.forward(x);
+
+  // Append each session's K/V rows into its current block.
+  const float* kp = k.data().data();
+  const float* vp = v.data().data();
+  for (std::size_t b = 0; b < bsz; ++b) {
+    PagedKvCache& cache = *caches[b];
+    KvBlockPool& pool = *cache.pool;
+    const std::size_t bt = pool.block_tokens();
+    const std::size_t t = cache.length;
+    const std::uint32_t blk = cache.blocks[t / bt];
+    const std::size_t off = (t % bt) * dk;
+    for (std::size_t h = 0; h < heads; ++h) {
+      std::copy_n(kp + b * d_model + h * dk, dk,
+                  pool.key_head(layer, blk, h) + off);
+      std::copy_n(vp + b * d_model + h * dk, dk,
+                  pool.value_head(layer, blk, h) + off);
+    }
+  }
+
+  Tensor context = Tensor::empty({bsz, heads * dk});
+  float* op = context.data().data();
+  const float* qp = q.data().data();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+  std::size_t max_t = 0;
+  for (const PagedKvCache* cache : caches)
+    max_t = std::max(max_t, cache->length);
+  std::span<float> s = nn::Workspace::current().scratch(max_t + 1);
+  const nn::kernels::KernelTable& kt = nn::kernels::table();
+  std::vector<const float*> runs;
+  for (std::size_t b = 0; b < bsz; ++b) {
+    const PagedKvCache& cache = *caches[b];
+    const KvBlockPool& pool = *cache.pool;
+    const std::size_t bt = pool.block_tokens();
+    const std::size_t t = cache.length;
+    const std::size_t n_runs = kv_blocks_for(t + 1, bt);
+    for (std::size_t h = 0; h < heads; ++h) {
+      const float* qh = qp + b * d_model + h * dk;
+      // Scaled scores over the cached prefix, walked through the block
+      // table (same reduction order and multiply-after-dot as the dense
+      // route).
+      for (std::size_t j = 0; j <= t; ++j) {
+        float dot = 0.0f;
+        const float* krow =
+            pool.key_head(layer, cache.blocks[j / bt], h) + (j % bt) * dk;
+        for (std::size_t c = 0; c < dk; ++c) dot += qh[c] * krow[c];
+        s[j] = dot * scale;
+      }
+      // Softmax over [0, t] — the identical row loop from nn::softmax.
+      float maxv = s[0];
+      for (std::size_t j = 1; j <= t; ++j) maxv = std::max(maxv, s[j]);
+      float total = 0.0f;
+      for (std::size_t j = 0; j <= t; ++j) {
+        s[j] = std::exp(s[j] - maxv);
+        total += s[j];
+      }
+      for (std::size_t j = 0; j <= t; ++j) s[j] /= total;
+      // context = attn · V accumulated run-by-run across the block table
+      // on the dispatched backend — bit-identical to one contiguous
+      // weighted_sum (see paged_weighted_sum).
+      runs.clear();
+      for (std::size_t r = 0; r < n_runs; ++r)
+        runs.push_back(pool.value_head(layer, cache.blocks[r], h));
+      nn::kernels::paged_weighted_sum(kt, s.data(), runs.data(), n_runs, bt,
+                                      t + 1, dk, op + b * heads * dk + h * dk);
+    }
+  }
+
+  const Tensor attended = output_.forward(context);
+  const Tensor x1 = norm_attn_.forward(nn::add(x, attended));
+  const Tensor ffn = ffn_out_.forward(nn::gelu(ffn_in_.forward(x1)));
+  return norm_ffn_.forward(nn::add(x1, ffn));
+}
+
 void EncoderBlock::collect(nn::ParameterList& out) const {
   query_.collect(out);
   key_.collect(out);
@@ -367,6 +459,134 @@ Tensor TransformerEncoder::forward_incremental(int token_id,
   for (std::size_t layer = 0; layer < blocks_.size(); ++layer)
     x = blocks_[layer]->forward_incremental(x, cache, layer);
   ++cache.length;
+  return x;
+}
+
+std::size_t TransformerEncoder::blocks_per_sequence() const noexcept {
+  return kv_blocks_for(config_.max_seq_len, default_kv_block_tokens());
+}
+
+std::shared_ptr<KvBlockPool> TransformerEncoder::make_block_pool(
+    std::size_t num_blocks) const {
+  if (num_blocks == 0) num_blocks = default_kv_pool_blocks();
+  if (num_blocks == 0) num_blocks = blocks_per_sequence();
+  return std::make_shared<KvBlockPool>(config_.num_layers, config_.num_heads,
+                                       config_.head_dim(),
+                                       default_kv_block_tokens(), num_blocks);
+}
+
+PagedKvCache TransformerEncoder::make_paged_cache(
+    std::shared_ptr<KvBlockPool> pool) const {
+  if (!pool)
+    throw std::invalid_argument("make_paged_cache: null pool");
+  if (pool->layers() != config_.num_layers ||
+      pool->heads() != config_.num_heads ||
+      pool->head_dim() != config_.head_dim())
+    throw std::invalid_argument(
+        "make_paged_cache: pool geometry mismatch (use make_block_pool())");
+  return PagedKvCache(std::move(pool), config_.max_seq_len);
+}
+
+PagedKvCache TransformerEncoder::make_paged_cache() const {
+  // A private pool sized for exactly one full sequence (independent of the
+  // NETFM_KV_BLOCKS shared-pool override): the session can always decode
+  // to max_seq_len, matching the dense make_cache() contract.
+  return make_paged_cache(std::make_shared<KvBlockPool>(
+      config_.num_layers, config_.num_heads, config_.head_dim(),
+      default_kv_block_tokens(), blocks_per_sequence()));
+}
+
+Tensor TransformerEncoder::forward_incremental(int token_id,
+                                               PagedKvCache& cache) const {
+  PagedKvCache* caches[1] = {&cache};
+  const int ids[1] = {token_id};
+  return forward_incremental_batch(ids, caches);
+}
+
+Tensor TransformerEncoder::forward_incremental_batch(
+    std::span<const int> token_ids,
+    std::span<PagedKvCache* const> caches) const {
+  static const auto h_forward = metrics::histogram("infer.forward_ns");
+  static const auto c_kv_hits =
+      metrics::counter("infer.kv_hit_tokens", "token");
+  metrics::ScopedTimer forward_timer(h_forward);
+  nn::Workspace::current().reset_scratch();
+  if (!config_.causal)
+    throw std::invalid_argument(
+        "forward_incremental: requires a causal config (later tokens must "
+        "not change earlier rows)");
+  if (token_ids.size() != caches.size() || caches.empty())
+    throw std::invalid_argument(
+        "forward_incremental_batch: need one token per cache (and at least "
+        "one session)");
+  for (std::size_t b = 0; b < caches.size(); ++b) {
+    PagedKvCache* cache = caches[b];
+    if (cache == nullptr || !cache->pool)
+      throw std::invalid_argument(
+          "forward_incremental: cache has no pool (use make_paged_cache())");
+    const KvBlockPool& pool = *cache->pool;
+    if (pool.layers() != config_.num_layers ||
+        pool.heads() != config_.num_heads ||
+        pool.head_dim() != config_.head_dim() ||
+        cache->capacity != config_.max_seq_len)
+      throw std::invalid_argument(
+          "forward_incremental: cache geometry mismatch (use "
+          "make_paged_cache())");
+    if (cache->length >= cache->capacity)
+      throw ContextFullError("forward_incremental: cache full");
+    for (std::size_t o = 0; o < b; ++o)
+      if (caches[o] == cache)
+        throw std::invalid_argument(
+            "forward_incremental_batch: duplicate cache in batch");
+  }
+
+  // Reserve this step's blocks across all sessions, all-or-nothing: on
+  // exhaustion the partial reservation is rolled back and no cache has
+  // been touched, so every session can retry after blocks are freed.
+  std::vector<std::size_t> grew;
+  bool exhausted = false;
+  for (std::size_t b = 0; b < caches.size() && !exhausted; ++b) {
+    PagedKvCache& cache = *caches[b];
+    const std::size_t need =
+        kv_blocks_for(cache.length + 1, cache.pool->block_tokens());
+    while (cache.blocks.size() < need) {
+      std::uint32_t blk = 0;
+      if (!cache.pool->try_alloc(&blk)) {
+        exhausted = true;
+        break;
+      }
+      cache.blocks.push_back(blk);
+      grew.push_back(b);
+    }
+  }
+  if (exhausted) {
+    for (const std::size_t b : grew) {
+      caches[b]->pool->free_block(caches[b]->blocks.back());
+      caches[b]->blocks.pop_back();
+    }
+    throw ContextFullError(
+        "forward_incremental_batch: KV block pool exhausted",
+        /*pool_exhausted=*/true);
+  }
+
+  const std::size_t bsz = caches.size();
+  std::vector<int> ids(token_ids.begin(), token_ids.end());
+  std::vector<int> positions(bsz);
+  std::vector<int> segments(bsz, 0);
+  std::uint64_t cached = 0;
+  for (std::size_t b = 0; b < bsz; ++b) {
+    positions[b] = static_cast<int>(caches[b]->length);
+    cached += caches[b]->length;
+  }
+  c_kv_hits.add(cached);  // prefix tokens served from cache, not recomputed
+  Tensor x = nn::embedding(token_embed_.tensor, ids);
+  x = nn::add(x, nn::embedding(position_embed_.tensor, positions));
+  x = nn::add(x, nn::embedding(segment_embed_.tensor, segments));
+  x = embed_norm_.forward(x);
+  // No dropout: incremental decode is inference-only (train=false).
+  for (std::size_t layer = 0; layer < blocks_.size(); ++layer)
+    x = blocks_[layer]->forward_incremental_batch(x, caches, layer);
+  for (PagedKvCache* cache : caches) ++cache->length;
   return x;
 }
 

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "model/config.h"
+#include "model/kv_pool.h"
 #include "nn/optim.h"
 #include "nn/quant.h"
 #include "nn/tensor.h"
@@ -123,6 +125,20 @@ class EncoderBlock {
   nn::Tensor forward_incremental(const nn::Tensor& x, KvCache& cache,
                                  std::size_t layer) const;
 
+  /// Batched one-token decode step over B independent sessions: x is
+  /// [B, D] (row b is session b's token at position caches[b]->length).
+  /// Appends each row's K/V into its session's current KV block and
+  /// attends over that session's block table. Row b is bit-identical to
+  /// the dense forward_incremental on session b alone — projections,
+  /// LayerNorm, GELU, and the quantized GEMM are all row-independent, and
+  /// the per-head attention loops reduce the same indices in the same
+  /// order through the block table. Callers must have reserved each
+  /// cache's block for this step already (see
+  /// TransformerEncoder::forward_incremental_batch).
+  nn::Tensor forward_incremental_batch(const nn::Tensor& x,
+                                       std::span<PagedKvCache* const> caches,
+                                       std::size_t layer) const;
+
   void collect(nn::ParameterList& out) const;
 
   /// Eagerly packs every projection's int8 weight cache (no-op when quant
@@ -159,6 +175,40 @@ class TransformerEncoder {
   /// O(T^2). Typically run under nn::InferenceGuard; no dropout is applied
   /// (equivalent to train=false).
   nn::Tensor forward_incremental(int token_id, KvCache& cache) const;
+
+  /// A shared paged KV block pool sized for this encoder. `num_blocks` 0
+  /// means NETFM_KV_BLOCKS when set, else exactly one full sequence
+  /// (ceil(max_seq_len / block_tokens)); block size comes from
+  /// NETFM_KV_BLOCK (default 16 tokens).
+  std::shared_ptr<KvBlockPool> make_block_pool(std::size_t num_blocks = 0) const;
+
+  /// Blocks one max_seq_len sequence needs under the configured block size.
+  std::size_t blocks_per_sequence() const noexcept;
+
+  /// An empty paged cache drawing from `pool` (geometry must match this
+  /// encoder). The no-arg overload builds a private single-sequence pool —
+  /// a drop-in replacement for make_cache() that can never run out of
+  /// blocks before max_seq_len.
+  PagedKvCache make_paged_cache(std::shared_ptr<KvBlockPool> pool) const;
+  PagedKvCache make_paged_cache() const;
+
+  /// Paged analogue of forward_incremental(int, KvCache&): bit-identical
+  /// to it (and so to the full forward) at every step. Throws
+  /// ContextFullError when the session is at max_seq_len or
+  /// (pool_exhausted()) the shared pool has no free block; on pool
+  /// exhaustion the cache is left unmodified, so the session can retry
+  /// after blocks are freed.
+  nn::Tensor forward_incremental(int token_id, PagedKvCache& cache) const;
+
+  /// One lockstep decode step across B sessions: token_ids[b] is fed to
+  /// caches[b] at its current length; returns the B contextual embeddings
+  /// as [B, D]. Each row is bit-identical to the serial dense route on
+  /// that session alone. Blocks needed by this step are reserved up front
+  /// across all sessions — on exhaustion the reservation is rolled back
+  /// and ContextFullError{pool_exhausted()=true} is thrown with every
+  /// cache unmodified.
+  nn::Tensor forward_incremental_batch(std::span<const int> token_ids,
+                                       std::span<PagedKvCache* const> caches) const;
 
   const TransformerConfig& config() const noexcept { return config_; }
   nn::ParameterList parameters() const;

@@ -67,6 +67,15 @@ struct KernelTable {
   void (*weighted_sum)(const float* w, const float* rows, std::size_t t,
                        std::size_t dk, float* out);
 
+  /// weighted_sum that *accumulates into* out instead of overwriting it:
+  /// out[c] += sum over j in [0, t) of w[j] * rows[j * dk + c], same serial
+  /// ascending-j reduction. Used to chain weighted_sum across the
+  /// fixed-size runs of a paged KV block table: fp32 stores between runs
+  /// round-trip exactly, so run-by-run accumulation is bit-identical to one
+  /// contiguous weighted_sum over the same rows.
+  void (*weighted_sum_acc)(const float* w, const float* rows, std::size_t t,
+                           std::size_t dk, float* out);
+
   /// c[i * N + j] = sum over k in [0, kp) of a[i * kp + k] * bt[j * kp + k]
   /// in exact int32 arithmetic. `a` is M x kp row-major int8 (activation
   /// rows), `bt` is N x kp row-major int8 (weight *columns*, pre-packed and
@@ -101,5 +110,27 @@ void set_backend(Backend b);
 /// Parses an NETFM_KERNELS-style name. Throws std::invalid_argument on an
 /// unknown name.
 Backend parse(std::string_view name);
+
+/// Block-table-aware weighted_sum over a paged KV head: the t attended
+/// rows live in n_runs fixed-size contiguous runs (`runs[r]` is run r's
+/// first row; every run holds `run_tokens` rows of dk floats except the
+/// last, which holds the remainder). Runs are reduced in ascending token
+/// order through the dispatched weighted_sum / weighted_sum_acc kernels;
+/// the per-element add sequence is identical to one contiguous
+/// weighted_sum over the same t rows, so the result is bit-identical to
+/// the dense route on every backend.
+inline void paged_weighted_sum(const KernelTable& kt, const float* w,
+                               const float* const* runs, std::size_t n_runs,
+                               std::size_t run_tokens, std::size_t t,
+                               std::size_t dk, float* out) {
+  for (std::size_t r = 0; r < n_runs; ++r) {
+    const std::size_t lo = r * run_tokens;
+    const std::size_t len = t - lo < run_tokens ? t - lo : run_tokens;
+    if (r == 0)
+      kt.weighted_sum(w + lo, runs[r], len, dk, out);
+    else
+      kt.weighted_sum_acc(w + lo, runs[r], len, dk, out);
+  }
+}
 
 }  // namespace netfm::nn::kernels

@@ -74,6 +74,32 @@ void weighted_sum_avx512(const float* w, const float* rows, std::size_t t,
   }
 }
 
+void weighted_sum_acc_avx512(const float* w, const float* rows, std::size_t t,
+                             std::size_t dk, float* out) {
+  // weighted_sum_avx512 with the accumulator seeded from out: loading the
+  // previous run's fp32 partials is a value-preserving round-trip, so the
+  // add sequence per element matches one contiguous weighted_sum.
+  std::size_t c = 0;
+  for (; c + 16 <= dk; c += 16) {
+    __m512 acc = _mm512_loadu_ps(out + c);
+    for (std::size_t j = 0; j < t; ++j)
+      acc = _mm512_add_ps(
+          acc, _mm512_mul_ps(_mm512_set1_ps(w[j]),
+                             _mm512_loadu_ps(rows + j * dk + c)));
+    _mm512_storeu_ps(out + c, acc);
+  }
+  if (c < dk) {
+    const __mmask16 edge =
+        static_cast<__mmask16>((1u << (dk - c)) - 1u);
+    __m512 acc = _mm512_maskz_loadu_ps(edge, out + c);
+    for (std::size_t j = 0; j < t; ++j)
+      acc = _mm512_add_ps(
+          acc, _mm512_mul_ps(_mm512_set1_ps(w[j]),
+                             _mm512_maskz_loadu_ps(edge, rows + j * dk + c)));
+    _mm512_mask_storeu_ps(out + c, edge, acc);
+  }
+}
+
 void gemm_i8_avx512(const std::int8_t* a, const std::int8_t* bt,
                     std::size_t M, std::size_t N, std::size_t kp,
                     std::int32_t* c) {
@@ -109,6 +135,7 @@ const KernelTable kAvx512Table = {
     "avx512",
     gemm_rows_avx512,
     weighted_sum_avx512,
+    weighted_sum_acc_avx512,
     gemm_i8_avx512,
 };
 

@@ -77,6 +77,26 @@ void weighted_sum_neon(const float* w, const float* rows, std::size_t t,
   }
 }
 
+void weighted_sum_acc_neon(const float* w, const float* rows, std::size_t t,
+                           std::size_t dk, float* out) {
+  // weighted_sum_neon with the accumulator seeded from out: loading the
+  // previous run's fp32 partials is a value-preserving round-trip, so the
+  // add sequence per element matches one contiguous weighted_sum.
+  std::size_t c = 0;
+  for (; c + 4 <= dk; c += 4) {
+    float32x4_t acc = vld1q_f32(out + c);
+    for (std::size_t j = 0; j < t; ++j)
+      acc = vaddq_f32(
+          acc, vmulq_f32(vdupq_n_f32(w[j]), vld1q_f32(rows + j * dk + c)));
+    vst1q_f32(out + c, acc);
+  }
+  for (; c < dk; ++c) {
+    float acc = out[c];
+    for (std::size_t j = 0; j < t; ++j) acc += w[j] * rows[j * dk + c];
+    out[c] = acc;
+  }
+}
+
 void gemm_i8_neon(const std::int8_t* a, const std::int8_t* bt, std::size_t M,
                   std::size_t N, std::size_t kp, std::int32_t* c) {
   // kp is a multiple of kQuantKAlign (64); widen i8 products through i16
@@ -106,6 +126,7 @@ const KernelTable kNeonTable = {
     "neon",
     gemm_rows_neon,
     weighted_sum_neon,
+    weighted_sum_acc_neon,
     gemm_i8_neon,
 };
 

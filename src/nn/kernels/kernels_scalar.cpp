@@ -68,6 +68,17 @@ void weighted_sum_scalar(const float* w, const float* rows, std::size_t t,
   }
 }
 
+void weighted_sum_acc_scalar(const float* w, const float* rows, std::size_t t,
+                             std::size_t dk, float* out) {
+  // Same reduction as weighted_sum_scalar, seeded from the existing out
+  // values instead of zero.
+  for (std::size_t j = 0; j < t; ++j) {
+    const float wj = w[j];
+    const float* row = rows + j * dk;
+    for (std::size_t c = 0; c < dk; ++c) out[c] += wj * row[c];
+  }
+}
+
 void gemm_i8_scalar(const std::int8_t* a, const std::int8_t* bt,
                     std::size_t M, std::size_t N, std::size_t kp,
                     std::int32_t* c) {
@@ -91,6 +102,7 @@ const KernelTable kScalarTable = {
     "scalar",
     gemm_rows_scalar,
     weighted_sum_scalar,
+    weighted_sum_acc_scalar,
     gemm_i8_scalar,
 };
 

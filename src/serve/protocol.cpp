@@ -67,6 +67,7 @@ std::string_view reject_reason_name(RejectReason reason) noexcept {
     case RejectReason::kShuttingDown: return "shutting_down";
     case RejectReason::kDeadlineExceeded: return "deadline_exceeded";
     case RejectReason::kOverloaded: return "overloaded";
+    case RejectReason::kContextFull: return "context_full";
   }
   return "unknown";
 }

@@ -35,6 +35,7 @@ enum class RejectReason : std::uint8_t {
   kShuttingDown,      // scheduler is stopping/draining
   kDeadlineExceeded,  // request expired before the model ran it
   kOverloaded,        // degradation ladder is shedding this op class
+  kContextFull,       // session at max context, or KV block pool exhausted
 };
 
 /// Every RejectReason value, for exhaustive client-side decoding.
@@ -42,6 +43,7 @@ inline constexpr RejectReason kAllRejectReasons[] = {
     RejectReason::kQueueFull,    RejectReason::kSessionBusy,
     RejectReason::kSessionsFull, RejectReason::kShuttingDown,
     RejectReason::kDeadlineExceeded, RejectReason::kOverloaded,
+    RejectReason::kContextFull,
 };
 
 std::string_view op_name(Op op) noexcept;

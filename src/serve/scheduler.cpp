@@ -60,7 +60,7 @@ Scheduler::Scheduler(const core::TrafficLM& lm, const core::NetFM* fm,
     : lm_(&lm),
       fm_(fm),
       options_(options),
-      pool_(lm, options.session_capacity) {
+      pool_(lm, options.session_capacity, options.kv_blocks) {
   if (options_.degrade_queue_high == 0)
     options_.degrade_queue_high =
         std::max<std::size_t>(1, options_.max_queue * 3 / 4);
@@ -358,6 +358,11 @@ void Scheduler::run_tick(std::vector<Pending>& batch) {
       metrics::counter("serve.deadline.in_batch");
   static const auto c_overloaded =
       metrics::counter("serve.rejected.overloaded");
+  static const auto c_context_full =
+      metrics::counter("serve.rejected.context_full");
+  static const auto g_kv_blocks =
+      metrics::gauge("serve.kv.blocks_in_use", "block");
+  static const auto g_kv_bytes = metrics::gauge("serve.kv.bytes", "byte");
   static const auto c_stalled = metrics::counter("serve.tick.stalled");
   static const auto f_stall = fault::point("serve.tick.stall");
   h_size.record(static_cast<double>(batch.size()));
@@ -486,35 +491,138 @@ void Scheduler::run_tick(std::vector<Pending>& batch) {
     }
   }
 
-  // Decoder-backed ops: per-session KV caches from the pool. score/sample
-  // reset their decoder on entry, so a crash-injected request leaves no
-  // residue in the session's cache.
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Request& request = batch[i].request;
-    if (done[i] ||
-        (request.op != Op::kScore && request.op != Op::kGenerate))
-      continue;
-    RejectReason why = RejectReason::kSessionsFull;
-    auto lease = pool_.checkout(request.session, &why);
-    if (!lease) {
-      if (why == RejectReason::kSessionsFull) c_sessions_full.add();
-      replies[i] = Reply::rejected(why, retry_hint_ms(queued()));
-      continue;
-    }
-    try {
-      if (request.op == Op::kScore) {
-        replies[i].score = lm_->score(request.tokens, lease->decoder());
-      } else {
-        Rng rng(request.seed);
-        replies[i].tokens =
-            lm_->sample(request.sampling, rng, lease->decoder());
+  // Decoder-backed ops: per-session paged KV caches drawn from the shared
+  // block pool. Requests are grouped into waves — one request per session
+  // per wave, in batch order, so several queued ops for one session run in
+  // sequence, not against each other — and each wave's score and generate
+  // groups run as lockstep batched decode steps (one padded forward per
+  // step across the group) via score_batch/sample_batch. A group that
+  // throws retries each member alone, so one poisoned request can't take
+  // down its wave-mates; score/sample reset their decoder on entry, so a
+  // crash-injected request leaves no residue in the session's cache.
+  std::vector<std::size_t> decode_index;
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (!done[i] && (batch[i].request.op == Op::kScore ||
+                     batch[i].request.op == Op::kGenerate))
+      decode_index.push_back(i);
+  if (!decode_index.empty()) {
+    // Headroom for this tick's worst case: evicting idle LRU sessions to
+    // free blocks is bitwise-invisible (their next request replays from a
+    // cold cache either way).
+    pool_.reclaim_kv(decode_index.size() * pool_.kv_blocks_per_sequence());
+
+    std::vector<char> processed(decode_index.size(), 0);
+    std::size_t remaining = decode_index.size();
+    std::vector<std::size_t> wave;  // positions into decode_index
+    while (remaining > 0) {
+      wave.clear();
+      for (std::size_t d = 0; d < decode_index.size(); ++d) {
+        if (processed[d]) continue;
+        const std::uint64_t session =
+            batch[decode_index[d]].request.session;
+        bool dup = false;
+        for (const std::size_t w : wave)
+          if (batch[decode_index[w]].request.session == session) {
+            dup = true;
+            break;
+          }
+        if (!dup) wave.push_back(d);
       }
-    } catch (const fault::CrashInjected& crash) {
-      replies[i] = Reply::errored("fault injected: " + crash.point);
-    } catch (const std::exception& e) {
-      replies[i] = Reply::errored(e.what());
+
+      std::vector<std::optional<SessionPool::Lease>> leases(wave.size());
+      for (std::size_t w = 0; w < wave.size(); ++w) {
+        const std::size_t i = decode_index[wave[w]];
+        RejectReason why = RejectReason::kSessionsFull;
+        leases[w] = pool_.checkout(batch[i].request.session, &why);
+        if (!leases[w]) {
+          if (why == RejectReason::kSessionsFull) c_sessions_full.add();
+          replies[i] = Reply::rejected(why, retry_hint_ms(queued()));
+          processed[wave[w]] = 1;
+          --remaining;
+        }
+      }
+
+      const auto run_serial = [&](std::size_t w) {
+        const std::size_t i = decode_index[wave[w]];
+        const Request& request = batch[i].request;
+        try {
+          if (request.op == Op::kScore) {
+            replies[i].score =
+                lm_->score(request.tokens, leases[w]->decoder());
+          } else {
+            Rng rng(request.seed);
+            replies[i].tokens =
+                lm_->sample(request.sampling, rng, leases[w]->decoder());
+          }
+        } catch (const model::ContextFullError&) {
+          c_context_full.add();
+          replies[i] = Reply::rejected(RejectReason::kContextFull,
+                                       retry_hint_ms(queued()));
+        } catch (const fault::CrashInjected& crash) {
+          replies[i] = Reply::errored("fault injected: " + crash.point);
+        } catch (const std::exception& e) {
+          replies[i] = Reply::errored(e.what());
+        }
+      };
+
+      for (const Op op : {Op::kScore, Op::kGenerate}) {
+        std::vector<std::size_t> slots;
+        for (std::size_t w = 0; w < wave.size(); ++w)
+          if (!processed[wave[w]] && leases[w] &&
+              batch[decode_index[wave[w]]].request.op == op)
+            slots.push_back(w);
+        if (slots.empty()) continue;
+        bool group_ok = false;
+        try {
+          if (op == Op::kScore) {
+            std::vector<std::vector<std::string>> sequences;
+            std::vector<core::LmDecoder*> decoders;
+            for (const std::size_t w : slots) {
+              sequences.push_back(
+                  batch[decode_index[wave[w]]].request.tokens);
+              decoders.push_back(&leases[w]->decoder());
+            }
+            const auto scores = lm_->score_batch(sequences, decoders);
+            for (std::size_t g = 0; g < slots.size(); ++g)
+              replies[decode_index[wave[slots[g]]]].score = scores[g];
+          } else {
+            std::vector<core::SampleOptions> sampling;
+            std::vector<Rng> rngs;
+            rngs.reserve(slots.size());
+            std::vector<Rng*> rng_ptrs;
+            std::vector<core::LmDecoder*> decoders;
+            for (const std::size_t w : slots) {
+              const Request& request = batch[decode_index[wave[w]]].request;
+              sampling.push_back(request.sampling);
+              rngs.emplace_back(request.seed);
+              decoders.push_back(&leases[w]->decoder());
+            }
+            for (Rng& rng : rngs) rng_ptrs.push_back(&rng);
+            auto sampled = lm_->sample_batch(sampling, rng_ptrs, decoders);
+            for (std::size_t g = 0; g < slots.size(); ++g)
+              replies[decode_index[wave[slots[g]]]].tokens =
+                  std::move(sampled[g]);
+          }
+          group_ok = true;
+        } catch (const fault::CrashInjected&) {
+        } catch (const std::exception&) {
+        }
+        if (!group_ok)
+          for (const std::size_t w : slots) run_serial(w);
+        for (const std::size_t w : slots) {
+          processed[wave[w]] = 1;
+          --remaining;
+        }
+        touch_heartbeat();
+      }
+      // Leases drop here, so the next wave can check the same sessions out
+      // again.
+      leases.clear();
     }
-    touch_heartbeat();
+  }
+  if (const auto& kv = pool_.kv_pool()) {
+    g_kv_blocks.set(static_cast<double>(kv->blocks_in_use()));
+    g_kv_bytes.set(static_cast<double>(kv->bytes_in_use()));
   }
   h_batch.record(elapsed_ns(batch_start));
 

@@ -83,6 +83,10 @@ struct SchedulerOptions {
   std::size_t max_batch = 32;            // requests drained per tick
   std::size_t per_session_pending = 4;   // queued requests per session
   std::size_t session_capacity = 256;    // SessionPool size
+  /// Shared KV block pool size for the session pool. 0 = NETFM_KV_BLOCKS
+  /// when set, else the SessionPool default (half the dense per-session
+  /// reservation).
+  std::size_t kv_blocks = 0;
 
   /// Default per-request budget (ms from admission) applied when a request
   /// carries deadline_ms == 0. 0 = requests without their own deadline

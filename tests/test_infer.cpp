@@ -9,11 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "core/netfm.h"
 #include "core/traffic_lm.h"
+#include "model/kv_pool.h"
+#include "nn/kernels/kernels.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 #include "nn/workspace.h"
 
@@ -21,6 +27,21 @@ namespace netfm {
 namespace {
 
 using nn::Tensor;
+namespace kernels = nn::kernels;
+namespace quant = nn::quant;
+
+/// Restores the backend active at construction (usually the dispatched
+/// default) so tests can switch freely.
+struct BackendGuard {
+  kernels::Backend saved = kernels::active();
+  ~BackendGuard() { kernels::set_backend(saved); }
+};
+
+/// Turns the quantized route on for one test and always off afterwards.
+struct QuantGuard {
+  explicit QuantGuard(bool on) { quant::set_enabled(on); }
+  ~QuantGuard() { quant::set_enabled(false); }
+};
 
 tok::Vocabulary tiny_vocab() {
   tok::Vocabulary v;
@@ -346,6 +367,259 @@ TEST(Workspace, PooledTensorMayOutliveGuard) {
   EXPECT_EQ(kept.size(), 16u);
   const float first = kept.data()[0];
   EXPECT_EQ(first, first);  // finite read, no poison
+}
+
+// ---- Paged KV & cross-session batched decode ----------------------------
+//
+// The batched route's contract (DESIGN.md "Paged KV & batched decode") is
+// bitwise equivalence with the serial per-decoder route on every backend,
+// thread count, and quant setting — so all comparisons below are exact.
+
+/// Four equal-length token streams with distinct content (lockstep batches
+/// feed one token per live stream per step).
+std::vector<std::vector<int>> batch_token_ids(const tok::Vocabulary& vocab) {
+  const std::vector<std::vector<const char*>> words = {
+      {"tcp", "p80", "fl_S", "dir_up", "pkt", "d_www"},
+      {"udp", "p53", "dns_query", "dns_resp", "pkt", "dir_dn"},
+      {"tcp", "p443", "fl_SA", "d_video", "dir_dn", "pkt"},
+      {"udp", "p80", "pkt", "pkt", "dir_up", "d_www"},
+  };
+  std::vector<std::vector<int>> ids;
+  for (const auto& seq : words) {
+    std::vector<int> stream = {tok::Vocabulary::kCls};
+    for (const char* t : seq) stream.push_back(vocab.id(t));
+    ids.push_back(std::move(stream));
+  }
+  return ids;
+}
+
+TEST(PagedKv, AdvanceBatchBitwiseEqualsSerialAcrossBackendsAndQuant) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const std::vector<std::vector<int>> ids = batch_token_ids(vocab);
+  const std::size_t batch = ids.size();
+  const std::size_t steps = ids.front().size();
+
+  for (const bool quant_on : {false, true}) {
+    QuantGuard quant_guard(quant_on);
+    if (quant_on) lm.prequantize();
+    BackendGuard backend_guard;
+    for (kernels::Backend b : kernels::available()) {
+      kernels::set_backend(b);
+      with_thread_counts([&] {
+        // Serial oracle: one private-pool decoder per stream.
+        std::vector<std::vector<std::vector<float>>> want(batch);
+        for (std::size_t i = 0; i < batch; ++i) {
+          core::LmDecoder decoder(lm);
+          for (std::size_t t = 0; t < steps; ++t)
+            want[i].push_back(decoder.advance(ids[i][t]));
+        }
+
+        // Batched route: every decoder draws from one shared pool.
+        const auto pool =
+            lm.make_kv_pool(batch * lm.kv_blocks_per_sequence());
+        std::vector<std::unique_ptr<core::LmDecoder>> decoders;
+        std::vector<core::LmDecoder*> ptrs;
+        for (std::size_t i = 0; i < batch; ++i) {
+          decoders.push_back(std::make_unique<core::LmDecoder>(lm, pool));
+          ptrs.push_back(decoders.back().get());
+        }
+        for (std::size_t t = 0; t < steps; ++t) {
+          std::vector<int> step;
+          for (std::size_t i = 0; i < batch; ++i) step.push_back(ids[i][t]);
+          const std::vector<std::vector<float>> got =
+              core::LmDecoder::advance_batch(ptrs, step);
+          ASSERT_EQ(got.size(), batch);
+          for (std::size_t i = 0; i < batch; ++i) {
+            ASSERT_EQ(got[i].size(), want[i][t].size());
+            for (std::size_t j = 0; j < got[i].size(); ++j)
+              ASSERT_EQ(got[i][j], want[i][t][j])
+                  << kernels::backend_name(b) << (quant_on ? "/quant" : "")
+                  << " stream " << i << " step " << t << " logit " << j;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(PagedKv, ScoreBatchBitwiseEqualsSerial) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  // Differing lengths: short streams fall out of the lockstep early.
+  const std::vector<std::vector<std::string>> sequences = {
+      {"tcp", "p80", "fl_S", "pkt"},
+      {"udp", "p53", "dns_query", "dns_resp", "pkt", "dir_dn"},
+      {"tcp", "p443"},
+      {"udp", "p80", "pkt", "d_www", "dir_up"},
+  };
+  with_thread_counts([&] {
+    const auto pool =
+        lm.make_kv_pool(sequences.size() * lm.kv_blocks_per_sequence());
+    std::vector<std::unique_ptr<core::LmDecoder>> decoders;
+    std::vector<core::LmDecoder*> ptrs;
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      decoders.push_back(std::make_unique<core::LmDecoder>(lm, pool));
+      ptrs.push_back(decoders.back().get());
+    }
+    const std::vector<double> batched = lm.score_batch(sequences, ptrs);
+    ASSERT_EQ(batched.size(), sequences.size());
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      core::LmDecoder serial(lm);
+      ASSERT_EQ(batched[i], lm.score(sequences[i], serial))
+          << "sequence " << i;
+    }
+  });
+}
+
+TEST(PagedKv, SampleBatchBitwiseEqualsSerial) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  std::vector<core::SampleOptions> options(3);
+  options[0].max_tokens = 8;
+  options[1].max_tokens = 12;
+  options[1].temperature = 0.7;
+  options[1].top_k = 4;
+  options[2].max_tokens = 5;
+  options[2].temperature = 1.3;
+
+  with_thread_counts([&] {
+    // Serial oracle, one fresh RNG per stream.
+    std::vector<std::vector<std::string>> want;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      Rng rng(100 + i);
+      core::LmDecoder decoder(lm);
+      want.push_back(lm.sample(options[i], rng, decoder));
+    }
+
+    const auto pool =
+        lm.make_kv_pool(options.size() * lm.kv_blocks_per_sequence());
+    std::vector<Rng> rngs;
+    rngs.reserve(options.size());
+    std::vector<Rng*> rng_ptrs;
+    std::vector<std::unique_ptr<core::LmDecoder>> decoders;
+    std::vector<core::LmDecoder*> ptrs;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      rngs.emplace_back(100 + i);
+      rng_ptrs.push_back(&rngs.back());
+      decoders.push_back(std::make_unique<core::LmDecoder>(lm, pool));
+      ptrs.push_back(decoders.back().get());
+    }
+    const std::vector<std::vector<std::string>> got =
+        lm.sample_batch(options, rng_ptrs, ptrs);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i], want[i]) << "stream " << i;
+  });
+}
+
+TEST(PagedKv, PoolExhaustionIsTypedAndRollsBack) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+
+  // A one-block pool shared by two decoders: the first advance takes the
+  // only block.
+  const auto pool = lm.make_kv_pool(1);
+  core::LmDecoder first(lm, pool);
+  core::LmDecoder second(lm, pool);
+  const std::vector<float> cold = first.advance(tok::Vocabulary::kCls);
+  EXPECT_EQ(pool->blocks_in_use(), 1u);
+
+  try {
+    second.advance(vocab.id("tcp"));
+    FAIL() << "expected ContextFullError";
+  } catch (const model::ContextFullError& e) {
+    EXPECT_TRUE(e.pool_exhausted());
+  }
+  // The failed advance left no trace: no tokens cached, no blocks held,
+  // nothing leaked from the in-flight reservation.
+  EXPECT_EQ(second.cached_tokens(), 0u);
+  EXPECT_EQ(second.held_kv_blocks(), 0u);
+  EXPECT_EQ(pool->blocks_in_use(), 1u);
+
+  // Freeing the first decoder's block unblocks the retry, which produces
+  // exactly what the first cold advance did.
+  first.release_kv();
+  EXPECT_EQ(pool->blocks_in_use(), 0u);
+  const std::vector<float> retried = second.advance(tok::Vocabulary::kCls);
+  ASSERT_EQ(retried.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    ASSERT_EQ(retried[i], cold[i]) << "logit " << i;
+}
+
+TEST(PagedKv, AdvanceBatchRollsBackOnExhaustion) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+
+  // Two fresh decoders both need a first block; the pool holds only one.
+  const auto pool = lm.make_kv_pool(1);
+  core::LmDecoder a(lm, pool);
+  core::LmDecoder b(lm, pool);
+  core::LmDecoder* ptrs[] = {&a, &b};
+  const int step[] = {tok::Vocabulary::kCls, tok::Vocabulary::kCls};
+  try {
+    core::LmDecoder::advance_batch(ptrs, step);
+    FAIL() << "expected ContextFullError";
+  } catch (const model::ContextFullError& e) {
+    EXPECT_TRUE(e.pool_exhausted());
+  }
+  // All-or-nothing: neither decoder advanced and the partial reservation
+  // was rolled back, so the step is retryable after blocks free up.
+  EXPECT_EQ(a.cached_tokens(), 0u);
+  EXPECT_EQ(b.cached_tokens(), 0u);
+  EXPECT_EQ(a.held_kv_blocks(), 0u);
+  EXPECT_EQ(b.held_kv_blocks(), 0u);
+  EXPECT_EQ(pool->blocks_in_use(), 0u);
+}
+
+TEST(PagedKv, MaxContextIsTypedButNotPoolExhaustion) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  auto config = tiny_config(vocab.size());
+  config.max_seq_len = 4;
+  const core::TrafficLM lm(vocab, config);
+  core::LmDecoder decoder(lm);
+  for (int t = 0; t < 4; ++t) decoder.advance(tok::Vocabulary::kCls);
+  try {
+    decoder.advance(tok::Vocabulary::kCls);
+    FAIL() << "expected ContextFullError";
+  } catch (const model::ContextFullError& e) {
+    EXPECT_FALSE(e.pool_exhausted());  // at max_seq_len, pool has room
+  }
+}
+
+TEST(PagedKv, ReleaseAndBlockReuseAreBitwiseInvisible) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  const std::vector<int> ids = {tok::Vocabulary::kCls, vocab.id("tcp"),
+                                vocab.id("p443"), vocab.id("fl_SA"),
+                                vocab.id("pkt")};
+
+  // A pool holding exactly one sequence, so the second decoder can only
+  // run on the first decoder's freed (dirty) blocks.
+  const auto pool = lm.make_kv_pool(lm.kv_blocks_per_sequence());
+  core::LmDecoder d1(lm, pool);
+  std::vector<std::vector<float>> first;
+  for (int id : ids) first.push_back(d1.advance(id));
+  EXPECT_GT(d1.held_kv_blocks(), 0u);
+  d1.release_kv();
+  EXPECT_EQ(d1.cached_tokens(), 0u);
+  EXPECT_EQ(pool->blocks_in_use(), 0u);
+
+  core::LmDecoder d2(lm, pool);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const std::vector<float> replay = d2.advance(ids[t]);
+    ASSERT_EQ(replay.size(), first[t].size());
+    for (std::size_t i = 0; i < replay.size(); ++i)
+      ASSERT_EQ(replay[i], first[t][i]) << "step " << t << " logit " << i;
+  }
+  d2.release_kv();
+
+  // And the releasing decoder itself decodes cleanly again afterwards.
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const std::vector<float> replay = d1.advance(ids[t]);
+    for (std::size_t i = 0; i < replay.size(); ++i)
+      ASSERT_EQ(replay[i], first[t][i]) << "step " << t << " logit " << i;
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 // TSan lane runs it alongside concurrency/infer/serve.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "common/threadpool.h"
 #include "core/netfm.h"
 #include "core/traffic_lm.h"
+#include "model/kv_pool.h"
 #include "nn/kernels/kernels.h"
 #include "nn/optim.h"
 #include "nn/quant.h"
@@ -378,6 +380,64 @@ TEST(QuantGemm, OptimizerStepAndCheckpointLoadBumpEpoch) {
   const auto blob = nn::save_parameters(params);
   ASSERT_TRUE(nn::load_parameters(blob, params));
   EXPECT_GT(quant::weight_epoch(), e1);
+}
+
+TEST(KernelWeightedSum, AccAndPagedBitwiseAcrossBackends) {
+  BackendGuard guard;
+  Rng rng(211);
+  // t spans multiple fixed-size runs with a ragged tail; dk hits both the
+  // SIMD-width and the scalar-tail paths.
+  const std::size_t t = 37, run_tokens = 16;
+  for (const std::size_t dk : {std::size_t{16}, std::size_t{13}}) {
+    const Tensor w = Tensor::randn({t}, rng, 1.0f, false);
+    const Tensor rows = Tensor::randn({t, dk}, rng, 1.0f, false);
+    const float* wp = w.data().data();
+    const float* rp = rows.data().data();
+
+    // Scalar dense weighted_sum / weighted_sum_acc are the oracles.
+    kernels::set_backend(kernels::Backend::kScalar);
+    std::vector<float> want(dk);
+    kernels::table().weighted_sum(wp, rp, t, dk, want.data());
+    std::vector<float> acc_want(dk, 0.25f);
+    kernels::table().weighted_sum_acc(wp, rp, t, dk, acc_want.data());
+
+    // Scatter the rows into separate per-run buffers, paged-pool style.
+    const std::size_t n_runs = model::kv_blocks_for(t, run_tokens);
+    std::vector<std::vector<float>> run_storage(n_runs);
+    std::vector<const float*> runs;
+    for (std::size_t r = 0; r < n_runs; ++r) {
+      run_storage[r].assign(run_tokens * dk, -7.0f);  // poison past the tail
+      const std::size_t lo = r * run_tokens;
+      const std::size_t len = std::min(run_tokens, t - lo);
+      std::copy_n(rp + lo * dk, len * dk, run_storage[r].data());
+      runs.push_back(run_storage[r].data());
+    }
+
+    for (kernels::Backend b : kernels::available()) {
+      kernels::set_backend(b);
+      const kernels::KernelTable& kt = kernels::table();
+
+      std::vector<float> dense(dk);
+      kt.weighted_sum(wp, rp, t, dk, dense.data());
+      std::vector<float> paged(dk, 99.0f);  // overwritten by the first run
+      kernels::paged_weighted_sum(kt, wp, runs.data(), n_runs, run_tokens, t,
+                                  dk, paged.data());
+
+      // weighted_sum_acc alone: seed out with a bias, accumulate, compare
+      // against the scalar oracle seeded identically.
+      std::vector<float> acc(dk, 0.25f);
+      kt.weighted_sum_acc(wp, rp, t, dk, acc.data());
+
+      for (std::size_t c = 0; c < dk; ++c) {
+        ASSERT_EQ(dense[c], want[c])
+            << kernels::backend_name(b) << " dense dk=" << dk << " col " << c;
+        ASSERT_EQ(paged[c], want[c])
+            << kernels::backend_name(b) << " paged dk=" << dk << " col " << c;
+        ASSERT_EQ(acc[c], acc_want[c])
+            << kernels::backend_name(b) << " acc dk=" << dk << " col " << c;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -381,6 +381,37 @@ TEST(SessionPool, EvictFaultPointForcesEvictionBelowCapacity) {
   EXPECT_EQ(pool.evictions(), 1u);
 }
 
+TEST(SessionPool, ReclaimKvEvictsIdleAndReplaysBitwise) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+  // Shared pool sized for two full sequences.
+  serve::SessionPool pool(lm, 4, 2 * lm.kv_blocks_per_sequence());
+  const auto& kv = pool.kv_pool();
+  ASSERT_TRUE(kv != nullptr);
+
+  const std::vector<std::string> tokens = session_tokens(vocab, 3, 5);
+  const double expected = lm.score(tokens);
+  serve::RejectReason why;
+  for (std::uint64_t s : {1, 2}) {
+    auto lease = pool.checkout(s, &why);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lm.score(tokens, lease->decoder()), expected);
+  }
+  EXPECT_GT(kv->blocks_in_use(), 0u);
+
+  // Reclaiming the whole pool evicts every idle session and frees all of
+  // their blocks.
+  const std::size_t freed = pool.reclaim_kv(kv->capacity_blocks());
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(kv->blocks_in_use(), 0u);
+  EXPECT_EQ(pool.live(), 0u);
+
+  // An evicted session re-enters as a new one and replays bitwise.
+  auto lease = pool.checkout(1, &why);
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lm.score(tokens, lease->decoder()), expected);
+}
+
 // ---------------------------------------------------------------------------
 // Scheduler
 
@@ -493,6 +524,38 @@ TEST(Scheduler, ShedsWithTypedRejects) {
     ASSERT_EQ(reply.status, serve::Reply::Status::kRejected);
     EXPECT_EQ(reply.reject, serve::RejectReason::kShuttingDown);
   }
+}
+
+TEST(Scheduler, KvPoolExhaustionRejectsTypedContextFull) {
+  const tok::Vocabulary vocab = tiny_vocab();
+  const core::TrafficLM lm(vocab, tiny_config(vocab.size()));
+
+  // One KV block (16 tokens with the default NETFM_KV_BLOCK) for the whole
+  // scheduler: a score whose frame exceeds one block exhausts the pool
+  // mid-decode and must come back as a typed context_full reject, not an
+  // untyped error.
+  serve::SchedulerOptions options;
+  options.kv_blocks = 1;
+  serve::Scheduler scheduler(lm, nullptr, options);
+
+  serve::Request request;
+  request.op = serve::Op::kScore;
+  request.session = 1;
+  request.tokens = session_tokens(vocab, 1, 20);  // frames to 22 tokens
+  const serve::Reply reply = scheduler.submit(request).get();
+  ASSERT_EQ(reply.status, serve::Reply::Status::kRejected) << reply.error;
+  EXPECT_EQ(reply.reject, serve::RejectReason::kContextFull);
+  EXPECT_GT(reply.retry_after_ms, 0u);
+
+  // The pool is not poisoned: a request that fits one block still serves,
+  // reclaiming the failed session's block on the way in.
+  serve::Request small;
+  small.op = serve::Op::kScore;
+  small.session = 2;
+  small.tokens = session_tokens(vocab, 2, 5);
+  const serve::Reply ok = scheduler.submit(small).get();
+  ASSERT_EQ(ok.status, serve::Reply::Status::kOk) << ok.error;
+  EXPECT_EQ(ok.score, lm.score(small.tokens));
 }
 
 TEST(Scheduler, BadRequestErrorsDoNotPoisonTickMates) {
